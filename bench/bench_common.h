@@ -1,0 +1,147 @@
+#ifndef COLR_BENCH_BENCH_COMMON_H_
+#define COLR_BENCH_BENCH_COMMON_H_
+
+// Shared scaffolding for the figure-reproduction harnesses. Each
+// harness builds a Live-Local-like workload (DESIGN.md §1), replays it
+// through one or more engine configurations, and prints the series the
+// corresponding paper figure reports. Default scale runs in seconds;
+// pass --full for paper-scale (370k sensors / 106k queries).
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/stats.h"
+#include "core/engine.h"
+#include "core/query.h"
+#include "core/tree.h"
+#include "sensor/network.h"
+#include "workload/live_local.h"
+
+namespace colr::bench {
+
+struct BenchConfig {
+  int sensors = 30000;
+  int queries = 2500;
+  int cities = 120;
+  uint64_t seed = 20080407;  // ICDE'08
+  bool full = false;
+
+  static BenchConfig FromArgs(int argc, char** argv) {
+    BenchConfig cfg;
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      auto value = [&arg](const char* prefix) -> const char* {
+        const size_t len = std::strlen(prefix);
+        return arg.compare(0, len, prefix) == 0 ? arg.c_str() + len
+                                                : nullptr;
+      };
+      if (arg == "--full") {
+        cfg.full = true;
+        cfg.sensors = 370000;
+        cfg.queries = 106000;
+        cfg.cities = 250;
+      } else if (const char* v = value("--sensors=")) {
+        cfg.sensors = std::atoi(v);
+      } else if (const char* v = value("--queries=")) {
+        cfg.queries = std::atoi(v);
+      } else if (const char* v = value("--seed=")) {
+        cfg.seed = std::strtoull(v, nullptr, 10);
+      } else if (arg == "--help" || arg == "-h") {
+        std::printf(
+            "usage: %s [--full] [--sensors=N] [--queries=N] [--seed=S]\n",
+            argv[0]);
+        std::exit(0);
+      }
+    }
+    return cfg;
+  }
+
+  LiveLocalOptions WorkloadOptions() const {
+    LiveLocalOptions opts;
+    opts.num_sensors = sensors;
+    opts.num_queries = queries;
+    opts.num_cities = cities;
+    opts.seed = seed;
+    return opts;
+  }
+};
+
+/// One engine configuration wired to a fresh tree + network + clock so
+/// runs are independent.
+class Testbed {
+ public:
+  Testbed(const LiveLocalWorkload& workload, ColrEngine::Mode mode,
+          size_t cache_capacity, TimeMs slot_delta_ms = 0,
+          bool fill_region_count = false)
+      : workload_(workload) {
+    network_ = std::make_unique<SensorNetwork>(workload.sensors, &clock_);
+    network_->set_value_fn(MakeRestaurantWaitingTimeFn());
+    ColrTree::Options topts;
+    topts.cluster.fanout = 8;
+    topts.cluster.leaf_capacity = 32;
+    topts.cache_capacity = cache_capacity;
+    TimeMs t_max = 0;
+    for (const auto& s : workload.sensors) {
+      t_max = std::max(t_max, s.expiry_ms);
+    }
+    topts.t_max_ms = t_max;
+    topts.slot_delta_ms = slot_delta_ms > 0 ? slot_delta_ms : t_max / 4;
+    tree_ = std::make_unique<ColrTree>(workload.sensors, topts);
+    ColrEngine::Options eopts;
+    eopts.mode = mode;
+    eopts.fill_region_count = fill_region_count;
+    engine_ = std::make_unique<ColrEngine>(tree_.get(), network_.get(),
+                                           eopts);
+  }
+
+  /// Replays the workload's query trace. `visit`, when set, sees every
+  /// (query record, result).
+  using VisitFn = std::function<void(
+      const LiveLocalWorkload::QueryRecord&, const QueryResult&)>;
+  void Replay(TimeMs staleness_ms, int sample_size, int cluster_level,
+              const VisitFn& visit = nullptr, int max_queries = -1) {
+    int n = 0;
+    for (const auto& rec : workload_.queries) {
+      if (max_queries >= 0 && n >= max_queries) break;
+      ++n;
+      clock_.SetMs(rec.at);
+      Query q;
+      q.region = QueryRegion::FromRect(rec.region);
+      q.staleness_ms = staleness_ms;
+      q.sample_size = sample_size;
+      q.cluster_level = cluster_level;
+      QueryResult result = engine_->Execute(q);
+      if (visit) visit(rec, result);
+    }
+  }
+
+  ColrEngine& engine() { return *engine_; }
+  ColrTree& tree() { return *tree_; }
+  SensorNetwork& network() { return *network_; }
+  SimClock& clock() { return clock_; }
+
+ private:
+  const LiveLocalWorkload& workload_;
+  SimClock clock_;
+  std::unique_ptr<SensorNetwork> network_;
+  std::unique_ptr<ColrTree> tree_;
+  std::unique_ptr<ColrEngine> engine_;
+};
+
+inline void PrintHeader(const char* figure, const char* description,
+                        const BenchConfig& cfg) {
+  std::printf("=== %s: %s ===\n", figure, description);
+  std::printf("workload: %d sensors, %d queries (seed %llu)%s\n\n",
+              cfg.sensors, cfg.queries,
+              static_cast<unsigned long long>(cfg.seed),
+              cfg.full ? " [paper scale]" : "");
+}
+
+}  // namespace colr::bench
+
+#endif  // COLR_BENCH_BENCH_COMMON_H_

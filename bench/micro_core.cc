@@ -1,0 +1,233 @@
+// Microbenchmarks (google-benchmark) for COLR-Tree's primitive
+// operations — the ablation knobs behind the figure harnesses: slot
+// cache maintenance, reading-store eviction, cluster-tree / R-tree
+// construction, range search, layered sampling, and full engine
+// execution in each configuration.
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "core/engine.h"
+#include "core/sampling.h"
+#include "core/slot_cache.h"
+#include "core/tree.h"
+#include "rtree/rtree.h"
+#include "sensor/network.h"
+#include "workload/live_local.h"
+
+namespace colr {
+namespace {
+
+constexpr TimeMs kMin = kMsPerMinute;
+
+std::vector<SensorInfo> BenchSensors(int n, uint64_t seed = 1) {
+  Rng rng(seed);
+  return MakeUniformSensors(n, Rect::FromCorners(0, 0, 100, 100), 5 * kMin,
+                            0.9, rng);
+}
+
+ColrTree::Options BenchTreeOptions(size_t capacity = 0) {
+  ColrTree::Options opts;
+  opts.cluster.fanout = 8;
+  opts.cluster.leaf_capacity = 32;
+  opts.slot_delta_ms = kMin;
+  opts.t_max_ms = 5 * kMin;
+  opts.cache_capacity = capacity;
+  return opts;
+}
+
+// ---------------------------------------------------------------------------
+// Slot cache primitives
+// ---------------------------------------------------------------------------
+
+void BM_SlotCacheAdd(benchmark::State& state) {
+  SlotScheme scheme(kMin, 5 * kMin);
+  AggregateSlotCache cache(scheme.num_slots());
+  Rng rng(1);
+  SlotId slot = scheme.oldest();
+  for (auto _ : state) {
+    cache.Add(scheme, slot, rng.NextDouble());
+    if (++slot > scheme.newest()) slot = scheme.oldest();
+  }
+}
+BENCHMARK(BM_SlotCacheAdd);
+
+void BM_SlotCacheQuery(benchmark::State& state) {
+  SlotScheme scheme(kMin, 5 * kMin);
+  AggregateSlotCache cache(scheme.num_slots());
+  Rng rng(2);
+  for (SlotId s = scheme.oldest(); s <= scheme.newest(); ++s) {
+    for (int i = 0; i < 100; ++i) cache.Add(scheme, s, rng.NextDouble());
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.QueryNewerThan(scheme, scheme.oldest()));
+  }
+}
+BENCHMARK(BM_SlotCacheQuery);
+
+void BM_SlotCacheRoll(benchmark::State& state) {
+  SlotScheme scheme(kMin, 5 * kMin);
+  AggregateSlotCache cache(scheme.num_slots());
+  Rng rng(3);
+  SlotId next = scheme.newest() + 1;
+  for (auto _ : state) {
+    scheme.RollTo(next);
+    cache.Add(scheme, next, rng.NextDouble());
+    ++next;
+  }
+}
+BENCHMARK(BM_SlotCacheRoll);
+
+void BM_ReadingStoreInsertWithEviction(benchmark::State& state) {
+  SlotScheme scheme(kMin, 5 * kMin);
+  ReadingStore store(1000);
+  Rng rng(4);
+  TimeMs now = 0;
+  SensorId sid = 0;
+  for (auto _ : state) {
+    now += 10;
+    scheme.RollTo(scheme.SlotOf(now + 5 * kMin));
+    store.ExpungeExpiredSlots(scheme);
+    store.Insert(scheme,
+                 Reading{sid++ % 5000, now, now + kMin +
+                             static_cast<TimeMs>(rng.UniformInt(4 * kMin)),
+                         1.0});
+  }
+}
+BENCHMARK(BM_ReadingStoreInsertWithEviction);
+
+// ---------------------------------------------------------------------------
+// Index construction
+// ---------------------------------------------------------------------------
+
+void BM_ClusterTreeBuild(benchmark::State& state) {
+  auto sensors = BenchSensors(static_cast<int>(state.range(0)));
+  std::vector<Point> points;
+  for (const auto& s : sensors) points.push_back(s.location);
+  ClusterTreeOptions opts;
+  opts.fanout = 8;
+  opts.leaf_capacity = 32;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(BuildClusterTree(points, opts));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ClusterTreeBuild)->Arg(1000)->Arg(10000)->Arg(50000);
+
+void BM_RTreeBulkLoad(benchmark::State& state) {
+  auto sensors = BenchSensors(static_cast<int>(state.range(0)));
+  std::vector<std::pair<Rect, int64_t>> entries;
+  for (const auto& s : sensors) {
+    entries.push_back({Rect::FromPoint(s.location), s.id});
+  }
+  for (auto _ : state) {
+    RTree tree;
+    tree.BulkLoad(entries);
+    benchmark::DoNotOptimize(tree.size());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_RTreeBulkLoad)->Arg(10000)->Arg(100000);
+
+void BM_RTreeDynamicInsert(benchmark::State& state) {
+  Rng rng(5);
+  RTree tree;
+  for (auto _ : state) {
+    tree.Insert(
+        Rect::FromPoint({rng.Uniform(0, 100), rng.Uniform(0, 100)}),
+        static_cast<int64_t>(tree.size()));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RTreeDynamicInsert);
+
+void BM_RTreeRangeSearch(benchmark::State& state) {
+  auto sensors = BenchSensors(100000);
+  std::vector<std::pair<Rect, int64_t>> entries;
+  for (const auto& s : sensors) {
+    entries.push_back({Rect::FromPoint(s.location), s.id});
+  }
+  RTree tree;
+  tree.BulkLoad(entries);
+  Rng rng(6);
+  const double side = static_cast<double>(state.range(0));
+  for (auto _ : state) {
+    const double x = rng.Uniform(0, 100 - side);
+    const double y = rng.Uniform(0, 100 - side);
+    benchmark::DoNotOptimize(
+        tree.Search(Rect::FromCorners(x, y, x + side, y + side)));
+  }
+}
+BENCHMARK(BM_RTreeRangeSearch)->Arg(1)->Arg(10)->Arg(50);
+
+// ---------------------------------------------------------------------------
+// Sampling & engine
+// ---------------------------------------------------------------------------
+
+void BM_LayeredSampling(benchmark::State& state) {
+  SimClock clock(30 * kMin);
+  auto sensors = BenchSensors(50000);
+  SensorNetwork network(sensors, &clock);
+  ColrTree tree(network.sensors(), BenchTreeOptions());
+  auto probe = [&network](const std::vector<SensorId>& ids) {
+    return network.ProbeBatch(ids).readings;
+  };
+  LayeredSampler::Options opts;
+  opts.target = static_cast<double>(state.range(0));
+  Rng rng(7);
+  const QueryRegion region =
+      QueryRegion::FromRect(Rect::FromCorners(10, 10, 90, 90));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(LayeredSampler::Run(
+        tree, region, clock.NowMs(), 5 * kMin, opts, rng, probe));
+  }
+}
+BENCHMARK(BM_LayeredSampling)->Arg(30)->Arg(300);
+
+void BM_EngineQuery(benchmark::State& state) {
+  const auto mode = static_cast<ColrEngine::Mode>(state.range(0));
+  SimClock clock(30 * kMin);
+  auto sensors = BenchSensors(50000);
+  SensorNetwork network(sensors, &clock);
+  ColrTree tree(network.sensors(), BenchTreeOptions(sensors.size() / 4));
+  ColrEngine::Options eopts;
+  eopts.mode = mode;
+  ColrEngine engine(&tree, &network, eopts);
+  Rng rng(8);
+  for (auto _ : state) {
+    clock.AdvanceMs(100);
+    const double x = rng.Uniform(0, 80);
+    const double y = rng.Uniform(0, 80);
+    Query q;
+    q.region =
+        QueryRegion::FromRect(Rect::FromCorners(x, y, x + 20, y + 20));
+    q.staleness_ms = 4 * kMin;
+    q.sample_size = mode == ColrEngine::Mode::kColr ? 30 : 0;
+    q.cluster_level = 2;
+    benchmark::DoNotOptimize(engine.Execute(q));
+  }
+}
+BENCHMARK(BM_EngineQuery)
+    ->Arg(static_cast<int>(ColrEngine::Mode::kRTree))
+    ->Arg(static_cast<int>(ColrEngine::Mode::kHierCache))
+    ->Arg(static_cast<int>(ColrEngine::Mode::kColr));
+
+void BM_ColrTreeInsertReading(benchmark::State& state) {
+  SimClock clock(0);
+  auto sensors = BenchSensors(50000);
+  ColrTree tree(sensors, BenchTreeOptions(10000));
+  Rng rng(9);
+  TimeMs now = 0;
+  for (auto _ : state) {
+    now += 5;
+    const auto& s = sensors[rng.UniformInt(sensors.size())];
+    tree.InsertReading(Reading{s.id, now, now + s.expiry_ms, 1.0});
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ColrTreeInsertReading);
+
+}  // namespace
+}  // namespace colr
+
+BENCHMARK_MAIN();

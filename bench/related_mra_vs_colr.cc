@@ -1,0 +1,136 @@
+// Related-work comparison (§II): MRA-tree (Lazaridis & Mehrotra) vs
+// COLR-Tree on approximate aggregate range queries.
+//
+// The MRA-tree answers from *pre-materialized* static aggregates: its
+// cost is node refinements and its error shrinks as the budget grows —
+// but it has no concept of freshness, so on live data its answer is
+// whatever snapshot was materialized. COLR-Tree pays sensor probes to
+// collect *live* data. This harness quantifies both:
+//   1. accuracy-vs-work on a static snapshot (both can play), and
+//   2. staleness error when the world drifts after materialization
+//      (only COLR-Tree stays current).
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "rtree/mra_tree.h"
+#include "workload/usgs_field.h"
+
+namespace colr::bench {
+namespace {
+
+int Main(int argc, char** argv) {
+  BenchConfig cfg = BenchConfig::FromArgs(argc, argv);
+  PrintHeader("Related work", "MRA-tree vs COLR-Tree", cfg);
+
+  // A drifting field: water discharge, which the USGS workload
+  // modulates over time.
+  UsgsField::Options fopts;
+  fopts.num_sensors = 2000;
+  UsgsField field(fopts);
+  SimClock clock;
+  SensorNetwork network(field.sensors(), &clock);
+  network.set_value_fn(field.ValueFn());
+
+  // Materialize the MRA-tree from a snapshot at t = 0.
+  std::vector<MraTree::Entry> snapshot;
+  auto value_fn = field.ValueFn();
+  for (const SensorInfo& s : field.sensors()) {
+    snapshot.push_back({s.location, value_fn(s, 0)});
+  }
+  MraTree mra(snapshot);
+
+  ColrTree::Options topts;
+  topts.t_max_ms = fopts.expiry_ms;
+  topts.slot_delta_ms = fopts.expiry_ms / 4;
+  ColrTree tree(field.sensors(), topts);
+  ColrEngine::Options eopts;
+  eopts.mode = ColrEngine::Mode::kColr;
+  ColrEngine engine(&tree, &network, eopts);
+
+  const Rect region = Rect::FromCorners(-123.9, 46.0, -118.0, 48.6);
+
+  // Part 1: static accuracy vs work at t = 0.
+  std::printf("-- static snapshot (t=0): AVG estimate error vs work --\n");
+  std::printf("%-24s %10s %12s\n", "method", "work", "avg rel.err");
+  {
+    Aggregate exact;
+    for (const auto& e : snapshot) {
+      if (region.Contains(e.location)) exact.Add(e.value);
+    }
+    const double truth = exact.Value(AggregateKind::kAvg);
+    for (int budget : {10, 40, 160}) {
+      const auto est = mra.Query(region, budget);
+      std::printf("mra budget=%-12d %10d %11.1f%%\n", budget,
+                  est.nodes_visited,
+                  100.0 * std::abs(est.AvgEstimate() - truth) / truth);
+    }
+    for (int sample : {10, 40, 160}) {
+      RunningStat err;
+      for (int rep = 0; rep < 30; ++rep) {
+        ColrEngine::Options fresh_opts = eopts;
+        fresh_opts.seed = 1000 + rep;
+        ColrTree fresh_tree(field.sensors(), topts);
+        ColrEngine fresh_engine(&fresh_tree, &network, fresh_opts);
+        Query q;
+        q.region = QueryRegion::FromRect(region);
+        q.staleness_ms = fopts.expiry_ms;
+        q.sample_size = sample;
+        q.cluster_level = 0;
+        q.agg = AggregateKind::kAvg;
+        QueryResult r = fresh_engine.Execute(q);
+        err.Add(std::abs(r.Total().Value(AggregateKind::kAvg) - truth) /
+                truth);
+      }
+      std::printf("colr sample=%-12d %10d %11.1f%%\n", sample, sample,
+                  100.0 * err.mean());
+    }
+  }
+
+  // Part 2: the world drifts; the MRA snapshot goes stale.
+  std::printf("\n-- drifting field: error vs time since "
+              "materialization --\n");
+  std::printf("%-10s %16s %16s\n", "t (min)", "mra (stale snap)",
+              "colr (live, n=40)");
+  // Drift times stay within the field's 6-hour modulation half-period
+  // (beyond it the periodic field swings back toward the snapshot).
+  for (TimeMs minutes : {0, 20, 45, 90}) {
+    clock.SetMs(minutes * kMsPerMinute);
+    Aggregate live;
+    for (const SensorInfo& s : field.sensors()) {
+      if (region.Contains(s.location)) {
+        live.Add(field.FieldValue(s.location, clock.NowMs()));
+      }
+    }
+    const double truth = live.Value(AggregateKind::kAvg);
+
+    const auto mra_est = mra.Query(region, 160);
+    const double mra_err =
+        std::abs(mra_est.AvgEstimate() - truth) / truth;
+
+    Query q;
+    q.region = QueryRegion::FromRect(region);
+    q.staleness_ms = fopts.expiry_ms;
+    q.sample_size = 40;
+    q.cluster_level = 0;
+    q.agg = AggregateKind::kAvg;
+    QueryResult r = engine.Execute(q);
+    const double colr_err =
+        std::abs(r.Total().Value(AggregateKind::kAvg) - truth) / truth;
+
+    std::printf("%-10lld %15.1f%% %15.1f%%\n",
+                static_cast<long long>(minutes), 100.0 * mra_err,
+                100.0 * colr_err);
+  }
+  std::printf(
+      "\nreading: comparable accuracy-per-work on a static snapshot; on\n"
+      "live data the MRA-tree's error grows with drift while COLR-Tree\n"
+      "keeps collecting (the §II distinction: MRA-trees 'do not account\n"
+      "for real-time').\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace colr::bench
+
+int main(int argc, char** argv) { return colr::bench::Main(argc, argv); }

@@ -1,0 +1,107 @@
+// SensorMap portal operations report — replays a day-in-the-life
+// query trace through the back-end database in all four engine
+// configurations (§VII), printing the kind of capacity-planning
+// numbers a portal operator would look at: probes issued against the
+// sensor fleet, end-to-end latency, cache effectiveness, and
+// per-sensor probe load (the sensing-workload uniformity of Thm. 2).
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/clock.h"
+#include "common/stats.h"
+#include "core/engine.h"
+#include "core/tree.h"
+#include "sensor/network.h"
+#include "workload/live_local.h"
+
+using namespace colr;
+
+namespace {
+
+struct ModeReport {
+  const char* name = "";
+  RunningStat probes, latency, collection, result_size;
+  SensorNetwork::Counters net;
+  double max_sensor_load = 0;
+  double mean_sensor_load = 0;
+};
+
+ModeReport RunPortal(const LiveLocalWorkload& workload,
+                     ColrEngine::Mode mode, int sample_size) {
+  SimClock clock;
+  SensorNetwork network(workload.sensors, &clock);
+  network.set_value_fn(MakeRestaurantWaitingTimeFn());
+
+  ColrTree::Options topts;
+  topts.cache_capacity = workload.sensors.size() / 4;
+  ColrTree tree(workload.sensors, topts);
+
+  ColrEngine::Options eopts;
+  eopts.mode = mode;
+  ColrEngine engine(&tree, &network, eopts);
+
+  ModeReport report;
+  report.name = ColrEngine::ModeName(mode);
+  for (const auto& rec : workload.queries) {
+    clock.SetMs(rec.at);
+    Query q;
+    q.region = QueryRegion::FromRect(rec.region);
+    q.staleness_ms = 5 * kMsPerMinute;
+    q.sample_size = sample_size;
+    q.cluster_level = 2;
+    QueryResult r = engine.Execute(q);
+    report.probes.Add(static_cast<double>(r.stats.sensors_probed));
+    report.latency.Add(r.stats.processing_ms);
+    report.collection.Add(
+        static_cast<double>(r.stats.collection_latency_ms));
+    report.result_size.Add(static_cast<double>(r.stats.result_size));
+  }
+  report.net = network.counters();
+  RunningStat load;
+  for (uint32_t c : network.per_sensor_probes()) load.Add(c);
+  report.max_sensor_load = load.max();
+  report.mean_sensor_load = load.mean();
+  return report;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  LiveLocalOptions wopts;
+  wopts.num_sensors = 20000;
+  wopts.num_queries = 1500;
+  wopts.num_cities = 80;
+  if (argc > 1 && std::string_view(argv[1]) == "--large") {
+    wopts.num_sensors = 100000;
+    wopts.num_queries = 10000;
+  }
+  LiveLocalWorkload workload = GenerateLiveLocal(wopts);
+  std::printf("SensorMap portal replay: %d sensors, %zu queries over %lld "
+              "minutes\n\n",
+              wopts.num_sensors, workload.queries.size(),
+              static_cast<long long>(wopts.duration_ms / kMsPerMinute));
+
+  const ModeReport reports[] = {
+      RunPortal(workload, ColrEngine::Mode::kRTree, 0),
+      RunPortal(workload, ColrEngine::Mode::kFlatCache, 0),
+      RunPortal(workload, ColrEngine::Mode::kHierCache, 0),
+      RunPortal(workload, ColrEngine::Mode::kColr, 30),
+  };
+
+  std::printf("%-12s %12s %12s %14s %12s %12s %12s\n", "config",
+              "probes/qry", "result/qry", "processing ms", "collect ms",
+              "fleet load", "peak load");
+  for (const ModeReport& r : reports) {
+    std::printf("%-12s %12.1f %12.1f %14.3f %12.1f %12.1f %12.0f\n",
+                r.name, r.probes.mean(), r.result_size.mean(),
+                r.latency.mean(), r.collection.mean(),
+                r.mean_sensor_load, r.max_sensor_load);
+  }
+  std::printf(
+      "\nfleet load = mean probes per sensor over the whole trace; a "
+      "portal that\nprobes every in-region sensor per query (rtree/flat) "
+      "hammers popular areas,\nwhile COLR-Tree's cache + uniform sampling "
+      "keeps both the total and the peak\nper-sensor load low.\n");
+  return 0;
+}

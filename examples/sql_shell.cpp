@@ -1,0 +1,100 @@
+// SQL shell — the portal's query language (§III-B) against a live
+// synthetic deployment. Run with query strings as arguments, or with
+// no arguments to execute a canned tour. Example:
+//
+//   ./sql_shell "SELECT count(*) FROM sensor
+//                 WHERE location WITHIN RECT(10,10,60,60)
+//                 AND time BETWEEN now()-10 AND now() mins
+//                 CLUSTER 10 UNITS SAMPLESIZE 30"
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/rng.h"
+#include "core/engine.h"
+#include "core/tree.h"
+#include "portal/portal.h"
+#include "sensor/network.h"
+#include "workload/live_local.h"
+
+using namespace colr;
+
+namespace {
+
+void PrintRelation(const rel::Relation& r) {
+  for (const std::string& c : r.columns) std::printf("%-12s", c.c_str());
+  std::printf("\n");
+  const size_t shown = std::min<size_t>(r.rows.size(), 15);
+  for (size_t i = 0; i < shown; ++i) {
+    for (const rel::Value& v : r.rows[i]) {
+      std::printf("%-12.12s", v.ToString().c_str());
+    }
+    std::printf("\n");
+  }
+  if (r.rows.size() > shown) {
+    std::printf("... (%zu rows total)\n", r.rows.size());
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  LiveLocalOptions wopts;
+  wopts.num_sensors = 20000;
+  wopts.num_queries = 0;
+  wopts.num_cities = 60;
+  wopts.extent = Rect::FromCorners(0, 0, 100, 100);
+  wopts.city_sigma_min = 1.0;
+  wopts.city_sigma_max = 8.0;
+  LiveLocalWorkload deployment = GenerateLiveLocal(wopts);
+
+  SimClock clock(60 * kMsPerMinute);
+  SensorNetwork network(deployment.sensors, &clock);
+  network.set_value_fn(MakeRestaurantWaitingTimeFn());
+
+  ColrTree::Options topts;
+  topts.cache_capacity = deployment.sensors.size() / 4;
+  ColrTree tree(deployment.sensors, topts);
+  ColrEngine::Options eopts;
+  eopts.mode = ColrEngine::Mode::kColr;
+  ColrEngine engine(&tree, &network, eopts);
+  portal::SensorPortal portal(&tree, &engine);
+
+  std::vector<std::string> queries;
+  for (int i = 1; i < argc; ++i) queries.emplace_back(argv[i]);
+  if (queries.empty()) {
+    queries = {
+        "SELECT count(*) FROM sensor WHERE location WITHIN "
+        "RECT(20, 20, 60, 60) AND time BETWEEN now()-10 AND now() mins "
+        "CLUSTER 20 UNITS SAMPLESIZE 30",
+        "SELECT avg(*) FROM sensor WHERE location WITHIN "
+        "POLYGON((20 20, 80 20, 50 80)) AND FRESH 5 mins "
+        "CLUSTER LEVEL 1 SAMPLESIZE 50",
+        "SELECT * FROM sensor WHERE location WITHIN RECT(48, 48, 52, 52)",
+        "SELECT max(*) FROM sensor WHERE location WITHIN "
+        "RECT(0, 0, 100, 100) CLUSTER LEVEL 0 SAMPLESIZE 100",
+    };
+  }
+
+  for (const std::string& q : queries) {
+    std::printf("colr> %s\n\n", q.c_str());
+    auto result = portal.Execute(q);
+    if (!result.ok()) {
+      std::printf("error: %s\n\n", result.status().ToString().c_str());
+      continue;
+    }
+    PrintRelation(*result);
+    const QueryStats& s = portal.last_stats();
+    std::printf("\n-- %lld probes, %lld cache hits, collection %lld ms, "
+                "processing %.2f ms\n\n",
+                static_cast<long long>(s.sensors_probed),
+                static_cast<long long>(s.cache_readings_used +
+                                       s.cached_agg_readings),
+                static_cast<long long>(s.collection_latency_ms),
+                s.processing_ms);
+    clock.AdvanceMs(30 * kMsPerSecond);
+  }
+  return 0;
+}

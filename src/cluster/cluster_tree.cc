@@ -1,0 +1,175 @@
+#include "cluster/cluster_tree.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "cluster/kmeans.h"
+
+namespace colr {
+
+std::vector<int> ClusterTree::NodesAtLevel(int level) const {
+  std::vector<int> out;
+  for (int i = 0; i < static_cast<int>(nodes.size()); ++i) {
+    if (nodes[i].level == level) out.push_back(i);
+  }
+  return out;
+}
+
+Status ClusterTree::Validate(const std::vector<Point>& points) const {
+  if (root < 0 || root >= static_cast<int>(nodes.size())) {
+    return Status::Internal("bad root id");
+  }
+  if (item_order.size() != points.size()) {
+    return Status::Internal("item_order size mismatch");
+  }
+  // item_order must be a permutation.
+  std::vector<bool> seen(points.size(), false);
+  for (int idx : item_order) {
+    if (idx < 0 || idx >= static_cast<int>(points.size()) || seen[idx]) {
+      return Status::Internal("item_order is not a permutation");
+    }
+    seen[idx] = true;
+  }
+  const Node& r = nodes[root];
+  if (r.item_begin != 0 || r.item_end != static_cast<int>(points.size())) {
+    return Status::Internal("root does not cover all items");
+  }
+  for (int id = 0; id < static_cast<int>(nodes.size()); ++id) {
+    const Node& n = nodes[id];
+    if (n.item_begin > n.item_end) {
+      return Status::Internal("inverted item range");
+    }
+    // Bounding box covers every point under the node.
+    for (int i = n.item_begin; i < n.item_end; ++i) {
+      if (!n.bbox.Contains(points[item_order[i]])) {
+        return Status::Internal("point outside node bbox");
+      }
+    }
+    if (!n.IsLeaf()) {
+      // Children partition the parent's range, in order, and the
+      // parent bbox contains every child bbox.
+      int cursor = n.item_begin;
+      for (int c : n.children) {
+        const Node& child = nodes[c];
+        if (child.parent != id) return Status::Internal("bad parent link");
+        if (child.level != n.level + 1) {
+          return Status::Internal("bad child level");
+        }
+        if (child.item_begin != cursor) {
+          return Status::Internal("children do not partition parent range");
+        }
+        cursor = child.item_end;
+        if (!n.bbox.Contains(child.bbox)) {
+          return Status::Internal("child bbox escapes parent");
+        }
+      }
+      if (cursor != n.item_end) {
+        return Status::Internal("children do not cover parent range");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+namespace {
+
+struct Builder {
+  const std::vector<Point>& points;
+  const ClusterTreeOptions& options;
+  Rng rng;
+  ClusterTree tree;
+
+  Builder(const std::vector<Point>& pts, const ClusterTreeOptions& opts)
+      : points(pts), options(opts), rng(opts.seed) {}
+
+  Rect BBoxOf(int begin, int end) const {
+    Rect r = Rect::Empty();
+    for (int i = begin; i < end; ++i) {
+      r.Expand(points[tree.item_order[i]]);
+    }
+    return r;
+  }
+
+  Point CentroidOf(int begin, int end) const {
+    double sx = 0.0, sy = 0.0;
+    for (int i = begin; i < end; ++i) {
+      const Point& p = points[tree.item_order[i]];
+      sx += p.x;
+      sy += p.y;
+    }
+    const double n = std::max(1, end - begin);
+    return {sx / n, sy / n};
+  }
+
+  /// Builds the subtree over item_order[begin, end); returns node id.
+  int Build(int begin, int end, int level, int parent) {
+    const int id = static_cast<int>(tree.nodes.size());
+    tree.nodes.emplace_back();
+    {
+      ClusterTree::Node& n = tree.nodes.back();
+      n.level = level;
+      n.parent = parent;
+      n.item_begin = begin;
+      n.item_end = end;
+      n.bbox = BBoxOf(begin, end);
+      n.centroid = CentroidOf(begin, end);
+    }
+    tree.height = std::max(tree.height, level + 1);
+    const int count = end - begin;
+    if (count <= options.leaf_capacity) return id;
+
+    // Split into up to `fanout` k-means clusters.
+    std::vector<int> local(tree.item_order.begin() + begin,
+                           tree.item_order.begin() + end);
+    const int k = std::min(options.fanout, count);
+    KMeansOptions kopts;
+    kopts.max_iterations = options.kmeans_iterations;
+    KMeansResult km = KMeansSubset(points, local, k, rng, kopts);
+
+    // Bucket items by cluster, preserving a contiguous layout.
+    std::vector<std::vector<int>> buckets(k);
+    for (int i = 0; i < count; ++i) {
+      buckets[km.assignment[i]].push_back(local[i]);
+    }
+    // Degenerate split (k-means put everything in one cluster, which
+    // happens when points are coincident): partition evenly instead.
+    int nonempty = 0;
+    for (const auto& b : buckets) nonempty += b.empty() ? 0 : 1;
+    if (nonempty <= 1) {
+      for (auto& b : buckets) b.clear();
+      for (int i = 0; i < count; ++i) {
+        buckets[i % k].push_back(local[i]);
+      }
+    }
+
+    // Write buckets back into item_order and recurse.
+    std::vector<int> child_ids;
+    int cursor = begin;
+    for (const auto& bucket : buckets) {
+      if (bucket.empty()) continue;
+      const int child_begin = cursor;
+      for (int idx : bucket) tree.item_order[cursor++] = idx;
+      child_ids.push_back(
+          Build(child_begin, cursor, level + 1, id));
+    }
+    tree.nodes[id].children = std::move(child_ids);
+    return id;
+  }
+};
+
+}  // namespace
+
+ClusterTree BuildClusterTree(const std::vector<Point>& points,
+                             const ClusterTreeOptions& options) {
+  Builder builder(points, options);
+  builder.tree.item_order.resize(points.size());
+  std::iota(builder.tree.item_order.begin(), builder.tree.item_order.end(),
+            0);
+  if (!points.empty()) {
+    builder.tree.root =
+        builder.Build(0, static_cast<int>(points.size()), 0, -1);
+  }
+  return std::move(builder.tree);
+}
+
+}  // namespace colr

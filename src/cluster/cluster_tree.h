@@ -1,0 +1,84 @@
+#ifndef COLR_CLUSTER_CLUSTER_TREE_H_
+#define COLR_CLUSTER_CLUSTER_TREE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "geo/geo.h"
+
+namespace colr {
+
+/// A spatial cluster hierarchy over a fixed point set, produced in
+/// batch by recursive k-means (the COLR-Tree construction of §III-C:
+/// sensor locations change rarely, so the tree is rebuilt periodically
+/// rather than updated in place). Nodes are stored in one flat array;
+/// children hold contiguous index ranges of the input permutation so a
+/// node's descendant points can be enumerated without walking the
+/// subtree.
+struct ClusterTree {
+  struct Node {
+    Rect bbox;
+    Point centroid;
+    /// Depth from the root; the root is level 0 (paper's convention).
+    int level = 0;
+    int parent = -1;
+    /// Child node ids; empty for leaves.
+    std::vector<int> children;
+    /// Range [item_begin, item_end) into `item_order` covering every
+    /// point under this node.
+    int item_begin = 0;
+    int item_end = 0;
+
+    bool IsLeaf() const { return children.empty(); }
+    /// Number of descendant points — the sampling weight w_i of §V-A.
+    int Weight() const { return item_end - item_begin; }
+  };
+
+  std::vector<Node> nodes;
+  int root = -1;
+  /// Number of levels (root level 0 .. height-1).
+  int height = 0;
+  /// Permutation of input point indices; node ranges index into this.
+  std::vector<int> item_order;
+
+  const Node& node(int id) const { return nodes[id]; }
+  int NumItems() const { return static_cast<int>(item_order.size()); }
+
+  /// All point indices under node `id`.
+  std::vector<int> ItemsUnder(int id) const {
+    const Node& n = nodes[id];
+    return std::vector<int>(item_order.begin() + n.item_begin,
+                            item_order.begin() + n.item_end);
+  }
+
+  /// Node ids at a given level (level 0 = root).
+  std::vector<int> NodesAtLevel(int level) const;
+
+  /// Structural invariant check used by tests: parent bounding boxes
+  /// contain children, weights add up, ranges partition, levels are
+  /// consistent.
+  Status Validate(const std::vector<Point>& points) const;
+};
+
+struct ClusterTreeOptions {
+  /// Target number of children per internal node.
+  int fanout = 8;
+  /// Maximum number of points in a leaf cluster.
+  int leaf_capacity = 32;
+  /// K-means iteration cap per split.
+  int kmeans_iterations = 15;
+  uint64_t seed = 0x5EEDu;
+};
+
+/// Builds the hierarchy by divisive k-means: split the point set into
+/// `fanout` k-means clusters, recurse into clusters larger than
+/// `leaf_capacity`. Degenerate splits (all points coincident) fall
+/// back to even partitioning so construction always terminates.
+ClusterTree BuildClusterTree(const std::vector<Point>& points,
+                             const ClusterTreeOptions& options = {});
+
+}  // namespace colr
+
+#endif  // COLR_CLUSTER_CLUSTER_TREE_H_

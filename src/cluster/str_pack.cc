@@ -1,0 +1,60 @@
+#include "cluster/str_pack.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace colr {
+
+namespace {
+
+std::vector<std::vector<int>> StrPackCenters(
+    const std::vector<Point>& centers, int capacity) {
+  std::vector<std::vector<int>> groups;
+  const int n = static_cast<int>(centers.size());
+  if (n == 0 || capacity <= 0) return groups;
+
+  std::vector<int> order(n);
+  std::iota(order.begin(), order.end(), 0);
+
+  const int num_leaves =
+      (n + capacity - 1) / capacity;  // ceil(n / capacity)
+  const int num_slabs = std::max(
+      1, static_cast<int>(std::ceil(std::sqrt(
+             static_cast<double>(num_leaves)))));
+  const int slab_size = (n + num_slabs - 1) / num_slabs;
+
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    return centers[a].x < centers[b].x;
+  });
+
+  for (int s = 0; s < num_slabs; ++s) {
+    const int begin = s * slab_size;
+    const int end = std::min(n, begin + slab_size);
+    if (begin >= end) break;
+    std::sort(order.begin() + begin, order.begin() + end,
+              [&](int a, int b) { return centers[a].y < centers[b].y; });
+    for (int g = begin; g < end; g += capacity) {
+      const int gend = std::min(end, g + capacity);
+      groups.emplace_back(order.begin() + g, order.begin() + gend);
+    }
+  }
+  return groups;
+}
+
+}  // namespace
+
+std::vector<std::vector<int>> StrPack(const std::vector<Point>& points,
+                                      int capacity) {
+  return StrPackCenters(points, capacity);
+}
+
+std::vector<std::vector<int>> StrPackRects(const std::vector<Rect>& rects,
+                                           int capacity) {
+  std::vector<Point> centers;
+  centers.reserve(rects.size());
+  for (const Rect& r : rects) centers.push_back(r.Center());
+  return StrPackCenters(centers, capacity);
+}
+
+}  // namespace colr

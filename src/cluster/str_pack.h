@@ -1,0 +1,25 @@
+#ifndef COLR_CLUSTER_STR_PACK_H_
+#define COLR_CLUSTER_STR_PACK_H_
+
+#include <vector>
+
+#include "geo/geo.h"
+
+namespace colr {
+
+/// Sort-Tile-Recursive packing (Kamel & Faloutsos style bulk loading,
+/// paper ref [7]): partitions `n` points into groups of at most
+/// `capacity` by sorting into vertical slabs on x and tiling each slab
+/// on y. Returns the groups as vectors of point indices. Used for bulk
+/// loading the baseline R-tree.
+std::vector<std::vector<int>> StrPack(const std::vector<Point>& points,
+                                      int capacity);
+
+/// STR packing over rectangles (used to pack upper R-tree levels):
+/// same algorithm keyed on rectangle centers.
+std::vector<std::vector<int>> StrPackRects(const std::vector<Rect>& rects,
+                                           int capacity);
+
+}  // namespace colr
+
+#endif  // COLR_CLUSTER_STR_PACK_H_

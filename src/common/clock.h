@@ -1,0 +1,73 @@
+#ifndef COLR_COMMON_CLOCK_H_
+#define COLR_COMMON_CLOCK_H_
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+
+namespace colr {
+
+/// Time is represented as milliseconds on a virtual axis. All of
+/// COLR-Tree's temporal machinery (expiry times, slot boundaries,
+/// freshness bounds) runs on this axis so experiments are
+/// deterministic and can replay a day of portal traffic in seconds.
+using TimeMs = int64_t;
+
+constexpr TimeMs kMsPerSecond = 1000;
+constexpr TimeMs kMsPerMinute = 60 * kMsPerSecond;
+constexpr TimeMs kMsPerHour = 60 * kMsPerMinute;
+
+/// Clock interface. The engine only ever asks "what time is it now".
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  virtual TimeMs NowMs() const = 0;
+};
+
+/// Deterministic simulated clock, manually advanced by workload
+/// replayers and tests.
+class SimClock : public Clock {
+ public:
+  explicit SimClock(TimeMs start = 0) : now_(start) {}
+
+  TimeMs NowMs() const override { return now_; }
+
+  void AdvanceMs(TimeMs delta) { now_ += delta; }
+  void SetMs(TimeMs t) { now_ = std::max(now_, t); }
+
+ private:
+  TimeMs now_;
+};
+
+/// Real wall clock (monotonic), used by the latency instrumentation.
+class WallClock : public Clock {
+ public:
+  TimeMs NowMs() const override {
+    return std::chrono::duration_cast<std::chrono::milliseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  }
+};
+
+/// Nanosecond stopwatch for measuring processing latency.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(std::chrono::steady_clock::now()) {}
+
+  void Reset() { start_ = std::chrono::steady_clock::now(); }
+
+  double ElapsedMicros() const {
+    return std::chrono::duration<double, std::micro>(
+               std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+
+  double ElapsedMillis() const { return ElapsedMicros() / 1000.0; }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace colr
+
+#endif  // COLR_COMMON_CLOCK_H_

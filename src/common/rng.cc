@@ -1,0 +1,35 @@
+#include "common/rng.h"
+
+#include <numeric>
+#include <unordered_map>
+
+namespace colr {
+
+std::vector<uint64_t> Rng::SampleWithoutReplacement(uint64_t n, uint64_t k) {
+  if (k >= n) {
+    std::vector<uint64_t> all(n);
+    std::iota(all.begin(), all.end(), 0);
+    for (uint64_t i = n; i > 1; --i) {
+      std::swap(all[i - 1], all[UniformInt(i)]);
+    }
+    return all;
+  }
+  // Sparse Fisher-Yates: only materialize touched positions, so cost is
+  // O(k) regardless of n. This matters when sampling a handful of
+  // sensors from a node with hundreds of thousands of descendants.
+  std::unordered_map<uint64_t, uint64_t> swapped;
+  swapped.reserve(k * 2);
+  std::vector<uint64_t> out;
+  out.reserve(k);
+  for (uint64_t i = 0; i < k; ++i) {
+    const uint64_t j = i + UniformInt(n - i);
+    uint64_t vi = i, vj = j;
+    if (auto it = swapped.find(i); it != swapped.end()) vi = it->second;
+    if (auto it = swapped.find(j); it != swapped.end()) vj = it->second;
+    out.push_back(vj);
+    swapped[j] = vi;
+  }
+  return out;
+}
+
+}  // namespace colr

@@ -1,0 +1,146 @@
+#ifndef COLR_COMMON_RNG_H_
+#define COLR_COMMON_RNG_H_
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace colr {
+
+/// Deterministic pseudo-random generator (xoshiro256++) with the
+/// distributions the workload generators and sampling code need.
+/// Deliberately self-contained: experiment reproducibility must not
+/// depend on the standard library's unspecified distribution algorithms.
+class Rng {
+ public:
+  using result_type = uint64_t;
+
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ull) { Seed(seed); }
+
+  void Seed(uint64_t seed) {
+    // SplitMix64 to expand the seed into the 256-bit state.
+    uint64_t x = seed;
+    for (auto& s : state_) {
+      x += 0x9E3779B97F4A7C15ull;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+      s = z ^ (z >> 31);
+    }
+  }
+
+  uint64_t Next() {
+    const uint64_t result = Rotl(state_[0] + state_[3], 23) + state_[0];
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  // UniformRandomBitGenerator interface (usable with std::shuffle).
+  uint64_t operator()() { return Next(); }
+  static constexpr uint64_t min() { return 0; }
+  static constexpr uint64_t max() { return ~0ull; }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo, double hi) {
+    return lo + (hi - lo) * NextDouble();
+  }
+
+  /// Uniform integer in [0, n). n must be > 0.
+  uint64_t UniformInt(uint64_t n) {
+    // Lemire's nearly-divisionless bounded generation.
+    __uint128_t m = static_cast<__uint128_t>(Next()) * n;
+    uint64_t lo = static_cast<uint64_t>(m);
+    if (lo < n) {
+      const uint64_t threshold = (~n + 1) % n;
+      while (lo < threshold) {
+        m = static_cast<__uint128_t>(Next()) * n;
+        lo = static_cast<uint64_t>(m);
+      }
+    }
+    return static_cast<uint64_t>(m >> 64);
+  }
+
+  /// Bernoulli trial with success probability p.
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+  /// Standard normal via Box-Muller.
+  double Gaussian(double mean = 0.0, double stddev = 1.0) {
+    if (have_cached_gaussian_) {
+      have_cached_gaussian_ = false;
+      return mean + stddev * cached_gaussian_;
+    }
+    double u1 = 0.0;
+    do {
+      u1 = NextDouble();
+    } while (u1 <= 1e-300);
+    const double u2 = NextDouble();
+    const double r = std::sqrt(-2.0 * std::log(u1));
+    const double theta = 2.0 * M_PI * u2;
+    cached_gaussian_ = r * std::sin(theta);
+    have_cached_gaussian_ = true;
+    return mean + stddev * r * std::cos(theta);
+  }
+
+  /// Exponential with given rate (lambda).
+  double Exponential(double rate) {
+    double u = 0.0;
+    do {
+      u = NextDouble();
+    } while (u <= 1e-300);
+    return -std::log(u) / rate;
+  }
+
+  /// Zipf-distributed integer in [0, n) with exponent s, via inverse
+  /// transform over precomputable CDF-free rejection (Devroye).
+  uint64_t Zipf(uint64_t n, double s) {
+    // Rejection-inversion sampling (works for s != 1 and s == 1).
+    if (n <= 1) return 0;
+    const double nd = static_cast<double>(n);
+    auto h = [s](double x) {
+      if (std::abs(s - 1.0) < 1e-12) return std::log(x);
+      return (std::pow(x, 1.0 - s) - 1.0) / (1.0 - s);
+    };
+    auto h_inv = [s](double y) {
+      if (std::abs(s - 1.0) < 1e-12) return std::exp(y);
+      return std::pow(1.0 + y * (1.0 - s), 1.0 / (1.0 - s));
+    };
+    const double hx0 = h(0.5) - 1.0;
+    const double hn = h(nd + 0.5);
+    for (;;) {
+      const double u = hx0 + NextDouble() * (hn - hx0);
+      const double x = h_inv(u);
+      const uint64_t k = static_cast<uint64_t>(
+          std::min(std::max(std::floor(x + 0.5), 1.0), nd));
+      const double kd = static_cast<double>(k);
+      if (u >= h(kd + 0.5) - std::pow(kd, -s)) return k - 1;
+    }
+  }
+
+  /// Fisher-Yates sample without replacement: k distinct indices from
+  /// [0, n). If k >= n, returns all indices (shuffled).
+  std::vector<uint64_t> SampleWithoutReplacement(uint64_t n, uint64_t k);
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  uint64_t state_[4] = {};
+  bool have_cached_gaussian_ = false;
+  double cached_gaussian_ = 0.0;
+};
+
+}  // namespace colr
+
+#endif  // COLR_COMMON_RNG_H_

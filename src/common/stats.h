@@ -1,0 +1,102 @@
+#ifndef COLR_COMMON_STATS_H_
+#define COLR_COMMON_STATS_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace colr {
+
+/// Streaming mean/variance accumulator (Welford). Used throughout the
+/// benchmark harnesses to aggregate per-query metrics.
+class RunningStat {
+ public:
+  void Add(double x) {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+    sum_ += x;
+  }
+
+  int64_t count() const { return n_; }
+  double sum() const { return sum_; }
+  double mean() const { return n_ > 0 ? mean_ : 0.0; }
+  double variance() const {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  double stddev() const { return std::sqrt(variance()); }
+  double min() const { return n_ > 0 ? min_ : 0.0; }
+  double max() const { return n_ > 0 ? max_ : 0.0; }
+
+  void Merge(const RunningStat& other) {
+    if (other.n_ == 0) return;
+    if (n_ == 0) {
+      *this = other;
+      return;
+    }
+    const double total = static_cast<double>(n_ + other.n_);
+    const double delta = other.mean_ - mean_;
+    m2_ += other.m2_ + delta * delta * static_cast<double>(n_) *
+                           static_cast<double>(other.n_) / total;
+    mean_ = (mean_ * static_cast<double>(n_) +
+             other.mean_ * static_cast<double>(other.n_)) /
+            total;
+    n_ += other.n_;
+    sum_ += other.sum_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+
+ private:
+  int64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Fixed-bucket histogram over a value range; used for binning queries
+/// by result-set size (Fig 3) and similar per-bin aggregations.
+class BinnedStat {
+ public:
+  /// Creates `bins` geometric bins covering [lo, hi].
+  BinnedStat(double lo, double hi, int bins)
+      : lo_(lo), hi_(hi), stats_(bins) {}
+
+  void Add(double bin_key, double value) {
+    stats_[BinIndex(bin_key)].Add(value);
+  }
+
+  int BinIndex(double key) const {
+    if (key <= lo_) return 0;
+    if (key >= hi_) return static_cast<int>(stats_.size()) - 1;
+    const double frac = std::log(key / lo_) / std::log(hi_ / lo_);
+    int idx = static_cast<int>(frac * static_cast<double>(stats_.size()));
+    return std::clamp(idx, 0, static_cast<int>(stats_.size()) - 1);
+  }
+
+  /// Geometric center of bin i (the representative x value).
+  double BinCenter(int i) const {
+    const double step =
+        std::log(hi_ / lo_) / static_cast<double>(stats_.size());
+    return lo_ * std::exp((i + 0.5) * step);
+  }
+
+  int num_bins() const { return static_cast<int>(stats_.size()); }
+  const RunningStat& bin(int i) const { return stats_[i]; }
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<RunningStat> stats_;
+};
+
+}  // namespace colr
+
+#endif  // COLR_COMMON_STATS_H_

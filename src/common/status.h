@@ -1,0 +1,150 @@
+#ifndef COLR_COMMON_STATUS_H_
+#define COLR_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace colr {
+
+// Error-handling idiom for the whole library: operations that can fail
+// return a Status (or Result<T> for value-producing operations) instead
+// of throwing. Mirrors the RocksDB/Arrow convention.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kOutOfRange,
+  kAlreadyExists,
+  kFailedPrecondition,
+  kIoError,
+  kUnavailable,
+  kInternal,
+};
+
+/// Lightweight status object carrying a code and an optional message.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string msg)
+      : code_(code), msg_(std::move(msg)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return msg_; }
+
+  std::string ToString() const {
+    if (ok()) return "OK";
+    return std::string(CodeName(code_)) + ": " + msg_;
+  }
+
+  bool operator==(const Status& other) const { return code_ == other.code_; }
+
+ private:
+  static const char* CodeName(StatusCode code) {
+    switch (code) {
+      case StatusCode::kOk: return "OK";
+      case StatusCode::kInvalidArgument: return "InvalidArgument";
+      case StatusCode::kNotFound: return "NotFound";
+      case StatusCode::kOutOfRange: return "OutOfRange";
+      case StatusCode::kAlreadyExists: return "AlreadyExists";
+      case StatusCode::kFailedPrecondition: return "FailedPrecondition";
+      case StatusCode::kIoError: return "IoError";
+      case StatusCode::kUnavailable: return "Unavailable";
+      case StatusCode::kInternal: return "Internal";
+    }
+    return "Unknown";
+  }
+
+  StatusCode code_;
+  std::string msg_;
+};
+
+/// Result<T> holds either a value of type T or an error Status.
+template <typename T>
+class Result {
+ public:
+  // Implicit construction from values and statuses keeps call sites
+  // terse: `return value;` / `return Status::NotFound(...)`.
+  Result(T value) : var_(std::move(value)) {}        // NOLINT
+  Result(Status status) : var_(std::move(status)) {  // NOLINT
+    // An OK status carries no value; normalize to an Internal error so
+    // the invariant "ok() implies has value" always holds.
+    if (std::get<Status>(var_).ok()) {
+      var_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  bool ok() const { return std::holds_alternative<T>(var_); }
+
+  const Status& status() const {
+    static const Status kOk = Status::OK();
+    if (ok()) return kOk;
+    return std::get<Status>(var_);
+  }
+
+  const T& value() const& { return std::get<T>(var_); }
+  T& value() & { return std::get<T>(var_); }
+  T&& value() && { return std::get<T>(std::move(var_)); }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  T value_or(T fallback) const {
+    return ok() ? value() : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, Status> var_;
+};
+
+// Propagate a non-OK Status from an expression.
+#define COLR_RETURN_IF_ERROR(expr)                  \
+  do {                                              \
+    ::colr::Status _colr_status = (expr);           \
+    if (!_colr_status.ok()) return _colr_status;    \
+  } while (0)
+
+// Evaluate a Result-returning expression and bind the value, or return
+// its error Status.
+#define COLR_MACRO_CONCAT_INNER(a, b) a##b
+#define COLR_MACRO_CONCAT(a, b) COLR_MACRO_CONCAT_INNER(a, b)
+#define COLR_ASSIGN_OR_RETURN(lhs, expr) \
+  COLR_ASSIGN_OR_RETURN_IMPL(COLR_MACRO_CONCAT(_colr_result_, __LINE__), \
+                             lhs, expr)
+#define COLR_ASSIGN_OR_RETURN_IMPL(result, lhs, expr) \
+  auto result = (expr);                               \
+  if (!result.ok()) return result.status();           \
+  lhs = std::move(result).value()
+
+}  // namespace colr
+
+#endif  // COLR_COMMON_STATUS_H_

@@ -1,0 +1,27 @@
+#include "core/aggregate.h"
+
+#include <cstdio>
+
+namespace colr {
+
+const char* AggregateKindName(AggregateKind kind) {
+  switch (kind) {
+    case AggregateKind::kCount: return "count";
+    case AggregateKind::kSum: return "sum";
+    case AggregateKind::kAvg: return "avg";
+    case AggregateKind::kMin: return "min";
+    case AggregateKind::kMax: return "max";
+  }
+  return "unknown";
+}
+
+std::string Aggregate::ToString() const {
+  if (empty()) return "{empty}";
+  char buf[128];
+  std::snprintf(buf, sizeof(buf),
+                "{count=%lld sum=%.3f min=%.3f max=%.3f}",
+                static_cast<long long>(count), sum, min, max);
+  return buf;
+}
+
+}  // namespace colr

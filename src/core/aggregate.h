@@ -1,0 +1,92 @@
+#ifndef COLR_CORE_AGGREGATE_H_
+#define COLR_CORE_AGGREGATE_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace colr {
+
+/// Aggregation functions SensorMap queries may request (§III-B).
+enum class AggregateKind {
+  kCount,
+  kSum,
+  kAvg,
+  kMin,
+  kMax,
+};
+
+const char* AggregateKindName(AggregateKind kind);
+
+/// A mergeable aggregate summary over a set of sensor readings. All
+/// standard aggregates are maintained at once (count/sum/min/max) so a
+/// cached slot can answer any AggregateKind. Count and sum support
+/// exact decremental maintenance; min/max do not (§IV-B "sum and count
+/// support a decrement operation, while min and max do not"), which
+/// callers detect via Remove()'s return value and handle by
+/// recomputing the slot from children (the paper's slot-update
+/// trigger propagation).
+struct Aggregate {
+  int64_t count = 0;
+  double sum = 0.0;
+  double min = std::numeric_limits<double>::infinity();
+  double max = -std::numeric_limits<double>::infinity();
+
+  static Aggregate Of(double value) {
+    Aggregate a;
+    a.Add(value);
+    return a;
+  }
+
+  bool empty() const { return count == 0; }
+
+  void Clear() { *this = Aggregate{}; }
+
+  void Add(double value) {
+    ++count;
+    sum += value;
+    min = std::min(min, value);
+    max = std::max(max, value);
+  }
+
+  void Merge(const Aggregate& other) {
+    count += other.count;
+    sum += other.sum;
+    min = std::min(min, other.min);
+    max = std::max(max, other.max);
+  }
+
+  /// Decrements `value` from the aggregate. Returns false when the
+  /// removal touches the min/max extremes, in which case the caller
+  /// must recompute the aggregate from constituents (count and sum are
+  /// still decremented correctly).
+  bool Remove(double value) {
+    --count;
+    sum -= value;
+    if (count <= 0) {
+      Clear();  // the empty aggregate is exact
+      return true;
+    }
+    return value > min && value < max;
+  }
+
+  /// Value of the requested aggregate; Avg of an empty aggregate is 0.
+  double Value(AggregateKind kind) const {
+    switch (kind) {
+      case AggregateKind::kCount: return static_cast<double>(count);
+      case AggregateKind::kSum: return sum;
+      case AggregateKind::kAvg:
+        return count > 0 ? sum / static_cast<double>(count) : 0.0;
+      case AggregateKind::kMin: return count > 0 ? min : 0.0;
+      case AggregateKind::kMax: return count > 0 ? max : 0.0;
+    }
+    return 0.0;
+  }
+
+  std::string ToString() const;
+};
+
+}  // namespace colr
+
+#endif  // COLR_CORE_AGGREGATE_H_

@@ -1,0 +1,415 @@
+#include "core/engine.h"
+
+#include <algorithm>
+#include <map>
+
+namespace colr {
+
+void QueryStats::MergeCounters(const QueryStats& other) {
+  nodes_traversed += other.nodes_traversed;
+  internal_nodes_traversed += other.internal_nodes_traversed;
+  cached_nodes_accessed += other.cached_nodes_accessed;
+  sensors_probed += other.sensors_probed;
+  probe_successes += other.probe_successes;
+  cache_readings_used += other.cache_readings_used;
+  cached_agg_readings += other.cached_agg_readings;
+  slots_merged += other.slots_merged;
+  processing_ms += other.processing_ms;
+  collection_latency_ms += other.collection_latency_ms;
+  result_size += other.result_size;
+}
+
+const char* ColrEngine::ModeName(Mode mode) {
+  switch (mode) {
+    case Mode::kRTree: return "rtree";
+    case Mode::kFlatCache: return "flat-cache";
+    case Mode::kHierCache: return "hier-cache";
+    case Mode::kColr: return "colr-tree";
+  }
+  return "unknown";
+}
+
+namespace {
+
+// Adds a reading value to a group's histogram per the query's bucket
+// configuration (§I: per-group value distributions).
+void AddToHistogram(const Query& query, double value, GroupResult* group) {
+  if (query.histogram_buckets <= 0) return;
+  if (group->histogram.empty()) {
+    group->histogram.assign(query.histogram_buckets, 0);
+  }
+  const double lo = query.histogram_lo;
+  const double hi = query.histogram_hi;
+  int bucket = 0;
+  if (hi > lo) {
+    bucket = static_cast<int>((value - lo) / (hi - lo) *
+                              query.histogram_buckets);
+  }
+  bucket = std::clamp(bucket, 0, query.histogram_buckets - 1);
+  ++group->histogram[bucket];
+}
+
+}  // namespace
+
+ColrEngine::ColrEngine(ColrTree* tree, SensorNetwork* network,
+                       Options options)
+    : tree_(tree),
+      network_(network),
+      clock_(network->clock()),
+      options_(options),
+      rng_(options.seed) {
+  if (options_.mode == Mode::kFlatCache) {
+    flat_ = std::make_unique<FlatCache>(
+        &network_->sensors(), tree_->scheme().delta(),
+        tree_->scheme().delta() * (tree_->scheme().num_slots() - 1),
+        tree_->options().cache_capacity);
+  }
+  if (options_.track_availability) {
+    tracker_ = std::make_unique<AvailabilityTracker>(network_->sensors());
+  }
+}
+
+std::vector<Reading> ColrEngine::ProbeBatch(const std::vector<SensorId>& ids,
+                                            ProbeAccounting* acct) {
+  Stopwatch watch;
+  SensorNetwork::BatchResult batch = network_->ProbeBatch(ids);
+  acct->sim_wall_ms += watch.ElapsedMillis();
+  acct->attempted += static_cast<int64_t>(batch.attempted);
+  acct->succeeded += static_cast<int64_t>(batch.readings.size());
+  acct->max_batch_latency_ms =
+      std::max(acct->max_batch_latency_ms, batch.latency_ms);
+  if (tracker_ != nullptr) {
+    // Successes are identified by the returned readings; everything
+    // else in the batch failed.
+    std::vector<bool> ok(ids.size(), false);
+    for (const Reading& r : batch.readings) {
+      for (size_t i = 0; i < ids.size(); ++i) {
+        if (ids[i] == r.sensor) {
+          ok[i] = true;
+          break;
+        }
+      }
+    }
+    for (size_t i = 0; i < ids.size(); ++i) {
+      tracker_->Record(ids[i], ok[i]);
+    }
+  }
+  return batch.readings;
+}
+
+QueryResult ColrEngine::Execute(const Query& query) {
+  const TimeMs now = clock_->NowMs();
+  QueryResult result;
+  switch (options_.mode) {
+    case Mode::kColr:
+      result = query.sample_size > 0 ? ExecuteColr(query, now)
+                                     : ExecuteRange(query, now, true);
+      break;
+    case Mode::kHierCache:
+      result = ExecuteRange(query, now, true);
+      break;
+    case Mode::kRTree:
+      result = ExecuteRange(query, now, false);
+      break;
+    case Mode::kFlatCache:
+      result = ExecuteFlat(query, now);
+      break;
+  }
+  FinishQuery(query, now, &result);
+  return result;
+}
+
+void ColrEngine::FinishQuery(const Query& query, TimeMs now,
+                             QueryResult* result) {
+  (void)now;
+  if (options_.fill_region_count) {
+    result->stats.region_sensor_count =
+        tree_->CountSensorsInRegion(query.region.bbox);
+  }
+  if (tracker_ != nullptr &&
+      ++queries_since_refresh_ >= options_.availability_refresh_interval) {
+    tree_->RefreshAvailability(tracker_->estimates());
+    queries_since_refresh_ = 0;
+  }
+  cumulative_.MergeCounters(result->stats);
+}
+
+// ---------------------------------------------------------------------------
+// Full COLR-Tree: layered sampling over the slot-cached index.
+// ---------------------------------------------------------------------------
+
+QueryResult ColrEngine::ExecuteColr(const Query& query, TimeMs now) {
+  QueryResult result;
+  Stopwatch watch;
+
+  LayeredSampler::Options sopts;
+  sopts.target = query.sample_size;
+  sopts.terminal_level = query.cluster_level;
+  sopts.oversample_level = options_.oversample_level;
+  sopts.use_cache = options_.sampling_use_cache;
+  sopts.oversample = options_.oversample;
+  sopts.redistribute = options_.redistribute;
+
+  ProbeAccounting acct;
+  auto probe_fn = [this, &acct](const std::vector<SensorId>& ids) {
+    return ProbeBatch(ids, &acct);
+  };
+
+  LayeredSampler::Result sres = LayeredSampler::Run(
+      *tree_, query.region, now, query.staleness_ms, sopts, rng_, probe_fn);
+
+  // Assemble multi-resolution groups: each terminal contributes to its
+  // ancestor at the query's cluster level.
+  std::map<int, GroupResult> groups;
+  for (const LayeredSampler::Terminal& t : sres.terminals) {
+    const int gid = tree_->AncestorAtLevel(t.node_id, query.cluster_level);
+    GroupResult& g = groups[gid];
+    if (g.node_id < 0) {
+      g.node_id = gid;
+      g.bbox = tree_->node(gid).bbox;
+      g.weight = tree_->node(gid).Weight();
+    }
+    g.agg.Merge(t.cached_agg);
+    for (const Reading& r : t.collected) {
+      g.agg.Add(r.value);
+      AddToHistogram(query, r.value, &g);
+    }
+
+    // Instrumentation + cache bookkeeping.
+    for (SensorId sid : t.cached_sensors) {
+      if (const Reading* r = tree_->store().Get(sid); r != nullptr) {
+        if (query.return_readings) {
+          result.served_from_cache.push_back(*r);
+        }
+        AddToHistogram(query, r->value, &g);
+      }
+      tree_->TouchCached(sid);
+    }
+    result.stats.cache_readings_used +=
+        t.node_id >= 0 && tree_->node(t.node_id).IsLeaf() ? t.cached_count
+                                                          : 0;
+    result.stats.cached_agg_readings +=
+        t.node_id >= 0 && !tree_->node(t.node_id).IsLeaf() ? t.cached_count
+                                                           : 0;
+    result.stats.slots_merged += t.cached_slots_merged;
+    result.stats.result_size +=
+        static_cast<int64_t>(t.collected.size()) + t.cached_count;
+
+    TerminalRecord rec;
+    rec.node_id = t.node_id;
+    rec.target = t.target;
+    rec.probes_attempted = t.probes_attempted;
+    rec.probes_succeeded = static_cast<int>(t.collected.size());
+    rec.cached_used = t.cached_count;
+    result.stats.terminals.push_back(rec);
+
+    result.collected.insert(result.collected.end(), t.collected.begin(),
+                            t.collected.end());
+  }
+  for (auto& [gid, g] : groups) result.groups.push_back(std::move(g));
+
+  // Populate the cache with everything we just collected (the whole
+  // point of coupling collection with the index).
+  for (const Reading& r : result.collected) tree_->InsertReading(r);
+
+  result.stats.nodes_traversed = sres.nodes_traversed;
+  result.stats.internal_nodes_traversed = sres.internal_nodes_traversed;
+  result.stats.cached_nodes_accessed = sres.cached_nodes_accessed;
+  result.stats.sensors_probed = acct.attempted;
+  result.stats.probe_successes = acct.succeeded;
+  result.stats.collection_latency_ms = acct.max_batch_latency_ms;
+  result.stats.processing_ms =
+      std::max(0.0, watch.ElapsedMillis() - acct.sim_wall_ms);
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Range lookup without sampling: kHierCache (slot caches on) and
+// kRTree (pure index, probe everything).
+// ---------------------------------------------------------------------------
+
+QueryResult ColrEngine::ExecuteRange(const Query& query, TimeMs now,
+                                     bool use_cache) {
+  QueryResult result;
+  Stopwatch watch;
+
+  std::map<int, GroupResult> groups;
+  auto group_for = [&](int node_id) -> GroupResult& {
+    const int gid = tree_->AncestorAtLevel(node_id, query.cluster_level);
+    GroupResult& g = groups[gid];
+    if (g.node_id < 0) {
+      g.node_id = gid;
+      g.bbox = tree_->node(gid).bbox;
+      g.weight = tree_->node(gid).Weight();
+    }
+    return g;
+  };
+
+  ProbeAccounting acct;
+  std::vector<SensorId> touched;
+
+  if (tree_->root() >= 0 &&
+      query.region.Intersects(tree_->node(tree_->root()).bbox)) {
+    std::vector<int> stack{tree_->root()};
+    while (!stack.empty()) {
+      const int id = stack.back();
+      stack.pop_back();
+      const ColrTree::Node& n = tree_->node(id);
+      ++result.stats.nodes_traversed;
+      if (!n.IsLeaf()) ++result.stats.internal_nodes_traversed;
+
+      const bool contained = query.region.Contains(n.bbox);
+      if (use_cache && contained && !n.IsLeaf() &&
+          !query.return_readings && query.histogram_buckets <= 0 &&
+          n.level >= query.cluster_level) {
+        // Early termination when the subtree is fully answerable from
+        // its slot cache (§IV-B Lookup). Only at or below the result
+        // granularity, so multi-resolution groups stay distinct.
+        const int64_t cached =
+            tree_->CachedCount(id, now, query.staleness_ms);
+        if (cached >= n.Weight()) {
+          ColrTree::CacheLookup lookup =
+              tree_->LookupCache(id, now, query.staleness_ms);
+          GroupResult& g = group_for(id);
+          g.agg.Merge(lookup.agg);
+          ++result.stats.cached_nodes_accessed;
+          result.stats.cached_agg_readings += lookup.agg.count;
+          result.stats.slots_merged += lookup.slots_merged;
+          result.stats.result_size += lookup.agg.count;
+          continue;
+        }
+      }
+
+      if (!n.IsLeaf()) {
+        for (int c : n.children) {
+          if (query.region.Intersects(tree_->node(c).bbox)) {
+            stack.push_back(c);
+          }
+        }
+        continue;
+      }
+
+      // Leaf: serve from cache what we can, probe the rest.
+      std::vector<SensorId> to_probe;
+      GroupResult& g = group_for(id);
+      if (use_cache) {
+        const bool partial = !contained;
+        Rect filter = query.region.bbox;
+        // Slot-aligned admission: sensors whose cached reading sits in
+        // the query slot or older are re-probed (and thereby
+        // refreshed), so hot subtrees converge to full slot-aligned
+        // coverage and the early-termination test above can fire.
+        ColrTree::CacheLookup lookup = tree_->LookupCache(
+            id, now, query.staleness_ms, partial ? &filter : nullptr,
+            ColrTree::FreshnessRule::kSlotAligned);
+        std::vector<SensorId> used;
+        for (SensorId sid : lookup.used_sensors) {
+          if (query.region.polygon &&
+              !query.region.Contains(tree_->sensor(sid).location)) {
+            continue;
+          }
+          used.push_back(sid);
+          const Reading* cached_reading = tree_->store().Get(sid);
+          g.agg.Add(cached_reading->value);
+          AddToHistogram(query, cached_reading->value, &g);
+          touched.push_back(sid);
+          if (query.return_readings) {
+            result.served_from_cache.push_back(*cached_reading);
+          }
+        }
+        if (!used.empty()) ++result.stats.cached_nodes_accessed;
+        result.stats.cache_readings_used += used.size();
+        result.stats.result_size += used.size();
+        for (SensorId sid :
+             tree_->SensorsUnderInRegion(id, query.region.bbox)) {
+          if (query.region.polygon &&
+              !query.region.Contains(tree_->sensor(sid).location)) {
+            continue;
+          }
+          if (std::find(used.begin(), used.end(), sid) == used.end()) {
+            to_probe.push_back(sid);
+          }
+        }
+      } else {
+        for (SensorId sid :
+             tree_->SensorsUnderInRegion(id, query.region.bbox)) {
+          if (query.region.polygon &&
+              !query.region.Contains(tree_->sensor(sid).location)) {
+            continue;
+          }
+          to_probe.push_back(sid);
+        }
+      }
+      if (!to_probe.empty()) {
+        std::vector<Reading> readings = ProbeBatch(to_probe, &acct);
+        for (const Reading& r : readings) {
+          g.agg.Add(r.value);
+          AddToHistogram(query, r.value, &g);
+        }
+        result.stats.result_size += static_cast<int64_t>(readings.size());
+        result.collected.insert(result.collected.end(), readings.begin(),
+                                readings.end());
+      }
+    }
+  }
+
+  for (SensorId sid : touched) tree_->TouchCached(sid);
+  if (use_cache) {
+    for (const Reading& r : result.collected) tree_->InsertReading(r);
+  }
+  for (auto& [gid, g] : groups) {
+    if (!g.agg.empty() || g.node_id >= 0) result.groups.push_back(g);
+  }
+
+  result.stats.sensors_probed = acct.attempted;
+  result.stats.probe_successes = acct.succeeded;
+  result.stats.collection_latency_ms = acct.max_batch_latency_ms;
+  result.stats.processing_ms =
+      std::max(0.0, watch.ElapsedMillis() - acct.sim_wall_ms);
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Flat cache baseline: full catalog scan per query.
+// ---------------------------------------------------------------------------
+
+QueryResult ColrEngine::ExecuteFlat(const Query& query, TimeMs now) {
+  QueryResult result;
+  Stopwatch watch;
+
+  FlatCache::Lookup lookup = flat_->Query(query.region, now,
+                                          query.staleness_ms);
+  ProbeAccounting acct;
+  std::vector<Reading> probed = ProbeBatch(lookup.missing, &acct);
+
+  GroupResult g;
+  g.node_id = -1;
+  g.bbox = query.region.bbox;
+  if (query.return_readings) result.served_from_cache = lookup.cached;
+  for (const Reading& r : lookup.cached) {
+    g.agg.Add(r.value);
+    AddToHistogram(query, r.value, &g);
+  }
+  for (const Reading& r : probed) {
+    g.agg.Add(r.value);
+    AddToHistogram(query, r.value, &g);
+  }
+  g.weight = static_cast<int>(lookup.cached.size() + lookup.missing.size());
+  result.groups.push_back(std::move(g));
+
+  for (const Reading& r : probed) flat_->Insert(r);
+  result.collected = std::move(probed);
+
+  result.stats.cache_readings_used =
+      static_cast<int64_t>(lookup.cached.size());
+  result.stats.result_size =
+      static_cast<int64_t>(lookup.cached.size() + result.collected.size());
+  result.stats.sensors_probed = acct.attempted;
+  result.stats.probe_successes = acct.succeeded;
+  result.stats.collection_latency_ms = acct.max_batch_latency_ms;
+  result.stats.processing_ms =
+      std::max(0.0, watch.ElapsedMillis() - acct.sim_wall_ms);
+  return result;
+}
+
+}  // namespace colr

@@ -1,0 +1,116 @@
+#ifndef COLR_CORE_ENGINE_H_
+#define COLR_CORE_ENGINE_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/flat_cache.h"
+#include "core/query.h"
+#include "core/sampling.h"
+#include "core/tree.h"
+#include "sensor/availability.h"
+#include "sensor/network.h"
+
+namespace colr {
+
+/// Query execution over a COLR-Tree, in the four configurations the
+/// paper evaluates (§VII-B/C):
+///
+///   kRTree     — plain R-tree behaviour: no caching, no sampling;
+///                every in-region sensor is probed per query.
+///   kFlatCache — raw readings cached in a flat store that is scanned
+///                per query; no index, no aggregates, no sampling.
+///   kHierCache — COLR-Tree slot caches with the standard range
+///                lookup: fully-cached subtrees answer from their
+///                aggregates, everything else is probed. No sampling.
+///   kColr      — the full system: slot caches + layered sampling.
+///
+/// The engine is the boundary between query processing and data
+/// collection: it owns the probe batching (parallel within a batch),
+/// cache population with collected readings, and all instrumentation.
+class ColrEngine {
+ public:
+  enum class Mode { kRTree, kFlatCache, kHierCache, kColr };
+
+  static const char* ModeName(Mode mode);
+
+  struct Options {
+    Mode mode = Mode::kColr;
+    /// Oversampling level O of Algorithm 1.
+    int oversample_level = 1;
+    bool oversample = true;
+    bool redistribute = true;
+    /// Let layered sampling consult the slot caches (line 9/15 of
+    /// Algorithm 1). Off = sample as if nothing were cached (ablation).
+    bool sampling_use_cache = true;
+    /// Compute stats.region_sensor_count per query (costs one exact
+    /// count traversal; used by the Fig. 3/6 harnesses).
+    bool fill_region_count = false;
+    /// Learn per-sensor availability online from probe outcomes
+    /// (EWMA) and refresh the tree's per-node means periodically —
+    /// keeps the oversampling factor honest when registered
+    /// availability metadata is wrong or drifts (§V-A "historical
+    /// availability").
+    bool track_availability = false;
+    /// Queries between availability refreshes of the tree.
+    int availability_refresh_interval = 50;
+    uint64_t seed = 0xC0FFEEu;
+  };
+
+  ColrEngine(ColrTree* tree, SensorNetwork* network, Options options);
+
+  ColrEngine(const ColrEngine&) = delete;
+  ColrEngine& operator=(const ColrEngine&) = delete;
+
+  /// Executes a portal query at the network clock's current time.
+  QueryResult Execute(const Query& query);
+
+  const ColrTree& tree() const { return *tree_; }
+  Mode mode() const { return options_.mode; }
+
+  /// Counters accumulated over all executed queries.
+  const QueryStats& cumulative() const { return cumulative_; }
+  void ResetCumulative() { cumulative_ = QueryStats{}; }
+
+  /// The online availability estimator (nullptr unless
+  /// Options::track_availability).
+  const AvailabilityTracker* availability_tracker() const {
+    return tracker_.get();
+  }
+
+ private:
+  struct ProbeAccounting {
+    int64_t attempted = 0;
+    int64_t succeeded = 0;
+    TimeMs max_batch_latency_ms = 0;
+    /// Wall-clock time spent inside the simulated network; excluded
+    /// from processing_ms (a real deployment overlaps collection with
+    /// processing, and the simulator's CPU cost is an artifact).
+    double sim_wall_ms = 0.0;
+  };
+
+  std::vector<Reading> ProbeBatch(const std::vector<SensorId>& ids,
+                                  ProbeAccounting* acct);
+
+  QueryResult ExecuteColr(const Query& query, TimeMs now);
+  /// Shared by kRTree (use_cache = false) and kHierCache (true).
+  QueryResult ExecuteRange(const Query& query, TimeMs now, bool use_cache);
+  QueryResult ExecuteFlat(const Query& query, TimeMs now);
+
+  void FinishQuery(const Query& query, TimeMs now, QueryResult* result);
+
+  ColrTree* tree_;
+  SensorNetwork* network_;
+  const Clock* clock_;
+  Options options_;
+  Rng rng_;
+  std::unique_ptr<FlatCache> flat_;
+  std::unique_ptr<AvailabilityTracker> tracker_;
+  int64_t queries_since_refresh_ = 0;
+  QueryStats cumulative_;
+};
+
+}  // namespace colr
+
+#endif  // COLR_CORE_ENGINE_H_

@@ -1,0 +1,36 @@
+#include "core/flat_cache.h"
+
+namespace colr {
+
+FlatCache::Lookup FlatCache::Query(const QueryRegion& region, TimeMs now,
+                                   TimeMs staleness_ms) {
+  Lookup out;
+  out.scanned = static_cast<int64_t>(sensors_->size());
+  for (const SensorInfo& s : *sensors_) {
+    if (!region.Contains(s.location)) continue;
+    const Reading* r = store_.Get(s.id);
+    if (r != nullptr && r->ValidAt(now - staleness_ms)) {
+      out.cached.push_back(*r);
+      store_.Touch(s.id);
+    } else {
+      out.missing.push_back(s.id);
+    }
+  }
+  return out;
+}
+
+void FlatCache::Insert(const Reading& reading) {
+  scheme_.RollTo(scheme_.SlotOf(reading.expiry));
+  store_.ExpungeExpiredSlots(scheme_);
+  store_.Insert(scheme_, reading);
+}
+
+void FlatCache::AdvanceTo(TimeMs now) {
+  const SlotId needed =
+      scheme_.SlotOf(now) + scheme_.num_slots() - 1;
+  if (scheme_.RollTo(needed) > 0) {
+    store_.ExpungeExpiredSlots(scheme_);
+  }
+}
+
+}  // namespace colr

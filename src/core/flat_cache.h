@@ -1,0 +1,54 @@
+#ifndef COLR_CORE_FLAT_CACHE_H_
+#define COLR_CORE_FLAT_CACHE_H_
+
+#include <vector>
+
+#include "core/query.h"
+#include "core/reading_store.h"
+#include "core/slot_cache.h"
+#include "sensor/sensor.h"
+
+namespace colr {
+
+/// The "flat cache" baseline of §VII-C: a collection-aware cache of
+/// raw sensor readings with no index and no aggregates. Every query
+/// scans the entire sensor catalog, serves what it can from cached
+/// fresh readings, and reports the remaining in-region sensors for
+/// probing. Shares the slot-based expiry machinery and the cache size
+/// constraint with COLR-Tree so the comparison isolates the effect of
+/// indexing + aggregate caching + sampling.
+class FlatCache {
+ public:
+  FlatCache(const std::vector<SensorInfo>* sensors, TimeMs slot_delta_ms,
+            TimeMs t_max_ms, size_t capacity)
+      : sensors_(sensors),
+        scheme_(slot_delta_ms, t_max_ms),
+        store_(capacity) {}
+
+  struct Lookup {
+    /// Cached readings satisfying region + freshness.
+    std::vector<Reading> cached;
+    /// In-region sensors with no usable cached reading (to probe).
+    std::vector<SensorId> missing;
+    /// Sensors examined (always the full catalog — that is the point).
+    int64_t scanned = 0;
+  };
+
+  Lookup Query(const QueryRegion& region, TimeMs now, TimeMs staleness_ms);
+
+  /// Caches a collected reading, rolling the window as needed.
+  void Insert(const Reading& reading);
+
+  void AdvanceTo(TimeMs now);
+
+  size_t size() const { return store_.size(); }
+
+ private:
+  const std::vector<SensorInfo>* sensors_;
+  SlotScheme scheme_;
+  ReadingStore store_;
+};
+
+}  // namespace colr
+
+#endif  // COLR_CORE_FLAT_CACHE_H_

@@ -1,0 +1,97 @@
+#include "core/reading_store.h"
+
+namespace colr {
+
+ReadingStore::InsertOutcome ReadingStore::Insert(const SlotScheme& scheme,
+                                                 const Reading& reading) {
+  InsertOutcome outcome;
+  auto it = entries_.find(reading.sensor);
+  if (it != entries_.end()) {
+    outcome.replaced = true;
+    outcome.old_reading = it->second.reading;
+    Unlink(it);
+    entries_.erase(it);
+  }
+
+  const SlotId slot = scheme.SlotOf(reading.expiry);
+  auto& lru = slots_[slot];
+  lru.push_back(reading.sensor);
+  Entry entry;
+  entry.reading = reading;
+  entry.slot = slot;
+  entry.lru_it = std::prev(lru.end());
+  entries_.emplace(reading.sensor, entry);
+
+  // Enforce the capacity constraint: evict least-recently-fetched
+  // readings from the oldest occupied slot first.
+  while (capacity_ > 0 && entries_.size() > capacity_) {
+    auto slot_it = slots_.begin();
+    SensorId victim = slot_it->second.front();
+    if (victim == reading.sensor) {
+      // Never evict the reading we just inserted; it is by definition
+      // the only entry we must keep. Pick the next candidate.
+      if (slot_it->second.size() > 1) {
+        victim = *std::next(slot_it->second.begin());
+      } else if (std::next(slot_it) != slots_.end()) {
+        victim = std::next(slot_it)->second.front();
+      } else {
+        break;  // store holds only the new reading
+      }
+    }
+    auto vit = entries_.find(victim);
+    outcome.evicted.push_back(vit->second.reading);
+    Unlink(vit);
+    entries_.erase(vit);
+  }
+  return outcome;
+}
+
+void ReadingStore::Touch(SensorId sensor) {
+  auto it = entries_.find(sensor);
+  if (it == entries_.end()) return;
+  auto& lru = slots_[it->second.slot];
+  lru.splice(lru.end(), lru, it->second.lru_it);
+  it->second.lru_it = std::prev(lru.end());
+}
+
+const Reading* ReadingStore::Get(SensorId sensor) const {
+  auto it = entries_.find(sensor);
+  return it == entries_.end() ? nullptr : &it->second.reading;
+}
+
+std::vector<Reading> ReadingStore::ExpungeExpiredSlots(
+    const SlotScheme& scheme) {
+  std::vector<Reading> expunged;
+  while (!slots_.empty() && slots_.begin()->first < scheme.oldest()) {
+    auto& lru = slots_.begin()->second;
+    for (SensorId sensor : lru) {
+      auto it = entries_.find(sensor);
+      expunged.push_back(it->second.reading);
+      entries_.erase(it);
+    }
+    slots_.erase(slots_.begin());
+  }
+  return expunged;
+}
+
+bool ReadingStore::Erase(SensorId sensor) {
+  auto it = entries_.find(sensor);
+  if (it == entries_.end()) return false;
+  Unlink(it);
+  entries_.erase(it);
+  return true;
+}
+
+void ReadingStore::Clear() {
+  entries_.clear();
+  slots_.clear();
+}
+
+void ReadingStore::Unlink(
+    std::unordered_map<SensorId, Entry>::iterator it) {
+  auto slot_it = slots_.find(it->second.slot);
+  slot_it->second.erase(it->second.lru_it);
+  if (slot_it->second.empty()) slots_.erase(slot_it);
+}
+
+}  // namespace colr

@@ -1,0 +1,85 @@
+#ifndef COLR_CORE_READING_STORE_H_
+#define COLR_CORE_READING_STORE_H_
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "core/slot_cache.h"
+#include "sensor/sensor.h"
+
+namespace colr {
+
+/// Global store of raw cached sensor readings — the leaf level of the
+/// COLR-Tree cache. At most one (the latest) reading is cached per
+/// sensor. The store enforces the portal-wide cache size constraint
+/// (Fig. 5 sweeps it over 16–32 % of all sensors) with the paper's
+/// replacement policy: evict the least recently *fetched* readings
+/// lying in the oldest occupied slot (§IV-A Insert), the same order in
+/// which entries would be expunged by a window slide.
+///
+/// Each mutation reports what happened so the tree can run the
+/// equivalent of the paper's slot insert/delete triggers (propagate
+/// aggregate updates to ancestors).
+class ReadingStore {
+ public:
+  explicit ReadingStore(size_t capacity = 0) : capacity_(capacity) {}
+
+  void set_capacity(size_t capacity) { capacity_ = capacity; }
+  size_t capacity() const { return capacity_; }
+  size_t size() const { return entries_.size(); }
+
+  struct InsertOutcome {
+    /// The previously cached reading for this sensor, if replaced.
+    bool replaced = false;
+    Reading old_reading;
+    /// Readings evicted to satisfy the capacity constraint (never
+    /// includes the inserted sensor's own old reading).
+    std::vector<Reading> evicted;
+  };
+
+  /// Inserts (or replaces) the cached reading for a sensor, bucketing
+  /// it by its expiry slot, then enforces the capacity constraint.
+  InsertOutcome Insert(const SlotScheme& scheme, const Reading& reading);
+
+  /// Marks a cached reading as fetched (moves it to the
+  /// most-recently-fetched position within its slot list).
+  void Touch(SensorId sensor);
+
+  /// Returns the cached reading for a sensor, or nullptr.
+  const Reading* Get(SensorId sensor) const;
+
+  /// Removes and returns readings whose expiry slot slid out of the
+  /// window (slots older than scheme.oldest()). The paper's roll
+  /// trigger, applied lazily after the scheme advances.
+  std::vector<Reading> ExpungeExpiredSlots(const SlotScheme& scheme);
+
+  /// Drops a specific sensor's cached reading (used by tests and the
+  /// relational cross-check). Returns true if present.
+  bool Erase(SensorId sensor);
+
+  void Clear();
+
+ private:
+  struct Entry {
+    Reading reading;
+    SlotId slot = 0;
+    /// Position in slots_[slot]; front = least recently fetched.
+    std::list<SensorId>::iterator lru_it;
+  };
+
+  void Unlink(std::unordered_map<SensorId, Entry>::iterator it);
+
+  size_t capacity_;
+  std::unordered_map<SensorId, Entry> entries_;
+  /// slot -> sensors cached in that slot, ordered by last fetch time
+  /// (front = least recently fetched). Ordered map so the oldest
+  /// occupied slot is found in O(log #occupied-slots).
+  std::map<SlotId, std::list<SensorId>> slots_;
+};
+
+}  // namespace colr
+
+#endif  // COLR_CORE_READING_STORE_H_

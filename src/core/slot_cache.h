@@ -1,0 +1,177 @@
+#ifndef COLR_CORE_SLOT_CACHE_H_
+#define COLR_CORE_SLOT_CACHE_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "common/clock.h"
+#include "core/aggregate.h"
+
+namespace colr {
+
+/// Absolute slot index on the global time axis. Slots are globally
+/// aligned (paper §IV-B: "we are only able to perform per-slot
+/// aggregation given a globally aligned slotting scheme"), so
+/// slot identifiers are simply floor(t / delta).
+using SlotId = int64_t;
+
+/// Global slotting scheme shared by every slot-cache in a COLR-Tree:
+/// slot width delta and the sliding window of the `num_slots` most
+/// recent slots. Readings are bucketed by **expiry timestamp**; the
+/// window therefore spans from "now" to "now + t_max", and rolling
+/// forward one slot expunges the oldest slot, whose readings have all
+/// expired (§IV-A).
+class SlotScheme {
+ public:
+  /// delta: slot width; t_max: maximum sensor expiry period. The
+  /// window holds m = ceil(t_max/delta) + 1 slots so that a reading
+  /// inserted now with the maximum expiry period always fits.
+  SlotScheme(TimeMs delta, TimeMs t_max)
+      : delta_(delta > 0 ? delta : 1),
+        num_slots_(static_cast<int>((t_max + delta_ - 1) / delta_) + 1),
+        newest_(num_slots_ - 1) {}
+
+  TimeMs delta() const { return delta_; }
+  int num_slots() const { return num_slots_; }
+
+  SlotId SlotOf(TimeMs t) const {
+    // Floor division that is correct for negative times too.
+    SlotId q = t / delta_;
+    if (t % delta_ < 0) --q;
+    return q;
+  }
+
+  /// Lower edge (inclusive exclusive bound, (lo, hi] in the paper's
+  /// notation) of a slot's time range.
+  TimeMs SlotLowerEdge(SlotId slot) const { return slot * delta_; }
+  TimeMs SlotUpperEdge(SlotId slot) const { return (slot + 1) * delta_; }
+
+  SlotId newest() const { return newest_; }
+  SlotId oldest() const { return newest_ - num_slots_ + 1; }
+
+  bool InWindow(SlotId slot) const {
+    return slot >= oldest() && slot <= newest();
+  }
+
+  /// Advances the window so that `slot` becomes (at least) the newest
+  /// slot. Returns the number of slots the window slid.
+  int RollTo(SlotId slot) {
+    if (slot <= newest_) return 0;
+    const int slid = static_cast<int>(slot - newest_);
+    newest_ = slot;
+    return slid;
+  }
+
+  /// Ring-buffer position for a slot (valid only when InWindow).
+  int RingIndex(SlotId slot) const {
+    SlotId m = slot % num_slots_;
+    if (m < 0) m += num_slots_;
+    return static_cast<int>(m);
+  }
+
+ private:
+  TimeMs delta_;
+  int num_slots_;
+  SlotId newest_;
+};
+
+/// Per-node slot cache holding one partial aggregate per slot
+/// (paper §IV-A/B). Implemented as a lazily-reset ring: each ring
+/// position is tagged with the absolute SlotId it currently
+/// represents, so the global window roll is O(1) — stale positions
+/// reset themselves on next access. `weight` is the paper's cache
+/// table "value weight": the number of readings aggregated into the
+/// slot, which the sampling algorithm uses as the cached count |c_i|.
+class AggregateSlotCache {
+ public:
+  explicit AggregateSlotCache(int num_slots = 0) : slots_(num_slots) {}
+
+  void Resize(int num_slots) { slots_.assign(num_slots, Slot{}); }
+
+  /// Adds a reading value to the slot for its expiry time. The slot
+  /// position is reset first if it still carries an older slot's data.
+  void Add(const SlotScheme& scheme, SlotId slot, double value) {
+    Slot& s = MutableSlot(scheme, slot);
+    s.agg.Add(value);
+  }
+
+  /// Merges a partial aggregate (bulk insert from a child).
+  void Merge(const SlotScheme& scheme, SlotId slot, const Aggregate& agg) {
+    Slot& s = MutableSlot(scheme, slot);
+    s.agg.Merge(agg);
+  }
+
+  /// Decrements a value. Returns false when the aggregate's min/max
+  /// became unreliable and the slot must be recomputed by the caller.
+  bool Remove(const SlotScheme& scheme, SlotId slot, double value) {
+    Slot& s = MutableSlot(scheme, slot);
+    return s.agg.Remove(value);
+  }
+
+  /// Overwrites a slot's aggregate (used by recompute-from-children).
+  void Set(const SlotScheme& scheme, SlotId slot, const Aggregate& agg) {
+    Slot& s = MutableSlot(scheme, slot);
+    s.agg = agg;
+  }
+
+  /// Read-only view of a slot; returns an empty aggregate when the
+  /// ring position belongs to a different (expired) slot.
+  const Aggregate& Get(const SlotScheme& scheme, SlotId slot) const {
+    static const Aggregate kEmpty{};
+    if (!scheme.InWindow(slot)) return kEmpty;
+    const Slot& s = slots_[scheme.RingIndex(slot)];
+    return s.slot_id == slot ? s.agg : kEmpty;
+  }
+
+  /// Merges every slot strictly newer than `query_slot` up to the
+  /// newest window slot — the paper's lookup rule ("useful readings
+  /// ... lying in slots which are strictly younger", §IV-A). Also
+  /// reports how many slots contributed.
+  Aggregate QueryNewerThan(const SlotScheme& scheme, SlotId query_slot,
+                           int* slots_merged = nullptr) const {
+    Aggregate out;
+    const SlotId from = std::max(query_slot + 1, scheme.oldest());
+    for (SlotId s = from; s <= scheme.newest(); ++s) {
+      const Aggregate& a = Get(scheme, s);
+      if (!a.empty()) {
+        out.Merge(a);
+        if (slots_merged) ++*slots_merged;
+      }
+    }
+    return out;
+  }
+
+  /// Total cached reading count in slots strictly newer than
+  /// query_slot — |c_i| in Algorithm 1.
+  int64_t WeightNewerThan(const SlotScheme& scheme, SlotId query_slot) const {
+    const SlotId from = std::max(query_slot + 1, scheme.oldest());
+    int64_t w = 0;
+    for (SlotId s = from; s <= scheme.newest(); ++s) {
+      w += Get(scheme, s).count;
+    }
+    return w;
+  }
+
+ private:
+  struct Slot {
+    SlotId slot_id = std::numeric_limits<SlotId>::min();
+    Aggregate agg;
+  };
+
+  Slot& MutableSlot(const SlotScheme& scheme, SlotId slot) {
+    Slot& s = slots_[scheme.RingIndex(slot)];
+    if (s.slot_id != slot) {
+      s.slot_id = slot;
+      s.agg.Clear();
+    }
+    return s;
+  }
+
+  std::vector<Slot> slots_;
+};
+
+}  // namespace colr
+
+#endif  // COLR_CORE_SLOT_CACHE_H_

@@ -1,0 +1,84 @@
+#include "core/slot_size.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace colr {
+
+SlotSizePoint EvaluateSlotSize(const SlotSizeWorkload& workload,
+                               double delta) {
+  SlotSizePoint point;
+  point.delta = delta;
+  if (delta <= 0.0) return point;
+
+  // Cost: averaged over the query workload's time windows (§IV-C).
+  double cost_sum = 0.0;
+  for (double t : workload.query_windows) {
+    const double full_slots = std::floor(t / delta);
+    const double touched_slots = std::ceil(t / delta);
+    const double uncovered = t - full_slots * delta;
+    cost_sum += full_slots + touched_slots * workload.update_fraction +
+                uncovered * workload.collection_cost;
+  }
+  point.cost = workload.query_windows.empty()
+                   ? 1.0
+                   : cost_sum / static_cast<double>(
+                                    workload.query_windows.size());
+  point.cost = std::max(point.cost, 1e-9);
+
+  // Utility: expected validity time of aggregated data given the slot
+  // each sensor's expiry falls into; slot s_i = ((i-1)Δ, iΔ], data in
+  // s_i survives (i-1)Δ before its slot is discarded.
+  double utility_sum = 0.0;
+  for (double e : workload.expiry_fractions) {
+    const int i = std::max(1, static_cast<int>(std::ceil(e / delta)));
+    utility_sum += static_cast<double>(i - 1) * delta;
+  }
+  point.utility = workload.expiry_fractions.empty()
+                      ? 0.0
+                      : utility_sum / static_cast<double>(
+                                          workload.expiry_fractions.size());
+
+  point.ratio = point.utility / point.cost;
+  return point;
+}
+
+std::vector<SlotSizePoint> SweepSlotSizes(const SlotSizeWorkload& workload,
+                                          const std::vector<double>& deltas) {
+  std::vector<SlotSizePoint> out;
+  out.reserve(deltas.size());
+  for (double d : deltas) out.push_back(EvaluateSlotSize(workload, d));
+  return out;
+}
+
+double OptimalSlotSize(const SlotSizeWorkload& workload,
+                       const std::vector<double>& deltas) {
+  double best_delta = deltas.empty() ? 0.25 : deltas.front();
+  double best_ratio = -1.0;
+  for (const SlotSizePoint& p : SweepSlotSizes(workload, deltas)) {
+    if (p.ratio > best_ratio) {
+      best_ratio = p.ratio;
+      best_delta = p.delta;
+    }
+  }
+  return best_delta;
+}
+
+int64_t RecommendSlotDelta(const SlotSizeWorkload& workload,
+                           int64_t t_max_ms) {
+  const double frac =
+      OptimalSlotSize(workload, DefaultSlotSizeCandidates(20));
+  return std::max<int64_t>(
+      1, static_cast<int64_t>(frac * static_cast<double>(t_max_ms)));
+}
+
+std::vector<double> DefaultSlotSizeCandidates(int steps) {
+  std::vector<double> deltas;
+  deltas.reserve(steps);
+  for (int i = 1; i <= steps; ++i) {
+    deltas.push_back(static_cast<double>(i) / static_cast<double>(steps));
+  }
+  return deltas;
+}
+
+}  // namespace colr

@@ -1,0 +1,63 @@
+#ifndef COLR_CORE_SLOT_SIZE_H_
+#define COLR_CORE_SLOT_SIZE_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace colr {
+
+/// The utility/cost framework of §IV-C for choosing the slot width Δ.
+/// All times are normalized to t_max = 1.
+///
+/// cost(Δ)    ~ ⌊T/Δ⌋ + ⌈T/Δ⌉·f + (T − ⌊T/Δ⌋·Δ)·c, averaged over the
+///              query workload's time windows T. Larger slots mean
+///              fewer partials to combine per query.
+/// utility(Δ) ~ Σ_i n_i·(i−1)·Δ over slots s_1..s_k, k = ⌈1/Δ⌉, where
+///              n_i sensors expire within slot s_i: how long aggregated
+///              data stays useful before its slot is discarded.
+///
+/// The recommended Δ maximizes utility/cost (Fig. 2).
+struct SlotSizeWorkload {
+  /// Query time windows T (each in (0, 1]).
+  std::vector<double> query_windows;
+  /// Sensor expiry times (each in (0, 1]).
+  std::vector<double> expiry_fractions;
+  /// f: fraction of queries that must update a slot with fresh data.
+  double update_fraction = 0.5;
+  /// c: data-collection cost normalized to per-slot processing cost.
+  double collection_cost = 10.0;
+};
+
+struct SlotSizePoint {
+  double delta = 0.0;
+  double cost = 0.0;
+  double utility = 0.0;
+  double ratio = 0.0;
+};
+
+/// Evaluates cost, utility and their ratio for one slot size.
+SlotSizePoint EvaluateSlotSize(const SlotSizeWorkload& workload,
+                               double delta);
+
+/// Evaluates every candidate Δ. Candidates must be in (0, 1].
+std::vector<SlotSizePoint> SweepSlotSizes(const SlotSizeWorkload& workload,
+                                          const std::vector<double>& deltas);
+
+/// The Δ maximizing utility/cost over the sweep.
+double OptimalSlotSize(const SlotSizeWorkload& workload,
+                       const std::vector<double>& deltas);
+
+/// Convenience: evenly spaced candidate slot sizes (0, 1].
+std::vector<double> DefaultSlotSizeCandidates(int steps = 20);
+
+/// End-to-end convenience: the recommended ColrTree::Options::
+/// slot_delta_ms for a deployment with maximum expiry period `t_max_ms`
+/// under the given (normalized) workload. "COLR-Tree can be configured
+/// with the optimal slot size found by using the target workload in
+/// the above framework" (§IV-C).
+int64_t RecommendSlotDelta(const SlotSizeWorkload& workload,
+                           int64_t t_max_ms);
+
+}  // namespace colr
+
+#endif  // COLR_CORE_SLOT_SIZE_H_

@@ -1,0 +1,347 @@
+#include "core/tree.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace colr {
+
+namespace {
+
+TimeMs ResolveTmax(const ColrTree::Options& options,
+                   const std::vector<SensorInfo>& sensors) {
+  TimeMs t_max = options.t_max_ms;
+  if (t_max <= 0) {
+    for (const SensorInfo& s : sensors) {
+      t_max = std::max(t_max, s.expiry_ms);
+    }
+    if (t_max <= 0) t_max = kMsPerMinute;
+  }
+  return t_max;
+}
+
+SlotScheme MakeScheme(const ColrTree::Options& options, TimeMs t_max) {
+  TimeMs delta = options.slot_delta_ms;
+  if (delta <= 0) delta = std::max<TimeMs>(1, t_max / 4);
+  const TimeMs margin =
+      options.stale_margin_ms >= 0 ? options.stale_margin_ms : t_max;
+  return SlotScheme(delta, t_max + margin);
+}
+
+}  // namespace
+
+ColrTree::ColrTree(std::vector<SensorInfo> sensors, Options options)
+    : options_(options),
+      sensors_(std::move(sensors)),
+      t_max_ms_(ResolveTmax(options, sensors_)),
+      scheme_(MakeScheme(options, t_max_ms_)),
+      store_(options.cache_capacity) {
+  std::vector<Point> points;
+  points.reserve(sensors_.size());
+  for (const SensorInfo& s : sensors_) points.push_back(s.location);
+
+  ClusterTree ct = BuildClusterTree(points, options_.cluster);
+  root_ = ct.root;
+  height_ = ct.height;
+  sensor_order_.reserve(ct.item_order.size());
+  for (int idx : ct.item_order) {
+    sensor_order_.push_back(static_cast<SensorId>(idx));
+  }
+
+  nodes_.resize(ct.nodes.size());
+  leaf_of_sensor_.assign(sensors_.size(), -1);
+  for (size_t i = 0; i < ct.nodes.size(); ++i) {
+    const ClusterTree::Node& cn = ct.nodes[i];
+    Node& n = nodes_[i];
+    n.bbox = cn.bbox;
+    n.centroid = cn.centroid;
+    n.level = cn.level;
+    n.parent = cn.parent;
+    n.children = cn.children;
+    n.item_begin = cn.item_begin;
+    n.item_end = cn.item_end;
+    n.cache.Resize(scheme_.num_slots());
+
+    double avail_sum = 0.0;
+    for (int j = cn.item_begin; j < cn.item_end; ++j) {
+      const SensorInfo& s = sensors_[sensor_order_[j]];
+      avail_sum += s.availability;
+      n.max_expiry_ms = std::max(n.max_expiry_ms, s.expiry_ms);
+    }
+    n.mean_availability =
+        cn.Weight() > 0 ? avail_sum / cn.Weight() : 1.0;
+
+    if (cn.IsLeaf()) {
+      for (int j = cn.item_begin; j < cn.item_end; ++j) {
+        leaf_of_sensor_[sensor_order_[j]] = static_cast<int>(i);
+      }
+    }
+  }
+}
+
+int ColrTree::CountSensorsInRegion(const Rect& region) const {
+  if (root_ < 0) return 0;
+  int count = 0;
+  std::vector<int> stack{root_};
+  while (!stack.empty()) {
+    const int id = stack.back();
+    stack.pop_back();
+    const Node& n = nodes_[id];
+    if (!n.bbox.Intersects(region)) continue;
+    if (region.Contains(n.bbox)) {
+      count += n.Weight();
+      continue;
+    }
+    if (n.IsLeaf()) {
+      for (int j = n.item_begin; j < n.item_end; ++j) {
+        if (region.Contains(sensors_[sensor_order_[j]].location)) ++count;
+      }
+    } else {
+      for (int c : n.children) stack.push_back(c);
+    }
+  }
+  return count;
+}
+
+int ColrTree::LevelForClusterDistance(double distance) const {
+  if (height_ <= 1) return 0;
+  // Mean bbox diagonal per level, coarse to fine.
+  std::vector<double> sum(height_, 0.0);
+  std::vector<int> count(height_, 0);
+  for (const Node& n : nodes_) {
+    const double dx = n.bbox.Width();
+    const double dy = n.bbox.Height();
+    sum[n.level] += std::sqrt(dx * dx + dy * dy);
+    ++count[n.level];
+  }
+  for (int level = 0; level < height_; ++level) {
+    if (count[level] == 0) continue;
+    if (sum[level] / count[level] <= distance) return level;
+  }
+  return height_ - 1;
+}
+
+void ColrTree::RefreshAvailability(const std::vector<double>& estimates) {
+  for (Node& n : nodes_) {
+    double total = 0.0;
+    for (int j = n.item_begin; j < n.item_end; ++j) {
+      const SensorId sid = sensor_order_[j];
+      total += sid < estimates.size() ? estimates[sid]
+                                      : sensors_[sid].availability;
+    }
+    n.mean_availability = n.Weight() > 0 ? total / n.Weight() : 1.0;
+  }
+}
+
+std::vector<SensorId> ColrTree::SensorsUnderInRegion(
+    int node_id, const Rect& region) const {
+  const Node& n = nodes_[node_id];
+  std::vector<SensorId> out;
+  out.reserve(n.Weight());
+  const bool full = region.Contains(n.bbox);
+  for (int j = n.item_begin; j < n.item_end; ++j) {
+    const SensorId sid = sensor_order_[j];
+    if (full || region.Contains(sensors_[sid].location)) {
+      out.push_back(sid);
+    }
+  }
+  return out;
+}
+
+void ColrTree::AdvanceTo(TimeMs now) {
+  // The window covers [now - stale_margin, now + t_max]: newest slot
+  // at now + t_max, the rest of the capacity keeping recent history.
+  const SlotId needed = scheme_.SlotOf(now + t_max_ms_);
+  if (scheme_.RollTo(needed) > 0) {
+    for (const Reading& r : store_.ExpungeExpiredSlots(scheme_)) {
+      RemoveFromLeafCachedSet(r.sensor);
+      // No aggregate propagation: the expunged slots are outside the
+      // window, so their ring positions lazily reset on reuse.
+    }
+  }
+}
+
+void ColrTree::InsertReading(const Reading& reading) {
+  if (reading.sensor >= sensors_.size()) return;
+  const SlotId slot = scheme_.SlotOf(reading.expiry);
+  if (scheme_.RollTo(slot) > 0) {
+    for (const Reading& r : store_.ExpungeExpiredSlots(scheme_)) {
+      RemoveFromLeafCachedSet(r.sensor);
+    }
+  }
+  const int leaf = leaf_of_sensor_[reading.sensor];
+  if (leaf < 0) return;
+
+  // Replacement: remove the old reading from both the store and the
+  // aggregates *before* inserting the new one, so that a min/max
+  // recompute triggered by the removal never observes the new value.
+  bool had_old = false;
+  if (const Reading* old = store_.Get(reading.sensor); old != nullptr) {
+    const Reading old_copy = *old;
+    had_old = true;
+    store_.Erase(reading.sensor);
+    const SlotId old_slot = scheme_.SlotOf(old_copy.expiry);
+    if (scheme_.InWindow(old_slot)) {
+      PropagateRemove(leaf, old_slot, old_copy.value);
+    }
+  }
+
+  ReadingStore::InsertOutcome outcome = store_.Insert(scheme_, reading);
+  if (!had_old) {
+    nodes_[leaf].cached_sensors.push_back(reading.sensor);
+  }
+  PropagateAdd(leaf, slot, reading.value);
+
+  for (const Reading& victim : outcome.evicted) {
+    const int vleaf = leaf_of_sensor_[victim.sensor];
+    RemoveFromLeafCachedSet(victim.sensor);
+    const SlotId vslot = scheme_.SlotOf(victim.expiry);
+    if (vleaf >= 0 && scheme_.InWindow(vslot)) {
+      PropagateRemove(vleaf, vslot, victim.value);
+    }
+  }
+}
+
+void ColrTree::PropagateAdd(int leaf_id, SlotId slot, double value) {
+  for (int n = leaf_id; n >= 0; n = nodes_[n].parent) {
+    nodes_[n].cache.Add(scheme_, slot, value);
+  }
+}
+
+Aggregate ColrTree::LeafSlotAggregate(int leaf_id, SlotId slot) const {
+  Aggregate agg;
+  for (SensorId sid : nodes_[leaf_id].cached_sensors) {
+    const Reading* r = store_.Get(sid);
+    if (r != nullptr && scheme_.SlotOf(r->expiry) == slot) {
+      agg.Add(r->value);
+    }
+  }
+  return agg;
+}
+
+void ColrTree::RecomputeSlotFromChildren(int node_id, SlotId slot) {
+  const Node& n = nodes_[node_id];
+  Aggregate agg;
+  if (n.IsLeaf()) {
+    agg = LeafSlotAggregate(node_id, slot);
+  } else {
+    for (int c : n.children) {
+      agg.Merge(nodes_[c].cache.Get(scheme_, slot));
+    }
+  }
+  nodes_[node_id].cache.Set(scheme_, slot, agg);
+}
+
+void ColrTree::PropagateRemove(int leaf_id, SlotId slot, double value) {
+  for (int n = leaf_id; n >= 0; n = nodes_[n].parent) {
+    if (!nodes_[n].cache.Remove(scheme_, slot, value)) {
+      // The removal hit the slot's min/max: the decrement is not
+      // invertible (§IV-B), recompute the slot bottom-up from children
+      // (the slot-update trigger cascade).
+      RecomputeSlotFromChildren(n, slot);
+    }
+  }
+}
+
+void ColrTree::RemoveFromLeafCachedSet(SensorId sensor) {
+  const int leaf = leaf_of_sensor_[sensor];
+  if (leaf < 0) return;
+  auto& set = nodes_[leaf].cached_sensors;
+  for (size_t i = 0; i < set.size(); ++i) {
+    if (set[i] == sensor) {
+      set[i] = set.back();
+      set.pop_back();
+      return;
+    }
+  }
+}
+
+SlotId ColrTree::QuerySlot(const Node& node, TimeMs now,
+                           TimeMs staleness_ms) const {
+  // The paper's lookup rule (§IV-A): hash the freshness bound
+  // timestamp; slots strictly younger hold readings whose expiry lies
+  // beyond the bound, i.e., readings that were still valid within the
+  // user's staleness window.
+  (void)node;
+  return scheme_.SlotOf(now - staleness_ms);
+}
+
+ColrTree::CacheLookup ColrTree::LookupCache(int node_id, TimeMs now,
+                                            TimeMs staleness_ms,
+                                            const Rect* region_filter,
+                                            FreshnessRule rule) const {
+  const Node& n = nodes_[node_id];
+  CacheLookup out;
+  if (n.IsLeaf()) {
+    // Per-entry inspection: usable iff the reading was still valid
+    // within the staleness window (expiry beyond the freshness
+    // bound), either exactly (including entries in the query slot,
+    // §IV-B leaf refinement) or slot-aligned.
+    const SlotId qslot = QuerySlot(n, now, staleness_ms);
+    for (SensorId sid : n.cached_sensors) {
+      const Reading* r = store_.Get(sid);
+      if (r == nullptr) continue;
+      if (rule == FreshnessRule::kExact) {
+        if (!r->ValidAt(now - staleness_ms)) continue;
+      } else {
+        const SlotId slot = scheme_.SlotOf(r->expiry);
+        if (slot <= qslot || !scheme_.InWindow(slot)) continue;
+      }
+      if (region_filter != nullptr &&
+          !region_filter->Contains(sensors_[sid].location)) {
+        continue;
+      }
+      out.agg.Add(r->value);
+      out.used_sensors.push_back(sid);
+    }
+    return out;
+  }
+  const SlotId qslot = QuerySlot(n, now, staleness_ms);
+  out.agg = n.cache.QueryNewerThan(scheme_, qslot, &out.slots_merged);
+  return out;
+}
+
+int64_t ColrTree::CachedCount(int node_id, TimeMs now,
+                              TimeMs staleness_ms) const {
+  const Node& n = nodes_[node_id];
+  if (n.IsLeaf()) {
+    int64_t c = 0;
+    for (SensorId sid : n.cached_sensors) {
+      const Reading* r = store_.Get(sid);
+      if (r != nullptr && r->ValidAt(now - staleness_ms)) {
+        ++c;
+      }
+    }
+    return c;
+  }
+  return n.cache.WeightNewerThan(scheme_, QuerySlot(n, now, staleness_ms));
+}
+
+Status ColrTree::CheckCacheConsistency() const {
+  // For every node and every in-window slot, the cached aggregate must
+  // equal the aggregate recomputed from raw cached readings under the
+  // node.
+  for (size_t id = 0; id < nodes_.size(); ++id) {
+    const Node& n = nodes_[id];
+    for (SlotId s = scheme_.oldest(); s <= scheme_.newest(); ++s) {
+      Aggregate expected;
+      for (int j = n.item_begin; j < n.item_end; ++j) {
+        const Reading* r = store_.Get(sensor_order_[j]);
+        if (r != nullptr && scheme_.SlotOf(r->expiry) == s) {
+          expected.Add(r->value);
+        }
+      }
+      const Aggregate& actual = n.cache.Get(scheme_, s);
+      if (expected.count != actual.count ||
+          std::abs(expected.sum - actual.sum) > 1e-6 ||
+          (expected.count > 0 &&
+           (expected.min != actual.min || expected.max != actual.max))) {
+        return Status::Internal("slot aggregate inconsistent at node " +
+                                std::to_string(id) + " slot " +
+                                std::to_string(s));
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace colr

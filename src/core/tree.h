@@ -1,0 +1,206 @@
+#ifndef COLR_CORE_TREE_H_
+#define COLR_CORE_TREE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "cluster/cluster_tree.h"
+#include "common/clock.h"
+#include "common/status.h"
+#include "core/reading_store.h"
+#include "core/slot_cache.h"
+#include "geo/geo.h"
+#include "sensor/sensor.h"
+
+namespace colr {
+
+/// The COLR-Tree index structure: a k-means cluster hierarchy over
+/// sensor locations (built in batch, §III-C) where every node carries
+/// a slot cache — leaves cache raw readings (via the shared
+/// ReadingStore), internal nodes cache per-slot aggregates over their
+/// descendants' cached readings (§IV-B). All caches share one globally
+/// aligned SlotScheme.
+///
+/// This class owns structure + cache state and their maintenance
+/// (the native equivalent of the paper's roll / slot-insert /
+/// slot-delete / slot-update triggers). Query execution lives in
+/// ColrEngine; sampling in sampling.{h,cc}.
+class ColrTree {
+ public:
+  struct Options {
+    ClusterTreeOptions cluster;
+    /// Slot width Δ. Choose with OptimizeSlotSize() (§IV-C) or default
+    /// to t_max / 4.
+    TimeMs slot_delta_ms = 0;
+    /// Maximum sensor expiry period t_max. 0 = derive from sensors.
+    TimeMs t_max_ms = 0;
+    /// How long past its expiry a reading may stay in the window.
+    /// Queries with staleness bound S can use readings that expired up
+    /// to S ago (DESIGN.md freshness semantics), so the window keeps
+    /// this much history beyond t_max. Negative = default to t_max.
+    TimeMs stale_margin_ms = -1;
+    /// Raw-reading cache capacity (number of readings); 0 = unbounded.
+    size_t cache_capacity = 0;
+  };
+
+  struct Node {
+    Rect bbox;
+    Point centroid;
+    int level = 0;  // root = 0
+    int parent = -1;
+    std::vector<int> children;
+    /// Range into sensor_order() enumerating descendant sensors.
+    int item_begin = 0;
+    int item_end = 0;
+    /// Mean historical availability of descendant sensors (a_i, §V-A).
+    double mean_availability = 1.0;
+    /// Maximum expiry period among descendant sensors (metadata for
+    /// clients sizing staleness bounds; the window must span it).
+    TimeMs max_expiry_ms = 0;
+    /// Per-slot aggregates over cached readings under this node.
+    AggregateSlotCache cache;
+    /// Leaf only: sensors with a currently cached reading.
+    std::vector<SensorId> cached_sensors;
+
+    bool IsLeaf() const { return children.empty(); }
+    int Weight() const { return item_end - item_begin; }
+  };
+
+  ColrTree(std::vector<SensorInfo> sensors, Options options);
+
+  ColrTree(const ColrTree&) = delete;
+  ColrTree& operator=(const ColrTree&) = delete;
+
+  // ---- Structure access -------------------------------------------------
+
+  int root() const { return root_; }
+  int height() const { return height_; }
+  size_t num_nodes() const { return nodes_.size(); }
+  const Node& node(int id) const { return nodes_[id]; }
+  const std::vector<SensorInfo>& sensors() const { return sensors_; }
+  const SensorInfo& sensor(SensorId id) const { return sensors_[id]; }
+  /// Permutation of sensor ids; node item ranges index into it.
+  const std::vector<SensorId>& sensor_order() const { return sensor_order_; }
+  /// Leaf node id holding a sensor.
+  int LeafOf(SensorId sensor) const { return leaf_of_sensor_[sensor]; }
+  /// Ancestor of `node_id` at `level` (or the node itself if it is
+  /// already at or above that level).
+  int AncestorAtLevel(int node_id, int level) const {
+    int n = node_id;
+    while (n >= 0 && nodes_[n].level > level && nodes_[n].parent >= 0) {
+      n = nodes_[n].parent;
+    }
+    return n;
+  }
+  const SlotScheme& scheme() const { return scheme_; }
+  /// Maximum sensor expiry period (resolved from options or sensors).
+  TimeMs t_max_ms() const { return t_max_ms_; }
+  const Options& options() const { return options_; }
+  const ReadingStore& store() const { return store_; }
+
+  /// Exact number of sensors inside `region` (the "ideal result set
+  /// size" used to bin queries in Fig. 3).
+  int CountSensorsInRegion(const Rect& region) const;
+
+  /// Maps a CLUSTER distance (the query's grouping radius, §III-B) to
+  /// the coarsest tree level whose nodes' mean bounding-box diagonal
+  /// does not exceed it. Clamped to [0, height-1].
+  int LevelForClusterDistance(double distance) const;
+
+  /// Replaces every node's mean-availability metadata from fresh
+  /// per-sensor estimates (indexed by SensorId) — the hook for an
+  /// online AvailabilityTracker. Estimates drive the oversampling
+  /// factor of Algorithm 1.
+  void RefreshAvailability(const std::vector<double>& estimates);
+
+  /// Sensor ids under `node_id` whose location lies inside `region`.
+  std::vector<SensorId> SensorsUnderInRegion(int node_id,
+                                             const Rect& region) const;
+
+  // ---- Cache maintenance (the paper's triggers) -------------------------
+
+  /// Inserts a freshly collected reading: rolls the global window if
+  /// the reading's expiry lies beyond the newest slot (roll trigger),
+  /// stores it at the leaf (slot insert trigger, evicting under the
+  /// cache constraint — slot delete trigger), and propagates aggregate
+  /// deltas to the root (slot update trigger).
+  void InsertReading(const Reading& reading);
+
+  /// Advances the window so it covers `now` .. `now + t_max` and
+  /// expunges slots that slid out. Called at query time so idle
+  /// periods don't leave stale slots in the window.
+  void AdvanceTo(TimeMs now);
+
+  /// Marks cached readings as fetched (LRF policy input).
+  void TouchCached(SensorId sensor) { store_.Touch(sensor); }
+
+  size_t CachedReadingCount() const { return store_.size(); }
+
+  // ---- Cache lookup -----------------------------------------------------
+
+  /// The query slot for the query's freshness requirement: the slot
+  /// containing the freshness bound timestamp `now - staleness`.
+  /// Slots strictly newer are usable — they hold readings whose expiry
+  /// lies beyond the bound, i.e., readings still valid within the
+  /// user's staleness window (§IV-A Lookup; see DESIGN.md).
+  SlotId QuerySlot(const Node& node, TimeMs now, TimeMs staleness_ms) const;
+
+  /// Cached aggregate at an internal node: merge of all usable slots
+  /// (strictly newer than the query slot). For leaves, performs the
+  /// paper's exact per-entry inspection (expiry vs freshness bound +
+  /// optional region refinement) over the leaf's cached readings.
+  struct CacheLookup {
+    Aggregate agg;
+    int slots_merged = 0;
+    /// Sensors whose cached reading was used (leaf lookups only;
+    /// internal lookups report counts via agg.count).
+    std::vector<SensorId> used_sensors;
+  };
+  /// How leaf entries are admitted against the freshness bound.
+  ///   kExact       — per-entry expiry comparison, including entries
+  ///                  in the query slot itself (§IV-B leaf
+  ///                  refinement). Admits the most readings.
+  ///   kSlotAligned — the same slot rule internal aggregates use.
+  ///                  Used by the sensor-selection path (§VI-A filters
+  ///                  "sufficiently cached" nodes by slot-aligned
+  ///                  cache weights) so that borderline readings get
+  ///                  re-probed and refreshed instead of pinning
+  ///                  subtrees just below full-cache coverage.
+  enum class FreshnessRule { kExact, kSlotAligned };
+  CacheLookup LookupCache(int node_id, TimeMs now, TimeMs staleness_ms,
+                          const Rect* region_filter = nullptr,
+                          FreshnessRule rule = FreshnessRule::kExact) const;
+
+  /// Number of cached readings usable for the given freshness at a
+  /// node — the |c_i| term of Algorithm 1. Conservative (slot rule)
+  /// at internal nodes, exact at leaves.
+  int64_t CachedCount(int node_id, TimeMs now, TimeMs staleness_ms) const;
+
+  /// Structural / cache-consistency invariants (tests): per-node slot
+  /// aggregates equal the aggregates recomputed from the raw cached
+  /// readings below the node.
+  Status CheckCacheConsistency() const;
+
+ private:
+  void PropagateAdd(int leaf_id, SlotId slot, double value);
+  void PropagateRemove(int leaf_id, SlotId slot, double value);
+  void RecomputeSlotFromChildren(int node_id, SlotId slot);
+  Aggregate LeafSlotAggregate(int leaf_id, SlotId slot) const;
+  void RemoveFromLeafCachedSet(SensorId sensor);
+
+  Options options_;
+  std::vector<SensorInfo> sensors_;
+  std::vector<Node> nodes_;
+  std::vector<SensorId> sensor_order_;
+  /// leaf node id for each sensor.
+  std::vector<int> leaf_of_sensor_;
+  int root_ = -1;
+  int height_ = 0;
+  TimeMs t_max_ms_ = 0;
+  SlotScheme scheme_;
+  ReadingStore store_;
+};
+
+}  // namespace colr
+
+#endif  // COLR_CORE_TREE_H_

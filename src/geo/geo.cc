@@ -1,0 +1,162 @@
+#include "geo/geo.h"
+
+#include <cstdio>
+
+namespace colr {
+
+std::string Rect::ToString() const {
+  if (IsEmpty()) return "[empty]";
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "[%.4f,%.4f]x[%.4f,%.4f]", min_x, max_x,
+                min_y, max_y);
+  return buf;
+}
+
+double OverlapFraction(const Rect& inner, const Rect& outer) {
+  if (inner.IsEmpty() || outer.IsEmpty()) return 0.0;
+  const Rect inter = inner.Intersection(outer);
+  if (inter.IsEmpty()) return 0.0;
+  const double inner_area = inner.Area();
+  if (inner_area <= 0.0) {
+    // Degenerate node bounding box (a single sensor, or sensors on a
+    // line). Treat any overlap of the degenerate box as full overlap:
+    // the node's sensors are all at the intersection.
+    return outer.Intersects(inner) ? 1.0 : 0.0;
+  }
+  return inter.Area() / inner_area;
+}
+
+Polygon::Polygon(std::vector<Point> vertices)
+    : vertices_(std::move(vertices)) {
+  for (const Point& p : vertices_) bbox_.Expand(p);
+}
+
+Polygon Polygon::FromRect(const Rect& r) {
+  return Polygon({{r.min_x, r.min_y},
+                  {r.max_x, r.min_y},
+                  {r.max_x, r.max_y},
+                  {r.min_x, r.max_y}});
+}
+
+bool Polygon::Contains(const Point& p) const {
+  if (IsEmpty() || !bbox_.Contains(p)) return false;
+  // Boundary check first: ray casting is ambiguous exactly on edges.
+  const size_t n = vertices_.size();
+  for (size_t i = 0, j = n - 1; i < n; j = i++) {
+    const Point& a = vertices_[j];
+    const Point& b = vertices_[i];
+    const double cross =
+        (b.x - a.x) * (p.y - a.y) - (b.y - a.y) * (p.x - a.x);
+    if (cross == 0.0 && p.x >= std::min(a.x, b.x) &&
+        p.x <= std::max(a.x, b.x) && p.y >= std::min(a.y, b.y) &&
+        p.y <= std::max(a.y, b.y)) {
+      return true;
+    }
+  }
+  bool inside = false;
+  for (size_t i = 0, j = n - 1; i < n; j = i++) {
+    const Point& a = vertices_[i];
+    const Point& b = vertices_[j];
+    if ((a.y > p.y) != (b.y > p.y)) {
+      const double x_at_y = a.x + (p.y - a.y) * (b.x - a.x) / (b.y - a.y);
+      if (p.x < x_at_y) inside = !inside;
+    }
+  }
+  return inside;
+}
+
+bool Polygon::Contains(const Rect& r) const {
+  if (IsEmpty() || r.IsEmpty()) return false;
+  if (!bbox_.Contains(r)) return false;
+  const Point corners[4] = {{r.min_x, r.min_y},
+                            {r.max_x, r.min_y},
+                            {r.max_x, r.max_y},
+                            {r.min_x, r.max_y}};
+  for (const Point& c : corners) {
+    if (!Contains(c)) return false;
+  }
+  // All corners inside; the rect can still poke outside a concave
+  // polygon only if some polygon edge crosses a rect edge.
+  const size_t n = vertices_.size();
+  for (size_t i = 0, j = n - 1; i < n; j = i++) {
+    const Point& a = vertices_[j];
+    const Point& b = vertices_[i];
+    for (int e = 0; e < 4; ++e) {
+      if (SegmentsIntersect(a, b, corners[e], corners[(e + 1) % 4])) {
+        // Shared boundary points are fine only when the edge does not
+        // properly cross; be conservative and report non-containment.
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+bool Polygon::Intersects(const Rect& r) const {
+  if (IsEmpty() || r.IsEmpty()) return false;
+  if (!bbox_.Intersects(r)) return false;
+  // Any polygon vertex inside the rect?
+  for (const Point& v : vertices_) {
+    if (r.Contains(v)) return true;
+  }
+  // Any rect corner inside the polygon?
+  const Point corners[4] = {{r.min_x, r.min_y},
+                            {r.max_x, r.min_y},
+                            {r.max_x, r.max_y},
+                            {r.min_x, r.max_y}};
+  for (const Point& c : corners) {
+    if (Contains(c)) return true;
+  }
+  // Any edge crossing?
+  const size_t n = vertices_.size();
+  for (size_t i = 0, j = n - 1; i < n; j = i++) {
+    for (int e = 0; e < 4; ++e) {
+      if (SegmentsIntersect(vertices_[j], vertices_[i], corners[e],
+                            corners[(e + 1) % 4])) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+double Polygon::SignedArea() const {
+  double area = 0.0;
+  const size_t n = vertices_.size();
+  for (size_t i = 0, j = n - 1; i < n; j = i++) {
+    area += vertices_[j].x * vertices_[i].y - vertices_[i].x * vertices_[j].y;
+  }
+  return area / 2.0;
+}
+
+namespace {
+
+int Orientation(const Point& a, const Point& b, const Point& c) {
+  const double v = (b.x - a.x) * (c.y - a.y) - (b.y - a.y) * (c.x - a.x);
+  if (v > 0.0) return 1;
+  if (v < 0.0) return -1;
+  return 0;
+}
+
+bool OnSegment(const Point& a, const Point& b, const Point& p) {
+  return p.x >= std::min(a.x, b.x) && p.x <= std::max(a.x, b.x) &&
+         p.y >= std::min(a.y, b.y) && p.y <= std::max(a.y, b.y);
+}
+
+}  // namespace
+
+bool SegmentsIntersect(const Point& a, const Point& b, const Point& c,
+                       const Point& d) {
+  const int o1 = Orientation(a, b, c);
+  const int o2 = Orientation(a, b, d);
+  const int o3 = Orientation(c, d, a);
+  const int o4 = Orientation(c, d, b);
+  if (o1 != o2 && o3 != o4) return true;
+  if (o1 == 0 && OnSegment(a, b, c)) return true;
+  if (o2 == 0 && OnSegment(a, b, d)) return true;
+  if (o3 == 0 && OnSegment(c, d, a)) return true;
+  if (o4 == 0 && OnSegment(c, d, b)) return true;
+  return false;
+}
+
+}  // namespace colr

@@ -1,0 +1,116 @@
+#include "portal/lexer.h"
+
+#include <algorithm>
+#include <array>
+#include <cctype>
+#include <cstdlib>
+
+namespace colr::portal {
+
+namespace {
+
+constexpr std::array kKeywords = {
+    "SELECT", "FROM",    "WHERE",   "AND",     "WITHIN",  "BETWEEN",
+    "NOW",    "CLUSTER", "SAMPLESIZE", "POLYGON", "RECT",  "COUNT",
+    "SUM",    "AVG",     "MIN",     "MAX",     "LEVEL",   "MS",
+    "SECONDS", "SECS",   "MINS",    "MINUTES", "HOURS",   "MILES",
+    "UNITS",  "LOCATION", "TIME",   "FRESH",
+};
+
+}  // namespace
+
+bool IsKeyword(const std::string& word) {
+  return std::find(kKeywords.begin(), kKeywords.end(), word) !=
+         kKeywords.end();
+}
+
+Result<std::vector<Token>> Tokenize(std::string_view input) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  const auto push = [&tokens](TokenType type, std::string text, int pos,
+                              double number = 0.0) {
+    tokens.push_back(Token{type, std::move(text), number, pos});
+  };
+
+  while (i < input.size()) {
+    const char c = input[i];
+    const int pos = static_cast<int>(i) + 1;
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (c == '*') {
+      push(TokenType::kStar, "*", pos);
+      ++i;
+    } else if (c == ',') {
+      push(TokenType::kComma, ",", pos);
+      ++i;
+    } else if (c == '(') {
+      push(TokenType::kLParen, "(", pos);
+      ++i;
+    } else if (c == ')') {
+      push(TokenType::kRParen, ")", pos);
+      ++i;
+    } else if (c == '.') {
+      // A dot starting a number (".5") vs a member access ("S.time").
+      if (i + 1 < input.size() &&
+          std::isdigit(static_cast<unsigned char>(input[i + 1])) &&
+          (tokens.empty() ||
+           tokens.back().type != TokenType::kIdentifier)) {
+        // fall through to number parsing below
+      } else {
+        push(TokenType::kDot, ".", pos);
+        ++i;
+        continue;
+      }
+      // number beginning with '.'
+      char* end = nullptr;
+      const double value = std::strtod(input.data() + i, &end);
+      push(TokenType::kNumber, std::string(input.substr(i, end - (input.data() + i))),
+           pos, value);
+      i = end - input.data();
+    } else if (c == '-') {
+      push(TokenType::kMinus, "-", pos);
+      ++i;
+    } else if (c == '+') {
+      push(TokenType::kPlus, "+", pos);
+      ++i;
+    } else if (std::isdigit(static_cast<unsigned char>(c))) {
+      char* end = nullptr;
+      const double value = std::strtod(input.data() + i, &end);
+      if (end == input.data() + i) {
+        return Status::InvalidArgument("bad number at position " +
+                                       std::to_string(pos));
+      }
+      push(TokenType::kNumber,
+           std::string(input.substr(i, end - (input.data() + i))), pos,
+           value);
+      i = end - input.data();
+    } else if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t j = i;
+      while (j < input.size() &&
+             (std::isalnum(static_cast<unsigned char>(input[j])) ||
+              input[j] == '_')) {
+        ++j;
+      }
+      std::string word(input.substr(i, j - i));
+      std::string upper = word;
+      std::transform(upper.begin(), upper.end(), upper.begin(),
+                     [](unsigned char ch) { return std::toupper(ch); });
+      if (IsKeyword(upper)) {
+        push(TokenType::kKeyword, std::move(upper), pos);
+      } else {
+        push(TokenType::kIdentifier, std::move(word), pos);
+      }
+      i = j;
+    } else {
+      return Status::InvalidArgument(
+          std::string("unexpected character '") + c + "' at position " +
+          std::to_string(pos));
+    }
+  }
+  push(TokenType::kEnd, "", static_cast<int>(input.size()) + 1);
+  return tokens;
+}
+
+}  // namespace colr::portal

@@ -1,0 +1,45 @@
+#ifndef COLR_PORTAL_LEXER_H_
+#define COLR_PORTAL_LEXER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace colr::portal {
+
+/// Token kinds of the SensorMap query language (§III-B).
+enum class TokenType {
+  kKeyword,     // SELECT, FROM, WHERE, WITHIN, BETWEEN, ...
+  kIdentifier,  // sensor, S, location, ...
+  kNumber,      // 42, -3.5
+  kStar,        // *
+  kComma,
+  kLParen,
+  kRParen,
+  kDot,
+  kMinus,
+  kPlus,
+  kEnd,
+};
+
+struct Token {
+  TokenType type = TokenType::kEnd;
+  /// Uppercased text for keywords; verbatim otherwise.
+  std::string text;
+  double number = 0.0;
+  /// 1-based position in the input, for error messages.
+  int position = 0;
+};
+
+/// Tokenizes a portal query. Keywords are case-insensitive;
+/// identifiers keep their case. Fails on unexpected characters.
+Result<std::vector<Token>> Tokenize(std::string_view input);
+
+/// True if `word` (already uppercased) is a reserved keyword.
+bool IsKeyword(const std::string& word);
+
+}  // namespace colr::portal
+
+#endif  // COLR_PORTAL_LEXER_H_

@@ -1,0 +1,285 @@
+#include "portal/parser.h"
+
+#include <vector>
+
+#include "portal/lexer.h"
+
+namespace colr::portal {
+
+namespace {
+
+/// Recursive-descent parser over the token stream.
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens)
+      : tokens_(std::move(tokens)) {}
+
+  Result<ParsedQuery> Run() {
+    COLR_RETURN_IF_ERROR(ExpectKeyword("SELECT"));
+    COLR_RETURN_IF_ERROR(ParseSelect());
+    COLR_RETURN_IF_ERROR(ExpectKeyword("FROM"));
+    COLR_RETURN_IF_ERROR(ParseFrom());
+    if (AcceptKeyword("WHERE")) {
+      COLR_RETURN_IF_ERROR(ParseCondition());
+      while (AcceptKeyword("AND")) {
+        COLR_RETURN_IF_ERROR(ParseCondition());
+      }
+    }
+    if (AcceptKeyword("CLUSTER")) {
+      COLR_RETURN_IF_ERROR(ParseCluster());
+    }
+    if (AcceptKeyword("SAMPLESIZE")) {
+      COLR_ASSIGN_OR_RETURN(const double n, ParseNumber());
+      if (n < 0 || n != static_cast<int>(n)) {
+        return Error("SAMPLESIZE must be a non-negative integer");
+      }
+      query_.sample_size = static_cast<int>(n);
+    }
+    if (Peek().type != TokenType::kEnd) {
+      return Error("unexpected trailing input '" + Peek().text + "'");
+    }
+    return query_;
+  }
+
+ private:
+  const Token& Peek(int ahead = 0) const {
+    const size_t i = pos_ + ahead;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  const Token& Advance() { return tokens_[pos_++]; }
+
+  Status Error(const std::string& message) const {
+    return Status::InvalidArgument(
+        message + " (near position " + std::to_string(Peek().position) +
+        ")");
+  }
+
+  bool AcceptKeyword(const char* kw) {
+    if (Peek().type == TokenType::kKeyword && Peek().text == kw) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+
+  Status ExpectKeyword(const char* kw) {
+    if (!AcceptKeyword(kw)) {
+      return Error(std::string("expected ") + kw);
+    }
+    return Status::OK();
+  }
+
+  Status Expect(TokenType type, const char* what) {
+    if (Peek().type != type) {
+      return Error(std::string("expected ") + what);
+    }
+    Advance();
+    return Status::OK();
+  }
+
+  Result<double> ParseNumber() {
+    double sign = 1.0;
+    while (Peek().type == TokenType::kMinus ||
+           Peek().type == TokenType::kPlus) {
+      if (Advance().type == TokenType::kMinus) sign = -sign;
+    }
+    if (Peek().type != TokenType::kNumber) {
+      return Error("expected a number");
+    }
+    return sign * Advance().number;
+  }
+
+  Status ParseSelect() {
+    if (Peek().type == TokenType::kStar) {
+      Advance();
+      query_.select_star = true;
+      return Status::OK();
+    }
+    if (Peek().type != TokenType::kKeyword) {
+      return Error("expected * or an aggregate function");
+    }
+    const std::string fn = Advance().text;
+    if (fn == "COUNT") {
+      query_.agg = AggregateKind::kCount;
+    } else if (fn == "SUM") {
+      query_.agg = AggregateKind::kSum;
+    } else if (fn == "AVG") {
+      query_.agg = AggregateKind::kAvg;
+    } else if (fn == "MIN") {
+      query_.agg = AggregateKind::kMin;
+    } else if (fn == "MAX") {
+      query_.agg = AggregateKind::kMax;
+    } else {
+      return Error("unknown aggregate '" + fn + "'");
+    }
+    COLR_RETURN_IF_ERROR(Expect(TokenType::kLParen, "("));
+    COLR_RETURN_IF_ERROR(Expect(TokenType::kStar, "*"));
+    COLR_RETURN_IF_ERROR(Expect(TokenType::kRParen, ")"));
+    return Status::OK();
+  }
+
+  Status ParseFrom() {
+    if (Peek().type != TokenType::kIdentifier) {
+      return Error("expected a table name after FROM");
+    }
+    query_.table = Advance().text;  // collection name, e.g. "sensor"
+    if (Peek().type == TokenType::kIdentifier) {
+      alias_ = Advance().text;  // optional alias, e.g. "S"
+    }
+    return Status::OK();
+  }
+
+  /// Consumes an optional "<alias>." prefix before location/time.
+  void AcceptAliasPrefix() {
+    if (Peek().type == TokenType::kIdentifier &&
+        Peek(1).type == TokenType::kDot) {
+      Advance();
+      Advance();
+    }
+  }
+
+  Status ParseCondition() {
+    AcceptAliasPrefix();
+    if (AcceptKeyword("LOCATION")) {
+      COLR_RETURN_IF_ERROR(ExpectKeyword("WITHIN"));
+      return ParseRegion();
+    }
+    if (AcceptKeyword("TIME")) {
+      return ParseTimeWindow();
+    }
+    if (AcceptKeyword("FRESH")) {
+      COLR_ASSIGN_OR_RETURN(const TimeMs d, ParseDuration());
+      query_.staleness_ms = d;
+      return Status::OK();
+    }
+    return Error("expected a location, time or FRESH condition");
+  }
+
+  Status ParseRegion() {
+    if (AcceptKeyword("POLYGON")) {
+      COLR_RETURN_IF_ERROR(Expect(TokenType::kLParen, "("));
+      COLR_RETURN_IF_ERROR(Expect(TokenType::kLParen, "(("));
+      std::vector<Point> vertices;
+      do {
+        COLR_ASSIGN_OR_RETURN(const double x, ParseNumber());
+        COLR_ASSIGN_OR_RETURN(const double y, ParseNumber());
+        vertices.push_back({x, y});
+      } while (Peek().type == TokenType::kComma && (Advance(), true));
+      COLR_RETURN_IF_ERROR(Expect(TokenType::kRParen, ")"));
+      COLR_RETURN_IF_ERROR(Expect(TokenType::kRParen, "))"));
+      if (vertices.size() < 3) {
+        return Error("POLYGON needs at least 3 vertices");
+      }
+      query_.polygon = Polygon(std::move(vertices));
+      return Status::OK();
+    }
+    if (AcceptKeyword("RECT")) {
+      COLR_RETURN_IF_ERROR(Expect(TokenType::kLParen, "("));
+      double v[4];
+      for (int i = 0; i < 4; ++i) {
+        COLR_ASSIGN_OR_RETURN(v[i], ParseNumber());
+        if (i < 3) COLR_RETURN_IF_ERROR(Expect(TokenType::kComma, ","));
+      }
+      COLR_RETURN_IF_ERROR(Expect(TokenType::kRParen, ")"));
+      query_.rect = Rect::FromCorners(v[0], v[1], v[2], v[3]);
+      return Status::OK();
+    }
+    return Error("expected POLYGON(...) or RECT(...)");
+  }
+
+  /// "time BETWEEN NOW() - <n> [unit] AND NOW() [unit]" — the paper
+  /// writes the unit after the trailing NOW() ("now()-10 AND now()
+  /// mins"); we accept it in either spot.
+  Status ParseTimeWindow() {
+    COLR_RETURN_IF_ERROR(ExpectKeyword("BETWEEN"));
+    COLR_RETURN_IF_ERROR(ParseNowCall());
+    COLR_RETURN_IF_ERROR(Expect(TokenType::kMinus, "-"));
+    if (Peek().type != TokenType::kNumber) {
+      return Error("expected a number after NOW() -");
+    }
+    const double amount = Advance().number;
+    TimeMs unit = 0;
+    if (auto u = TryParseUnit(); u > 0) unit = u;
+    COLR_RETURN_IF_ERROR(ExpectKeyword("AND"));
+    COLR_RETURN_IF_ERROR(ParseNowCall());
+    if (auto u = TryParseUnit(); u > 0) {
+      if (unit > 0 && u != unit) {
+        return Error("conflicting time units");
+      }
+      unit = u;
+    }
+    if (unit == 0) unit = kMsPerMinute;  // the paper's default
+    query_.staleness_ms = static_cast<TimeMs>(amount * unit);
+    return Status::OK();
+  }
+
+  Status ParseNowCall() {
+    COLR_RETURN_IF_ERROR(ExpectKeyword("NOW"));
+    COLR_RETURN_IF_ERROR(Expect(TokenType::kLParen, "("));
+    COLR_RETURN_IF_ERROR(Expect(TokenType::kRParen, ")"));
+    return Status::OK();
+  }
+
+  /// Unit keyword -> milliseconds multiplier; 0 if the next token is
+  /// not a unit.
+  TimeMs TryParseUnit() {
+    if (Peek().type != TokenType::kKeyword) return 0;
+    const std::string& kw = Peek().text;
+    TimeMs unit = 0;
+    if (kw == "MS") {
+      unit = 1;
+    } else if (kw == "SECONDS" || kw == "SECS") {
+      unit = kMsPerSecond;
+    } else if (kw == "MINS" || kw == "MINUTES") {
+      unit = kMsPerMinute;
+    } else if (kw == "HOURS") {
+      unit = kMsPerHour;
+    }
+    if (unit > 0) Advance();
+    return unit;
+  }
+
+  Result<TimeMs> ParseDuration() {
+    COLR_ASSIGN_OR_RETURN(const double amount, ParseNumber());
+    TimeMs unit = TryParseUnit();
+    if (unit == 0) unit = kMsPerMinute;
+    if (amount < 0) return Error("durations must be non-negative");
+    return static_cast<TimeMs>(amount * unit);
+  }
+
+  Status ParseCluster() {
+    if (AcceptKeyword("LEVEL")) {
+      COLR_ASSIGN_OR_RETURN(const double level, ParseNumber());
+      if (level < 0 || level != static_cast<int>(level)) {
+        return Error("CLUSTER LEVEL must be a non-negative integer");
+      }
+      query_.cluster_level = static_cast<int>(level);
+      return Status::OK();
+    }
+    COLR_ASSIGN_OR_RETURN(const double d, ParseNumber());
+    if (d <= 0) return Error("CLUSTER distance must be positive");
+    // MILES/UNITS are both treated as the workload's planar units; the
+    // keyword is accepted for compatibility with the paper's syntax.
+    if (Peek().type == TokenType::kKeyword &&
+        (Peek().text == "MILES" || Peek().text == "UNITS")) {
+      Advance();
+    }
+    query_.cluster_distance = d;
+    return Status::OK();
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+  ParsedQuery query_;
+  std::string alias_;
+};
+
+}  // namespace
+
+Result<ParsedQuery> Parse(std::string_view text) {
+  COLR_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(text));
+  Parser parser(std::move(tokens));
+  return parser.Run();
+}
+
+}  // namespace colr::portal

@@ -1,0 +1,50 @@
+#ifndef COLR_PORTAL_PARSER_H_
+#define COLR_PORTAL_PARSER_H_
+
+#include <optional>
+#include <string_view>
+
+#include "common/clock.h"
+#include "common/status.h"
+#include "core/aggregate.h"
+#include "geo/geo.h"
+
+namespace colr::portal {
+
+/// A parsed SensorMap query (§III-B). Grammar, case-insensitive:
+///
+///   SELECT * | COUNT(*) | SUM(*) | AVG(*) | MIN(*) | MAX(*)
+///   FROM sensor [alias]
+///   [WHERE cond (AND cond)*]
+///     cond := [alias.]location WITHIN POLYGON((x y, x y, ...))
+///           | [alias.]location WITHIN RECT(x1, y1, x2, y2)
+///           | [alias.]time BETWEEN NOW() - <n> [unit] AND NOW() [unit]
+///           | FRESH <n> [unit]
+///   [CLUSTER <d> [MILES|UNITS] | CLUSTER LEVEL <n>]
+///   [SAMPLESIZE <n>]
+///
+/// Units: MS, SECS/SECONDS, MINS/MINUTES, HOURS (default MINS, as in
+/// the paper's example "now()-10 AND now() mins").
+struct ParsedQuery {
+  bool select_star = false;
+  AggregateKind agg = AggregateKind::kCount;
+  /// The FROM table name — the sensor collection to query (SensorMap
+  /// hosts heterogeneous sensor types, §III-A).
+  std::string table;
+  std::optional<Polygon> polygon;
+  std::optional<Rect> rect;
+  /// Freshness window; negative = not specified.
+  TimeMs staleness_ms = -1;
+  /// CLUSTER distance in spatial units; negative = not specified.
+  double cluster_distance = -1.0;
+  /// CLUSTER LEVEL n; negative = not specified.
+  int cluster_level = -1;
+  /// SAMPLESIZE; 0 = exact.
+  int sample_size = 0;
+};
+
+Result<ParsedQuery> Parse(std::string_view text);
+
+}  // namespace colr::portal
+
+#endif  // COLR_PORTAL_PARSER_H_

@@ -1,0 +1,101 @@
+#include "portal/portal.h"
+
+namespace colr::portal {
+
+using rel::Relation;
+using rel::Row;
+using rel::Value;
+
+Result<SensorPortal::Collection> SensorPortal::Resolve(
+    const std::string& table) const {
+  if (auto it = collections_.find(table); it != collections_.end()) {
+    return it->second;
+  }
+  if (default_.tree != nullptr) return default_;
+  return Status::NotFound("unknown sensor collection '" + table + "'");
+}
+
+Result<Query> SensorPortal::PlanQuery(const ParsedQuery& parsed,
+                                      const ColrTree& tree) const {
+  Query q;
+  if (parsed.polygon && parsed.rect) {
+    return Status::InvalidArgument(
+        "query has both POLYGON and RECT regions");
+  }
+  if (parsed.polygon) {
+    q.region = QueryRegion::FromPolygon(*parsed.polygon);
+  } else if (parsed.rect) {
+    q.region = QueryRegion::FromRect(*parsed.rect);
+  } else {
+    // No spatial condition: the whole world.
+    q.region = QueryRegion::FromRect(tree.node(tree.root()).bbox);
+  }
+  q.staleness_ms = parsed.staleness_ms >= 0
+                       ? parsed.staleness_ms
+                       : options_.default_staleness_ms;
+  if (parsed.cluster_level >= 0) {
+    q.cluster_level = parsed.cluster_level;
+  } else if (parsed.cluster_distance > 0) {
+    q.cluster_level =
+        tree.LevelForClusterDistance(parsed.cluster_distance);
+  } else {
+    q.cluster_level = options_.default_cluster_level;
+  }
+  q.sample_size = parsed.sample_size;
+  q.agg = parsed.agg;
+  q.return_readings = parsed.select_star;
+  return q;
+}
+
+Result<Relation> SensorPortal::Execute(std::string_view text) {
+  COLR_ASSIGN_OR_RETURN(const ParsedQuery parsed, Parse(text));
+  COLR_ASSIGN_OR_RETURN(const Collection collection,
+                        Resolve(parsed.table));
+  if (collection.tree->root() < 0) {
+    return Status::FailedPrecondition("no sensors registered");
+  }
+  COLR_ASSIGN_OR_RETURN(const Query q,
+                        PlanQuery(parsed, *collection.tree));
+  QueryResult result = collection.engine->Execute(q);
+  last_stats_ = result.stats;
+  return parsed.select_star
+             ? FormatReadings(*collection.tree, result)
+             : FormatGroups(*collection.tree, result, parsed.agg);
+}
+
+Relation SensorPortal::FormatGroups(const ColrTree& tree,
+                                    const QueryResult& result,
+                                    AggregateKind agg) const {
+  (void)tree;
+  Relation out;
+  out.columns = {"group",   "min_x",  "min_y", "max_x",
+                 "max_y",   "sensors", "sampled", "value"};
+  for (const GroupResult& g : result.groups) {
+    if (g.agg.empty() && g.weight == 0) continue;
+    out.rows.push_back(Row{
+        Value(static_cast<int64_t>(g.node_id)), Value(g.bbox.min_x),
+        Value(g.bbox.min_y), Value(g.bbox.max_x), Value(g.bbox.max_y),
+        Value(static_cast<int64_t>(g.weight)),
+        Value(g.agg.count),
+        g.agg.empty() ? Value::Null() : Value(g.agg.Value(agg))});
+  }
+  return out;
+}
+
+Relation SensorPortal::FormatReadings(const ColrTree& tree,
+                                      const QueryResult& result) const {
+  Relation out;
+  out.columns = {"sensor_id", "x", "y", "timestamp", "value"};
+  auto add = [&](const Reading& r) {
+    const SensorInfo& s = tree.sensor(r.sensor);
+    out.rows.push_back(Row{Value(static_cast<int64_t>(r.sensor)),
+                           Value(s.location.x), Value(s.location.y),
+                           Value(static_cast<int64_t>(r.timestamp)),
+                           Value(r.value)});
+  };
+  for (const Reading& r : result.collected) add(r);
+  for (const Reading& r : result.served_from_cache) add(r);
+  return out;
+}
+
+}  // namespace colr::portal

@@ -1,0 +1,92 @@
+#ifndef COLR_PORTAL_PORTAL_H_
+#define COLR_PORTAL_PORTAL_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "core/engine.h"
+#include "core/tree.h"
+#include "portal/parser.h"
+#include "relational/executor.h"
+#include "sensor/network.h"
+
+namespace colr::portal {
+
+/// The SensorMap back-end database facade: takes query text in the
+/// paper's language (§III-B), plans it against a COLR-Tree, executes
+/// through the collection-aware engine, and returns results as a
+/// relation. This is the layer that makes live sensors look like
+/// "persistent tables" to the portal front-end (§I).
+///
+///   SensorPortal portal(&tree, &network);
+///   auto result = portal.Execute(
+///       "SELECT count(*) FROM sensor S "
+///       "WHERE S.location WITHIN RECT(0, 0, 50, 50) "
+///       "AND S.time BETWEEN now()-10 AND now() mins "
+///       "CLUSTER 10 UNITS SAMPLESIZE 30");
+///
+/// Aggregate queries return one row per multi-resolution group:
+///   {group, min_x, min_y, max_x, max_y, sensors, sampled, value}
+/// SELECT * returns one row per contributing reading:
+///   {sensor_id, x, y, timestamp, value}
+class SensorPortal {
+ public:
+  struct Options {
+    /// Freshness applied when the query has no time condition.
+    TimeMs default_staleness_ms = 5 * kMsPerMinute;
+    /// Cluster level applied when the query has no CLUSTER clause.
+    int default_cluster_level = 2;
+  };
+
+  /// Single-collection portal: `tree`/`engine` answer every FROM name
+  /// (the common case — one flat sensor table, as in the paper).
+  SensorPortal(ColrTree* tree, ColrEngine* engine)
+      : SensorPortal(tree, engine, Options()) {}
+  SensorPortal(ColrTree* tree, ColrEngine* engine, Options options)
+      : options_(options), default_{tree, engine} {}
+
+  /// Multi-collection portal: register each sensor type (SensorMap
+  /// hosts restaurants, traffic, weather, ... §III-A) under its FROM
+  /// name; unknown names are an error unless a default was given.
+  explicit SensorPortal(Options options) : options_(options) {}
+  void RegisterCollection(const std::string& name, ColrTree* tree,
+                          ColrEngine* engine) {
+    collections_[name] = Collection{tree, engine};
+  }
+
+  /// Parses and executes one query.
+  Result<rel::Relation> Execute(std::string_view text);
+
+  /// Plans a parsed query into the engine's Query form against a
+  /// specific collection's tree (exposed for tests and for callers
+  /// that build queries programmatically).
+  Result<Query> PlanQuery(const ParsedQuery& parsed,
+                          const ColrTree& tree) const;
+
+  /// Stats of the most recent Execute().
+  const QueryStats& last_stats() const { return last_stats_; }
+
+ private:
+  struct Collection {
+    ColrTree* tree = nullptr;
+    ColrEngine* engine = nullptr;
+  };
+
+  Result<Collection> Resolve(const std::string& table) const;
+  rel::Relation FormatGroups(const ColrTree& tree,
+                             const QueryResult& result,
+                             AggregateKind agg) const;
+  rel::Relation FormatReadings(const ColrTree& tree,
+                               const QueryResult& result) const;
+
+  Options options_;
+  Collection default_{};
+  std::map<std::string, Collection> collections_;
+  QueryStats last_stats_;
+};
+
+}  // namespace colr::portal
+
+#endif  // COLR_PORTAL_PORTAL_H_

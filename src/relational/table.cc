@@ -1,0 +1,213 @@
+#include "relational/table.h"
+
+#include <algorithm>
+
+namespace colr::rel {
+
+Schema::Schema(std::vector<Column> columns) : columns_(std::move(columns)) {
+  for (int i = 0; i < static_cast<int>(columns_.size()); ++i) {
+    by_name_[columns_[i].name] = i;
+  }
+}
+
+int Schema::IndexOf(const std::string& name) const {
+  auto it = by_name_.find(name);
+  return it == by_name_.end() ? -1 : it->second;
+}
+
+Status Schema::Validate(const Row& row) const {
+  if (static_cast<int>(row.size()) != num_columns()) {
+    return Status::InvalidArgument(
+        "row arity " + std::to_string(row.size()) + " != schema arity " +
+        std::to_string(num_columns()));
+  }
+  for (int i = 0; i < num_columns(); ++i) {
+    const ValueType declared = columns_[i].type;
+    if (declared == ValueType::kNull || row[i].is_null()) continue;
+    const ValueType actual = row[i].type();
+    const bool numeric_ok = (declared == ValueType::kInt ||
+                             declared == ValueType::kDouble) &&
+                            row[i].is_numeric();
+    if (actual != declared && !numeric_ok) {
+      return Status::InvalidArgument(
+          "column '" + columns_[i].name + "' expects " +
+          ValueTypeName(declared) + ", got " + ValueTypeName(actual));
+    }
+  }
+  return Status::OK();
+}
+
+Result<Table::RowId> Table::Insert(Row row) {
+  COLR_RETURN_IF_ERROR(schema_.Validate(row));
+  const RowId id = static_cast<RowId>(rows_.size());
+  rows_.push_back(std::move(row));
+  deleted_.push_back(false);
+  ++live_rows_;
+  IndexInsert(id, rows_[id]);
+  // Copy the triggers list locally: a trigger may register more
+  // triggers (not typical, but cheap insurance against iterator
+  // invalidation).
+  for (const auto& trigger : std::vector<InsertTrigger>(insert_triggers_)) {
+    trigger(*this, id, rows_[id]);
+  }
+  return id;
+}
+
+Status Table::Update(RowId id, Row row) {
+  if (Get(id) == nullptr) {
+    return Status::NotFound("row " + std::to_string(id));
+  }
+  COLR_RETURN_IF_ERROR(schema_.Validate(row));
+  const Row old_row = rows_[id];
+  IndexErase(id, old_row);
+  rows_[id] = std::move(row);
+  IndexInsert(id, rows_[id]);
+  for (const auto& trigger : std::vector<UpdateTrigger>(update_triggers_)) {
+    trigger(*this, id, old_row, rows_[id]);
+  }
+  return Status::OK();
+}
+
+Status Table::Delete(RowId id) {
+  if (Get(id) == nullptr) {
+    return Status::NotFound("row " + std::to_string(id));
+  }
+  const Row old_row = rows_[id];
+  IndexErase(id, old_row);
+  deleted_[id] = true;
+  --live_rows_;
+  for (const auto& trigger : std::vector<DeleteTrigger>(delete_triggers_)) {
+    trigger(*this, old_row);
+  }
+  return Status::OK();
+}
+
+const Row* Table::Get(RowId id) const {
+  if (id < 0 || id >= static_cast<RowId>(rows_.size()) || deleted_[id]) {
+    return nullptr;
+  }
+  return &rows_[id];
+}
+
+void Table::Scan(const std::function<bool(RowId, const Row&)>& visit) const {
+  for (RowId id = 0; id < static_cast<RowId>(rows_.size()); ++id) {
+    if (deleted_[id]) continue;
+    if (!visit(id, rows_[id])) return;
+  }
+}
+
+std::vector<Table::RowId> Table::Find(
+    const std::function<bool(const Row&)>& pred) const {
+  std::vector<RowId> out;
+  Scan([&](RowId id, const Row& row) {
+    if (pred(row)) out.push_back(id);
+    return true;
+  });
+  return out;
+}
+
+Table::RowId Table::FindFirst(int col, const Value& key) const {
+  if (auto it = indexes_.find(col); it != indexes_.end()) {
+    auto [lo, hi] = it->second.equal_range(key);
+    RowId best = -1;
+    for (auto e = lo; e != hi; ++e) {
+      if (best < 0 || e->second < best) best = e->second;
+    }
+    return best;
+  }
+  RowId found = -1;
+  Scan([&](RowId id, const Row& row) {
+    if (row[col] == key) {
+      found = id;
+      return false;
+    }
+    return true;
+  });
+  return found;
+}
+
+std::vector<Table::RowId> Table::FindEqual(int col,
+                                           const Value& key) const {
+  std::vector<RowId> out;
+  if (auto it = indexes_.find(col); it != indexes_.end()) {
+    auto [lo, hi] = it->second.equal_range(key);
+    for (auto e = lo; e != hi; ++e) out.push_back(e->second);
+    std::sort(out.begin(), out.end());
+    return out;
+  }
+  Scan([&](RowId id, const Row& row) {
+    if (row[col] == key) out.push_back(id);
+    return true;
+  });
+  return out;
+}
+
+Status Table::CreateIndex(int col) {
+  if (col < 0 || col >= schema_.num_columns()) {
+    return Status::InvalidArgument("no such column");
+  }
+  HashIndex index;
+  Scan([&](RowId id, const Row& row) {
+    index.emplace(row[col], id);
+    return true;
+  });
+  indexes_[col] = std::move(index);
+  return Status::OK();
+}
+
+bool Table::HasIndex(int col) const { return indexes_.count(col) > 0; }
+
+void Table::IndexInsert(RowId id, const Row& row) {
+  for (auto& [col, index] : indexes_) {
+    index.emplace(row[col], id);
+  }
+}
+
+void Table::IndexErase(RowId id, const Row& row) {
+  for (auto& [col, index] : indexes_) {
+    auto [lo, hi] = index.equal_range(row[col]);
+    for (auto it = lo; it != hi; ++it) {
+      if (it->second == id) {
+        index.erase(it);
+        break;
+      }
+    }
+  }
+}
+
+Result<Table*> Database::CreateTable(const std::string& name,
+                                     Schema schema) {
+  if (tables_.count(name) > 0) {
+    return Status::AlreadyExists("table " + name);
+  }
+  auto table = std::make_unique<Table>(name, std::move(schema));
+  Table* ptr = table.get();
+  tables_[name] = std::move(table);
+  return ptr;
+}
+
+Table* Database::GetTable(const std::string& name) {
+  auto it = tables_.find(name);
+  return it == tables_.end() ? nullptr : it->second.get();
+}
+
+const Table* Database::GetTable(const std::string& name) const {
+  auto it = tables_.find(name);
+  return it == tables_.end() ? nullptr : it->second.get();
+}
+
+Status Database::DropTable(const std::string& name) {
+  if (tables_.erase(name) == 0) {
+    return Status::NotFound("table " + name);
+  }
+  return Status::OK();
+}
+
+std::vector<std::string> Database::TableNames() const {
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [name, table] : tables_) names.push_back(name);
+  return names;
+}
+
+}  // namespace colr::rel

@@ -1,0 +1,150 @@
+#ifndef COLR_RELATIONAL_TABLE_H_
+#define COLR_RELATIONAL_TABLE_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "relational/value.h"
+
+namespace colr::rel {
+
+/// Column definition. Types are advisory (cells are dynamically
+/// typed); Insert validates arity and non-null type compatibility.
+struct Column {
+  std::string name;
+  ValueType type = ValueType::kNull;  // kNull = any
+};
+
+/// Table schema: ordered columns with name lookup.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Column> columns);
+
+  int num_columns() const { return static_cast<int>(columns_.size()); }
+  const Column& column(int i) const { return columns_[i]; }
+  /// Index of a column by name; -1 if absent.
+  int IndexOf(const std::string& name) const;
+
+  Status Validate(const Row& row) const;
+
+ private:
+  std::vector<Column> columns_;
+  std::unordered_map<std::string, int> by_name_;
+};
+
+/// A heap table with AFTER INSERT/UPDATE/DELETE triggers — the
+/// machinery §VI-B builds COLR-Tree's cache maintenance on. Rows have
+/// stable RowIds (monotonic, never reused); deleted rows leave
+/// tombstones that scans skip.
+class Table {
+ public:
+  using RowId = int64_t;
+
+  Table(std::string name, Schema schema)
+      : name_(std::move(name)), schema_(std::move(schema)) {}
+
+  Table(const Table&) = delete;
+  Table& operator=(const Table&) = delete;
+
+  const std::string& name() const { return name_; }
+  const Schema& schema() const { return schema_; }
+  size_t size() const { return live_rows_; }
+
+  // ---- Mutations (fire triggers) ---------------------------------------
+
+  Result<RowId> Insert(Row row);
+  /// Replaces the row in place; fires the update trigger with old and
+  /// new images.
+  Status Update(RowId id, Row row);
+  Status Delete(RowId id);
+
+  // ---- Access -----------------------------------------------------------
+
+  /// nullptr if the id is invalid or deleted.
+  const Row* Get(RowId id) const;
+
+  /// Visits every live row; return false to stop.
+  void Scan(const std::function<bool(RowId, const Row&)>& visit) const;
+
+  /// All live rows matching a predicate.
+  std::vector<RowId> Find(
+      const std::function<bool(const Row&)>& pred) const;
+
+  /// First live row with column `col` equal to `key`; -1 if none.
+  /// Uses a hash index on `col` when one exists, otherwise scans.
+  RowId FindFirst(int col, const Value& key) const;
+
+  /// All live rows with column `col` equal to `key` (indexed when
+  /// possible).
+  std::vector<RowId> FindEqual(int col, const Value& key) const;
+
+  // ---- Secondary indexes --------------------------------------------------
+
+  /// Builds (or rebuilds) a hash index on a column. Maintained by
+  /// every subsequent Insert/Update/Delete.
+  Status CreateIndex(int col);
+  bool HasIndex(int col) const;
+
+  // ---- Triggers (§VI-B) ---------------------------------------------------
+
+  using InsertTrigger = std::function<void(Table&, RowId, const Row&)>;
+  using UpdateTrigger =
+      std::function<void(Table&, RowId, const Row& old_row,
+                         const Row& new_row)>;
+  using DeleteTrigger = std::function<void(Table&, const Row&)>;
+
+  void AddAfterInsert(InsertTrigger t) {
+    insert_triggers_.push_back(std::move(t));
+  }
+  void AddAfterUpdate(UpdateTrigger t) {
+    update_triggers_.push_back(std::move(t));
+  }
+  void AddAfterDelete(DeleteTrigger t) {
+    delete_triggers_.push_back(std::move(t));
+  }
+
+ private:
+  struct ValueHash {
+    size_t operator()(const Value& v) const { return v.Hash(); }
+  };
+  using HashIndex = std::unordered_multimap<Value, RowId, ValueHash>;
+
+  void IndexInsert(RowId id, const Row& row);
+  void IndexErase(RowId id, const Row& row);
+
+  std::string name_;
+  Schema schema_;
+  std::vector<Row> rows_;
+  std::vector<bool> deleted_;
+  size_t live_rows_ = 0;
+  /// column -> hash index.
+  std::map<int, HashIndex> indexes_;
+  std::vector<InsertTrigger> insert_triggers_;
+  std::vector<UpdateTrigger> update_triggers_;
+  std::vector<DeleteTrigger> delete_triggers_;
+};
+
+/// Named-table registry, the "database".
+class Database {
+ public:
+  /// Creates a table; fails if the name exists.
+  Result<Table*> CreateTable(const std::string& name, Schema schema);
+  /// nullptr if absent.
+  Table* GetTable(const std::string& name);
+  const Table* GetTable(const std::string& name) const;
+  Status DropTable(const std::string& name);
+  std::vector<std::string> TableNames() const;
+
+ private:
+  std::map<std::string, std::unique_ptr<Table>> tables_;
+};
+
+}  // namespace colr::rel
+
+#endif  // COLR_RELATIONAL_TABLE_H_

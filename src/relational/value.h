@@ -1,0 +1,100 @@
+#ifndef COLR_RELATIONAL_VALUE_H_
+#define COLR_RELATIONAL_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace colr::rel {
+
+/// Column types supported by the mini relational engine — the subset
+/// the COLR-Tree schema of §VI needs (identifiers, timestamps,
+/// coordinates, aggregate values, labels).
+enum class ValueType {
+  kNull,
+  kInt,
+  kDouble,
+  kString,
+};
+
+const char* ValueTypeName(ValueType type);
+
+/// A dynamically typed cell. Integers and doubles compare numerically
+/// with each other; other cross-type comparisons are false.
+class Value {
+ public:
+  Value() : var_(std::monostate{}) {}
+  Value(int64_t v) : var_(v) {}                 // NOLINT
+  Value(int v) : var_(static_cast<int64_t>(v)) {}  // NOLINT
+  Value(double v) : var_(v) {}                  // NOLINT
+  Value(std::string v) : var_(std::move(v)) {}  // NOLINT
+  Value(const char* v) : var_(std::string(v)) {}  // NOLINT
+
+  static Value Null() { return Value(); }
+
+  ValueType type() const {
+    switch (var_.index()) {
+      case 0: return ValueType::kNull;
+      case 1: return ValueType::kInt;
+      case 2: return ValueType::kDouble;
+      default: return ValueType::kString;
+    }
+  }
+
+  bool is_null() const { return type() == ValueType::kNull; }
+  bool is_numeric() const {
+    return type() == ValueType::kInt || type() == ValueType::kDouble;
+  }
+
+  int64_t AsInt() const {
+    if (type() == ValueType::kDouble) {
+      return static_cast<int64_t>(std::get<double>(var_));
+    }
+    return std::holds_alternative<int64_t>(var_) ? std::get<int64_t>(var_)
+                                                 : 0;
+  }
+
+  double AsDouble() const {
+    if (type() == ValueType::kInt) {
+      return static_cast<double>(std::get<int64_t>(var_));
+    }
+    return std::holds_alternative<double>(var_) ? std::get<double>(var_)
+                                                : 0.0;
+  }
+
+  const std::string& AsString() const {
+    static const std::string kEmpty;
+    return std::holds_alternative<std::string>(var_)
+               ? std::get<std::string>(var_)
+               : kEmpty;
+  }
+
+  bool operator==(const Value& o) const {
+    if (is_numeric() && o.is_numeric()) {
+      return AsDouble() == o.AsDouble();
+    }
+    return var_ == o.var_;
+  }
+
+  bool operator<(const Value& o) const {
+    if (is_numeric() && o.is_numeric()) {
+      return AsDouble() < o.AsDouble();
+    }
+    return var_ < o.var_;
+  }
+
+  std::string ToString() const;
+
+  /// Hash consistent with operator== (numerics hash by double value).
+  size_t Hash() const;
+
+ private:
+  std::variant<std::monostate, int64_t, double, std::string> var_;
+};
+
+using Row = std::vector<Value>;
+
+}  // namespace colr::rel
+
+#endif  // COLR_RELATIONAL_VALUE_H_

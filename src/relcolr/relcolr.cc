@@ -1,0 +1,676 @@
+#include "relcolr/relcolr.h"
+
+#include <algorithm>
+#include <string>
+#include <unordered_set>
+
+namespace colr {
+
+using rel::AggFn;
+using rel::AggSpec;
+using rel::Relation;
+using rel::Row;
+using rel::Schema;
+using rel::Table;
+using rel::Value;
+using rel::ValueType;
+
+namespace {
+
+std::string LayerName(int level) {
+  return "layer" + std::to_string(level);
+}
+std::string CacheName(int level) {
+  return "cache" + std::to_string(level);
+}
+
+// Column order of the cache tables.
+constexpr int kCacheNode = 0;
+constexpr int kCacheSlot = 1;
+constexpr int kCacheCnt = 2;
+constexpr int kCacheSum = 3;
+constexpr int kCacheMin = 4;
+constexpr int kCacheMax = 5;
+constexpr int kCacheWeight = 6;
+
+// Column order of the readings table.
+constexpr int kReadSensor = 0;
+constexpr int kReadNode = 1;
+constexpr int kReadSlot = 2;
+constexpr int kReadTs = 3;
+constexpr int kReadExpiry = 4;
+constexpr int kReadValue = 5;
+constexpr int kReadFetchSeq = 6;
+
+// Column order of the layer tables.
+constexpr int kLayerNode = 0;
+constexpr int kLayerChild = 1;
+constexpr int kLayerMinX = 2;
+constexpr int kLayerMinY = 3;
+constexpr int kLayerMaxX = 4;
+constexpr int kLayerMaxY = 5;
+constexpr int kLayerWeight = 6;
+
+Row CacheRowFrom(int node_id, SlotId slot, const Aggregate& agg) {
+  return Row{Value(static_cast<int64_t>(node_id)),
+             Value(static_cast<int64_t>(slot)),
+             Value(static_cast<int64_t>(agg.count)),
+             Value(agg.sum),
+             Value(agg.min),
+             Value(agg.max),
+             Value(static_cast<int64_t>(agg.count))};
+}
+
+Aggregate AggFromCacheRow(const Row& row) {
+  Aggregate agg;
+  agg.count = row[kCacheCnt].AsInt();
+  agg.sum = row[kCacheSum].AsDouble();
+  agg.min = row[kCacheMin].AsDouble();
+  agg.max = row[kCacheMax].AsDouble();
+  return agg;
+}
+
+}  // namespace
+
+RelColr::RelColr(const ColrTree& tree)
+    : tree_(tree), capacity_(tree.options().cache_capacity) {
+  num_layers_ = tree_.height();
+
+  // Layer tables (§VI-A): one per tree layer that has edges.
+  const Schema layer_schema({{"node_id", ValueType::kInt},
+                             {"child_id", ValueType::kInt},
+                             {"min_x", ValueType::kDouble},
+                             {"min_y", ValueType::kDouble},
+                             {"max_x", ValueType::kDouble},
+                             {"max_y", ValueType::kDouble},
+                             {"child_weight", ValueType::kInt}});
+  const Schema cache_schema({{"node_id", ValueType::kInt},
+                             {"slot_id", ValueType::kInt},
+                             {"cnt", ValueType::kInt},
+                             {"sum", ValueType::kDouble},
+                             {"mn", ValueType::kDouble},
+                             {"mx", ValueType::kDouble},
+                             {"weight", ValueType::kInt}});
+  for (int level = 0; level + 1 < num_layers_; ++level) {
+    db_.CreateTable(LayerName(level), layer_schema);
+  }
+  for (int level = 0; level < num_layers_; ++level) {
+    db_.CreateTable(CacheName(level), cache_schema);
+  }
+  db_.CreateTable("readings",
+                  Schema({{"sensor_id", ValueType::kInt},
+                          {"node_id", ValueType::kInt},
+                          {"slot_id", ValueType::kInt},
+                          {"timestamp", ValueType::kInt},
+                          {"expiry", ValueType::kInt},
+                          {"value", ValueType::kDouble},
+                          {"fetched_seq", ValueType::kInt}}));
+  db_.CreateTable("sensors", Schema({{"sensor_id", ValueType::kInt},
+                                     {"node_id", ValueType::kInt},
+                                     {"x", ValueType::kDouble},
+                                     {"y", ValueType::kDouble}}));
+  db_.CreateTable("window", Schema({{"newest_slot", ValueType::kInt}}));
+  db_.GetTable("window")->Insert(
+      Row{Value(static_cast<int64_t>(tree_.scheme().newest()))});
+
+  // Populate layers and the sensor catalog from the built tree.
+  for (int id = 0; id < static_cast<int>(tree_.num_nodes()); ++id) {
+    const ColrTree::Node& n = tree_.node(id);
+    if (!n.IsLeaf()) {
+      Table* layer = db_.GetTable(LayerName(n.level));
+      for (int c : n.children) {
+        const ColrTree::Node& child = tree_.node(c);
+        layer->Insert(Row{Value(static_cast<int64_t>(id)),
+                          Value(static_cast<int64_t>(c)),
+                          Value(child.bbox.min_x), Value(child.bbox.min_y),
+                          Value(child.bbox.max_x), Value(child.bbox.max_y),
+                          Value(static_cast<int64_t>(child.Weight()))});
+      }
+    } else {
+      Table* sensors = db_.GetTable("sensors");
+      const auto& order = tree_.sensor_order();
+      for (int j = n.item_begin; j < n.item_end; ++j) {
+        const SensorInfo& s = tree_.sensor(order[j]);
+        sensors->Insert(Row{Value(static_cast<int64_t>(s.id)),
+                            Value(static_cast<int64_t>(id)),
+                            Value(s.location.x), Value(s.location.y)});
+      }
+    }
+  }
+
+  // Secondary hash indexes on the join/trigger hot paths.
+  db_.GetTable("readings")->CreateIndex(kReadSensor);
+  db_.GetTable("readings")->CreateIndex(kReadNode);
+  for (int level = 0; level < num_layers_; ++level) {
+    CacheTable(level)->CreateIndex(kCacheNode);
+  }
+  for (int level = 0; level + 1 < num_layers_; ++level) {
+    db_.GetTable(LayerName(level))->CreateIndex(kLayerNode);
+    db_.GetTable(LayerName(level))->CreateIndex(kLayerChild);
+  }
+
+  InstallTriggers();
+}
+
+rel::Table* RelColr::CacheTable(int level) {
+  return db_.GetTable(CacheName(level));
+}
+const rel::Table* RelColr::CacheTable(int level) const {
+  return db_.GetTable(CacheName(level));
+}
+
+void RelColr::InstallTriggers() {
+  // Slot insert / slot delete triggers (§VI-B): any readings mutation
+  // refreshes the leaf layer's cache row for the touched slot.
+  Table* readings = db_.GetTable("readings");
+  readings->AddAfterInsert([this](Table&, Table::RowId, const Row& row) {
+    RecomputeLeafSlot(static_cast<int>(row[kReadNode].AsInt()),
+                      row[kReadSlot].AsInt());
+  });
+  readings->AddAfterDelete([this](Table&, const Row& row) {
+    RecomputeLeafSlot(static_cast<int>(row[kReadNode].AsInt()),
+                      row[kReadSlot].AsInt());
+  });
+
+  // Slot update trigger (§VI-B): a change in cache{L} re-derives the
+  // parent's row in cache{L-1}; the chain of triggers carries the
+  // update to the root.
+  for (int level = 1; level < num_layers_; ++level) {
+    Table* cache = CacheTable(level);
+    cache->AddAfterInsert([this](Table&, Table::RowId, const Row& row) {
+      PropagateToParent(static_cast<int>(row[kCacheNode].AsInt()),
+                        row[kCacheSlot].AsInt());
+    });
+    cache->AddAfterUpdate(
+        [this](Table&, Table::RowId, const Row& old_row, const Row& row) {
+          (void)old_row;
+          PropagateToParent(static_cast<int>(row[kCacheNode].AsInt()),
+                            row[kCacheSlot].AsInt());
+        });
+    cache->AddAfterDelete([this](Table&, const Row& row) {
+      PropagateToParent(static_cast<int>(row[kCacheNode].AsInt()),
+                        row[kCacheSlot].AsInt());
+    });
+  }
+}
+
+void RelColr::RecomputeLeafSlot(int leaf_id, SlotId slot) {
+  Table* readings = db_.GetTable("readings");
+  Aggregate agg;
+  for (Table::RowId id : readings->FindEqual(
+           kReadNode, Value(static_cast<int64_t>(leaf_id)))) {
+    const Row& row = *readings->Get(id);
+    if (row[kReadSlot].AsInt() == slot) {
+      agg.Add(row[kReadValue].AsDouble());
+    }
+  }
+
+  Table* cache = CacheTable(tree_.node(leaf_id).level);
+  Table::RowId existing = -1;
+  for (Table::RowId id : cache->FindEqual(
+           kCacheNode, Value(static_cast<int64_t>(leaf_id)))) {
+    if ((*cache->Get(id))[kCacheSlot].AsInt() == slot) {
+      existing = id;
+      break;
+    }
+  }
+  if (agg.empty()) {
+    if (existing >= 0) cache->Delete(existing);
+  } else if (existing >= 0) {
+    cache->Update(existing, CacheRowFrom(leaf_id, slot, agg));
+  } else {
+    cache->Insert(CacheRowFrom(leaf_id, slot, agg));
+  }
+}
+
+void RelColr::PropagateToParent(int node_id, SlotId slot) {
+  const int level = tree_.node(node_id).level;
+  if (level == 0) return;  // the root has no parent
+  Table* layer_above = db_.GetTable(LayerName(level - 1));
+
+  // Parent lookup: the layer row whose child_id is this node.
+  const Table::RowId edge = layer_above->FindFirst(
+      kLayerChild, Value(static_cast<int64_t>(node_id)));
+  if (edge < 0) return;
+  const int parent =
+      static_cast<int>((*layer_above->Get(edge))[kLayerNode].AsInt());
+
+  // Re-derive the parent's slot aggregate from all of its children.
+  Aggregate agg;
+  Table* cache = CacheTable(level);
+  for (Table::RowId child_edge : layer_above->FindEqual(
+           kLayerNode, Value(static_cast<int64_t>(parent)))) {
+    const int child =
+        static_cast<int>((*layer_above->Get(child_edge))[kLayerChild]
+                             .AsInt());
+    for (Table::RowId id : cache->FindEqual(
+             kCacheNode, Value(static_cast<int64_t>(child)))) {
+      const Row& row = *cache->Get(id);
+      if (row[kCacheSlot].AsInt() == slot) {
+        agg.Merge(AggFromCacheRow(row));
+        break;
+      }
+    }
+  }
+
+  Table* parent_cache = CacheTable(level - 1);
+  Table::RowId existing = -1;
+  for (Table::RowId id : parent_cache->FindEqual(
+           kCacheNode, Value(static_cast<int64_t>(parent)))) {
+    if ((*parent_cache->Get(id))[kCacheSlot].AsInt() == slot) {
+      existing = id;
+      break;
+    }
+  }
+  if (agg.empty()) {
+    if (existing >= 0) parent_cache->Delete(existing);
+  } else if (existing >= 0) {
+    parent_cache->Update(existing, CacheRowFrom(parent, slot, agg));
+  } else {
+    parent_cache->Insert(CacheRowFrom(parent, slot, agg));
+  }
+}
+
+SlotId RelColr::newest_slot() const {
+  const Table* window = db_.GetTable("window");
+  SlotId newest = 0;
+  window->Scan([&](Table::RowId, const Row& row) {
+    newest = row[0].AsInt();
+    return false;
+  });
+  return newest;
+}
+
+SlotId RelColr::oldest_slot() const {
+  return newest_slot() - tree_.scheme().num_slots() + 1;
+}
+
+size_t RelColr::NumCachedReadings() const {
+  return db_.GetTable("readings")->size();
+}
+
+void RelColr::RollWindowTo(SlotId slot) {
+  if (slot <= newest_slot()) return;
+  Table* window = db_.GetTable("window");
+  window->Update(0, Row{Value(static_cast<int64_t>(slot))});
+
+  // Expunge every reading in slots that slid out; the slot delete
+  // trigger cascade clears the cache tables.
+  const SlotId start = slot - tree_.scheme().num_slots() + 1;
+  Table* readings = db_.GetTable("readings");
+  for (Table::RowId id : readings->Find([&](const Row& row) {
+         return row[kReadSlot].AsInt() < start;
+       })) {
+    readings->Delete(id);
+  }
+}
+
+void RelColr::EnforceCapacity() {
+  if (capacity_ == 0) return;
+  Table* readings = db_.GetTable("readings");
+  while (readings->size() > capacity_) {
+    // Least recently fetched within the oldest occupied slot.
+    Table::RowId victim = -1;
+    SlotId victim_slot = 0;
+    int64_t victim_seq = 0;
+    readings->Scan([&](Table::RowId id, const Row& row) {
+      const SlotId s = row[kReadSlot].AsInt();
+      const int64_t seq = row[kReadFetchSeq].AsInt();
+      if (victim < 0 || s < victim_slot ||
+          (s == victim_slot && seq < victim_seq)) {
+        victim = id;
+        victim_slot = s;
+        victim_seq = seq;
+      }
+      return true;
+    });
+    if (victim < 0) break;
+    readings->Delete(victim);
+  }
+}
+
+Status RelColr::InsertReading(const Reading& reading) {
+  const int leaf = tree_.LeafOf(reading.sensor);
+  if (leaf < 0) return Status::InvalidArgument("unknown sensor");
+  const SlotId slot = tree_.scheme().SlotOf(reading.expiry);
+  RollWindowTo(slot);  // roll trigger
+  if (slot < oldest_slot()) {
+    return Status::OutOfRange("reading expired beyond the window");
+  }
+
+  Table* readings = db_.GetTable("readings");
+  // Replacement: at most one cached reading per sensor.
+  const Table::RowId old = readings->FindFirst(
+      kReadSensor, Value(static_cast<int64_t>(reading.sensor)));
+  if (old >= 0) {
+    COLR_RETURN_IF_ERROR(readings->Delete(old));
+  }
+  auto inserted = readings->Insert(
+      Row{Value(static_cast<int64_t>(reading.sensor)),
+          Value(static_cast<int64_t>(leaf)),
+          Value(static_cast<int64_t>(slot)),
+          Value(static_cast<int64_t>(reading.timestamp)),
+          Value(static_cast<int64_t>(reading.expiry)),
+          Value(reading.value), Value(fetch_seq_++)});
+  COLR_RETURN_IF_ERROR(inserted.status());
+  EnforceCapacity();
+  return Status::OK();
+}
+
+void RelColr::TouchReading(SensorId sensor) {
+  Table* readings = db_.GetTable("readings");
+  const Table::RowId id = readings->FindFirst(
+      kReadSensor, Value(static_cast<int64_t>(sensor)));
+  if (id < 0) return;
+  Row row = *readings->Get(id);
+  row[kReadFetchSeq] = Value(fetch_seq_++);
+  readings->Update(id, std::move(row));
+}
+
+Aggregate RelColr::NodeSlotAggregate(int node_id, SlotId slot) const {
+  const Table* cache = CacheTable(tree_.node(node_id).level);
+  Aggregate agg;
+  for (Table::RowId id : cache->FindEqual(
+           kCacheNode, Value(static_cast<int64_t>(node_id)))) {
+    const Row& row = *cache->Get(id);
+    if (row[kCacheSlot].AsInt() == slot) {
+      agg = AggFromCacheRow(row);
+      break;
+    }
+  }
+  return agg;
+}
+
+Aggregate RelColr::CachedAggregate(int node_id, TimeMs now,
+                                   TimeMs staleness_ms) const {
+  const SlotId qslot = tree_.scheme().SlotOf(now - staleness_ms);
+  const SlotId lo = std::max(qslot + 1, oldest_slot());
+  Aggregate agg;
+  const Table* cache = CacheTable(tree_.node(node_id).level);
+  const SlotId hi = newest_slot();
+  for (Table::RowId id : cache->FindEqual(
+           kCacheNode, Value(static_cast<int64_t>(node_id)))) {
+    const Row& row = *cache->Get(id);
+    const SlotId s = row[kCacheSlot].AsInt();
+    if (s >= lo && s <= hi) {
+      agg.Merge(AggFromCacheRow(row));
+    }
+  }
+  return agg;
+}
+
+std::vector<SensorId> RelColr::SensorSelection(const Rect& region,
+                                               TimeMs now,
+                                               TimeMs staleness_ms) const {
+  // Left-deep traversal join over the layer tables, root to leaves
+  // (§VI-A): at each layer keep only children whose bounding box
+  // intersects the region.
+  Relation frontier;
+  frontier.columns = {"node_id"};
+  frontier.rows.push_back(
+      Row{Value(static_cast<int64_t>(tree_.root()))});
+
+  std::vector<int64_t> leaf_ids;
+  for (int level = 0; level + 1 < num_layers_ && !frontier.empty();
+       ++level) {
+    const Table* layer = db_.GetTable(LayerName(level));
+    if (layer == nullptr) break;
+    Relation edges = ScanTable(*layer, "l");
+    Relation joined = HashJoin(frontier, "node_id", edges, "l.node_id");
+    const int cminx = joined.IndexOf("l.min_x");
+    Relation relevant = rel::Filter(joined, [&](const Row& row) {
+      const Rect bbox = Rect::FromCorners(
+          row[cminx].AsDouble(), row[cminx + 1].AsDouble(),
+          row[cminx + 2].AsDouble(), row[cminx + 3].AsDouble());
+      return bbox.Intersects(region);
+    });
+    Relation children = rel::Project(relevant, {"l.child_id"});
+    children.columns = {"node_id"};
+    children = rel::Distinct(children);
+    // Children with no further layer rows are leaves.
+    Relation next;
+    next.columns = {"node_id"};
+    for (const Row& row : children.rows) {
+      const int child = static_cast<int>(row[0].AsInt());
+      if (tree_.node(child).IsLeaf()) {
+        leaf_ids.push_back(child);
+      } else {
+        next.rows.push_back(row);
+      }
+    }
+    frontier = std::move(next);
+  }
+  if (num_layers_ == 1) leaf_ids.push_back(tree_.root());
+
+  // Join the leaf frontier with the sensor catalog, filter spatially,
+  // and anti-join against usable cached readings.
+  Relation leaves;
+  leaves.columns = {"node_id"};
+  for (int64_t id : leaf_ids) leaves.rows.push_back(Row{Value(id)});
+
+  Relation sensors = ScanTable(*db_.GetTable("sensors"), "s");
+  Relation in_leaves = HashJoin(leaves, "node_id", sensors, "s.node_id");
+  const int cx = in_leaves.IndexOf("s.x");
+  const int cy = in_leaves.IndexOf("s.y");
+  Relation in_region = rel::Filter(in_leaves, [&](const Row& row) {
+    return region.Contains(Point{row[cx].AsDouble(), row[cy].AsDouble()});
+  });
+
+  // Usable cached readings under the freshness bound.
+  const SlotId qslot = tree_.scheme().SlotOf(now - staleness_ms);
+  const SlotId lo = std::max(qslot + 1, oldest_slot());
+  std::unordered_set<int64_t> usable;
+  db_.GetTable("readings")->Scan([&](Table::RowId, const Row& row) {
+    const SlotId s = row[kReadSlot].AsInt();
+    if (s >= lo && s <= newest_slot()) {
+      usable.insert(row[kReadSensor].AsInt());
+    }
+    return true;
+  });
+
+  std::vector<SensorId> out;
+  const int cid = in_region.IndexOf("s.sensor_id");
+  for (const Row& row : in_region.rows) {
+    const int64_t sid = row[cid].AsInt();
+    if (usable.count(sid) == 0) {
+      out.push_back(static_cast<SensorId>(sid));
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<SensorId> RelColr::SampledSensorSelection(
+    const Rect& region, TimeMs now, TimeMs staleness_ms, double target,
+    Rng& rng) const {
+  std::vector<SensorId> to_probe;
+  if (target <= 0) return to_probe;
+
+  const SlotId qslot = tree_.scheme().SlotOf(now - staleness_ms);
+  const SlotId lo = std::max(qslot + 1, oldest_slot());
+  const SlotId hi = newest_slot();
+
+  // Usable cached weight of a node, from its cache table's value
+  // weights aggregated across usable slots (§VI-A "aggregating cache
+  // value weights across slots").
+  auto cached_weight = [&](int node) {
+    int64_t w = 0;
+    const Table* cache = CacheTable(tree_.node(node).level);
+    for (Table::RowId id : cache->FindEqual(
+             kCacheNode, Value(static_cast<int64_t>(node)))) {
+      const Row& row = *cache->Get(id);
+      const SlotId s = row[kCacheSlot].AsInt();
+      if (s >= lo && s <= hi) w += row[kCacheWeight].AsInt();
+    }
+    return w;
+  };
+
+  // Usable cached sensor ids under a leaf (excluded from probing).
+  const Table* readings = db_.GetTable("readings");
+  auto leaf_cached_sensors = [&](int leaf) {
+    std::unordered_set<int64_t> cached;
+    for (Table::RowId id : readings->FindEqual(
+             kReadNode, Value(static_cast<int64_t>(leaf)))) {
+      const Row& row = *readings->Get(id);
+      const SlotId s = row[kReadSlot].AsInt();
+      if (s >= lo && s <= hi) cached.insert(row[kReadSensor].AsInt());
+    }
+    return cached;
+  };
+
+  struct Pending {
+    int node;
+    double target;
+  };
+  std::vector<Pending> frontier{{tree_.root(), target}};
+
+  while (!frontier.empty()) {
+    std::vector<Pending> next;
+    for (const Pending& p : frontier) {
+      const ColrTree::Node& n = tree_.node(p.node);
+      if (n.IsLeaf()) {
+        // Terminal: probe p.target random in-region uncached sensors.
+        const auto cached = leaf_cached_sensors(p.node);
+        std::vector<SensorId> candidates;
+        const Table* sensors = db_.GetTable("sensors");
+        for (Table::RowId id : sensors->FindEqual(
+                 /*node_id col=*/1, Value(static_cast<int64_t>(p.node)))) {
+          const Row& row = *sensors->Get(id);
+          const Point loc{row[2].AsDouble(), row[3].AsDouble()};
+          const int64_t sid = row[0].AsInt();
+          if (region.Contains(loc) && cached.count(sid) == 0) {
+            candidates.push_back(static_cast<SensorId>(sid));
+          }
+        }
+        int k = static_cast<int>(p.target);
+        if (rng.Bernoulli(p.target - k)) ++k;
+        k = std::min<int>(k, static_cast<int>(candidates.size()));
+        for (uint64_t idx :
+             rng.SampleWithoutReplacement(candidates.size(), k)) {
+          to_probe.push_back(candidates[idx]);
+        }
+        continue;
+      }
+
+      // Weighted partitioning over the layer table's edges.
+      const Table* layer = db_.GetTable(LayerName(n.level));
+      struct Edge {
+        int child;
+        double share_weight;
+        int64_t cached;
+      };
+      std::vector<Edge> edges;
+      double denom = 0.0;
+      for (Table::RowId id : layer->FindEqual(
+               kLayerNode, Value(static_cast<int64_t>(p.node)))) {
+        const Row& row = *layer->Get(id);
+        const Rect bbox = Rect::FromCorners(
+            row[kLayerMinX].AsDouble(), row[kLayerMinY].AsDouble(),
+            row[kLayerMaxX].AsDouble(), row[kLayerMaxY].AsDouble());
+        if (!bbox.Intersects(region)) continue;
+        Edge e;
+        e.child = static_cast<int>(row[kLayerChild].AsInt());
+        e.share_weight = static_cast<double>(row[kLayerWeight].AsInt()) *
+                         OverlapFraction(bbox, region);
+        e.cached = cached_weight(e.child);
+        denom += e.share_weight;
+        edges.push_back(e);
+      }
+      if (denom <= 0.0) continue;
+      for (const Edge& e : edges) {
+        // Cached readings satisfy part of the child's share for free.
+        const double share = p.target * e.share_weight / denom -
+                             static_cast<double>(e.cached);
+        if (share <= 0.0) continue;
+        // Probabilistic pruning of sub-sample shares keeps the
+        // expectation while skipping most of the tree.
+        if (share < 1.0 && !rng.Bernoulli(share)) continue;
+        next.push_back({e.child, std::max(share, 1.0)});
+      }
+    }
+    frontier = std::move(next);
+  }
+  std::sort(to_probe.begin(), to_probe.end());
+  return to_probe;
+}
+
+RelColr::RangeResult RelColr::ExecuteRangeQuery(const Rect& region,
+                                                TimeMs now,
+                                                TimeMs staleness_ms,
+                                                const ProbeFn& probe) {
+  RangeResult out;
+
+  // Serve what the cache can: in-region readings in usable slots.
+  const SlotId qslot = tree_.scheme().SlotOf(now - staleness_ms);
+  const SlotId lo = std::max(qslot + 1, oldest_slot());
+  const SlotId hi = newest_slot();
+  std::vector<SensorId> touched;
+  db_.GetTable("readings")->Scan([&](Table::RowId, const Row& row) {
+    const SlotId s = row[kReadSlot].AsInt();
+    if (s < lo || s > hi) return true;
+    const SensorId sid = static_cast<SensorId>(row[kReadSensor].AsInt());
+    if (!region.Contains(tree_.sensor(sid).location)) return true;
+    out.total.Add(row[kReadValue].AsDouble());
+    ++out.cache_hits;
+    touched.push_back(sid);
+    return true;
+  });
+  for (SensorId sid : touched) TouchReading(sid);
+
+  // Probe the rest via the sensor-selection access method.
+  const std::vector<SensorId> to_probe =
+      SensorSelection(region, now, staleness_ms);
+  out.probes_attempted = static_cast<int64_t>(to_probe.size());
+  for (const Reading& r : probe(to_probe)) {
+    out.total.Add(r.value);
+    InsertReading(r);
+  }
+  return out;
+}
+
+rel::Relation RelColr::CacheRead(const Rect& region, TimeMs now,
+                                 TimeMs staleness_ms, int level) const {
+  Relation nodes;
+  nodes.columns = {"node_id"};
+  if (level == 0) {
+    if (region.Contains(tree_.node(tree_.root()).bbox)) {
+      nodes.rows.push_back(Row{Value(static_cast<int64_t>(tree_.root()))});
+    }
+  } else {
+    // Nodes at `level` appear as children in layer{level-1}.
+    const Table* layer = db_.GetTable(LayerName(level - 1));
+    if (layer == nullptr) return Relation{};
+    Relation edges = ScanTable(*layer, "l");
+    const int cminx = edges.IndexOf("l.min_x");
+    Relation inside = rel::Filter(edges, [&](const Row& row) {
+      const Rect bbox = Rect::FromCorners(
+          row[cminx].AsDouble(), row[cminx + 1].AsDouble(),
+          row[cminx + 2].AsDouble(), row[cminx + 3].AsDouble());
+      return region.Contains(bbox);
+    });
+    nodes = rel::Project(inside, {"l.child_id"});
+    nodes.columns = {"node_id"};
+    nodes = rel::Distinct(nodes);
+  }
+
+  const Table* cache = CacheTable(level);
+  if (cache == nullptr) return Relation{};
+  Relation cached = ScanTable(*cache, "c");
+  const SlotId qslot = tree_.scheme().SlotOf(now - staleness_ms);
+  const SlotId lo = std::max(qslot + 1, oldest_slot());
+  const int cslot = cached.IndexOf("c.slot_id");
+  Relation usable = rel::Filter(cached, [&](const Row& row) {
+    const SlotId s = row[cslot].AsInt();
+    return s >= lo && s <= newest_slot();
+  });
+
+  Relation joined = HashJoin(nodes, "node_id", usable, "c.node_id");
+  return rel::GroupAggregate(
+      joined, {"node_id"},
+      {AggSpec{AggFn::kSum, "c.cnt", "cnt"},
+       AggSpec{AggFn::kSum, "c.sum", "sum"},
+       AggSpec{AggFn::kMin, "c.mn", "mn"},
+       AggSpec{AggFn::kMax, "c.mx", "mx"}});
+}
+
+}  // namespace colr

@@ -1,0 +1,152 @@
+#ifndef COLR_RELCOLR_RELCOLR_H_
+#define COLR_RELCOLR_RELCOLR_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "core/aggregate.h"
+#include "core/slot_cache.h"
+#include "core/tree.h"
+#include "relational/executor.h"
+#include "relational/table.h"
+#include "sensor/sensor.h"
+
+namespace colr {
+
+/// COLR-Tree expressed relationally, mirroring the paper's SQL Server
+/// implementation (§VI):
+///
+///   layer{L}:  {node_id, child_id, child bounding box, child_weight}
+///              — one table per tree layer; the tree is traversed by
+///              joining adjacent layers on child_id = node_id.
+///   cache{L}:  {node_id, slot_id, cnt, sum, mn, mx, weight}
+///              — the slot caches of every node in layer L ("value"
+///              and "value weight" in the paper's schema; we persist
+///              the full mergeable summary).
+///   readings:  {sensor_id, node_id, slot_id, timestamp, expiry,
+///               value, fetched_seq}
+///              — the leaf-level raw cache.
+///   window:    {newest_slot} — the globally aligned slotting state.
+///
+/// Cache maintenance runs entirely through the paper's four triggers
+/// (§VI-B): the roll trigger advances the window and expunges slid-out
+/// slots, the slot insert/delete triggers maintain the leaf-layer
+/// cache from `readings` mutations, and the slot update trigger
+/// propagates every cache{L} change to cache{L-1} up to the root.
+///
+/// The structure is mirrored from a built ColrTree so node identifiers
+/// match the native engine, which is what lets the test-suite
+/// cross-check the two implementations row by row.
+class RelColr {
+ public:
+  /// Builds the layer tables from `tree`'s structure and installs the
+  /// triggers. The tree must outlive this object (spatial metadata and
+  /// the slotting scheme are read from it).
+  explicit RelColr(const ColrTree& tree);
+
+  RelColr(const RelColr&) = delete;
+  RelColr& operator=(const RelColr&) = delete;
+
+  /// Collected-reading ingestion: the roll trigger may advance the
+  /// window, the reading replaces any older reading of the same
+  /// sensor, and the cache size constraint evicts least-recently-
+  /// fetched readings from the oldest slot.
+  Status InsertReading(const Reading& reading);
+
+  /// Marks a cached reading as fetched (LRF input).
+  void TouchReading(SensorId sensor);
+
+  // ---- Cache inspection (cross-check surface) ---------------------------
+
+  /// The aggregate stored in cache{level-of-node} for (node, slot);
+  /// empty if no row exists.
+  Aggregate NodeSlotAggregate(int node_id, SlotId slot) const;
+
+  /// Merge of the node's usable slots for the given freshness — the
+  /// relational equivalent of ColrTree::LookupCache on internal nodes.
+  Aggregate CachedAggregate(int node_id, TimeMs now,
+                            TimeMs staleness_ms) const;
+
+  SlotId newest_slot() const;
+  SlotId oldest_slot() const;
+  size_t NumCachedReadings() const;
+
+  // ---- Access methods (§VI-A) --------------------------------------------
+
+  /// Sensor selection: identifiers of sensors inside `region` whose
+  /// cached reading is missing or not usable for the freshness bound —
+  /// the set the front-end must probe. Executed as a left-deep join of
+  /// the layer tables from the root down, joining the leaf layer with
+  /// `readings`.
+  std::vector<SensorId> SensorSelection(const Rect& region, TimeMs now,
+                                        TimeMs staleness_ms) const;
+
+  /// Cache read: cached aggregates for every node at `level` lying
+  /// entirely within `region`, restricted to usable slots. Returns a
+  /// relation {node_id, cnt, sum, mn, mx}.
+  rel::Relation CacheRead(const Rect& region, TimeMs now,
+                          TimeMs staleness_ms, int level) const;
+
+  /// Sampled sensor selection (§VI-A): the layered-sampling heuristic
+  /// run as a per-layer loop over the layer and cache tables. Each
+  /// layer's frontier {node_id, target} is joined with its layer
+  /// table; children get shares proportional to weight × overlap with
+  /// cached counts (aggregated from the cache tables' value weights)
+  /// deducted, and nodes whose share rounds to nothing are pruned —
+  /// "the sampling heuristic further reduces the nodes we consider
+  /// traversing at lower layers". Terminal leaves pick that many
+  /// random uncached in-region sensors. Returns the sensors to probe.
+  std::vector<SensorId> SampledSensorSelection(const Rect& region,
+                                               TimeMs now,
+                                               TimeMs staleness_ms,
+                                               double target, Rng& rng) const;
+
+  /// Probes sensors and returns the collected readings (wired to a
+  /// SensorNetwork by the caller).
+  using ProbeFn =
+      std::function<std::vector<Reading>(const std::vector<SensorId>&)>;
+
+  struct RangeResult {
+    Aggregate total;
+    int64_t probes_attempted = 0;
+    int64_t cache_hits = 0;
+  };
+
+  /// Executes an exact range query entirely through the relational
+  /// machinery: serve slot-usable cached readings from the `readings`
+  /// table, probe the SensorSelection remainder, ingest what was
+  /// collected (triggers maintain the caches), and aggregate. The
+  /// end-to-end counterpart of ColrEngine's kHierCache mode, used by
+  /// the cross-check tests.
+  RangeResult ExecuteRangeQuery(const Rect& region, TimeMs now,
+                                TimeMs staleness_ms,
+                                const ProbeFn& probe);
+
+  rel::Database& db() { return db_; }
+  const rel::Database& db() const { return db_; }
+  int num_layers() const { return num_layers_; }
+
+ private:
+  rel::Table* CacheTable(int level);
+  const rel::Table* CacheTable(int level) const;
+
+  void InstallTriggers();
+  /// Recomputes cache{level-1}'s (parent-of-node, slot) row from the
+  /// node's siblings — the slot update trigger body.
+  void PropagateToParent(int node_id, SlotId slot);
+  /// Recomputes the leaf-layer cache row for (leaf, slot) from the
+  /// readings table — the slot insert/delete trigger body.
+  void RecomputeLeafSlot(int leaf_id, SlotId slot);
+  void RollWindowTo(SlotId slot);
+  void EnforceCapacity();
+
+  const ColrTree& tree_;
+  rel::Database db_;
+  int num_layers_ = 0;
+  size_t capacity_ = 0;
+  int64_t fetch_seq_ = 0;
+};
+
+}  // namespace colr
+
+#endif  // COLR_RELCOLR_RELCOLR_H_

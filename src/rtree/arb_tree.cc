@@ -1,0 +1,178 @@
+#include "rtree/arb_tree.h"
+
+#include <algorithm>
+
+namespace colr {
+
+ArbTree::ArbTree(std::vector<SensorInfo> sensors, Options options)
+    : options_(options), sensors_(std::move(sensors)) {
+  if (options_.bucket_ms <= 0) options_.bucket_ms = kMsPerMinute;
+  std::vector<Point> points;
+  points.reserve(sensors_.size());
+  for (const SensorInfo& s : sensors_) points.push_back(s.location);
+  ClusterTree ct = BuildClusterTree(points, options_.cluster);
+  root_ = ct.root;
+  height_ = ct.height;
+  sensor_order_.reserve(ct.item_order.size());
+  for (int idx : ct.item_order) {
+    sensor_order_.push_back(static_cast<SensorId>(idx));
+  }
+
+  nodes_.resize(ct.nodes.size());
+  leaf_of_sensor_.assign(sensors_.size(), -1);
+  int num_leaves = 0;
+  for (size_t i = 0; i < ct.nodes.size(); ++i) {
+    const ClusterTree::Node& cn = ct.nodes[i];
+    Node& n = nodes_[i];
+    n.bbox = cn.bbox;
+    n.level = cn.level;
+    n.children = cn.children;
+    n.item_begin = cn.item_begin;
+    n.item_end = cn.item_end;
+    if (cn.IsLeaf()) ++num_leaves;
+  }
+  // Assign history slots to leaves and record sensor -> leaf history.
+  leaf_history_.resize(nodes_.size());
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    if (!nodes_[i].IsLeaf()) continue;
+    for (int j = nodes_[i].item_begin; j < nodes_[i].item_end; ++j) {
+      leaf_of_sensor_[sensor_order_[j]] = static_cast<int>(i);
+    }
+  }
+  (void)num_leaves;
+}
+
+void ArbTree::Record(const Reading& reading) {
+  if (reading.sensor >= sensors_.size()) return;
+  const int leaf = leaf_of_sensor_[reading.sensor];
+  if (leaf < 0) return;
+  leaf_history_[leaf].push_back(reading);
+  ++num_readings_;
+
+  const int64_t bucket = BucketOf(reading.timestamp);
+  // Parent pointers are not stored; walk down from the root along the
+  // containment path (cheap: height is small, item ranges nest).
+  int node = root_;
+  for (;;) {
+    Node& n = nodes_[node];
+    Aggregate agg;
+    if (const Aggregate* existing = n.timeline.Find(bucket)) {
+      agg = *existing;
+    }
+    agg.Add(reading.value);
+    n.timeline.Insert(bucket, agg);
+    if (n.IsLeaf()) break;
+    // The child whose item range holds this sensor's position.
+    int next = -1;
+    for (int c : n.children) {
+      // sensor positions are contiguous per node.
+      const Node& child = nodes_[c];
+      // Find the sensor's position within the order once per level.
+      // (Positions nest, so a range check on the leaf's range works.)
+      if (nodes_[leaf].item_begin >= child.item_begin &&
+          nodes_[leaf].item_end <= child.item_end) {
+        next = c;
+        break;
+      }
+    }
+    if (next < 0) break;  // should not happen on a well-formed tree
+    node = next;
+  }
+}
+
+Aggregate ArbTree::TimelineRange(const Node& n, int64_t b1,
+                                 int64_t b2) const {
+  Aggregate out;
+  n.timeline.Scan(b1, b2, [&out](int64_t, const Aggregate& agg) {
+    out.Merge(agg);
+    return true;
+  });
+  return out;
+}
+
+Aggregate ArbTree::Query(const Rect& region, TimeMs t1, TimeMs t2,
+                         int64_t* nodes_visited) const {
+  Aggregate out;
+  if (root_ < 0) return out;
+  const int64_t b1 = BucketOf(std::min(t1, t2));
+  const int64_t b2 = BucketOf(std::max(t1, t2));
+  std::vector<int> stack{root_};
+  while (!stack.empty()) {
+    const int id = stack.back();
+    stack.pop_back();
+    const Node& n = nodes_[id];
+    if (!region.Intersects(n.bbox)) continue;
+    if (nodes_visited != nullptr) ++*nodes_visited;
+    if (region.Contains(n.bbox)) {
+      out.Merge(TimelineRange(n, b1, b2));
+      continue;
+    }
+    if (n.IsLeaf()) {
+      for (const Reading& r : leaf_history_[id]) {
+        const int64_t b = BucketOf(r.timestamp);
+        if (b < b1 || b > b2) continue;
+        if (region.Contains(sensors_[r.sensor].location)) {
+          out.Add(r.value);
+        }
+      }
+      continue;
+    }
+    for (int c : n.children) stack.push_back(c);
+  }
+  return out;
+}
+
+Status ArbTree::CheckInvariants() const {
+  // Recompute every node's timeline from the recorded history of the
+  // leaves under it and compare bucket by bucket.
+  for (size_t id = 0; id < nodes_.size(); ++id) {
+    const Node& n = nodes_[id];
+    // Gather expected per-bucket aggregates.
+    std::vector<std::pair<int64_t, Aggregate>> expected;
+    auto add = [&expected](int64_t bucket, double value) {
+      for (auto& [b, agg] : expected) {
+        if (b == bucket) {
+          agg.Add(value);
+          return;
+        }
+      }
+      expected.push_back({bucket, Aggregate::Of(value)});
+    };
+    for (size_t leaf = 0; leaf < nodes_.size(); ++leaf) {
+      if (!nodes_[leaf].IsLeaf()) continue;
+      if (nodes_[leaf].item_begin < n.item_begin ||
+          nodes_[leaf].item_end > n.item_end) {
+        continue;
+      }
+      for (const Reading& r : leaf_history_[leaf]) {
+        add(BucketOf(r.timestamp), r.value);
+      }
+    }
+    size_t buckets_in_timeline = 0;
+    Status status = Status::OK();
+    n.timeline.Scan(
+        INT64_MIN, INT64_MAX,
+        [&](int64_t bucket, const Aggregate& agg) {
+          ++buckets_in_timeline;
+          for (const auto& [b, exp] : expected) {
+            if (b != bucket) continue;
+            if (exp.count != agg.count ||
+                std::abs(exp.sum - agg.sum) > 1e-9) {
+              status = Status::Internal("timeline bucket mismatch");
+            }
+            return true;
+          }
+          status = Status::Internal("unexpected timeline bucket");
+          return false;
+        });
+    COLR_RETURN_IF_ERROR(status);
+    if (buckets_in_timeline != expected.size()) {
+      return Status::Internal("timeline bucket count mismatch at node " +
+                              std::to_string(id));
+    }
+    COLR_RETURN_IF_ERROR(n.timeline.CheckInvariants());
+  }
+  return Status::OK();
+}
+
+}  // namespace colr

@@ -1,0 +1,218 @@
+#include "rtree/mra_tree.h"
+
+#include <algorithm>
+#include <numeric>
+#include <queue>
+
+#include "cluster/str_pack.h"
+
+namespace colr {
+
+MraTree::MraTree(std::vector<Entry> entries, Options options)
+    : entries_(std::move(entries)) {
+  if (entries_.empty()) return;
+
+  // Bulk build with STR packing: leaves first, then parents level by
+  // level. Entries are permuted so every node covers a contiguous
+  // range (like the cluster tree).
+  std::vector<Point> points;
+  points.reserve(entries_.size());
+  for (const Entry& e : entries_) points.push_back(e.location);
+  std::vector<std::vector<int>> groups =
+      StrPack(points, options.leaf_capacity);
+
+  std::vector<Entry> permuted;
+  permuted.reserve(entries_.size());
+  std::vector<int> level_nodes;
+  for (const auto& group : groups) {
+    Node leaf;
+    leaf.item_begin = static_cast<int>(permuted.size());
+    for (int idx : group) {
+      permuted.push_back(entries_[idx]);
+      leaf.bbox.Expand(entries_[idx].location);
+      leaf.agg.Add(entries_[idx].value);
+    }
+    leaf.item_end = static_cast<int>(permuted.size());
+    level_nodes.push_back(static_cast<int>(nodes_.size()));
+    nodes_.push_back(std::move(leaf));
+  }
+  entries_ = std::move(permuted);
+
+  while (level_nodes.size() > 1) {
+    std::vector<Rect> boxes;
+    boxes.reserve(level_nodes.size());
+    for (int id : level_nodes) boxes.push_back(nodes_[id].bbox);
+    std::vector<std::vector<int>> parents =
+        StrPackRects(boxes, options.fanout);
+    std::vector<int> next;
+    for (const auto& group : parents) {
+      Node parent;
+      parent.item_begin = static_cast<int>(entries_.size());
+      parent.item_end = 0;
+      for (int idx : group) {
+        const int child = level_nodes[idx];
+        parent.children.push_back(child);
+        parent.bbox.Expand(nodes_[child].bbox);
+        parent.agg.Merge(nodes_[child].agg);
+        parent.item_begin =
+            std::min(parent.item_begin, nodes_[child].item_begin);
+        parent.item_end =
+            std::max(parent.item_end, nodes_[child].item_end);
+      }
+      next.push_back(static_cast<int>(nodes_.size()));
+      nodes_.push_back(std::move(parent));
+    }
+    level_nodes = std::move(next);
+  }
+  root_ = level_nodes.front();
+
+  // Assign levels top-down (root = 0).
+  std::vector<int> stack{root_};
+  nodes_[root_].level = 0;
+  height_ = 1;
+  while (!stack.empty()) {
+    const int id = stack.back();
+    stack.pop_back();
+    for (int c : nodes_[id].children) {
+      nodes_[c].level = nodes_[id].level + 1;
+      height_ = std::max(height_, nodes_[c].level + 1);
+      stack.push_back(c);
+    }
+  }
+}
+
+MraTree::Estimate MraTree::Query(const Rect& region,
+                                 int node_budget) const {
+  Estimate out;
+  if (root_ < 0 || !region.Intersects(nodes_[root_].bbox)) return out;
+
+  // Frontier entry: a node partially overlapping the region, with its
+  // current estimated contribution and uncertainty (count span).
+  struct Frontier {
+    int node;
+    double overlap;  // fraction of the node's box inside the region
+    double uncertainty;
+    bool operator<(const Frontier& o) const {
+      return uncertainty < o.uncertainty;
+    }
+  };
+
+  double count_exact = 0, sum_exact = 0;       // fully covered parts
+  double count_est = 0, sum_est = 0;           // frontier estimates
+  double count_max = 0, sum_max = 0;           // frontier upper bounds
+  std::priority_queue<Frontier> frontier;
+
+  auto classify = [&](int id) {
+    ++out.nodes_visited;
+    const Node& n = nodes_[id];
+    if (region.Contains(n.bbox)) {
+      count_exact += static_cast<double>(n.agg.count);
+      sum_exact += n.agg.sum;
+      return;
+    }
+    if (n.IsLeaf()) {
+      // Cheap exact refinement of leaves: inspect the points.
+      for (int i = n.item_begin; i < n.item_end; ++i) {
+        if (region.Contains(entries_[i].location)) {
+          count_exact += 1.0;
+          sum_exact += entries_[i].value;
+        }
+      }
+      return;
+    }
+    const double overlap = OverlapFraction(n.bbox, region);
+    Frontier f{id, overlap,
+               static_cast<double>(n.agg.count) *
+                   std::min(overlap, 1.0 - overlap)};
+    count_est += n.agg.count * overlap;
+    sum_est += n.agg.sum * overlap;
+    count_max += static_cast<double>(n.agg.count);
+    sum_max += std::max(0.0, n.agg.max) * n.agg.count;
+    frontier.push(f);
+  };
+
+  classify(root_);
+  while (!frontier.empty() &&
+         (node_budget <= 0 || out.nodes_visited < node_budget)) {
+    const Frontier f = frontier.top();
+    frontier.pop();
+    const Node& n = nodes_[f.node];
+    // Un-account the refined node's estimated contribution...
+    count_est -= n.agg.count * f.overlap;
+    sum_est -= n.agg.sum * f.overlap;
+    count_max -= static_cast<double>(n.agg.count);
+    sum_max -= std::max(0.0, n.agg.max) * n.agg.count;
+    // ...and replace it with its children's.
+    for (int c : n.children) {
+      if (region.Intersects(nodes_[c].bbox)) {
+        classify(c);
+      } else {
+        ++out.nodes_visited;
+      }
+    }
+  }
+
+  out.count = count_exact + count_est;
+  out.sum = sum_exact + sum_est;
+  out.count_lower = count_exact;
+  out.count_upper = count_exact + count_max;
+  out.sum_lower = sum_exact;  // assumes non-negative values
+  out.sum_upper = sum_exact + sum_max;
+  return out;
+}
+
+Aggregate MraTree::Exact(const Rect& region) const {
+  Aggregate agg;
+  if (root_ < 0) return agg;
+  std::vector<int> stack{root_};
+  while (!stack.empty()) {
+    const int id = stack.back();
+    stack.pop_back();
+    const Node& n = nodes_[id];
+    if (!region.Intersects(n.bbox)) continue;
+    if (region.Contains(n.bbox)) {
+      agg.Merge(n.agg);
+      continue;
+    }
+    if (n.IsLeaf()) {
+      for (int i = n.item_begin; i < n.item_end; ++i) {
+        if (region.Contains(entries_[i].location)) {
+          agg.Add(entries_[i].value);
+        }
+      }
+      continue;
+    }
+    for (int c : n.children) stack.push_back(c);
+  }
+  return agg;
+}
+
+Status MraTree::CheckInvariants() const {
+  for (size_t id = 0; id < nodes_.size(); ++id) {
+    const Node& n = nodes_[id];
+    Aggregate expected;
+    if (n.IsLeaf()) {
+      // Leaf item ranges are exact; upper-level STR packing does not
+      // keep descendant ranges contiguous, so only leaves are checked
+      // against their entries.
+      for (int i = n.item_begin; i < n.item_end; ++i) {
+        if (!n.bbox.Contains(entries_[i].location)) {
+          return Status::Internal("entry outside node bbox");
+        }
+        expected.Add(entries_[i].value);
+      }
+    } else {
+      for (int c : n.children) {
+        expected.Merge(nodes_[c].agg);
+      }
+    }
+    if (expected.count != n.agg.count ||
+        std::abs(expected.sum - n.agg.sum) > 1e-9) {
+      return Status::Internal("node aggregate mismatch at " +
+                              std::to_string(id));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace colr

@@ -1,0 +1,92 @@
+#ifndef COLR_RTREE_MRA_TREE_H_
+#define COLR_RTREE_MRA_TREE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "core/aggregate.h"
+#include "geo/geo.h"
+
+namespace colr {
+
+/// Multi-Resolution Aggregate tree (Lazaridis & Mehrotra, SIGMOD'01 —
+/// the paper's reference [8] and closest related index). An R-tree-
+/// style hierarchy where every node stores the aggregate of its
+/// descendants, supporting *progressive approximate* aggregate range
+/// queries: traverse top-down, take fully-covered nodes' aggregates
+/// exactly, and refine the partially-overlapping node with the
+/// greatest uncertainty until a node budget is exhausted; what remains
+/// unrefined is estimated under a uniformity assumption with hard
+/// lower/upper bounds.
+///
+/// The contrast with COLR-Tree (§II): the MRA-tree aggregates a
+/// *static, already-materialized* dataset — it has no notion of
+/// expiry, freshness or data collection. bench/related_mra_vs_colr.cc
+/// quantifies that difference.
+class MraTree {
+ public:
+  struct Entry {
+    Point location;
+    double value = 0.0;
+  };
+
+  struct Options {
+    int fanout = 8;
+    int leaf_capacity = 32;
+  };
+
+  MraTree(std::vector<Entry> entries, Options options);
+  explicit MraTree(std::vector<Entry> entries)
+      : MraTree(std::move(entries), Options()) {}
+
+  struct Estimate {
+    /// Point estimates under the uniformity assumption.
+    double count = 0.0;
+    double sum = 0.0;
+    /// Hard bounds on the exact answer.
+    double count_lower = 0.0;
+    double count_upper = 0.0;
+    double sum_lower = 0.0;
+    double sum_upper = 0.0;
+    int nodes_visited = 0;
+
+    double AvgEstimate() const { return count > 0 ? sum / count : 0.0; }
+  };
+
+  /// Progressive approximate COUNT/SUM over `region`, visiting at most
+  /// `node_budget` nodes (<= 0: unlimited, exact answer). Larger
+  /// budgets monotonically tighten the bounds.
+  Estimate Query(const Rect& region, int node_budget) const;
+
+  /// Exact aggregate by full refinement (for tests).
+  Aggregate Exact(const Rect& region) const;
+
+  size_t num_entries() const { return entries_.size(); }
+  size_t num_nodes() const { return nodes_.size(); }
+  int height() const { return height_; }
+
+  /// Structural invariants: node aggregates equal their subtrees'.
+  Status CheckInvariants() const;
+
+ private:
+  struct Node {
+    Rect bbox;
+    int level = 0;
+    std::vector<int> children;
+    int item_begin = 0;
+    int item_end = 0;
+    Aggregate agg;
+
+    bool IsLeaf() const { return children.empty(); }
+  };
+
+  std::vector<Entry> entries_;  // permuted so node ranges are contiguous
+  std::vector<Node> nodes_;
+  int root_ = -1;
+  int height_ = 0;
+};
+
+}  // namespace colr
+
+#endif  // COLR_RTREE_MRA_TREE_H_

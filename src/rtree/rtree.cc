@@ -1,0 +1,566 @@
+#include "rtree/rtree.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "cluster/str_pack.h"
+
+namespace colr {
+
+RTree::RTree() : RTree(Options()) {}
+
+RTree::RTree(Options options) : options_(options) {
+  if (options_.min_entries > options_.max_entries / 2) {
+    options_.min_entries = std::max(1, options_.max_entries / 2);
+  }
+}
+
+RTree::~RTree() = default;
+RTree::RTree(RTree&&) noexcept = default;
+RTree& RTree::operator=(RTree&&) noexcept = default;
+
+int RTree::AllocNode() {
+  if (!free_list_.empty()) {
+    const int id = free_list_.back();
+    free_list_.pop_back();
+    nodes_[id] = Node{};
+    return id;
+  }
+  nodes_.emplace_back();
+  return static_cast<int>(nodes_.size()) - 1;
+}
+
+void RTree::FreeNode(int id) {
+  nodes_[id].entries.clear();
+  nodes_[id].parent = -1;
+  free_list_.push_back(id);
+}
+
+int RTree::height() const {
+  if (root_ < 0) return 0;
+  int h = 1;
+  int n = root_;
+  while (!nodes_[n].leaf) {
+    n = static_cast<int>(nodes_[n].entries.front().child_or_value);
+    ++h;
+  }
+  return h;
+}
+
+Rect RTree::bounding_box() const {
+  if (root_ < 0) return Rect::Empty();
+  return nodes_[root_].ComputeBBox();
+}
+
+int RTree::NodeLevel(int node_id) const {
+  int level = 0;
+  int n = node_id;
+  while (!nodes_[n].leaf) {
+    n = static_cast<int>(nodes_[n].entries.front().child_or_value);
+    ++level;
+  }
+  return level;
+}
+
+void RTree::Insert(const Rect& box, int64_t value) {
+  if (root_ < 0) {
+    root_ = AllocNode();
+    nodes_[root_].leaf = true;
+  }
+  InsertEntry(ChooseSubtreeAtLevel(box, 0), Entry{box, value}, 0);
+  ++size_;
+}
+
+int RTree::ChooseSubtreeAtLevel(const Rect& box, int target_level) const {
+  int n = root_;
+  int level = NodeLevel(root_);
+  while (level > target_level) {
+    const Node& node = nodes_[n];
+    int best = -1;
+    double best_enlargement = std::numeric_limits<double>::infinity();
+    double best_area = std::numeric_limits<double>::infinity();
+    for (const Entry& e : node.entries) {
+      const double enlargement = e.box.Enlargement(box);
+      const double area = e.box.Area();
+      if (enlargement < best_enlargement ||
+          (enlargement == best_enlargement && area < best_area)) {
+        best_enlargement = enlargement;
+        best_area = area;
+        best = static_cast<int>(e.child_or_value);
+      }
+    }
+    n = best;
+    --level;
+  }
+  return n;
+}
+
+int RTree::ChooseLeaf(const Rect& box) const {
+  return ChooseSubtreeAtLevel(box, 0);
+}
+
+void RTree::InsertEntry(int node_id, Entry entry, int target_level) {
+  (void)target_level;
+  Node& node = nodes_[node_id];
+  if (!node.leaf) {
+    // Inserting a subtree entry: fix its parent pointer.
+    nodes_[static_cast<int>(entry.child_or_value)].parent = node_id;
+  }
+  node.entries.push_back(std::move(entry));
+  int split_id = -1;
+  if (static_cast<int>(node.entries.size()) > options_.max_entries) {
+    split_id = SplitNode(node_id);
+  }
+  AdjustTree(node_id, split_id);
+}
+
+void RTree::QuadraticSeeds(const std::vector<Entry>& entries, int* seed_a,
+                           int* seed_b) const {
+  double worst = -std::numeric_limits<double>::infinity();
+  *seed_a = 0;
+  *seed_b = 1;
+  for (size_t i = 0; i < entries.size(); ++i) {
+    for (size_t j = i + 1; j < entries.size(); ++j) {
+      const double waste = entries[i].box.Union(entries[j].box).Area() -
+                           entries[i].box.Area() - entries[j].box.Area();
+      if (waste > worst) {
+        worst = waste;
+        *seed_a = static_cast<int>(i);
+        *seed_b = static_cast<int>(j);
+      }
+    }
+  }
+}
+
+void RTree::LinearSeeds(const std::vector<Entry>& entries, int* seed_a,
+                        int* seed_b) const {
+  // Guttman's linear PickSeeds: for each dimension find the pair with
+  // the greatest normalized separation.
+  int lowest_high_x = 0, highest_low_x = 0;
+  int lowest_high_y = 0, highest_low_y = 0;
+  Rect total = Rect::Empty();
+  for (size_t i = 0; i < entries.size(); ++i) {
+    const Rect& b = entries[i].box;
+    total.Expand(b);
+    if (b.max_x < entries[lowest_high_x].box.max_x) {
+      lowest_high_x = static_cast<int>(i);
+    }
+    if (b.min_x > entries[highest_low_x].box.min_x) {
+      highest_low_x = static_cast<int>(i);
+    }
+    if (b.max_y < entries[lowest_high_y].box.max_y) {
+      lowest_high_y = static_cast<int>(i);
+    }
+    if (b.min_y > entries[highest_low_y].box.min_y) {
+      highest_low_y = static_cast<int>(i);
+    }
+  }
+  const double width = std::max(total.Width(), 1e-12);
+  const double height = std::max(total.Height(), 1e-12);
+  const double sep_x = (entries[highest_low_x].box.min_x -
+                        entries[lowest_high_x].box.max_x) /
+                       width;
+  const double sep_y = (entries[highest_low_y].box.min_y -
+                        entries[lowest_high_y].box.max_y) /
+                       height;
+  if (sep_x > sep_y) {
+    *seed_a = lowest_high_x;
+    *seed_b = highest_low_x;
+  } else {
+    *seed_a = lowest_high_y;
+    *seed_b = highest_low_y;
+  }
+  if (*seed_a == *seed_b) {
+    *seed_b = (*seed_a + 1) % static_cast<int>(entries.size());
+  }
+}
+
+int RTree::SplitNode(int node_id) {
+  const int new_id = AllocNode();
+  // Note: AllocNode may reallocate nodes_, so take references after.
+  Node& node = nodes_[node_id];
+  Node& twin = nodes_[new_id];
+  twin.leaf = node.leaf;
+  twin.parent = node.parent;
+
+  std::vector<Entry> pool = std::move(node.entries);
+  node.entries.clear();
+
+  int seed_a = 0, seed_b = 1;
+  if (options_.split == SplitAlgorithm::kQuadratic) {
+    QuadraticSeeds(pool, &seed_a, &seed_b);
+  } else {
+    LinearSeeds(pool, &seed_a, &seed_b);
+  }
+
+  Rect box_a = pool[seed_a].box;
+  Rect box_b = pool[seed_b].box;
+  node.entries.push_back(pool[seed_a]);
+  twin.entries.push_back(pool[seed_b]);
+  // Erase the higher index first so the lower stays valid.
+  if (seed_a < seed_b) std::swap(seed_a, seed_b);
+  pool.erase(pool.begin() + seed_a);
+  pool.erase(pool.begin() + seed_b);
+
+  const int min_fill = options_.min_entries;
+  while (!pool.empty()) {
+    const int remaining = static_cast<int>(pool.size());
+    // Force-assign to satisfy minimum fill.
+    if (static_cast<int>(node.entries.size()) + remaining == min_fill) {
+      for (Entry& e : pool) {
+        box_a.Expand(e.box);
+        node.entries.push_back(std::move(e));
+      }
+      break;
+    }
+    if (static_cast<int>(twin.entries.size()) + remaining == min_fill) {
+      for (Entry& e : pool) {
+        box_b.Expand(e.box);
+        twin.entries.push_back(std::move(e));
+      }
+      break;
+    }
+
+    // PickNext: entry with max preference difference (quadratic), or
+    // simply the next one (linear).
+    int pick = 0;
+    if (options_.split == SplitAlgorithm::kQuadratic) {
+      double best_diff = -1.0;
+      for (int i = 0; i < remaining; ++i) {
+        const double d1 = box_a.Enlargement(pool[i].box);
+        const double d2 = box_b.Enlargement(pool[i].box);
+        const double diff = std::abs(d1 - d2);
+        if (diff > best_diff) {
+          best_diff = diff;
+          pick = i;
+        }
+      }
+    }
+    Entry e = std::move(pool[pick]);
+    pool.erase(pool.begin() + pick);
+    const double grow_a = box_a.Enlargement(e.box);
+    const double grow_b = box_b.Enlargement(e.box);
+    bool to_a = grow_a < grow_b;
+    if (grow_a == grow_b) {
+      to_a = box_a.Area() < box_b.Area() ||
+             (box_a.Area() == box_b.Area() &&
+              node.entries.size() <= twin.entries.size());
+    }
+    if (to_a) {
+      box_a.Expand(e.box);
+      node.entries.push_back(std::move(e));
+    } else {
+      box_b.Expand(e.box);
+      twin.entries.push_back(std::move(e));
+    }
+  }
+
+  if (!twin.leaf) {
+    for (const Entry& e : twin.entries) {
+      nodes_[static_cast<int>(e.child_or_value)].parent = new_id;
+    }
+    // Entries that stayed in `node` keep their parent pointers.
+  }
+  return new_id;
+}
+
+void RTree::RefreshParentBox(int node_id) {
+  const int parent = nodes_[node_id].parent;
+  if (parent < 0) return;
+  for (Entry& e : nodes_[parent].entries) {
+    if (!nodes_[parent].leaf && e.child_or_value == node_id) {
+      e.box = nodes_[node_id].ComputeBBox();
+      return;
+    }
+  }
+}
+
+void RTree::AdjustTree(int node_id, int split_id) {
+  int n = node_id;
+  int nn = split_id;
+  while (n != root_) {
+    const int parent = nodes_[n].parent;
+    RefreshParentBox(n);
+    if (nn >= 0) {
+      Entry e{nodes_[nn].ComputeBBox(), nn};
+      nodes_[nn].parent = parent;
+      nodes_[parent].entries.push_back(e);
+      if (static_cast<int>(nodes_[parent].entries.size()) >
+          options_.max_entries) {
+        nn = SplitNode(parent);
+      } else {
+        nn = -1;
+      }
+    }
+    n = parent;
+  }
+  if (nn >= 0) {
+    // Root was split: grow the tree.
+    const int new_root = AllocNode();
+    nodes_[new_root].leaf = false;
+    nodes_[new_root].entries.push_back(Entry{nodes_[n].ComputeBBox(), n});
+    nodes_[new_root].entries.push_back(Entry{nodes_[nn].ComputeBBox(), nn});
+    nodes_[n].parent = new_root;
+    nodes_[nn].parent = new_root;
+    root_ = new_root;
+  }
+}
+
+bool RTree::Delete(const Rect& box, int64_t value) {
+  if (root_ < 0) return false;
+  // Find the leaf holding the entry.
+  int found_leaf = -1;
+  size_t found_idx = 0;
+  std::vector<int> stack{root_};
+  while (!stack.empty() && found_leaf < 0) {
+    const int id = stack.back();
+    stack.pop_back();
+    const Node& node = nodes_[id];
+    if (node.leaf) {
+      for (size_t i = 0; i < node.entries.size(); ++i) {
+        if (node.entries[i].child_or_value == value &&
+            node.entries[i].box == box) {
+          found_leaf = id;
+          found_idx = i;
+          break;
+        }
+      }
+    } else {
+      for (const Entry& e : node.entries) {
+        if (e.box.Intersects(box) || e.box.Contains(box)) {
+          stack.push_back(static_cast<int>(e.child_or_value));
+        }
+      }
+    }
+  }
+  if (found_leaf < 0) return false;
+
+  nodes_[found_leaf].entries.erase(nodes_[found_leaf].entries.begin() +
+                                   found_idx);
+  --size_;
+  CondenseTree(found_leaf);
+  return true;
+}
+
+void RTree::CondenseTree(int leaf_id) {
+  // Walk up, collecting underfull nodes for re-insertion.
+  std::vector<int> orphans;
+  int n = leaf_id;
+  while (n != root_) {
+    const int parent = nodes_[n].parent;
+    if (static_cast<int>(nodes_[n].entries.size()) < options_.min_entries) {
+      // Unlink n from its parent.
+      auto& pe = nodes_[parent].entries;
+      for (size_t i = 0; i < pe.size(); ++i) {
+        if (pe[i].child_or_value == n) {
+          pe.erase(pe.begin() + i);
+          break;
+        }
+      }
+      orphans.push_back(n);
+    } else {
+      RefreshParentBox(n);
+    }
+    n = parent;
+  }
+
+  // Re-insert orphaned entries at their original level.
+  for (int orphan : orphans) {
+    if (nodes_[orphan].entries.empty()) {
+      FreeNode(orphan);
+      continue;
+    }
+    const int level = NodeLevel(orphan);
+    for (Entry& e : nodes_[orphan].entries) {
+      if (nodes_[orphan].leaf) {
+        InsertEntry(ChooseSubtreeAtLevel(e.box, 0), e, 0);
+      } else {
+        // Re-insert the child subtree one level above where it sits.
+        const int child = static_cast<int>(e.child_or_value);
+        InsertEntry(ChooseSubtreeAtLevel(e.box, level), e, level);
+        (void)child;
+      }
+    }
+    FreeNode(orphan);
+  }
+
+  // Shrink the root if it lost all but one child.
+  while (root_ >= 0 && !nodes_[root_].leaf &&
+         nodes_[root_].entries.size() == 1) {
+    const int child =
+        static_cast<int>(nodes_[root_].entries.front().child_or_value);
+    FreeNode(root_);
+    root_ = child;
+    nodes_[root_].parent = -1;
+  }
+  if (root_ >= 0 && nodes_[root_].leaf && nodes_[root_].entries.empty() &&
+      size_ == 0) {
+    FreeNode(root_);
+    root_ = -1;
+  }
+}
+
+void RTree::SearchVisit(
+    const Rect& query,
+    const std::function<bool(const Rect&, int64_t)>& visit,
+    SearchStats* stats) const {
+  if (root_ < 0) return;
+  std::vector<int> stack{root_};
+  while (!stack.empty()) {
+    const int id = stack.back();
+    stack.pop_back();
+    const Node& node = nodes_[id];
+    if (stats) {
+      ++stats->nodes_visited;
+      if (node.leaf) {
+        ++stats->leaf_nodes_visited;
+      } else {
+        ++stats->internal_nodes_visited;
+      }
+    }
+    for (const Entry& e : node.entries) {
+      if (stats) ++stats->entries_tested;
+      if (!e.box.Intersects(query)) continue;
+      if (node.leaf) {
+        if (!visit(e.box, e.child_or_value)) return;
+      } else {
+        stack.push_back(static_cast<int>(e.child_or_value));
+      }
+    }
+  }
+}
+
+std::vector<int64_t> RTree::Search(const Rect& query,
+                                   SearchStats* stats) const {
+  std::vector<int64_t> out;
+  SearchVisit(
+      query,
+      [&out](const Rect&, int64_t v) {
+        out.push_back(v);
+        return true;
+      },
+      stats);
+  return out;
+}
+
+void RTree::BulkLoad(const std::vector<std::pair<Rect, int64_t>>& entries) {
+  nodes_.clear();
+  free_list_.clear();
+  root_ = -1;
+  size_ = entries.size();
+  if (entries.empty()) return;
+
+  // Pack leaves with STR.
+  std::vector<Rect> rects;
+  rects.reserve(entries.size());
+  for (const auto& [box, value] : entries) rects.push_back(box);
+  std::vector<std::vector<int>> groups =
+      StrPackRects(rects, options_.max_entries);
+
+  std::vector<int> level_nodes;
+  for (const auto& group : groups) {
+    const int id = AllocNode();
+    nodes_[id].leaf = true;
+    for (int idx : group) {
+      nodes_[id].entries.push_back(
+          Entry{entries[idx].first, entries[idx].second});
+    }
+    level_nodes.push_back(id);
+  }
+
+  // Pack upper levels until a single root remains.
+  while (level_nodes.size() > 1) {
+    std::vector<Rect> boxes;
+    boxes.reserve(level_nodes.size());
+    for (int id : level_nodes) boxes.push_back(nodes_[id].ComputeBBox());
+    std::vector<std::vector<int>> parent_groups =
+        StrPackRects(boxes, options_.max_entries);
+    std::vector<int> next_level;
+    for (const auto& group : parent_groups) {
+      const int id = AllocNode();
+      nodes_[id].leaf = false;
+      for (int idx : group) {
+        const int child = level_nodes[idx];
+        nodes_[id].entries.push_back(Entry{boxes[idx], child});
+        nodes_[child].parent = id;
+      }
+      next_level.push_back(id);
+    }
+    level_nodes = std::move(next_level);
+  }
+  root_ = level_nodes.front();
+  nodes_[root_].parent = -1;
+}
+
+Status RTree::CheckNode(int node_id, int depth, int leaf_depth) const {
+  const Node& node = nodes_[node_id];
+  if (node.leaf) {
+    if (depth != leaf_depth) {
+      return Status::Internal("leaves at different depths");
+    }
+    return Status::OK();
+  }
+  if (node.entries.empty()) {
+    return Status::Internal("empty internal node");
+  }
+  for (const Entry& e : node.entries) {
+    const int child = static_cast<int>(e.child_or_value);
+    if (child < 0 || child >= static_cast<int>(nodes_.size())) {
+      return Status::Internal("bad child id");
+    }
+    if (nodes_[child].parent != node_id) {
+      return Status::Internal("bad parent pointer");
+    }
+    const Rect actual = nodes_[child].ComputeBBox();
+    if (!(e.box == actual)) {
+      return Status::Internal("stale entry bbox");
+    }
+    if (node_id != root_ &&
+        static_cast<int>(nodes_[child].entries.size()) <
+            options_.min_entries &&
+        nodes_[child].entries.size() > 0) {
+      // Fill-factor violations are allowed only at the root.
+    }
+    COLR_RETURN_IF_ERROR(CheckNode(child, depth + 1, leaf_depth));
+  }
+  return Status::OK();
+}
+
+Status RTree::CheckInvariants() const {
+  if (root_ < 0) {
+    if (size_ != 0) return Status::Internal("empty tree with entries");
+    return Status::OK();
+  }
+  // Count entries.
+  size_t count = 0;
+  std::vector<int> stack{root_};
+  int leaf_depth = -1;
+  {
+    // Compute leaf depth by descending the first path.
+    int n = root_;
+    int d = 0;
+    while (!nodes_[n].leaf) {
+      n = static_cast<int>(nodes_[n].entries.front().child_or_value);
+      ++d;
+    }
+    leaf_depth = d;
+  }
+  while (!stack.empty()) {
+    const int id = stack.back();
+    stack.pop_back();
+    const Node& node = nodes_[id];
+    if (node.leaf) {
+      count += node.entries.size();
+    } else {
+      for (const Entry& e : node.entries) {
+        stack.push_back(static_cast<int>(e.child_or_value));
+      }
+    }
+  }
+  if (count != size_) {
+    return Status::Internal("size mismatch");
+  }
+  return CheckNode(root_, 0, leaf_depth);
+}
+
+}  // namespace colr

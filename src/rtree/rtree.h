@@ -1,0 +1,125 @@
+#ifndef COLR_RTREE_RTREE_H_
+#define COLR_RTREE_RTREE_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/status.h"
+#include "geo/geo.h"
+
+namespace colr {
+
+/// Classic dynamic R-tree (Guttman, SIGMOD'84 — the paper's base
+/// structure and the "no caching / no sampling" baseline of Fig. 3).
+/// Stores (rectangle, int64 value) entries; point data is stored as
+/// degenerate rectangles. Supports dynamic insert with quadratic or
+/// linear node splitting, delete with tree condensation and
+/// re-insertion, STR bulk loading, and instrumented range search.
+class RTree {
+ public:
+  enum class SplitAlgorithm { kQuadratic, kLinear };
+
+  struct Options {
+    /// Maximum entries per node (M).
+    int max_entries = 16;
+    /// Minimum entries per node (m <= M/2).
+    int min_entries = 6;
+    SplitAlgorithm split = SplitAlgorithm::kQuadratic;
+  };
+
+  /// Traversal counters, matching the instrumentation behind Fig. 3.
+  struct SearchStats {
+    int64_t nodes_visited = 0;
+    int64_t internal_nodes_visited = 0;
+    int64_t leaf_nodes_visited = 0;
+    int64_t entries_tested = 0;
+  };
+
+  RTree();
+  explicit RTree(Options options);
+  ~RTree();
+
+  RTree(const RTree&) = delete;
+  RTree& operator=(const RTree&) = delete;
+  RTree(RTree&&) noexcept;
+  RTree& operator=(RTree&&) noexcept;
+
+  /// Inserts an entry. Duplicate (box, value) pairs are allowed.
+  void Insert(const Rect& box, int64_t value);
+
+  /// Removes one entry exactly matching (box, value). Returns true if
+  /// an entry was found and removed.
+  bool Delete(const Rect& box, int64_t value);
+
+  /// Returns the values of all entries whose boxes intersect `query`.
+  std::vector<int64_t> Search(const Rect& query,
+                              SearchStats* stats = nullptr) const;
+
+  /// Visits every entry intersecting `query`; return false from the
+  /// callback to stop early.
+  void SearchVisit(const Rect& query,
+                   const std::function<bool(const Rect&, int64_t)>& visit,
+                   SearchStats* stats = nullptr) const;
+
+  /// Replaces the tree contents by STR bulk loading the given entries.
+  void BulkLoad(const std::vector<std::pair<Rect, int64_t>>& entries);
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  /// Number of levels; an empty tree has height 0, a single leaf 1.
+  int height() const;
+  const Options& options() const { return options_; }
+  Rect bounding_box() const;
+
+  /// Verifies R-tree structural invariants (bbox tightness, fill
+  /// factors, uniform leaf depth). Used by tests.
+  Status CheckInvariants() const;
+
+ private:
+  struct Entry {
+    Rect box;
+    // Child node index for internal nodes; user value for leaves.
+    int64_t child_or_value = -1;
+  };
+
+  struct Node {
+    bool leaf = true;
+    int parent = -1;
+    std::vector<Entry> entries;
+
+    Rect ComputeBBox() const {
+      Rect r = Rect::Empty();
+      for (const Entry& e : entries) r.Expand(e.box);
+      return r;
+    }
+  };
+
+  int AllocNode();
+  void FreeNode(int id);
+  int ChooseLeaf(const Rect& box) const;
+  void InsertEntry(int node_id, Entry entry, int target_level);
+  int ChooseSubtreeAtLevel(const Rect& box, int target_level) const;
+  /// Splits node `node_id`, distributing its entries; returns the id
+  /// of the newly created sibling.
+  int SplitNode(int node_id);
+  void QuadraticSeeds(const std::vector<Entry>& entries, int* seed_a,
+                      int* seed_b) const;
+  void LinearSeeds(const std::vector<Entry>& entries, int* seed_a,
+                   int* seed_b) const;
+  void AdjustTree(int node_id, int split_id);
+  void CondenseTree(int leaf_id);
+  int NodeLevel(int node_id) const;  // leaf level = 0
+  void RefreshParentBox(int node_id);
+  Status CheckNode(int node_id, int depth, int leaf_depth) const;
+
+  Options options_;
+  std::vector<Node> nodes_;
+  std::vector<int> free_list_;
+  int root_ = -1;
+  size_t size_ = 0;
+};
+
+}  // namespace colr
+
+#endif  // COLR_RTREE_RTREE_H_

@@ -1,0 +1,24 @@
+#include "sensor/availability.h"
+
+#include <algorithm>
+
+namespace colr {
+
+AvailabilityTracker::AvailabilityTracker(
+    const std::vector<SensorInfo>& sensors, Options options)
+    : options_(options) {
+  estimates_.reserve(sensors.size());
+  for (const SensorInfo& s : sensors) {
+    estimates_.push_back(std::clamp(s.availability, options_.floor, 1.0));
+  }
+}
+
+void AvailabilityTracker::Record(SensorId sensor, bool success) {
+  if (sensor >= estimates_.size()) return;
+  double& e = estimates_[sensor];
+  e += options_.alpha * ((success ? 1.0 : 0.0) - e);
+  e = std::clamp(e, options_.floor, 1.0);
+  ++observations_;
+}
+
+}  // namespace colr

@@ -1,0 +1,52 @@
+#ifndef COLR_SENSOR_AVAILABILITY_H_
+#define COLR_SENSOR_AVAILABILITY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "sensor/sensor.h"
+
+namespace colr {
+
+/// Online estimator of per-sensor availability from observed probe
+/// outcomes. The paper's oversampling uses "the historical
+/// availability of individual sensors which has proved to be
+/// effective in predicting the future availability" (§V-A); this
+/// tracker is that history, maintained as an exponentially weighted
+/// moving average seeded from the registered metadata.
+///
+/// The EWMA adapts when a sensor's registered availability is wrong or
+/// drifts (a flaky gateway, a battery dying), which keeps the
+/// oversampling factor 1/a honest — see
+/// tests/availability_test.cc and bench/ablation_sampling.cc.
+class AvailabilityTracker {
+ public:
+  struct Options {
+    /// EWMA weight of each new observation.
+    double alpha = 0.05;
+    /// Estimates are clamped to [floor, 1] so one unlucky streak can
+    /// never drive the oversampling factor to infinity.
+    double floor = 0.02;
+  };
+
+  AvailabilityTracker(const std::vector<SensorInfo>& sensors,
+                      Options options);
+  explicit AvailabilityTracker(const std::vector<SensorInfo>& sensors)
+      : AvailabilityTracker(sensors, Options()) {}
+
+  /// Records one probe outcome for a sensor.
+  void Record(SensorId sensor, bool success);
+
+  double Estimate(SensorId sensor) const { return estimates_[sensor]; }
+  const std::vector<double>& estimates() const { return estimates_; }
+  int64_t observations() const { return observations_; }
+
+ private:
+  Options options_;
+  std::vector<double> estimates_;
+  int64_t observations_ = 0;
+};
+
+}  // namespace colr
+
+#endif  // COLR_SENSOR_AVAILABILITY_H_

@@ -1,0 +1,55 @@
+#include "sensor/expiry_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace colr {
+
+const char* ExpiryModelName(ExpiryModel model) {
+  switch (model) {
+    case ExpiryModel::kUniform: return "Uniform";
+    case ExpiryModel::kUsgs: return "USGS";
+    case ExpiryModel::kWeather: return "Weather";
+  }
+  return "Unknown";
+}
+
+double SampleExpiryFraction(ExpiryModel model, Rng& rng) {
+  switch (model) {
+    case ExpiryModel::kUniform:
+      return std::max(1e-6, rng.NextDouble());
+    case ExpiryModel::kUsgs: {
+      // Long validities dominate: most gauges report slowly-varying
+      // discharge with validity close to the catalog maximum, a small
+      // minority refresh faster.
+      if (rng.Bernoulli(0.85)) {
+        return std::clamp(1.0 - 0.12 * std::abs(rng.Gaussian()), 0.55, 1.0);
+      }
+      return std::max(1e-6, rng.Uniform(0.1, 0.9));
+    }
+    case ExpiryModel::kWeather: {
+      // Personal weather stations refresh on a tight cycle (~minutes):
+      // validities concentrate near 0.2 of the catalog maximum, with
+      // only a sliver of slow stations.
+      if (rng.Bernoulli(0.95)) {
+        return std::clamp(rng.Gaussian(0.2, 0.05), 0.08, 0.32);
+      }
+      return std::max(1e-6, rng.Uniform(0.3, 1.0));
+    }
+  }
+  return 1.0;
+}
+
+std::vector<TimeMs> SampleExpiryDurations(ExpiryModel model, int n,
+                                          TimeMs t_max, Rng& rng) {
+  std::vector<TimeMs> out;
+  out.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    const double frac = SampleExpiryFraction(model, rng);
+    out.push_back(std::max<TimeMs>(
+        1, static_cast<TimeMs>(frac * static_cast<double>(t_max))));
+  }
+  return out;
+}
+
+}  // namespace colr

@@ -1,0 +1,38 @@
+#ifndef COLR_SENSOR_EXPIRY_MODEL_H_
+#define COLR_SENSOR_EXPIRY_MODEL_H_
+
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/rng.h"
+
+namespace colr {
+
+/// Sensor expiry-time distributions used in the paper's Fig. 2
+/// utility/cost study. The paper measured real catalogs; we reproduce
+/// the *shapes* it describes (see DESIGN.md substitution table):
+///   kUniform — expiry times uniform over (0, t_max] (hypothetical).
+///   kUsgs    — ~10k USGS gauges: slowly-changing hydrological data,
+///              expiry mass concentrated near t_max (optimum Δ≈0.8).
+///   kWeather — ~1k personal weather stations: rapidly refreshed,
+///              expiry mass concentrated at short validities
+///              (optimum Δ≈0.2).
+enum class ExpiryModel {
+  kUniform,
+  kUsgs,
+  kWeather,
+};
+
+const char* ExpiryModelName(ExpiryModel model);
+
+/// Draws one expiry time as a fraction of t_max, in (0, 1].
+double SampleExpiryFraction(ExpiryModel model, Rng& rng);
+
+/// Draws `n` expiry times scaled to absolute durations given t_max.
+std::vector<TimeMs> SampleExpiryDurations(ExpiryModel model, int n,
+                                          TimeMs t_max, Rng& rng);
+
+}  // namespace colr
+
+#endif  // COLR_SENSOR_EXPIRY_MODEL_H_

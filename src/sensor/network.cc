@@ -1,0 +1,93 @@
+#include "sensor/network.h"
+
+#include <algorithm>
+
+namespace colr {
+
+SensorNetwork::SensorNetwork(std::vector<SensorInfo> sensors,
+                             const Clock* clock)
+    : SensorNetwork(std::move(sensors), clock, Options()) {}
+
+SensorNetwork::SensorNetwork(std::vector<SensorInfo> sensors,
+                             const Clock* clock, Options options)
+    : sensors_(std::move(sensors)),
+      clock_(clock),
+      options_(options),
+      rng_(options.seed),
+      per_sensor_probes_(sensors_.size(), 0) {
+  // Default value model: a deterministic hash of (sensor, time bucket)
+  // so tests get stable but non-constant values.
+  value_fn_ = [](const SensorInfo& s, TimeMs now) {
+    const uint64_t h = (static_cast<uint64_t>(s.id) * 0x9E3779B97F4A7C15ull) ^
+                       static_cast<uint64_t>(now / kMsPerMinute);
+    return static_cast<double>(h % 1000) / 10.0;
+  };
+}
+
+SensorNetwork::ProbeResult SensorNetwork::Probe(SensorId id) {
+  ProbeResult result;
+  if (id >= sensors_.size()) {
+    result.success = false;
+    result.latency_ms = 0;
+    return result;
+  }
+  const SensorInfo& info = sensors_[id];
+  ++counters_.probes;
+  ++per_sensor_probes_[id];
+  result.success = rng_.Bernoulli(info.availability);
+  result.latency_ms = DrawLatency(result.success);
+  if (result.success) {
+    ++counters_.successes;
+    const TimeMs now = clock_->NowMs();
+    result.reading = Reading{info.id, now, now + info.expiry_ms,
+                             value_fn_(info, now)};
+  }
+  return result;
+}
+
+SensorNetwork::BatchResult SensorNetwork::ProbeBatch(
+    const std::vector<SensorId>& ids) {
+  BatchResult batch;
+  batch.attempted = ids.size();
+  ++counters_.batches;
+  for (SensorId id : ids) {
+    ProbeResult r = Probe(id);
+    batch.latency_ms = std::max(batch.latency_ms, r.latency_ms);
+    if (r.success) batch.readings.push_back(r.reading);
+  }
+  return batch;
+}
+
+void SensorNetwork::ResetCounters() {
+  counters_ = Counters{};
+  std::fill(per_sensor_probes_.begin(), per_sensor_probes_.end(), 0u);
+}
+
+TimeMs SensorNetwork::DrawLatency(bool success) {
+  if (!success) return options_.probe_timeout_ms;
+  const double jitter =
+      options_.probe_latency_jitter_ms > 0
+          ? rng_.Exponential(1.0 / static_cast<double>(
+                                       options_.probe_latency_jitter_ms))
+          : 0.0;
+  return options_.probe_latency_base_ms + static_cast<TimeMs>(jitter);
+}
+
+std::vector<SensorInfo> MakeUniformSensors(int n, const Rect& extent,
+                                           TimeMs expiry_ms,
+                                           double availability, Rng& rng) {
+  std::vector<SensorInfo> sensors;
+  sensors.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    SensorInfo s;
+    s.id = static_cast<SensorId>(i);
+    s.location = {rng.Uniform(extent.min_x, extent.max_x),
+                  rng.Uniform(extent.min_y, extent.max_y)};
+    s.expiry_ms = expiry_ms;
+    s.availability = availability;
+    sensors.push_back(s);
+  }
+  return sensors;
+}
+
+}  // namespace colr

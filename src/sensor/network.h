@@ -1,0 +1,107 @@
+#ifndef COLR_SENSOR_NETWORK_H_
+#define COLR_SENSOR_NETWORK_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "sensor/sensor.h"
+
+namespace colr {
+
+/// Simulated wide-area sensor network. This is the substitute for the
+/// live Internet-connected sensors the paper probes (DESIGN.md §1):
+/// each probe is a pull ("most publicly deployed sensors do not
+/// support pushing"), succeeds with the sensor's availability
+/// probability, costs simulated latency, and is counted — probe counts
+/// and sensing-load uniformity are the paper's headline metrics.
+class SensorNetwork {
+ public:
+  struct Options {
+    /// Fixed per-probe round-trip component.
+    TimeMs probe_latency_base_ms = 80;
+    /// Mean of the exponential jitter added per probe.
+    TimeMs probe_latency_jitter_ms = 60;
+    /// Failed probes hit a timeout instead of the regular RTT.
+    TimeMs probe_timeout_ms = 400;
+    uint64_t seed = 0xC01Au;
+  };
+
+  /// Produces a reading value for a sensor at a given time. Installed
+  /// by workloads (restaurant waiting times, water discharge, ...).
+  using ValueFn = std::function<double(const SensorInfo&, TimeMs)>;
+
+  SensorNetwork(std::vector<SensorInfo> sensors, const Clock* clock);
+  SensorNetwork(std::vector<SensorInfo> sensors, const Clock* clock,
+                Options options);
+
+  SensorNetwork(const SensorNetwork&) = delete;
+  SensorNetwork& operator=(const SensorNetwork&) = delete;
+
+  void set_value_fn(ValueFn fn) { value_fn_ = std::move(fn); }
+
+  struct ProbeResult {
+    bool success = false;
+    Reading reading;
+    TimeMs latency_ms = 0;
+  };
+
+  /// Probes a single sensor. Success is a Bernoulli trial on the
+  /// sensor's availability; on success the reading carries the current
+  /// simulated time and the sensor's expiry period.
+  ProbeResult Probe(SensorId id);
+
+  struct BatchResult {
+    std::vector<Reading> readings;
+    size_t attempted = 0;
+    /// Latency of the whole batch assuming the portal probes the batch
+    /// in parallel: the maximum of the individual probe latencies.
+    TimeMs latency_ms = 0;
+  };
+
+  /// Probes all sensors in `ids` in parallel.
+  BatchResult ProbeBatch(const std::vector<SensorId>& ids);
+
+  size_t size() const { return sensors_.size(); }
+  const Clock* clock() const { return clock_; }
+  const std::vector<SensorInfo>& sensors() const { return sensors_; }
+  const SensorInfo& sensor(SensorId id) const { return sensors_[id]; }
+
+  struct Counters {
+    int64_t probes = 0;
+    int64_t successes = 0;
+    int64_t batches = 0;
+  };
+  const Counters& counters() const { return counters_; }
+  /// Number of times each sensor has been probed; the input to the
+  /// sensing-load-uniformity analysis (Theorem 2).
+  const std::vector<uint32_t>& per_sensor_probes() const {
+    return per_sensor_probes_;
+  }
+  void ResetCounters();
+
+ private:
+  TimeMs DrawLatency(bool success);
+
+  std::vector<SensorInfo> sensors_;
+  const Clock* clock_;
+  Options options_;
+  Rng rng_;
+  ValueFn value_fn_;
+  Counters counters_;
+  std::vector<uint32_t> per_sensor_probes_;
+};
+
+/// Builds `n` sensors uniformly placed in `extent` with the given
+/// expiry durations (one per sensor, cycled if shorter) and constant
+/// availability. Convenience for tests and small examples.
+std::vector<SensorInfo> MakeUniformSensors(int n, const Rect& extent,
+                                           TimeMs expiry_ms,
+                                           double availability, Rng& rng);
+
+}  // namespace colr
+
+#endif  // COLR_SENSOR_NETWORK_H_

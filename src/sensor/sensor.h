@@ -1,0 +1,48 @@
+#ifndef COLR_SENSOR_SENSOR_H_
+#define COLR_SENSOR_SENSOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/clock.h"
+#include "geo/geo.h"
+
+namespace colr {
+
+/// Dense sensor identifier; sensors are registered once and indexed by
+/// position, matching the portal's "register then periodically
+/// rebuild the index" lifecycle (§III-C).
+using SensorId = uint32_t;
+
+constexpr SensorId kInvalidSensorId = static_cast<SensorId>(-1);
+
+/// Static metadata a publisher registers with the portal (§III-A):
+/// location, how long each published reading stays valid, and the
+/// historically observed probability that a probe succeeds (used by
+/// layered sampling's oversampling step, §V-A).
+struct SensorInfo {
+  SensorId id = kInvalidSensorId;
+  Point location;
+  /// Validity period of each reading from this sensor. A reading taken
+  /// at time t expires at t + expiry_ms.
+  TimeMs expiry_ms = kMsPerMinute;
+  /// Historical availability in [0, 1].
+  double availability = 1.0;
+};
+
+/// One live sensor reading collected by a probe.
+struct Reading {
+  SensorId sensor = kInvalidSensorId;
+  /// When the sensor took the measurement.
+  TimeMs timestamp = 0;
+  /// timestamp + the sensor's expiry period; the reading is invalid at
+  /// and after this instant.
+  TimeMs expiry = 0;
+  double value = 0.0;
+
+  bool ValidAt(TimeMs now) const { return now < expiry; }
+};
+
+}  // namespace colr
+
+#endif  // COLR_SENSOR_SENSOR_H_

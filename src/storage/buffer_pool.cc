@@ -1,0 +1,118 @@
+#include "storage/buffer_pool.h"
+#include <cstring>
+
+namespace colr::storage {
+
+BufferPool::BufferPool(DiskManager* disk, size_t capacity)
+    : disk_(disk), frames_(capacity) {
+  free_frames_.reserve(capacity);
+  for (int i = static_cast<int>(capacity) - 1; i >= 0; --i) {
+    free_frames_.push_back(i);
+  }
+}
+
+void BufferPool::RemoveFromLru(Frame& frame) {
+  if (frame.in_lru) {
+    lru_.erase(frame.lru_it);
+    frame.in_lru = false;
+  }
+}
+
+Result<int> BufferPool::GetVictimFrame() {
+  if (!free_frames_.empty()) {
+    const int f = free_frames_.back();
+    free_frames_.pop_back();
+    return f;
+  }
+  if (lru_.empty()) {
+    return Status::Unavailable("all frames pinned");
+  }
+  const int f = lru_.front();
+  lru_.pop_front();
+  Frame& frame = frames_[f];
+  frame.in_lru = false;
+  ++stats_.evictions;
+  if (frame.dirty) {
+    COLR_RETURN_IF_ERROR(disk_->Write(frame.id, frame.page));
+    ++stats_.writebacks;
+    frame.dirty = false;
+  }
+  table_.erase(frame.id);
+  return f;
+}
+
+Result<Page*> BufferPool::Fetch(PageId id) {
+  auto it = table_.find(id);
+  if (it != table_.end()) {
+    Frame& frame = frames_[it->second];
+    RemoveFromLru(frame);
+    ++frame.pin_count;
+    ++stats_.hits;
+    return &frame.page;
+  }
+  ++stats_.misses;
+  COLR_ASSIGN_OR_RETURN(const int f, GetVictimFrame());
+  Frame& frame = frames_[f];
+  COLR_RETURN_IF_ERROR(disk_->Read(id, &frame.page));
+  frame.id = id;
+  frame.pin_count = 1;
+  frame.dirty = false;
+  table_[id] = f;
+  return &frame.page;
+}
+
+Result<PageId> BufferPool::NewPage(Page** page) {
+  COLR_ASSIGN_OR_RETURN(const PageId id, disk_->Allocate());
+  COLR_ASSIGN_OR_RETURN(const int f, GetVictimFrame());
+  Frame& frame = frames_[f];
+  std::memset(frame.page.data, 0, kPageSize);
+  frame.id = id;
+  frame.pin_count = 1;
+  frame.dirty = true;
+  table_[id] = f;
+  *page = &frame.page;
+  return id;
+}
+
+Status BufferPool::Unpin(PageId id, bool dirty) {
+  auto it = table_.find(id);
+  if (it == table_.end()) {
+    return Status::NotFound("page " + std::to_string(id) + " not resident");
+  }
+  Frame& frame = frames_[it->second];
+  if (frame.pin_count <= 0) {
+    return Status::FailedPrecondition("page not pinned");
+  }
+  frame.dirty = frame.dirty || dirty;
+  if (--frame.pin_count == 0) {
+    lru_.push_back(it->second);
+    frame.lru_it = std::prev(lru_.end());
+    frame.in_lru = true;
+  }
+  return Status::OK();
+}
+
+Status BufferPool::Flush(PageId id) {
+  auto it = table_.find(id);
+  if (it == table_.end()) return Status::OK();
+  Frame& frame = frames_[it->second];
+  if (frame.dirty) {
+    COLR_RETURN_IF_ERROR(disk_->Write(frame.id, frame.page));
+    ++stats_.writebacks;
+    frame.dirty = false;
+  }
+  return Status::OK();
+}
+
+Status BufferPool::FlushAll() {
+  for (Frame& frame : frames_) {
+    if (frame.id != kInvalidPageId && frame.dirty) {
+      COLR_RETURN_IF_ERROR(disk_->Write(frame.id, frame.page));
+      ++stats_.writebacks;
+      frame.dirty = false;
+    }
+  }
+  return disk_->Sync();
+}
+
+}  // namespace colr::storage

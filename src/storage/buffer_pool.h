@@ -1,0 +1,75 @@
+#ifndef COLR_STORAGE_BUFFER_POOL_H_
+#define COLR_STORAGE_BUFFER_POOL_H_
+
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/disk_manager.h"
+#include "storage/page.h"
+
+namespace colr::storage {
+
+/// Fixed-capacity page cache with pin counting and LRU replacement.
+/// Callers fetch/pin a page, mutate it through the returned pointer,
+/// and unpin with a dirty flag; dirty frames are written back on
+/// eviction and on FlushAll().
+class BufferPool {
+ public:
+  BufferPool(DiskManager* disk, size_t capacity);
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  /// Pins the page (reading it from disk on a miss) and returns the
+  /// in-memory frame. Fails with kUnavailable when every frame is
+  /// pinned.
+  Result<Page*> Fetch(PageId id);
+
+  /// Allocates a new page on disk and pins it.
+  Result<PageId> NewPage(Page** page);
+
+  Status Unpin(PageId id, bool dirty);
+
+  /// Writes a specific page back if dirty.
+  Status Flush(PageId id);
+  /// Writes every dirty frame back and syncs the file.
+  Status FlushAll();
+
+  struct Stats {
+    int64_t hits = 0;
+    int64_t misses = 0;
+    int64_t evictions = 0;
+    int64_t writebacks = 0;
+  };
+  const Stats& stats() const { return stats_; }
+  size_t capacity() const { return frames_.size(); }
+
+ private:
+  struct Frame {
+    Page page;
+    PageId id = kInvalidPageId;
+    int pin_count = 0;
+    bool dirty = false;
+    /// Position in lru_ when unpinned.
+    std::list<int>::iterator lru_it;
+    bool in_lru = false;
+  };
+
+  /// Frees a frame for reuse, evicting the LRU unpinned page.
+  Result<int> GetVictimFrame();
+  void RemoveFromLru(Frame& frame);
+
+  DiskManager* disk_;
+  std::vector<Frame> frames_;
+  std::vector<int> free_frames_;
+  std::unordered_map<PageId, int> table_;
+  /// Unpinned frame indices, least recently used first.
+  std::list<int> lru_;
+  Stats stats_;
+};
+
+}  // namespace colr::storage
+
+#endif  // COLR_STORAGE_BUFFER_POOL_H_

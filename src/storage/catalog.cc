@@ -1,0 +1,134 @@
+#include "storage/catalog.h"
+
+#include <cstdio>
+#include <cstring>
+
+#include "storage/table_io.h"
+
+namespace colr::storage {
+
+namespace {
+
+// Catalog wire format in page 0:
+//   u32 magic, u32 table-count,
+//   per table: u32 name-length, name bytes, i32 first, i32 last.
+constexpr uint32_t kCatalogMagic = 0xC0782EEu;
+
+template <typename T>
+bool Write(char** cursor, const char* end, T v) {
+  if (*cursor + sizeof(T) > end) return false;
+  std::memcpy(*cursor, &v, sizeof(T));
+  *cursor += sizeof(T);
+  return true;
+}
+
+template <typename T>
+bool Read(const char** cursor, const char* end, T* v) {
+  if (*cursor + sizeof(T) > end) return false;
+  std::memcpy(v, *cursor, sizeof(T));
+  *cursor += sizeof(T);
+  return true;
+}
+
+}  // namespace
+
+Result<TableExtent> Catalog::Get(const std::string& table) const {
+  auto it = extents_.find(table);
+  if (it == extents_.end()) {
+    return Status::NotFound("table " + table + " not in catalog");
+  }
+  return it->second;
+}
+
+Status Catalog::Save(BufferPool* pool) const {
+  COLR_ASSIGN_OR_RETURN(Page* const page, pool->Fetch(0));
+  char* cursor = page->data;
+  const char* end = page->data + kPageSize;
+  bool ok = Write(&cursor, end, kCatalogMagic) &&
+            Write(&cursor, end, static_cast<uint32_t>(extents_.size()));
+  for (const auto& [name, extent] : extents_) {
+    ok = ok && Write(&cursor, end, static_cast<uint32_t>(name.size()));
+    if (ok && cursor + name.size() <= end) {
+      std::memcpy(cursor, name.data(), name.size());
+      cursor += name.size();
+    } else {
+      ok = false;
+    }
+    ok = ok && Write(&cursor, end, extent.first_page) &&
+         Write(&cursor, end, extent.last_page);
+  }
+  COLR_RETURN_IF_ERROR(pool->Unpin(0, ok));
+  if (!ok) {
+    return Status::OutOfRange("catalog does not fit in one page");
+  }
+  return Status::OK();
+}
+
+Result<Catalog> Catalog::Load(BufferPool* pool) {
+  COLR_ASSIGN_OR_RETURN(Page* const page, pool->Fetch(0));
+  Catalog catalog;
+  const char* cursor = page->data;
+  const char* end = page->data + kPageSize;
+  uint32_t magic = 0, count = 0;
+  bool ok = Read(&cursor, end, &magic) && magic == kCatalogMagic &&
+            Read(&cursor, end, &count);
+  for (uint32_t i = 0; ok && i < count; ++i) {
+    uint32_t len = 0;
+    ok = Read(&cursor, end, &len) && cursor + len <= end;
+    if (!ok) break;
+    std::string name(cursor, len);
+    cursor += len;
+    TableExtent extent;
+    ok = Read(&cursor, end, &extent.first_page) &&
+         Read(&cursor, end, &extent.last_page);
+    if (ok) catalog.Put(name, extent);
+  }
+  COLR_RETURN_IF_ERROR(pool->Unpin(0, /*dirty=*/false));
+  if (!ok) {
+    return Status::InvalidArgument("corrupt or missing catalog page");
+  }
+  return catalog;
+}
+
+Status CheckpointDatabase(const rel::Database& db,
+                          const std::string& path) {
+  std::remove(path.c_str());
+  DiskManager disk;
+  COLR_RETURN_IF_ERROR(disk.Open(path));
+  BufferPool pool(&disk, 32);
+  // Reserve page 0 for the catalog.
+  Page* page0 = nullptr;
+  COLR_ASSIGN_OR_RETURN(const PageId id0, pool.NewPage(&page0));
+  if (id0 != 0) return Status::Internal("catalog page is not page 0");
+  COLR_RETURN_IF_ERROR(pool.Unpin(0, /*dirty=*/true));
+
+  Catalog catalog;
+  for (const std::string& name : db.TableNames()) {
+    HeapFile heap(&pool);
+    COLR_ASSIGN_OR_RETURN(const int64_t written,
+                          PersistTable(*db.GetTable(name), &heap));
+    (void)written;
+    catalog.Put(name, {heap.first_page(), heap.last_page()});
+  }
+  COLR_RETURN_IF_ERROR(catalog.Save(&pool));
+  return pool.FlushAll();
+}
+
+Result<int> RestoreDatabase(const std::string& path, rel::Database* db) {
+  DiskManager disk;
+  COLR_RETURN_IF_ERROR(disk.Open(path));
+  BufferPool pool(&disk, 32);
+  COLR_ASSIGN_OR_RETURN(const Catalog catalog, Catalog::Load(&pool));
+  int restored = 0;
+  for (const auto& [name, extent] : catalog.extents()) {
+    rel::Table* table = db->GetTable(name);
+    if (table == nullptr) continue;  // restore only known tables
+    HeapFile heap(&pool, extent.first_page, extent.last_page);
+    COLR_ASSIGN_OR_RETURN(const int64_t loaded, LoadTable(heap, table));
+    (void)loaded;
+    ++restored;
+  }
+  return restored;
+}
+
+}  // namespace colr::storage

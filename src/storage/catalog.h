@@ -1,0 +1,57 @@
+#ifndef COLR_STORAGE_CATALOG_H_
+#define COLR_STORAGE_CATALOG_H_
+
+#include <map>
+#include <string>
+
+#include "common/status.h"
+#include "relational/table.h"
+#include "storage/buffer_pool.h"
+#include "storage/heap_file.h"
+
+namespace colr::storage {
+
+/// Heap-file extents of a persisted table.
+struct TableExtent {
+  PageId first_page = kInvalidPageId;
+  PageId last_page = kInvalidPageId;
+};
+
+/// The catalog maps table names to their heap extents and lives in
+/// page 0 of the database file, making a checkpoint self-describing:
+/// a fresh process can open the file, read the catalog, and reload
+/// every table without out-of-band metadata.
+class Catalog {
+ public:
+  void Put(const std::string& table, TableExtent extent) {
+    extents_[table] = extent;
+  }
+  Result<TableExtent> Get(const std::string& table) const;
+  const std::map<std::string, TableExtent>& extents() const {
+    return extents_;
+  }
+
+  /// Serializes into page 0 (which must already be allocated).
+  Status Save(BufferPool* pool) const;
+  /// Loads from page 0.
+  static Result<Catalog> Load(BufferPool* pool);
+
+ private:
+  std::map<std::string, TableExtent> extents_;
+};
+
+/// Checkpoints every table of `db` into `path` (overwriting it):
+/// page 0 holds the catalog, the rest the heap files. Schemas are not
+/// persisted — restore sides supply them (they are code, not data, in
+/// this system).
+Status CheckpointDatabase(const rel::Database& db, const std::string& path);
+
+/// Restores previously checkpointed tables into `db`: for every table
+/// name present in both the catalog and `db`, loads the records into
+/// the existing (already-created, normally trigger-free) table.
+/// Returns the number of tables restored.
+Result<int> RestoreDatabase(const std::string& path, rel::Database* db);
+
+}  // namespace colr::storage
+
+#endif  // COLR_STORAGE_CATALOG_H_

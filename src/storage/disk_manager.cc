@@ -1,0 +1,71 @@
+#include "storage/disk_manager.h"
+
+#include <cstring>
+
+namespace colr::storage {
+
+DiskManager::~DiskManager() { Close(); }
+
+Status DiskManager::Open(const std::string& path) {
+  Close();
+  // Open for read/write, creating the file if it does not exist.
+  file_ = std::fopen(path.c_str(), "r+b");
+  if (file_ == nullptr) {
+    file_ = std::fopen(path.c_str(), "w+b");
+  }
+  if (file_ == nullptr) {
+    return Status::IoError("cannot open " + path);
+  }
+  path_ = path;
+  std::fseek(file_, 0, SEEK_END);
+  const long size = std::ftell(file_);
+  num_pages_ = static_cast<PageId>(size / kPageSize);
+  return Status::OK();
+}
+
+void DiskManager::Close() {
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+}
+
+Result<PageId> DiskManager::Allocate() {
+  if (file_ == nullptr) return Status::FailedPrecondition("not open");
+  Page zero;
+  std::memset(zero.data, 0, kPageSize);
+  const PageId id = num_pages_;
+  COLR_RETURN_IF_ERROR(Write(id, zero));
+  num_pages_ = id + 1;
+  return id;
+}
+
+Status DiskManager::Read(PageId id, Page* page) {
+  if (file_ == nullptr) return Status::FailedPrecondition("not open");
+  if (id < 0 || id >= num_pages_) {
+    return Status::OutOfRange("page " + std::to_string(id));
+  }
+  if (std::fseek(file_, static_cast<long>(id) * kPageSize, SEEK_SET) != 0 ||
+      std::fread(page->data, 1, kPageSize, file_) != kPageSize) {
+    return Status::IoError("read page " + std::to_string(id));
+  }
+  return Status::OK();
+}
+
+Status DiskManager::Write(PageId id, const Page& page) {
+  if (file_ == nullptr) return Status::FailedPrecondition("not open");
+  if (id < 0) return Status::OutOfRange("page " + std::to_string(id));
+  if (std::fseek(file_, static_cast<long>(id) * kPageSize, SEEK_SET) != 0 ||
+      std::fwrite(page.data, 1, kPageSize, file_) != kPageSize) {
+    return Status::IoError("write page " + std::to_string(id));
+  }
+  return Status::OK();
+}
+
+Status DiskManager::Sync() {
+  if (file_ == nullptr) return Status::FailedPrecondition("not open");
+  if (std::fflush(file_) != 0) return Status::IoError("fflush");
+  return Status::OK();
+}
+
+}  // namespace colr::storage

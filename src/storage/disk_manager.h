@@ -1,0 +1,46 @@
+#ifndef COLR_STORAGE_DISK_MANAGER_H_
+#define COLR_STORAGE_DISK_MANAGER_H_
+
+#include <cstdio>
+#include <string>
+
+#include "common/status.h"
+#include "storage/page.h"
+
+namespace colr::storage {
+
+/// Page-granular file I/O. Pages are identified by their position in
+/// the file; allocation only ever appends (no free list — dropped
+/// pages are the heap file's concern).
+class DiskManager {
+ public:
+  ~DiskManager();
+
+  DiskManager() = default;
+  DiskManager(const DiskManager&) = delete;
+  DiskManager& operator=(const DiskManager&) = delete;
+
+  /// Opens (creating if needed) the backing file.
+  Status Open(const std::string& path);
+  void Close();
+  bool is_open() const { return file_ != nullptr; }
+
+  /// Appends a zeroed page; returns its id.
+  Result<PageId> Allocate();
+
+  Status Read(PageId id, Page* page);
+  Status Write(PageId id, const Page& page);
+  Status Sync();
+
+  /// Number of pages currently in the file.
+  PageId NumPages() const { return num_pages_; }
+
+ private:
+  std::FILE* file_ = nullptr;
+  std::string path_;
+  PageId num_pages_ = 0;
+};
+
+}  // namespace colr::storage
+
+#endif  // COLR_STORAGE_DISK_MANAGER_H_

@@ -1,0 +1,106 @@
+#include "storage/heap_file.h"
+
+namespace colr::storage {
+
+HeapFile::HeapFile(BufferPool* pool, PageId first_page, PageId last_page)
+    : pool_(pool),
+      first_page_(first_page),
+      last_page_(last_page == kInvalidPageId ? first_page : last_page) {}
+
+Result<RecordId> HeapFile::Insert(std::string_view record) {
+  if (record.size() > kPageSize / 2) {
+    return Status::InvalidArgument("record too large for a page");
+  }
+  if (last_page_ == kInvalidPageId) {
+    Page* page = nullptr;
+    COLR_ASSIGN_OR_RETURN(const PageId id, pool_->NewPage(&page));
+    SlottedPage(page).Init();
+    COLR_RETURN_IF_ERROR(pool_->Unpin(id, /*dirty=*/true));
+    first_page_ = id;
+    last_page_ = id;
+  }
+
+  // Try the last page, then grow.
+  {
+    COLR_ASSIGN_OR_RETURN(Page* const page, pool_->Fetch(last_page_));
+    SlottedPage sp(page);
+    Result<int> slot = sp.Insert(record);
+    COLR_RETURN_IF_ERROR(pool_->Unpin(last_page_, slot.ok()));
+    if (slot.ok()) {
+      return RecordId{last_page_, *slot};
+    }
+  }
+  Page* page = nullptr;
+  COLR_ASSIGN_OR_RETURN(const PageId id, pool_->NewPage(&page));
+  SlottedPage sp(page);
+  sp.Init();
+  Result<int> slot = sp.Insert(record);
+  COLR_RETURN_IF_ERROR(pool_->Unpin(id, /*dirty=*/true));
+  COLR_RETURN_IF_ERROR(slot.status());
+  last_page_ = id;
+  return RecordId{id, *slot};
+}
+
+Result<std::string> HeapFile::Get(RecordId id) const {
+  if (!id.valid() || first_page_ == kInvalidPageId ||
+      id.page < first_page_ || id.page > last_page_) {
+    return Status::NotFound("bad record id");
+  }
+  COLR_ASSIGN_OR_RETURN(Page* const page, pool_->Fetch(id.page));
+  SlottedPage sp(page);
+  Result<std::string_view> rec = sp.Get(id.slot);
+  std::string out;
+  if (rec.ok()) out.assign(rec->data(), rec->size());
+  COLR_RETURN_IF_ERROR(pool_->Unpin(id.page, /*dirty=*/false));
+  COLR_RETURN_IF_ERROR(rec.status());
+  return out;
+}
+
+Status HeapFile::Delete(RecordId id) {
+  if (!id.valid() || first_page_ == kInvalidPageId ||
+      id.page < first_page_ || id.page > last_page_) {
+    return Status::NotFound("bad record id");
+  }
+  COLR_ASSIGN_OR_RETURN(Page* const page, pool_->Fetch(id.page));
+  const Status s = SlottedPage(page).Delete(id.slot);
+  COLR_RETURN_IF_ERROR(pool_->Unpin(id.page, s.ok()));
+  return s;
+}
+
+Result<RecordId> HeapFile::Update(RecordId id, std::string_view record) {
+  if (!id.valid() || first_page_ == kInvalidPageId ||
+      id.page < first_page_ || id.page > last_page_) {
+    return Status::NotFound("bad record id");
+  }
+  {
+    COLR_ASSIGN_OR_RETURN(Page* const page, pool_->Fetch(id.page));
+    const Status s = SlottedPage(page).Update(id.slot, record);
+    COLR_RETURN_IF_ERROR(pool_->Unpin(id.page, s.ok()));
+    if (s.ok()) return id;
+    if (s.code() != StatusCode::kOutOfRange) return s;
+  }
+  // Relocate: remove and re-insert.
+  COLR_RETURN_IF_ERROR(Delete(id));
+  return Insert(record);
+}
+
+Status HeapFile::Scan(
+    const std::function<bool(RecordId, std::string_view)>& visit) const {
+  if (first_page_ == kInvalidPageId) return Status::OK();
+  for (PageId p = first_page_; p <= last_page_; ++p) {
+    COLR_ASSIGN_OR_RETURN(Page* const page, pool_->Fetch(p));
+    SlottedPage sp(page);
+    bool keep_going = true;
+    for (int s = 0; s < sp.num_slots() && keep_going; ++s) {
+      Result<std::string_view> rec = sp.Get(s);
+      if (rec.ok()) {
+        keep_going = visit(RecordId{p, s}, *rec);
+      }
+    }
+    COLR_RETURN_IF_ERROR(pool_->Unpin(p, /*dirty=*/false));
+    if (!keep_going) break;
+  }
+  return Status::OK();
+}
+
+}  // namespace colr::storage

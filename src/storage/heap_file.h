@@ -1,0 +1,61 @@
+#ifndef COLR_STORAGE_HEAP_FILE_H_
+#define COLR_STORAGE_HEAP_FILE_H_
+
+#include <functional>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "storage/buffer_pool.h"
+#include "storage/page.h"
+
+namespace colr::storage {
+
+/// Record address: page + slot within the page's slot directory.
+struct RecordId {
+  PageId page = kInvalidPageId;
+  int slot = -1;
+
+  bool valid() const { return page != kInvalidPageId && slot >= 0; }
+  bool operator==(const RecordId& o) const {
+    return page == o.page && slot == o.slot;
+  }
+};
+
+/// An unordered collection of variable-length records over slotted
+/// pages accessed through the buffer pool — the storage organization
+/// backing persistent tables. Insertion appends to the last page,
+/// allocating a new one when full (no free-space map; fine for the
+/// mostly-append workloads of this repository).
+class HeapFile {
+ public:
+  /// `first_page` < 0 creates an empty heap (allocating its first page
+  /// lazily); otherwise reopens an existing heap whose pages are
+  /// chained implicitly [first_page, last_page].
+  HeapFile(BufferPool* pool, PageId first_page = kInvalidPageId,
+           PageId last_page = kInvalidPageId);
+
+  Result<RecordId> Insert(std::string_view record);
+  /// Copies the record out (the page is unpinned before returning).
+  Result<std::string> Get(RecordId id) const;
+  Status Delete(RecordId id);
+  /// In-place when possible; otherwise deletes and re-inserts,
+  /// returning the (possibly new) RecordId.
+  Result<RecordId> Update(RecordId id, std::string_view record);
+
+  /// Visits every live record; return false to stop early.
+  Status Scan(const std::function<bool(RecordId, std::string_view)>& visit)
+      const;
+
+  PageId first_page() const { return first_page_; }
+  PageId last_page() const { return last_page_; }
+
+ private:
+  BufferPool* pool_;
+  PageId first_page_;
+  PageId last_page_;
+};
+
+}  // namespace colr::storage
+
+#endif  // COLR_STORAGE_HEAP_FILE_H_

@@ -1,0 +1,121 @@
+#include "storage/page.h"
+
+#include <vector>
+
+namespace colr::storage {
+
+void SlottedPage::Init() {
+  header()->num_slots = 0;
+  header()->payload_start = static_cast<int32_t>(kPageSize);
+}
+
+size_t SlottedPage::FreeSpace() const {
+  const size_t directory_end =
+      sizeof(Header) + sizeof(Slot) * header()->num_slots;
+  const size_t payload_start = header()->payload_start;
+  if (payload_start <= directory_end) return 0;
+  const size_t gap = payload_start - directory_end;
+  return gap > sizeof(Slot) ? gap - sizeof(Slot) : 0;
+}
+
+Result<int> SlottedPage::Insert(std::string_view record) {
+  if (record.size() > FreeSpace()) {
+    Compact();
+    if (record.size() > FreeSpace()) {
+      return Status::OutOfRange("record does not fit");
+    }
+  }
+  const int s = header()->num_slots;
+  header()->num_slots = s + 1;
+  header()->payload_start -= static_cast<int32_t>(record.size());
+  slot(s)->offset = header()->payload_start;
+  slot(s)->length = static_cast<int32_t>(record.size());
+  std::memcpy(page_->data + slot(s)->offset, record.data(), record.size());
+  return s;
+}
+
+Result<std::string_view> SlottedPage::Get(int s) const {
+  if (s < 0 || s >= num_slots() || slot(s)->offset < 0) {
+    return Status::NotFound("slot " + std::to_string(s));
+  }
+  return std::string_view(page_->data + slot(s)->offset,
+                          static_cast<size_t>(slot(s)->length));
+}
+
+Status SlottedPage::Delete(int s) {
+  if (s < 0 || s >= num_slots() || slot(s)->offset < 0) {
+    return Status::NotFound("slot " + std::to_string(s));
+  }
+  slot(s)->offset = -1;
+  slot(s)->length = 0;
+  return Status::OK();
+}
+
+Status SlottedPage::Update(int s, std::string_view record) {
+  if (s < 0 || s >= num_slots() || slot(s)->offset < 0) {
+    return Status::NotFound("slot " + std::to_string(s));
+  }
+  if (record.size() <= static_cast<size_t>(slot(s)->length)) {
+    std::memcpy(page_->data + slot(s)->offset, record.data(),
+                record.size());
+    slot(s)->length = static_cast<int32_t>(record.size());
+    return Status::OK();
+  }
+  // Try to relocate within the page: drop the old payload, compact,
+  // and re-append. On failure the old payload is restored from a copy.
+  if (record.size() > FreeSpace()) {
+    const std::vector<char> old_bytes(
+        page_->data + slot(s)->offset,
+        page_->data + slot(s)->offset + slot(s)->length);
+    slot(s)->offset = -1;  // exclude from compaction
+    Compact();
+    if (record.size() > FreeSpace()) {
+      // Re-append the old payload (it fits: we just freed its space).
+      header()->payload_start -= static_cast<int32_t>(old_bytes.size());
+      slot(s)->offset = header()->payload_start;
+      slot(s)->length = static_cast<int32_t>(old_bytes.size());
+      std::memcpy(page_->data + slot(s)->offset, old_bytes.data(),
+                  old_bytes.size());
+      return Status::OutOfRange("record does not fit after compaction");
+    }
+  }
+  header()->payload_start -= static_cast<int32_t>(record.size());
+  slot(s)->offset = header()->payload_start;
+  slot(s)->length = static_cast<int32_t>(record.size());
+  std::memcpy(page_->data + slot(s)->offset, record.data(), record.size());
+  return Status::OK();
+}
+
+void SlottedPage::Compact() {
+  // Collect live payloads, rewrite them from the page end.
+  struct Live {
+    int slot_index;
+    std::vector<char> bytes;
+  };
+  std::vector<Live> live;
+  for (int i = 0; i < num_slots(); ++i) {
+    if (slot(i)->offset < 0) continue;
+    Live l;
+    l.slot_index = i;
+    l.bytes.assign(page_->data + slot(i)->offset,
+                   page_->data + slot(i)->offset + slot(i)->length);
+    live.push_back(std::move(l));
+  }
+  int32_t cursor = static_cast<int32_t>(kPageSize);
+  for (const Live& l : live) {
+    cursor -= static_cast<int32_t>(l.bytes.size());
+    std::memcpy(page_->data + cursor, l.bytes.data(), l.bytes.size());
+    slot(l.slot_index)->offset = cursor;
+  }
+  header()->payload_start = cursor;
+}
+
+int SlottedPage::LiveRecords() const {
+  int live = 0;
+  for (int i = 0; i < num_slots(); ++i) {
+    if (slot(i)->offset >= 0) ++live;
+  }
+  return live;
+}
+
+}  // namespace colr::storage

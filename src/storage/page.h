@@ -1,0 +1,89 @@
+#ifndef COLR_STORAGE_PAGE_H_
+#define COLR_STORAGE_PAGE_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace colr::storage {
+
+constexpr size_t kPageSize = 4096;
+using PageId = int32_t;
+constexpr PageId kInvalidPageId = -1;
+
+/// Raw page buffer.
+struct Page {
+  char data[kPageSize];
+};
+
+/// Slotted-page layout over a raw page, the classic variable-length
+/// record organization: a slot directory grows from the front, record
+/// payloads grow from the back.
+///
+///   [ header | slot 0 | slot 1 | ... |   free   | ... rec1 | rec0 ]
+///
+/// Deleted slots are tombstoned (offset = -1) and their ids are never
+/// reused, so RecordIds stay stable; Compact() reclaims payload space
+/// without renumbering.
+class SlottedPage {
+ public:
+  explicit SlottedPage(Page* page) : page_(page) {}
+
+  /// Zeroes the header of a freshly allocated page.
+  void Init();
+
+  int num_slots() const { return header()->num_slots; }
+  /// Bytes available for one more record (including its slot entry).
+  size_t FreeSpace() const;
+
+  /// Appends a record; returns its slot number, or kOutOfRange when
+  /// the page cannot fit it.
+  Result<int> Insert(std::string_view record);
+
+  /// The record stored in a slot; NotFound for tombstoned/invalid.
+  Result<std::string_view> Get(int slot) const;
+
+  /// Tombstones a slot. The payload space is reclaimed lazily.
+  Status Delete(int slot);
+
+  /// Replaces a record in place when the new payload fits in the old
+  /// space (or anywhere on the page after compaction); otherwise
+  /// returns kOutOfRange and the caller re-inserts elsewhere.
+  Status Update(int slot, std::string_view record);
+
+  /// Rewrites payloads back-to-back, dropping dead space.
+  void Compact();
+
+  /// Live (non-tombstoned) slot count.
+  int LiveRecords() const;
+
+ private:
+  struct Header {
+    int32_t num_slots;
+    /// Offset of the lowest payload byte (records grow downward).
+    int32_t payload_start;
+  };
+  struct Slot {
+    int32_t offset;  // -1 = tombstone
+    int32_t length;
+  };
+
+  Header* header() { return reinterpret_cast<Header*>(page_->data); }
+  const Header* header() const {
+    return reinterpret_cast<const Header*>(page_->data);
+  }
+  Slot* slot(int i) {
+    return reinterpret_cast<Slot*>(page_->data + sizeof(Header)) + i;
+  }
+  const Slot* slot(int i) const {
+    return reinterpret_cast<const Slot*>(page_->data + sizeof(Header)) + i;
+  }
+
+  Page* page_;
+};
+
+}  // namespace colr::storage
+
+#endif  // COLR_STORAGE_PAGE_H_

@@ -1,0 +1,108 @@
+#include "storage/row_codec.h"
+
+#include <cstring>
+
+namespace colr::storage {
+
+namespace {
+
+template <typename T>
+void Append(std::string* out, T v) {
+  out->append(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <typename T>
+bool ReadPod(std::string_view* in, T* v) {
+  if (in->size() < sizeof(T)) return false;
+  std::memcpy(v, in->data(), sizeof(T));
+  in->remove_prefix(sizeof(T));
+  return true;
+}
+
+constexpr uint8_t kTagNull = 0;
+constexpr uint8_t kTagInt = 1;
+constexpr uint8_t kTagDouble = 2;
+constexpr uint8_t kTagString = 3;
+
+}  // namespace
+
+std::string EncodeRow(const rel::Row& row) {
+  std::string out;
+  Append<uint32_t>(&out, static_cast<uint32_t>(row.size()));
+  for (const rel::Value& v : row) {
+    switch (v.type()) {
+      case rel::ValueType::kNull:
+        Append<uint8_t>(&out, kTagNull);
+        break;
+      case rel::ValueType::kInt:
+        Append<uint8_t>(&out, kTagInt);
+        Append<int64_t>(&out, v.AsInt());
+        break;
+      case rel::ValueType::kDouble:
+        Append<uint8_t>(&out, kTagDouble);
+        Append<double>(&out, v.AsDouble());
+        break;
+      case rel::ValueType::kString: {
+        Append<uint8_t>(&out, kTagString);
+        const std::string& s = v.AsString();
+        Append<uint32_t>(&out, static_cast<uint32_t>(s.size()));
+        out.append(s);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+Result<rel::Row> DecodeRow(std::string_view bytes) {
+  uint32_t count = 0;
+  if (!ReadPod(&bytes, &count)) {
+    return Status::InvalidArgument("truncated row header");
+  }
+  rel::Row row;
+  row.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    uint8_t tag = 0;
+    if (!ReadPod(&bytes, &tag)) {
+      return Status::InvalidArgument("truncated value tag");
+    }
+    switch (tag) {
+      case kTagNull:
+        row.push_back(rel::Value::Null());
+        break;
+      case kTagInt: {
+        int64_t v = 0;
+        if (!ReadPod(&bytes, &v)) {
+          return Status::InvalidArgument("truncated int");
+        }
+        row.push_back(rel::Value(v));
+        break;
+      }
+      case kTagDouble: {
+        double v = 0;
+        if (!ReadPod(&bytes, &v)) {
+          return Status::InvalidArgument("truncated double");
+        }
+        row.push_back(rel::Value(v));
+        break;
+      }
+      case kTagString: {
+        uint32_t len = 0;
+        if (!ReadPod(&bytes, &len) || bytes.size() < len) {
+          return Status::InvalidArgument("truncated string");
+        }
+        row.push_back(rel::Value(std::string(bytes.substr(0, len))));
+        bytes.remove_prefix(len);
+        break;
+      }
+      default:
+        return Status::InvalidArgument("unknown value tag");
+    }
+  }
+  if (!bytes.empty()) {
+    return Status::InvalidArgument("trailing bytes after row");
+  }
+  return row;
+}
+
+}  // namespace colr::storage

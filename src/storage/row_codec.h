@@ -1,0 +1,22 @@
+#ifndef COLR_STORAGE_ROW_CODEC_H_
+#define COLR_STORAGE_ROW_CODEC_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "relational/value.h"
+
+namespace colr::storage {
+
+/// Binary row serialization bridging the relational engine and the
+/// heap-file storage layer:
+///   u32 column-count, then per value: u8 type tag followed by the
+///   payload (i64 / f64 little-endian; strings as u32 length + bytes).
+std::string EncodeRow(const rel::Row& row);
+
+Result<rel::Row> DecodeRow(std::string_view bytes);
+
+}  // namespace colr::storage
+
+#endif  // COLR_STORAGE_ROW_CODEC_H_

@@ -1,0 +1,45 @@
+#include "storage/table_io.h"
+
+#include "storage/row_codec.h"
+
+namespace colr::storage {
+
+Result<int64_t> PersistTable(const rel::Table& table, HeapFile* heap) {
+  int64_t written = 0;
+  Status status;
+  table.Scan([&](rel::Table::RowId, const rel::Row& row) {
+    Result<RecordId> id = heap->Insert(EncodeRow(row));
+    if (!id.ok()) {
+      status = id.status();
+      return false;
+    }
+    ++written;
+    return true;
+  });
+  COLR_RETURN_IF_ERROR(status);
+  return written;
+}
+
+Result<int64_t> LoadTable(const HeapFile& heap, rel::Table* table) {
+  int64_t loaded = 0;
+  Status status;
+  COLR_RETURN_IF_ERROR(
+      heap.Scan([&](RecordId, std::string_view bytes) {
+        Result<rel::Row> row = DecodeRow(bytes);
+        if (!row.ok()) {
+          status = row.status();
+          return false;
+        }
+        auto inserted = table->Insert(std::move(*row));
+        if (!inserted.ok()) {
+          status = inserted.status();
+          return false;
+        }
+        ++loaded;
+        return true;
+      }));
+  COLR_RETURN_IF_ERROR(status);
+  return loaded;
+}
+
+}  // namespace colr::storage

@@ -1,0 +1,22 @@
+#ifndef COLR_STORAGE_TABLE_IO_H_
+#define COLR_STORAGE_TABLE_IO_H_
+
+#include "common/status.h"
+#include "relational/table.h"
+#include "storage/heap_file.h"
+
+namespace colr::storage {
+
+/// Writes every live row of `table` into `heap` (appending). Returns
+/// the number of rows written. The portal uses this to checkpoint the
+/// relational COLR-Tree state (layer/cache/readings tables).
+Result<int64_t> PersistTable(const rel::Table& table, HeapFile* heap);
+
+/// Inserts every record of `heap` into `table` (which must have a
+/// compatible schema). Trigger side effects apply — load into a
+/// trigger-free table to restore raw state.
+Result<int64_t> LoadTable(const HeapFile& heap, rel::Table* table);
+
+}  // namespace colr::storage
+
+#endif  // COLR_STORAGE_TABLE_IO_H_

@@ -1,0 +1,206 @@
+#include "storage/wal.h"
+
+#include <cstring>
+
+#include "storage/row_codec.h"
+
+namespace colr::storage {
+
+namespace {
+
+// FNV-1a over the payload — enough to detect torn/corrupt records.
+uint32_t Checksum(const std::string& bytes) {
+  uint32_t h = 2166136261u;
+  for (unsigned char c : bytes) {
+    h = (h ^ c) * 16777619u;
+  }
+  return h;
+}
+
+template <typename T>
+void Append(std::string* out, T v) {
+  out->append(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <typename T>
+bool ReadPod(std::string_view* in, T* v) {
+  if (in->size() < sizeof(T)) return false;
+  std::memcpy(v, in->data(), sizeof(T));
+  in->remove_prefix(sizeof(T));
+  return true;
+}
+
+std::string EncodeRecord(const WalRecord& record) {
+  std::string payload;
+  Append<uint8_t>(&payload, static_cast<uint8_t>(record.op));
+  Append<uint32_t>(&payload, static_cast<uint32_t>(record.table.size()));
+  payload.append(record.table);
+  Append<int64_t>(&payload, record.row_id);
+  const std::string row = EncodeRow(record.row);
+  Append<uint32_t>(&payload, static_cast<uint32_t>(row.size()));
+  payload.append(row);
+  if (record.op == WalOp::kUpdate) {
+    const std::string old_row = EncodeRow(record.old_row);
+    Append<uint32_t>(&payload, static_cast<uint32_t>(old_row.size()));
+    payload.append(old_row);
+  }
+  return payload;
+}
+
+Result<WalRecord> DecodeRecord(std::string_view payload) {
+  WalRecord record;
+  uint8_t op = 0;
+  uint32_t name_len = 0;
+  if (!ReadPod(&payload, &op) || op < 1 || op > 3 ||
+      !ReadPod(&payload, &name_len) || payload.size() < name_len) {
+    return Status::InvalidArgument("bad record header");
+  }
+  record.op = static_cast<WalOp>(op);
+  record.table.assign(payload.data(), name_len);
+  payload.remove_prefix(name_len);
+  uint32_t row_len = 0;
+  if (!ReadPod(&payload, &record.row_id) || !ReadPod(&payload, &row_len) ||
+      payload.size() < row_len) {
+    return Status::InvalidArgument("bad row frame");
+  }
+  COLR_ASSIGN_OR_RETURN(record.row,
+                        DecodeRow(payload.substr(0, row_len)));
+  payload.remove_prefix(row_len);
+  if (record.op == WalOp::kUpdate) {
+    uint32_t old_len = 0;
+    if (!ReadPod(&payload, &old_len) || payload.size() < old_len) {
+      return Status::InvalidArgument("bad old-row frame");
+    }
+    COLR_ASSIGN_OR_RETURN(record.old_row,
+                          DecodeRow(payload.substr(0, old_len)));
+    payload.remove_prefix(old_len);
+  }
+  if (!payload.empty()) {
+    return Status::InvalidArgument("trailing bytes in record");
+  }
+  return record;
+}
+
+}  // namespace
+
+WalWriter::~WalWriter() { Close(); }
+
+Status WalWriter::Open(const std::string& path) {
+  Close();
+  file_ = std::fopen(path.c_str(), "ab");
+  if (file_ == nullptr) return Status::IoError("cannot open " + path);
+  return Status::OK();
+}
+
+void WalWriter::Close() {
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+}
+
+Status WalWriter::Append(const WalRecord& record) {
+  if (file_ == nullptr) return Status::FailedPrecondition("not open");
+  const std::string payload = EncodeRecord(record);
+  const uint32_t length = static_cast<uint32_t>(payload.size());
+  const uint32_t crc = Checksum(payload);
+  if (std::fwrite(&length, sizeof(length), 1, file_) != 1 ||
+      std::fwrite(&crc, sizeof(crc), 1, file_) != 1 ||
+      std::fwrite(payload.data(), 1, payload.size(), file_) !=
+          payload.size() ||
+      std::fflush(file_) != 0) {
+    return Status::IoError("wal append failed");
+  }
+  ++records_written_;
+  return Status::OK();
+}
+
+Result<std::vector<WalRecord>> ReadWal(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) return Status::IoError("cannot open " + path);
+  std::vector<WalRecord> records;
+  for (;;) {
+    uint32_t length = 0, crc = 0;
+    if (std::fread(&length, sizeof(length), 1, file) != 1) break;
+    if (std::fread(&crc, sizeof(crc), 1, file) != 1) break;  // torn
+    if (length > (1u << 24)) break;  // implausible: treat as corrupt
+    std::string payload(length, '\0');
+    if (std::fread(payload.data(), 1, length, file) != length) {
+      break;  // torn tail
+    }
+    if (Checksum(payload) != crc) break;  // corrupt tail
+    Result<WalRecord> record = DecodeRecord(payload);
+    if (!record.ok()) break;
+    records.push_back(std::move(*record));
+  }
+  std::fclose(file);
+  return records;
+}
+
+void AttachWal(rel::Table* table, WalWriter* writer) {
+  const std::string name = table->name();
+  table->AddAfterInsert(
+      [writer, name](rel::Table&, rel::Table::RowId id,
+                     const rel::Row& row) {
+        WalRecord record;
+        record.op = WalOp::kInsert;
+        record.table = name;
+        record.row_id = id;
+        record.row = row;
+        writer->Append(record);
+      });
+  table->AddAfterUpdate([writer, name](rel::Table&, rel::Table::RowId id,
+                                       const rel::Row& old_row,
+                                       const rel::Row& row) {
+    WalRecord record;
+    record.op = WalOp::kUpdate;
+    record.table = name;
+    record.row_id = id;
+    record.row = row;
+    record.old_row = old_row;
+    writer->Append(record);
+  });
+  table->AddAfterDelete([writer, name](rel::Table&, const rel::Row& row) {
+    WalRecord record;
+    record.op = WalOp::kDelete;
+    record.table = name;
+    record.row = row;
+    writer->Append(record);
+  });
+}
+
+Result<int64_t> ReplayWal(const std::string& path, rel::Database* db) {
+  COLR_ASSIGN_OR_RETURN(const std::vector<WalRecord> records,
+                        ReadWal(path));
+  int64_t applied = 0;
+  for (const WalRecord& record : records) {
+    rel::Table* table = db->GetTable(record.table);
+    if (table == nullptr) continue;
+    switch (record.op) {
+      case WalOp::kInsert: {
+        COLR_RETURN_IF_ERROR(table->Insert(record.row).status());
+        break;
+      }
+      case WalOp::kUpdate: {
+        const auto matches = table->Find(
+            [&record](const rel::Row& r) { return r == record.old_row; });
+        if (!matches.empty()) {
+          COLR_RETURN_IF_ERROR(table->Update(matches.front(), record.row));
+        }
+        break;
+      }
+      case WalOp::kDelete: {
+        const auto matches = table->Find(
+            [&record](const rel::Row& r) { return r == record.row; });
+        if (!matches.empty()) {
+          COLR_RETURN_IF_ERROR(table->Delete(matches.front()));
+        }
+        break;
+      }
+    }
+    ++applied;
+  }
+  return applied;
+}
+
+}  // namespace colr::storage

@@ -1,0 +1,75 @@
+#ifndef COLR_STORAGE_WAL_H_
+#define COLR_STORAGE_WAL_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "relational/table.h"
+
+namespace colr::storage {
+
+/// Logical write-ahead log for relational tables. Each record frames a
+/// single table mutation:
+///
+///   u32 length | u32 crc | u8 op | u32 name-len | name |
+///   i64 row-id | encoded row [| encoded old row for updates]
+///
+/// Appends are flushed per Append() call; a torn final record (crash
+/// mid-write) is detected by the length/checksum and replay stops
+/// cleanly before it. Combined with CheckpointDatabase this gives the
+/// standard checkpoint + log-replay recovery story for the portal's
+/// relational state (§VI ran on SQL Server, which does the same).
+enum class WalOp : uint8_t {
+  kInsert = 1,
+  kUpdate = 2,
+  kDelete = 3,
+};
+
+struct WalRecord {
+  WalOp op = WalOp::kInsert;
+  std::string table;
+  /// RowId at the time of logging (informational; replay re-inserts).
+  int64_t row_id = -1;
+  rel::Row row;
+  /// For updates: the pre-image.
+  rel::Row old_row;
+};
+
+/// Appends records to a log file.
+class WalWriter {
+ public:
+  ~WalWriter();
+
+  Status Open(const std::string& path);
+  void Close();
+  bool is_open() const { return file_ != nullptr; }
+
+  Status Append(const WalRecord& record);
+  int64_t records_written() const { return records_written_; }
+
+ private:
+  std::FILE* file_ = nullptr;
+  int64_t records_written_ = 0;
+};
+
+/// Reads a log file; stops silently at a torn or corrupt tail and
+/// reports how many intact records were read.
+Result<std::vector<WalRecord>> ReadWal(const std::string& path);
+
+/// Installs AFTER triggers on `table` that log every mutation to
+/// `writer`. Call once per table; `writer` must outlive the table's
+/// mutations.
+void AttachWal(rel::Table* table, WalWriter* writer);
+
+/// Re-applies a log to the (already created, schema-compatible) tables
+/// of `db`: inserts re-insert, updates find the current row matching
+/// the pre-image and replace it, deletes remove the matching row.
+/// Records for unknown tables are skipped. Returns records applied.
+Result<int64_t> ReplayWal(const std::string& path, rel::Database* db);
+
+}  // namespace colr::storage
+
+#endif  // COLR_STORAGE_WAL_H_

@@ -1,0 +1,118 @@
+#include "workload/live_local.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace colr {
+
+LiveLocalWorkload GenerateLiveLocal(const LiveLocalOptions& options) {
+  Rng rng(options.seed);
+  LiveLocalWorkload w;
+  w.extent = options.extent;
+
+  // Cities: centers uniform over the extent, spreads log-uniform.
+  std::vector<double> sigma(options.num_cities);
+  w.city_centers.reserve(options.num_cities);
+  const double log_lo = std::log(options.city_sigma_min);
+  const double log_hi = std::log(options.city_sigma_max);
+  for (int c = 0; c < options.num_cities; ++c) {
+    w.city_centers.push_back(
+        {rng.Uniform(options.extent.min_x, options.extent.max_x),
+         rng.Uniform(options.extent.min_y, options.extent.max_y)});
+    sigma[c] = std::exp(rng.Uniform(log_lo, log_hi));
+  }
+
+  auto clamp_to_extent = [&](Point p) {
+    p.x = std::clamp(p.x, options.extent.min_x, options.extent.max_x);
+    p.y = std::clamp(p.y, options.extent.min_y, options.extent.max_y);
+    return p;
+  };
+
+  // Sensors: city picked by Zipf rank, location Gaussian around it.
+  w.sensors.reserve(options.num_sensors);
+  const double log_exp_lo =
+      std::log(static_cast<double>(options.expiry_min_ms));
+  const double log_exp_hi =
+      std::log(static_cast<double>(options.expiry_max_ms));
+  for (int i = 0; i < options.num_sensors; ++i) {
+    const int city = static_cast<int>(
+        rng.Zipf(options.num_cities, options.zipf_exponent));
+    SensorInfo s;
+    s.id = static_cast<SensorId>(i);
+    s.location = clamp_to_extent(
+        {rng.Gaussian(w.city_centers[city].x, sigma[city]),
+         rng.Gaussian(w.city_centers[city].y, sigma[city])});
+    s.expiry_ms = static_cast<TimeMs>(
+        std::exp(rng.Uniform(log_exp_lo, log_exp_hi)));
+    s.availability = std::clamp(
+        1.0 - std::abs(rng.Gaussian(0.0, options.availability_sigma)),
+        options.availability_floor, 1.0);
+    w.sensors.push_back(s);
+  }
+
+  // Queries: viewports centered near popular cities, with repeats.
+  w.queries.reserve(options.num_queries);
+  std::vector<Rect> recent;
+  recent.reserve(options.repeat_window);
+  const double extent_w = options.extent.Width();
+  const double extent_h = options.extent.Height();
+  for (int q = 0; q < options.num_queries; ++q) {
+    Rect region;
+    if (!recent.empty() && rng.Bernoulli(options.repeat_probability)) {
+      region = recent[rng.UniformInt(recent.size())];
+    } else {
+      const int city = static_cast<int>(
+          rng.Zipf(options.num_cities, options.zipf_exponent));
+      const Point center = clamp_to_extent(
+          {rng.Gaussian(w.city_centers[city].x, sigma[city]),
+           rng.Gaussian(w.city_centers[city].y, sigma[city])});
+      const int zoom = options.zoom_min +
+                       static_cast<int>(rng.UniformInt(
+                           options.zoom_max - options.zoom_min + 1));
+      const double width = extent_w / std::pow(2.0, zoom);
+      const double height =
+          extent_h / std::pow(2.0, zoom) * rng.Uniform(0.7, 1.3);
+      region = Rect::FromCenter(center, width / 2.0, height / 2.0);
+      if (static_cast<int>(recent.size()) >=
+          std::max(1, options.repeat_window)) {
+        recent[rng.UniformInt(recent.size())] = region;
+      } else {
+        recent.push_back(region);
+      }
+    }
+    LiveLocalWorkload::QueryRecord rec;
+    rec.region = region;
+    rec.at = static_cast<TimeMs>(
+        rng.NextDouble() * static_cast<double>(options.duration_ms));
+    w.queries.push_back(rec);
+  }
+  std::sort(w.queries.begin(), w.queries.end(),
+            [](const LiveLocalWorkload::QueryRecord& a,
+               const LiveLocalWorkload::QueryRecord& b) {
+              return a.at < b.at;
+            });
+  return w;
+}
+
+SensorNetwork::ValueFn MakeRestaurantWaitingTimeFn(uint64_t seed) {
+  return [seed](const SensorInfo& s, TimeMs now) {
+    // Per-restaurant baseline from a hash (stable across calls).
+    uint64_t h = (static_cast<uint64_t>(s.id) + seed) *
+                 0x9E3779B97F4A7C15ull;
+    h ^= h >> 29;
+    const double base = 5.0 + static_cast<double>(h % 400) / 10.0;
+    // Shared time-of-day modulation (lunch/dinner peaks).
+    const double day_frac =
+        static_cast<double>(now % (24 * kMsPerHour)) /
+        static_cast<double>(24 * kMsPerHour);
+    const double peak = 1.0 + 0.6 * std::sin(2.0 * M_PI * day_frac) +
+                        0.3 * std::sin(4.0 * M_PI * day_frac);
+    // Deterministic per-(sensor, minute) jitter.
+    const uint64_t jh = h ^ (static_cast<uint64_t>(now / kMsPerMinute) *
+                             0xBF58476D1CE4E5B9ull);
+    const double jitter = 0.8 + 0.4 * static_cast<double>(jh % 1000) / 1000.0;
+    return std::max(0.0, base * peak * jitter);
+  };
+}
+
+}  // namespace colr

@@ -1,0 +1,77 @@
+#ifndef COLR_WORKLOAD_LIVE_LOCAL_H_
+#define COLR_WORKLOAD_LIVE_LOCAL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/rng.h"
+#include "geo/geo.h"
+#include "sensor/network.h"
+#include "sensor/sensor.h"
+
+namespace colr {
+
+/// Synthetic replacement for the proprietary Windows Live Local
+/// workload (§VII-A: ~370k YellowPages restaurants as sensors, ~106k
+/// viewport queries). The generator reproduces the statistical
+/// properties the evaluation depends on — see DESIGN.md §1:
+///  * sensors are heavily spatially skewed: Zipf-weighted "city"
+///    clusters with Gaussian spread over a US-scale extent;
+///  * queries exhibit spatial locality (hot cities are queried more)
+///    and temporal locality (recent viewports are revisited), at
+///    viewport sizes spanning many zoom levels;
+///  * sensors publish readings with heterogeneous expiry periods and
+///    heterogeneous historical availability.
+struct LiveLocalOptions {
+  int num_sensors = 370000;
+  int num_queries = 106000;
+  /// Planar degrees, roughly the continental USA.
+  Rect extent = Rect::FromCorners(-125.0, 24.0, -66.0, 49.0);
+  int num_cities = 250;
+  /// Zipf exponent for city popularity (sensor density & query skew).
+  double zipf_exponent = 1.0;
+  /// City spread (degrees) — sampled log-uniform in this range.
+  double city_sigma_min = 0.03;
+  double city_sigma_max = 0.4;
+  /// Map zoom levels: viewport width = extent width / 2^zoom.
+  int zoom_min = 3;
+  int zoom_max = 10;
+  /// Probability a query revisits a recently issued viewport
+  /// (temporal locality).
+  double repeat_probability = 0.35;
+  int repeat_window = 200;
+  /// Query trace duration; arrivals are uniform over it.
+  TimeMs duration_ms = 2 * kMsPerHour;
+  /// Sensor expiry periods: log-uniform in [min, max].
+  TimeMs expiry_min_ms = 2 * kMsPerMinute;
+  TimeMs expiry_max_ms = 16 * kMsPerMinute;
+  /// Sensor availability: 1 - |N(0, sigma)| clamped to [floor, 1].
+  double availability_sigma = 0.12;
+  double availability_floor = 0.4;
+  uint64_t seed = 0x11775EEDull;
+};
+
+struct LiveLocalWorkload {
+  struct QueryRecord {
+    TimeMs at = 0;
+    Rect region;
+  };
+
+  std::vector<SensorInfo> sensors;
+  std::vector<QueryRecord> queries;
+  Rect extent;
+  /// City centers and their Zipf weights (exposed for inspection).
+  std::vector<Point> city_centers;
+};
+
+LiveLocalWorkload GenerateLiveLocal(const LiveLocalOptions& options);
+
+/// Value model for the Restaurant Finder scenario (§I): per-restaurant
+/// baseline waiting time modulated by a shared time-of-day curve plus
+/// noise, in minutes.
+SensorNetwork::ValueFn MakeRestaurantWaitingTimeFn(uint64_t seed = 7);
+
+}  // namespace colr
+
+#endif  // COLR_WORKLOAD_LIVE_LOCAL_H_

@@ -1,0 +1,111 @@
+#include "workload/trace_io.h"
+
+#include <cstdio>
+#include <cstring>
+
+namespace colr {
+
+namespace {
+
+class FileCloser {
+ public:
+  explicit FileCloser(std::FILE* f) : f_(f) {}
+  ~FileCloser() {
+    if (f_ != nullptr) std::fclose(f_);
+  }
+  std::FILE* get() { return f_; }
+
+ private:
+  std::FILE* f_;
+};
+
+}  // namespace
+
+Status SaveSensorCatalog(const std::vector<SensorInfo>& sensors,
+                         const std::string& path) {
+  FileCloser f(std::fopen(path.c_str(), "w"));
+  if (f.get() == nullptr) return Status::IoError("cannot open " + path);
+  std::fprintf(f.get(), "id,x,y,expiry_ms,availability\n");
+  for (const SensorInfo& s : sensors) {
+    std::fprintf(f.get(), "%u,%.17g,%.17g,%lld,%.17g\n", s.id,
+                 s.location.x, s.location.y,
+                 static_cast<long long>(s.expiry_ms), s.availability);
+  }
+  if (std::fflush(f.get()) != 0) return Status::IoError("flush " + path);
+  return Status::OK();
+}
+
+Result<std::vector<SensorInfo>> LoadSensorCatalog(
+    const std::string& path) {
+  FileCloser f(std::fopen(path.c_str(), "r"));
+  if (f.get() == nullptr) return Status::IoError("cannot open " + path);
+  char line[512];
+  if (std::fgets(line, sizeof(line), f.get()) == nullptr ||
+      std::strncmp(line, "id,x,y,", 7) != 0) {
+    return Status::InvalidArgument("missing sensor catalog header");
+  }
+  std::vector<SensorInfo> sensors;
+  int lineno = 1;
+  while (std::fgets(line, sizeof(line), f.get()) != nullptr) {
+    ++lineno;
+    if (line[0] == '\n' || line[0] == '\0') continue;
+    SensorInfo s;
+    unsigned id = 0;
+    long long expiry = 0;
+    if (std::sscanf(line, "%u,%lf,%lf,%lld,%lf", &id, &s.location.x,
+                    &s.location.y, &expiry, &s.availability) != 5) {
+      return Status::InvalidArgument("bad sensor row at line " +
+                                     std::to_string(lineno));
+    }
+    s.id = static_cast<SensorId>(id);
+    s.expiry_ms = static_cast<TimeMs>(expiry);
+    sensors.push_back(s);
+  }
+  return sensors;
+}
+
+Status SaveQueryTrace(
+    const std::vector<LiveLocalWorkload::QueryRecord>& queries,
+    const std::string& path) {
+  FileCloser f(std::fopen(path.c_str(), "w"));
+  if (f.get() == nullptr) return Status::IoError("cannot open " + path);
+  std::fprintf(f.get(), "at_ms,min_x,min_y,max_x,max_y\n");
+  for (const auto& q : queries) {
+    std::fprintf(f.get(), "%lld,%.17g,%.17g,%.17g,%.17g\n",
+                 static_cast<long long>(q.at), q.region.min_x,
+                 q.region.min_y, q.region.max_x, q.region.max_y);
+  }
+  if (std::fflush(f.get()) != 0) return Status::IoError("flush " + path);
+  return Status::OK();
+}
+
+Result<std::vector<LiveLocalWorkload::QueryRecord>> LoadQueryTrace(
+    const std::string& path) {
+  FileCloser f(std::fopen(path.c_str(), "r"));
+  if (f.get() == nullptr) return Status::IoError("cannot open " + path);
+  char line[512];
+  if (std::fgets(line, sizeof(line), f.get()) == nullptr ||
+      std::strncmp(line, "at_ms,", 6) != 0) {
+    return Status::InvalidArgument("missing query trace header");
+  }
+  std::vector<LiveLocalWorkload::QueryRecord> queries;
+  int lineno = 1;
+  while (std::fgets(line, sizeof(line), f.get()) != nullptr) {
+    ++lineno;
+    if (line[0] == '\n' || line[0] == '\0') continue;
+    long long at = 0;
+    double x0, y0, x1, y1;
+    if (std::sscanf(line, "%lld,%lf,%lf,%lf,%lf", &at, &x0, &y0, &x1,
+                    &y1) != 5) {
+      return Status::InvalidArgument("bad query row at line " +
+                                     std::to_string(lineno));
+    }
+    LiveLocalWorkload::QueryRecord rec;
+    rec.at = static_cast<TimeMs>(at);
+    rec.region = Rect::FromCorners(x0, y0, x1, y1);
+    queries.push_back(rec);
+  }
+  return queries;
+}
+
+}  // namespace colr

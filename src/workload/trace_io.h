@@ -1,0 +1,34 @@
+#ifndef COLR_WORKLOAD_TRACE_IO_H_
+#define COLR_WORKLOAD_TRACE_IO_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "sensor/sensor.h"
+#include "workload/live_local.h"
+
+namespace colr {
+
+/// CSV persistence for workload artifacts, so a generated experiment
+/// input can be saved, shared and replayed byte-identically (the
+/// synthetic stand-in for the paper's Windows Live Local trace files).
+///
+/// Sensor catalog format (header line included):
+///   id,x,y,expiry_ms,availability
+/// Query trace format:
+///   at_ms,min_x,min_y,max_x,max_y
+
+Status SaveSensorCatalog(const std::vector<SensorInfo>& sensors,
+                         const std::string& path);
+Result<std::vector<SensorInfo>> LoadSensorCatalog(const std::string& path);
+
+Status SaveQueryTrace(
+    const std::vector<LiveLocalWorkload::QueryRecord>& queries,
+    const std::string& path);
+Result<std::vector<LiveLocalWorkload::QueryRecord>> LoadQueryTrace(
+    const std::string& path);
+
+}  // namespace colr
+
+#endif  // COLR_WORKLOAD_TRACE_IO_H_

@@ -1,0 +1,72 @@
+#include "workload/usgs_field.h"
+
+#include <cmath>
+
+namespace colr {
+
+UsgsField::UsgsField() : UsgsField(Options()) {}
+
+UsgsField::UsgsField(const Options& options) : options_(options) {
+  Rng rng(options_.seed);
+  bumps_.reserve(options_.num_basins);
+  for (int i = 0; i < options_.num_basins; ++i) {
+    Bump b;
+    b.center = {rng.Uniform(options_.extent.min_x, options_.extent.max_x),
+                rng.Uniform(options_.extent.min_y, options_.extent.max_y)};
+    b.sigma = rng.Uniform(0.4, 1.2);
+    b.amplitude = rng.Uniform(0.3, 1.0) * options_.bump_amplitude;
+    bumps_.push_back(b);
+  }
+  sensors_.reserve(options_.num_sensors);
+  for (int i = 0; i < options_.num_sensors; ++i) {
+    SensorInfo s;
+    s.id = static_cast<SensorId>(i);
+    s.location = {rng.Uniform(options_.extent.min_x, options_.extent.max_x),
+                  rng.Uniform(options_.extent.min_y, options_.extent.max_y)};
+    s.expiry_ms = options_.expiry_ms;
+    s.availability = options_.availability;
+    sensors_.push_back(s);
+  }
+}
+
+double UsgsField::FieldValue(const Point& p, TimeMs now) const {
+  // Slow seasonal/diurnal modulation shared by the whole field.
+  const double t = static_cast<double>(now) /
+                   static_cast<double>(6 * kMsPerHour);
+  const double modulation = 1.0 + 0.15 * std::sin(2.0 * M_PI * t);
+  double v = options_.base_discharge;
+  for (const Bump& b : bumps_) {
+    const double d2 = SquaredDistance(p, b.center);
+    v += b.amplitude * std::exp(-d2 / (2.0 * b.sigma * b.sigma));
+  }
+  return v * modulation;
+}
+
+SensorNetwork::ValueFn UsgsField::ValueFn() const {
+  // Capture by value: the field object may outlive callers' copies of
+  // the function, not vice versa.
+  const UsgsField* field = this;
+  const double noise = options_.noise_fraction;
+  return [field, noise](const SensorInfo& s, TimeMs now) {
+    const double v = field->FieldValue(s.location, now);
+    // Deterministic per-(gauge, minute) noise.
+    uint64_t h = (static_cast<uint64_t>(s.id) * 0x9E3779B97F4A7C15ull) ^
+                 (static_cast<uint64_t>(now / kMsPerMinute) *
+                  0xBF58476D1CE4E5B9ull);
+    h ^= h >> 31;
+    const double u =
+        static_cast<double>(h % 10000) / 10000.0 * 2.0 - 1.0;  // [-1, 1)
+    return v * (1.0 + noise * u);
+  };
+}
+
+double UsgsField::TrueAverage(TimeMs now) const {
+  double sum = 0.0;
+  for (const SensorInfo& s : sensors_) {
+    sum += FieldValue(s.location, now);
+  }
+  return sensors_.empty() ? 0.0
+                          : sum / static_cast<double>(sensors_.size());
+}
+
+}  // namespace colr

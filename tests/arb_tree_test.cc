@@ -1,0 +1,140 @@
+#include "rtree/arb_tree.h"
+
+#include "common/rng.h"
+#include "gtest/gtest.h"
+#include "sensor/network.h"
+
+namespace colr {
+namespace {
+
+constexpr TimeMs kMin = kMsPerMinute;
+
+struct Rig {
+  explicit Rig(int n, uint64_t seed, TimeMs bucket = kMin) {
+    Rng rng(seed);
+    sensors = MakeUniformSensors(n, Rect::FromCorners(0, 0, 100, 100),
+                                 5 * kMin, 1.0, rng);
+    ArbTree::Options opts;
+    opts.cluster.fanout = 4;
+    opts.cluster.leaf_capacity = 8;
+    opts.bucket_ms = bucket;
+    tree = std::make_unique<ArbTree>(sensors, opts);
+  }
+
+  /// Brute force over the recorded history at bucket granularity.
+  Aggregate BruteForce(const Rect& region, TimeMs t1, TimeMs t2) const {
+    Aggregate agg;
+    const TimeMs bucket = tree->bucket_ms();
+    const int64_t b1 = std::min(t1, t2) / bucket;
+    const int64_t b2 = std::max(t1, t2) / bucket;
+    for (const Reading& r : history) {
+      const int64_t b = r.timestamp / bucket;
+      if (b < b1 || b > b2) continue;
+      if (region.Contains(sensors[r.sensor].location)) agg.Add(r.value);
+    }
+    return agg;
+  }
+
+  void Record(const Reading& r) {
+    tree->Record(r);
+    history.push_back(r);
+  }
+
+  std::vector<SensorInfo> sensors;
+  std::unique_ptr<ArbTree> tree;
+  std::vector<Reading> history;
+};
+
+TEST(ArbTreeTest, EmptyTree) {
+  Rig rig(100, 1);
+  const Aggregate agg =
+      rig.tree->Query(Rect::FromCorners(0, 0, 100, 100), 0, kMsPerHour);
+  EXPECT_TRUE(agg.empty());
+  EXPECT_TRUE(rig.tree->CheckInvariants().ok());
+}
+
+TEST(ArbTreeTest, SingleReadingFoundInItsBucketOnly) {
+  Rig rig(100, 2);
+  rig.Record({rig.sensors[0].id, 90'000, 150'000, 7.0});  // bucket 1
+  const Rect all = Rect::FromCorners(0, 0, 100, 100);
+  EXPECT_EQ(rig.tree->Query(all, kMin, 2 * kMin - 1).count, 1);
+  EXPECT_EQ(rig.tree->Query(all, 0, 10 * kMin).count, 1);
+  EXPECT_EQ(rig.tree->Query(all, 2 * kMin, 5 * kMin).count, 0);
+  EXPECT_EQ(rig.tree->Query(all, 0, kMin - 1).count, 0);
+  EXPECT_TRUE(rig.tree->CheckInvariants().ok());
+}
+
+TEST(ArbTreeTest, RandomHistoryMatchesBruteForce) {
+  Rig rig(300, 3);
+  Rng rng(4);
+  for (int i = 0; i < 3000; ++i) {
+    const SensorId sid = static_cast<SensorId>(rng.UniformInt(300));
+    const TimeMs ts = static_cast<TimeMs>(rng.UniformInt(2 * kMsPerHour));
+    rig.Record({sid, ts, ts + 5 * kMin, rng.Uniform(-5, 5)});
+  }
+  ASSERT_TRUE(rig.tree->CheckInvariants().ok());
+  for (int q = 0; q < 60; ++q) {
+    const double x = rng.Uniform(0, 80);
+    const double y = rng.Uniform(0, 80);
+    const Rect region =
+        Rect::FromCorners(x, y, x + rng.Uniform(5, 30),
+                          y + rng.Uniform(5, 30));
+    const TimeMs t1 = static_cast<TimeMs>(rng.UniformInt(kMsPerHour));
+    const TimeMs t2 = t1 + static_cast<TimeMs>(rng.UniformInt(kMsPerHour));
+    const Aggregate got = rig.tree->Query(region, t1, t2);
+    const Aggregate want = rig.BruteForce(region, t1, t2);
+    ASSERT_EQ(got.count, want.count) << "query " << q;
+    ASSERT_NEAR(got.sum, want.sum, 1e-9);
+    if (want.count > 0) {
+      ASSERT_DOUBLE_EQ(got.min, want.min);
+      ASSERT_DOUBLE_EQ(got.max, want.max);
+    }
+  }
+}
+
+TEST(ArbTreeTest, FullyCoveredNodesAnswerFromTimelines) {
+  Rig rig(500, 5);
+  Rng rng(6);
+  for (int i = 0; i < 2000; ++i) {
+    const SensorId sid = static_cast<SensorId>(rng.UniformInt(500));
+    const TimeMs ts = static_cast<TimeMs>(rng.UniformInt(kMsPerHour));
+    rig.Record({sid, ts, ts + kMin, 1.0});
+  }
+  // The whole extent: answered at the root without visiting leaves.
+  int64_t visited = 0;
+  const Aggregate agg = rig.tree->Query(
+      Rect::FromCorners(-1, -1, 101, 101), 0, kMsPerHour, &visited);
+  EXPECT_EQ(agg.count, 2000);
+  EXPECT_EQ(visited, 1);  // just the root
+}
+
+TEST(ArbTreeTest, BucketGranularitySweep) {
+  for (TimeMs bucket : {TimeMs{1000}, kMin, 10 * kMin}) {
+    Rig rig(200, 7, bucket);
+    Rng rng(8 + bucket);
+    for (int i = 0; i < 1000; ++i) {
+      const SensorId sid = static_cast<SensorId>(rng.UniformInt(200));
+      const TimeMs ts = static_cast<TimeMs>(rng.UniformInt(kMsPerHour));
+      rig.Record({sid, ts, ts + kMin, rng.NextDouble()});
+    }
+    ASSERT_TRUE(rig.tree->CheckInvariants().ok()) << bucket;
+    const Rect region = Rect::FromCorners(20, 20, 70, 70);
+    const Aggregate got = rig.tree->Query(region, 10 * kMin, 40 * kMin);
+    const Aggregate want = rig.BruteForce(region, 10 * kMin, 40 * kMin);
+    EXPECT_EQ(got.count, want.count) << bucket;
+  }
+}
+
+TEST(ArbTreeTest, HistoryIsAppendOnlyUnlikeColr) {
+  // The defining difference from COLR-Tree: readings never expire.
+  Rig rig(100, 9);
+  rig.Record({rig.sensors[0].id, 0, kMin, 3.0});
+  // Days later, the reading is still queryable in its bucket.
+  const Aggregate agg = rig.tree->Query(
+      Rect::FromCorners(0, 0, 100, 100), 0, 48 * kMsPerHour);
+  EXPECT_EQ(agg.count, 1);
+  EXPECT_EQ(rig.tree->num_readings(), 1u);
+}
+
+}  // namespace
+}  // namespace colr

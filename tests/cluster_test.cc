@@ -1,0 +1,269 @@
+#include <algorithm>
+#include <set>
+
+#include "cluster/cluster_tree.h"
+#include "cluster/kmeans.h"
+#include "cluster/str_pack.h"
+#include "common/rng.h"
+#include "gtest/gtest.h"
+
+namespace colr {
+namespace {
+
+std::vector<Point> RandomPoints(int n, Rng& rng, double span = 100.0) {
+  std::vector<Point> pts;
+  pts.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    pts.push_back({rng.Uniform(0, span), rng.Uniform(0, span)});
+  }
+  return pts;
+}
+
+// ---------------------------------------------------------------------------
+// KMeans
+// ---------------------------------------------------------------------------
+
+TEST(KMeansTest, TrivialCases) {
+  Rng rng(1);
+  EXPECT_TRUE(KMeans({}, 3, rng).centroids.empty());
+  std::vector<Point> pts = {{1, 1}, {2, 2}};
+  auto r = KMeans(pts, 5, rng);
+  EXPECT_EQ(r.centroids.size(), 2u);  // k >= n: one cluster per point
+  EXPECT_EQ(r.assignment[0], 0);
+  EXPECT_EQ(r.assignment[1], 1);
+}
+
+TEST(KMeansTest, SeparatesObviousClusters) {
+  Rng rng(2);
+  std::vector<Point> pts;
+  for (int i = 0; i < 50; ++i) pts.push_back({rng.Gaussian(0, 1),
+                                              rng.Gaussian(0, 1)});
+  for (int i = 0; i < 50; ++i) pts.push_back({rng.Gaussian(100, 1),
+                                              rng.Gaussian(100, 1)});
+  auto r = KMeans(pts, 2, rng);
+  // All points in the first blob share a cluster, ditto the second,
+  // and the two clusters differ.
+  for (int i = 1; i < 50; ++i) EXPECT_EQ(r.assignment[i], r.assignment[0]);
+  for (int i = 51; i < 100; ++i) {
+    EXPECT_EQ(r.assignment[i], r.assignment[50]);
+  }
+  EXPECT_NE(r.assignment[0], r.assignment[50]);
+}
+
+TEST(KMeansTest, AssignmentsInRangeAndClustersNonEmpty) {
+  Rng rng(3);
+  auto pts = RandomPoints(500, rng);
+  for (int k : {2, 5, 13}) {
+    auto r = KMeans(pts, k, rng);
+    ASSERT_EQ(r.centroids.size(), static_cast<size_t>(k));
+    std::vector<int> counts(k, 0);
+    for (int a : r.assignment) {
+      ASSERT_GE(a, 0);
+      ASSERT_LT(a, k);
+      ++counts[a];
+    }
+    for (int c : counts) EXPECT_GT(c, 0);
+  }
+}
+
+TEST(KMeansTest, CoincidentPointsDoNotCrash) {
+  Rng rng(4);
+  std::vector<Point> pts(100, Point{5, 5});
+  auto r = KMeans(pts, 4, rng);
+  EXPECT_EQ(r.centroids.size(), 4u);
+  EXPECT_EQ(r.assignment.size(), 100u);
+}
+
+TEST(KMeansTest, InertiaDecreasesWithMoreClusters) {
+  Rng rng(5);
+  auto pts = RandomPoints(400, rng);
+  KMeansOptions opts;
+  opts.max_iterations = 40;
+  const double i2 = KMeans(pts, 2, rng, opts).inertia;
+  const double i8 = KMeans(pts, 8, rng, opts).inertia;
+  const double i32 = KMeans(pts, 32, rng, opts).inertia;
+  EXPECT_GT(i2, i8);
+  EXPECT_GT(i8, i32);
+}
+
+TEST(KMeansTest, SubsetOnlyTouchesGivenIndices) {
+  Rng rng(6);
+  auto pts = RandomPoints(100, rng);
+  std::vector<int> subset = {3, 7, 11, 20, 50, 90};
+  auto r = KMeansSubset(pts, subset, 2, rng);
+  EXPECT_EQ(r.assignment.size(), subset.size());
+}
+
+// ---------------------------------------------------------------------------
+// STR packing
+// ---------------------------------------------------------------------------
+
+TEST(StrPackTest, GroupsPartitionInput) {
+  Rng rng(7);
+  auto pts = RandomPoints(1000, rng);
+  auto groups = StrPack(pts, 16);
+  std::set<int> seen;
+  for (const auto& g : groups) {
+    EXPECT_LE(g.size(), 16u);
+    EXPECT_FALSE(g.empty());
+    for (int idx : g) {
+      EXPECT_TRUE(seen.insert(idx).second) << "duplicate index";
+    }
+  }
+  EXPECT_EQ(seen.size(), 1000u);
+}
+
+TEST(StrPackTest, EmptyAndSmallInputs) {
+  EXPECT_TRUE(StrPack({}, 8).empty());
+  std::vector<Point> one = {{1, 2}};
+  auto groups = StrPack(one, 8);
+  ASSERT_EQ(groups.size(), 1u);
+  EXPECT_EQ(groups[0].size(), 1u);
+}
+
+TEST(StrPackTest, SpatialLocalityOfGroups) {
+  // On a uniform grid, STR groups should have far smaller bounding
+  // boxes than the whole extent.
+  std::vector<Point> pts;
+  for (int x = 0; x < 40; ++x) {
+    for (int y = 0; y < 40; ++y) {
+      pts.push_back({static_cast<double>(x), static_cast<double>(y)});
+    }
+  }
+  auto groups = StrPack(pts, 16);
+  double total_area = 0.0;
+  for (const auto& g : groups) {
+    Rect r = Rect::Empty();
+    for (int idx : g) r.Expand(pts[idx]);
+    total_area += r.Area();
+  }
+  // 100 groups of 16 over a 40x40 grid: combined area well under the
+  // extent area (1600); a random grouping would approach 100x1600.
+  EXPECT_LT(total_area, 1600.0 * 2.0);
+}
+
+// ---------------------------------------------------------------------------
+// ClusterTree
+// ---------------------------------------------------------------------------
+
+TEST(ClusterTreeTest, EmptyInput) {
+  ClusterTree t = BuildClusterTree({});
+  EXPECT_EQ(t.root, -1);
+  EXPECT_EQ(t.NumItems(), 0);
+}
+
+TEST(ClusterTreeTest, SingleLeafWhenSmall) {
+  Rng rng(8);
+  auto pts = RandomPoints(10, rng);
+  ClusterTreeOptions opts;
+  opts.leaf_capacity = 32;
+  ClusterTree t = BuildClusterTree(pts, opts);
+  ASSERT_EQ(t.root, 0);
+  EXPECT_TRUE(t.node(0).IsLeaf());
+  EXPECT_EQ(t.node(0).Weight(), 10);
+  EXPECT_EQ(t.height, 1);
+  EXPECT_TRUE(t.Validate(pts).ok());
+}
+
+TEST(ClusterTreeTest, InvariantsOnRandomInput) {
+  Rng rng(9);
+  for (int n : {100, 1000, 5000}) {
+    auto pts = RandomPoints(n, rng);
+    ClusterTreeOptions opts;
+    opts.fanout = 6;
+    opts.leaf_capacity = 20;
+    opts.seed = 42 + n;
+    ClusterTree t = BuildClusterTree(pts, opts);
+    ASSERT_TRUE(t.Validate(pts).ok()) << "n=" << n;
+    // Every leaf respects the capacity.
+    for (const auto& node : t.nodes) {
+      if (node.IsLeaf()) {
+        EXPECT_LE(node.Weight(), opts.leaf_capacity);
+        EXPECT_GT(node.Weight(), 0);
+      } else {
+        EXPECT_GE(static_cast<int>(node.children.size()), 2);
+        EXPECT_LE(static_cast<int>(node.children.size()), opts.fanout);
+      }
+    }
+  }
+}
+
+TEST(ClusterTreeTest, CoincidentPointsStillSplit) {
+  std::vector<Point> pts(200, Point{1, 1});
+  ClusterTreeOptions opts;
+  opts.leaf_capacity = 10;
+  ClusterTree t = BuildClusterTree(pts, opts);
+  EXPECT_TRUE(t.Validate(pts).ok());
+  for (const auto& node : t.nodes) {
+    if (node.IsLeaf()) {
+      EXPECT_LE(node.Weight(), 10);
+    }
+  }
+}
+
+TEST(ClusterTreeTest, NodesAtLevelAndItemsUnder) {
+  Rng rng(10);
+  auto pts = RandomPoints(500, rng);
+  ClusterTreeOptions opts;
+  opts.leaf_capacity = 16;
+  ClusterTree t = BuildClusterTree(pts, opts);
+  auto level0 = t.NodesAtLevel(0);
+  ASSERT_EQ(level0.size(), 1u);
+  EXPECT_EQ(level0[0], t.root);
+  auto items = t.ItemsUnder(t.root);
+  EXPECT_EQ(items.size(), 500u);
+  // Weights at each level sum to the total.
+  for (int lvl = 0; lvl < t.height; ++lvl) {
+    int total = 0;
+    bool level_complete = true;
+    for (int id : t.NodesAtLevel(lvl)) {
+      total += t.node(id).Weight();
+    }
+    // Leaves can end above the max level, so totals at deeper levels
+    // may be smaller; level 0 must be exact.
+    if (lvl == 0) {
+      EXPECT_EQ(total, 500);
+    } else {
+      EXPECT_LE(total, 500);
+    }
+    (void)level_complete;
+  }
+}
+
+TEST(ClusterTreeTest, SpatialClusteringQuality) {
+  // Two far-apart blobs must not share a level-1 node.
+  Rng rng(11);
+  std::vector<Point> pts;
+  for (int i = 0; i < 200; ++i) {
+    pts.push_back({rng.Gaussian(0, 1), rng.Gaussian(0, 1)});
+  }
+  for (int i = 0; i < 200; ++i) {
+    pts.push_back({rng.Gaussian(1000, 1), rng.Gaussian(1000, 1)});
+  }
+  ClusterTreeOptions opts;
+  opts.fanout = 4;
+  opts.leaf_capacity = 16;
+  ClusterTree t = BuildClusterTree(pts, opts);
+  for (int id : t.NodesAtLevel(1)) {
+    const Rect& b = t.node(id).bbox;
+    const bool spans_both = b.Width() > 500.0 || b.Height() > 500.0;
+    EXPECT_FALSE(spans_both) << "level-1 node spans both blobs";
+  }
+}
+
+TEST(ClusterTreeTest, DeterministicForSameSeed) {
+  Rng rng(12);
+  auto pts = RandomPoints(300, rng);
+  ClusterTreeOptions opts;
+  opts.seed = 777;
+  ClusterTree a = BuildClusterTree(pts, opts);
+  ClusterTree b = BuildClusterTree(pts, opts);
+  ASSERT_EQ(a.nodes.size(), b.nodes.size());
+  EXPECT_EQ(a.item_order, b.item_order);
+  for (size_t i = 0; i < a.nodes.size(); ++i) {
+    EXPECT_TRUE(a.nodes[i].bbox == b.nodes[i].bbox);
+  }
+}
+
+}  // namespace
+}  // namespace colr

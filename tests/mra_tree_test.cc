@@ -1,0 +1,129 @@
+#include "rtree/mra_tree.h"
+
+#include "common/rng.h"
+#include "gtest/gtest.h"
+
+namespace colr {
+namespace {
+
+std::vector<MraTree::Entry> RandomEntries(int n, Rng& rng,
+                                          double span = 100.0) {
+  std::vector<MraTree::Entry> entries;
+  entries.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    entries.push_back({{rng.Uniform(0, span), rng.Uniform(0, span)},
+                       rng.Uniform(0, 10)});
+  }
+  return entries;
+}
+
+Aggregate BruteForce(const std::vector<MraTree::Entry>& entries,
+                     const Rect& region) {
+  Aggregate agg;
+  for (const auto& e : entries) {
+    if (region.Contains(e.location)) agg.Add(e.value);
+  }
+  return agg;
+}
+
+TEST(MraTreeTest, EmptyAndTiny) {
+  MraTree empty({});
+  EXPECT_EQ(empty.num_entries(), 0u);
+  auto est = empty.Query(Rect::FromCorners(0, 0, 1, 1), 10);
+  EXPECT_DOUBLE_EQ(est.count, 0.0);
+
+  MraTree one({{{5, 5}, 3.0}});
+  EXPECT_TRUE(one.CheckInvariants().ok());
+  auto hit = one.Query(Rect::FromCorners(0, 0, 10, 10), -1);
+  EXPECT_DOUBLE_EQ(hit.count, 1.0);
+  EXPECT_DOUBLE_EQ(hit.sum, 3.0);
+}
+
+TEST(MraTreeTest, InvariantsAndExactMatchBruteForce) {
+  Rng rng(1);
+  auto entries = RandomEntries(5000, rng);
+  MraTree tree(entries);
+  ASSERT_TRUE(tree.CheckInvariants().ok());
+  for (int q = 0; q < 100; ++q) {
+    const double x = rng.Uniform(0, 90);
+    const double y = rng.Uniform(0, 90);
+    const Rect region =
+        Rect::FromCorners(x, y, x + rng.Uniform(1, 40),
+                          y + rng.Uniform(1, 40));
+    const Aggregate exact = tree.Exact(region);
+    const Aggregate brute = BruteForce(entries, region);
+    ASSERT_EQ(exact.count, brute.count);
+    ASSERT_NEAR(exact.sum, brute.sum, 1e-9);
+  }
+}
+
+TEST(MraTreeTest, UnlimitedBudgetIsExact) {
+  Rng rng(2);
+  auto entries = RandomEntries(3000, rng);
+  MraTree tree(entries);
+  for (int q = 0; q < 50; ++q) {
+    const Rect region = Rect::FromCorners(
+        rng.Uniform(0, 60), rng.Uniform(0, 60), rng.Uniform(40, 100),
+        rng.Uniform(40, 100));
+    const Aggregate brute = BruteForce(entries, region);
+    const auto est = tree.Query(region, /*node_budget=*/-1);
+    EXPECT_NEAR(est.count, static_cast<double>(brute.count), 1e-6);
+    EXPECT_NEAR(est.sum, brute.sum, 1e-6);
+    EXPECT_NEAR(est.count_lower, est.count_upper, 1e-6);
+  }
+}
+
+TEST(MraTreeTest, BoundsContainTruthAtEveryBudget) {
+  Rng rng(3);
+  auto entries = RandomEntries(4000, rng);
+  MraTree tree(entries);
+  const Rect region = Rect::FromCorners(13, 17, 71, 64);
+  const Aggregate brute = BruteForce(entries, region);
+  for (int budget : {1, 3, 10, 30, 100, 300, 1000}) {
+    const auto est = tree.Query(region, budget);
+    EXPECT_LE(est.count_lower, brute.count + 1e-9) << budget;
+    EXPECT_GE(est.count_upper, brute.count - 1e-9) << budget;
+    EXPECT_LE(est.sum_lower, brute.sum + 1e-9) << budget;
+    EXPECT_GE(est.sum_upper, brute.sum - 1e-9) << budget;
+    EXPECT_LE(est.nodes_visited, budget + 16);  // one refinement step
+  }
+}
+
+TEST(MraTreeTest, BoundsTightenWithBudget) {
+  Rng rng(4);
+  auto entries = RandomEntries(6000, rng);
+  MraTree tree(entries);
+  const Rect region = Rect::FromCorners(22, 8, 77, 55);
+  double prev_span = 1e18;
+  for (int budget : {2, 8, 32, 128, 512}) {
+    const auto est = tree.Query(region, budget);
+    const double span = est.count_upper - est.count_lower;
+    EXPECT_LE(span, prev_span + 1e-9) << budget;
+    prev_span = span;
+  }
+  EXPECT_LT(prev_span, 1.0);  // essentially exact by 512 nodes
+}
+
+TEST(MraTreeTest, EstimateCloseUnderUniformity) {
+  // Uniform data: even a tiny budget estimates the count well.
+  Rng rng(5);
+  auto entries = RandomEntries(10000, rng);
+  MraTree tree(entries);
+  const Rect region = Rect::FromCorners(10, 10, 60, 60);
+  const Aggregate brute = BruteForce(entries, region);
+  const auto est = tree.Query(region, 10);
+  EXPECT_NEAR(est.count, static_cast<double>(brute.count),
+              0.15 * brute.count);
+}
+
+TEST(MraTreeTest, AvgEstimate) {
+  Rng rng(6);
+  auto entries = RandomEntries(2000, rng);
+  MraTree tree(entries);
+  const auto est = tree.Query(Rect::FromCorners(0, 0, 100, 100), 50);
+  // Values uniform in [0, 10): mean ~5.
+  EXPECT_NEAR(est.AvgEstimate(), 5.0, 0.5);
+}
+
+}  // namespace
+}  // namespace colr

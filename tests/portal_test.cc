@@ -1,0 +1,370 @@
+#include "portal/portal.h"
+
+#include <memory>
+
+#include "common/rng.h"
+#include "gtest/gtest.h"
+#include "portal/lexer.h"
+#include "portal/parser.h"
+#include "sensor/network.h"
+
+namespace colr::portal {
+namespace {
+
+constexpr TimeMs kMin = kMsPerMinute;
+
+// ---------------------------------------------------------------------------
+// Lexer
+// ---------------------------------------------------------------------------
+
+TEST(LexerTest, TokenizesTheQueryLanguage) {
+  auto tokens = Tokenize("SELECT count(*) FROM sensor S");
+  ASSERT_TRUE(tokens.ok());
+  ASSERT_EQ(tokens->size(), 9u);  // incl. kEnd
+  EXPECT_EQ((*tokens)[0].type, TokenType::kKeyword);
+  EXPECT_EQ((*tokens)[0].text, "SELECT");
+  EXPECT_EQ((*tokens)[1].text, "COUNT");
+  EXPECT_EQ((*tokens)[2].type, TokenType::kLParen);
+  EXPECT_EQ((*tokens)[3].type, TokenType::kStar);
+  EXPECT_EQ((*tokens)[6].type, TokenType::kIdentifier);
+  EXPECT_EQ((*tokens)[6].text, "sensor");
+  EXPECT_EQ((*tokens)[8].type, TokenType::kEnd);
+}
+
+TEST(LexerTest, KeywordsCaseInsensitiveIdentifiersKeepCase) {
+  auto tokens = Tokenize("select MyTable");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].text, "SELECT");
+  EXPECT_EQ((*tokens)[1].text, "MyTable");
+}
+
+TEST(LexerTest, NumbersAndSigns) {
+  auto tokens = Tokenize("-122.5 47 10");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].type, TokenType::kMinus);
+  EXPECT_DOUBLE_EQ((*tokens)[1].number, 122.5);
+  EXPECT_DOUBLE_EQ((*tokens)[2].number, 47.0);
+  EXPECT_DOUBLE_EQ((*tokens)[3].number, 10.0);
+}
+
+TEST(LexerTest, DotDisambiguation) {
+  // Member access keeps the dot token...
+  auto member = Tokenize("S.time");
+  ASSERT_TRUE(member.ok());
+  EXPECT_EQ((*member)[1].type, TokenType::kDot);
+  EXPECT_EQ((*member)[2].text, "TIME");
+}
+
+TEST(LexerTest, RejectsGarbage) {
+  EXPECT_FALSE(Tokenize("SELECT @ FROM x").ok());
+}
+
+TEST(LexerTest, PositionsAreOneBased) {
+  auto tokens = Tokenize("SELECT *");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].position, 1);
+  EXPECT_EQ((*tokens)[1].position, 8);
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+TEST(ParserTest, PaperExampleQuery) {
+  // The exact query from §III-B of the paper (POLYGON with lat/long
+  // vertex list).
+  auto q = Parse(
+      "SELECT count(*) FROM sensor S "
+      "WHERE S.location WITHIN Polygon((47.5 -122.3, 47.7 -122.3, "
+      "47.6 -122.0)) "
+      "AND S.time BETWEEN now()-10 AND now() mins "
+      "CLUSTER 10 miles "
+      "SAMPLESIZE 30");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_FALSE(q->select_star);
+  EXPECT_EQ(q->agg, AggregateKind::kCount);
+  ASSERT_TRUE(q->polygon.has_value());
+  EXPECT_EQ(q->polygon->vertices().size(), 3u);
+  EXPECT_EQ(q->staleness_ms, 10 * kMin);
+  EXPECT_DOUBLE_EQ(q->cluster_distance, 10.0);
+  EXPECT_EQ(q->sample_size, 30);
+}
+
+TEST(ParserTest, AllAggregates) {
+  for (const auto& [text, kind] :
+       std::vector<std::pair<const char*, AggregateKind>>{
+           {"COUNT", AggregateKind::kCount},
+           {"SUM", AggregateKind::kSum},
+           {"AVG", AggregateKind::kAvg},
+           {"MIN", AggregateKind::kMin},
+           {"MAX", AggregateKind::kMax}}) {
+    auto q = Parse(std::string("SELECT ") + text + "(*) FROM sensor");
+    ASSERT_TRUE(q.ok()) << text;
+    EXPECT_EQ(q->agg, kind);
+  }
+}
+
+TEST(ParserTest, SelectStar) {
+  auto q = Parse("SELECT * FROM sensor WHERE location WITHIN "
+                 "RECT(0, 0, 10, 10)");
+  ASSERT_TRUE(q.ok());
+  EXPECT_TRUE(q->select_star);
+  ASSERT_TRUE(q->rect.has_value());
+  EXPECT_DOUBLE_EQ(q->rect->max_x, 10.0);
+}
+
+TEST(ParserTest, RectNormalizesCorners) {
+  auto q = Parse("SELECT * FROM sensor WHERE location WITHIN "
+                 "RECT(10, 20, -5, 2)");
+  ASSERT_TRUE(q.ok());
+  EXPECT_DOUBLE_EQ(q->rect->min_x, -5.0);
+  EXPECT_DOUBLE_EQ(q->rect->min_y, 2.0);
+}
+
+TEST(ParserTest, TimeUnits) {
+  struct Case {
+    const char* text;
+    TimeMs expected;
+  } cases[] = {
+      {"S.time BETWEEN now()-30 secs AND now()", 30 * kMsPerSecond},
+      {"S.time BETWEEN now()-2 AND now() hours", 2 * kMsPerHour},
+      {"S.time BETWEEN now()-10 AND now()", 10 * kMin},  // default mins
+      {"FRESH 90 seconds", 90 * kMsPerSecond},
+      {"FRESH 5", 5 * kMin},
+  };
+  for (const Case& c : cases) {
+    auto q = Parse(std::string("SELECT count(*) FROM sensor WHERE ") +
+                   c.text);
+    ASSERT_TRUE(q.ok()) << c.text << ": " << q.status().ToString();
+    EXPECT_EQ(q->staleness_ms, c.expected) << c.text;
+  }
+}
+
+TEST(ParserTest, ConflictingUnitsRejected) {
+  EXPECT_FALSE(
+      Parse("SELECT count(*) FROM sensor WHERE "
+            "time BETWEEN now()-10 secs AND now() mins")
+          .ok());
+}
+
+TEST(ParserTest, ClusterLevelForm) {
+  auto q = Parse("SELECT count(*) FROM sensor CLUSTER LEVEL 3");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->cluster_level, 3);
+  EXPECT_LT(q->cluster_distance, 0);
+}
+
+TEST(ParserTest, DefaultsWhenClausesOmitted) {
+  auto q = Parse("SELECT avg(*) FROM sensor");
+  ASSERT_TRUE(q.ok());
+  EXPECT_FALSE(q->polygon || q->rect);
+  EXPECT_LT(q->staleness_ms, 0);
+  EXPECT_LT(q->cluster_distance, 0);
+  EXPECT_LT(q->cluster_level, 0);
+  EXPECT_EQ(q->sample_size, 0);
+}
+
+TEST(ParserTest, ErrorsCarryPosition) {
+  auto q = Parse("SELECT count(*) FROM");
+  ASSERT_FALSE(q.ok());
+  EXPECT_NE(q.status().message().find("position"), std::string::npos);
+}
+
+TEST(ParserTest, RejectsMalformedQueries) {
+  const char* bad[] = {
+      "",
+      "FROM sensor",
+      "SELECT bogus(*) FROM sensor",
+      "SELECT count(* FROM sensor",
+      "SELECT count(*) FROM sensor WHERE location WITHIN CIRCLE(1,2,3)",
+      "SELECT count(*) FROM sensor WHERE location WITHIN POLYGON((1 2))",
+      "SELECT count(*) FROM sensor SAMPLESIZE -5",
+      "SELECT count(*) FROM sensor SAMPLESIZE 1.5",
+      "SELECT count(*) FROM sensor CLUSTER -2",
+      "SELECT count(*) FROM sensor extra garbage",
+      "SELECT count(*) FROM sensor WHERE time BETWEEN now() AND now()",
+  };
+  for (const char* text : bad) {
+    EXPECT_FALSE(Parse(text).ok()) << text;
+  }
+}
+
+TEST(ParserTest, MultipleConditions) {
+  auto q = Parse(
+      "SELECT min(*) FROM sensor s WHERE s.location WITHIN "
+      "RECT(0,0,5,5) AND s.time BETWEEN now()-1 AND now() hours "
+      "AND FRESH 30 mins");
+  // The later FRESH overrides the BETWEEN window.
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->staleness_ms, 30 * kMin);
+}
+
+// ---------------------------------------------------------------------------
+// SensorPortal end-to-end
+// ---------------------------------------------------------------------------
+
+class PortalTest : public ::testing::Test {
+ protected:
+  PortalTest() : clock_(30 * kMin) {
+    Rng rng(1);
+    auto sensors = MakeUniformSensors(
+        2000, Rect::FromCorners(0, 0, 100, 100), 5 * kMin, 1.0, rng);
+    network_ = std::make_unique<SensorNetwork>(std::move(sensors),
+                                               &clock_);
+    network_->set_value_fn(
+        [](const SensorInfo& s, TimeMs) { return s.location.x; });
+    ColrTree::Options topts;
+    topts.cluster.fanout = 4;
+    topts.cluster.leaf_capacity = 16;
+    tree_ = std::make_unique<ColrTree>(network_->sensors(), topts);
+    ColrEngine::Options eopts;
+    eopts.mode = ColrEngine::Mode::kColr;
+    engine_ = std::make_unique<ColrEngine>(tree_.get(), network_.get(),
+                                           eopts);
+    portal_ = std::make_unique<SensorPortal>(tree_.get(), engine_.get());
+  }
+
+  SimClock clock_;
+  std::unique_ptr<SensorNetwork> network_;
+  std::unique_ptr<ColrTree> tree_;
+  std::unique_ptr<ColrEngine> engine_;
+  std::unique_ptr<SensorPortal> portal_;
+};
+
+TEST_F(PortalTest, ExactCountMatchesBruteForce) {
+  auto r = portal_->Execute(
+      "SELECT count(*) FROM sensor "
+      "WHERE location WITHIN RECT(10, 10, 60, 60)");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  int64_t total = 0;
+  const int value_col = r->IndexOf("value");
+  const int sampled_col = r->IndexOf("sampled");
+  for (const auto& row : r->rows) {
+    total += static_cast<int64_t>(row[value_col].AsDouble());
+    EXPECT_EQ(row[sampled_col].AsInt(),
+              static_cast<int64_t>(row[value_col].AsDouble()));
+  }
+  EXPECT_EQ(total, tree_->CountSensorsInRegion(
+                       Rect::FromCorners(10, 10, 60, 60)));
+}
+
+TEST_F(PortalTest, SampledAvgApproximatesTruth) {
+  auto r = portal_->Execute(
+      "SELECT avg(*) FROM sensor "
+      "WHERE location WITHIN RECT(0, 0, 100, 100) "
+      "AND time BETWEEN now()-5 AND now() mins "
+      "CLUSTER LEVEL 0 SAMPLESIZE 300");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->rows.size(), 1u);  // one global group at level 0
+  // Value fn = x coordinate, uniform over [0,100] -> mean ~50.
+  EXPECT_NEAR(r->rows[0][r->IndexOf("value")].AsDouble(), 50.0, 8.0);
+  EXPECT_GT(portal_->last_stats().sensors_probed, 0);
+  EXPECT_LT(portal_->last_stats().sensors_probed, 600);
+}
+
+TEST_F(PortalTest, SelectStarReturnsReadings) {
+  auto r = portal_->Execute(
+      "SELECT * FROM sensor WHERE location WITHIN RECT(20, 20, 40, 40)");
+  ASSERT_TRUE(r.ok());
+  const int exact = tree_->CountSensorsInRegion(
+      Rect::FromCorners(20, 20, 40, 40));
+  EXPECT_EQ(static_cast<int>(r->rows.size()), exact);
+  const int x = r->IndexOf("x");
+  const int y = r->IndexOf("y");
+  for (const auto& row : r->rows) {
+    EXPECT_GE(row[x].AsDouble(), 20.0);
+    EXPECT_LE(row[x].AsDouble(), 40.0);
+    EXPECT_GE(row[y].AsDouble(), 20.0);
+    EXPECT_LE(row[y].AsDouble(), 40.0);
+  }
+  // Re-issue: served from cache, same cardinality.
+  auto again = portal_->Execute(
+      "SELECT * FROM sensor WHERE location WITHIN RECT(20, 20, 40, 40)");
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again->rows.size(), r->rows.size());
+  EXPECT_EQ(portal_->last_stats().sensors_probed, 0);
+}
+
+TEST_F(PortalTest, PolygonQuery) {
+  auto r = portal_->Execute(
+      "SELECT count(*) FROM sensor WHERE location WITHIN "
+      "POLYGON((0 0, 100 0, 0 100))");
+  ASSERT_TRUE(r.ok());
+  int64_t total = 0;
+  for (const auto& row : r->rows) {
+    total += static_cast<int64_t>(row[r->IndexOf("value")].AsDouble());
+  }
+  // Half the area: roughly half the sensors.
+  EXPECT_NEAR(static_cast<double>(total), 1000.0, 120.0);
+}
+
+TEST_F(PortalTest, ClusterDistanceControlsGranularity) {
+  auto coarse = portal_->Execute(
+      "SELECT count(*) FROM sensor WHERE location WITHIN "
+      "RECT(0,0,100,100) CLUSTER 200 UNITS");
+  auto fine = portal_->Execute(
+      "SELECT count(*) FROM sensor WHERE location WITHIN "
+      "RECT(0,0,100,100) CLUSTER 5 UNITS");
+  ASSERT_TRUE(coarse.ok());
+  ASSERT_TRUE(fine.ok());
+  EXPECT_LT(coarse->rows.size(), fine->rows.size());
+}
+
+TEST_F(PortalTest, ParseErrorsSurface) {
+  auto r = portal_->Execute("SELECT nonsense");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(PortalTest, NoRegionMeansWholeWorld) {
+  auto r = portal_->Execute("SELECT count(*) FROM sensor SAMPLESIZE 50");
+  ASSERT_TRUE(r.ok());
+  EXPECT_GT(r->rows.size(), 0u);
+}
+
+TEST(PortalCollectionsTest, FromClauseSelectsCollection) {
+  SimClock clock(30 * kMin);
+  Rng rng(9);
+  // Two sensor types with disjoint value ranges.
+  auto restaurants = MakeUniformSensors(
+      500, Rect::FromCorners(0, 0, 100, 100), 5 * kMin, 1.0, rng);
+  auto weather = MakeUniformSensors(
+      200, Rect::FromCorners(0, 0, 100, 100), 5 * kMin, 1.0, rng);
+  SensorNetwork rest_net(restaurants, &clock);
+  rest_net.set_value_fn([](const SensorInfo&, TimeMs) { return 30.0; });
+  SensorNetwork weather_net(weather, &clock);
+  weather_net.set_value_fn([](const SensorInfo&, TimeMs) { return -5.0; });
+
+  ColrTree::Options topts;
+  ColrTree rest_tree(restaurants, topts);
+  ColrTree weather_tree(weather, topts);
+  ColrEngine::Options eopts;
+  eopts.mode = ColrEngine::Mode::kHierCache;
+  ColrEngine rest_engine(&rest_tree, &rest_net, eopts);
+  ColrEngine weather_engine(&weather_tree, &weather_net, eopts);
+
+  SensorPortal portal{SensorPortal::Options{}};
+  portal.RegisterCollection("restaurants", &rest_tree, &rest_engine);
+  portal.RegisterCollection("weather", &weather_tree, &weather_engine);
+
+  auto rest = portal.Execute(
+      "SELECT avg(*) FROM restaurants CLUSTER LEVEL 0");
+  ASSERT_TRUE(rest.ok());
+  ASSERT_EQ(rest->rows.size(), 1u);
+  EXPECT_DOUBLE_EQ(rest->rows[0][rest->IndexOf("value")].AsDouble(),
+                   30.0);
+  EXPECT_EQ(rest->rows[0][rest->IndexOf("sampled")].AsInt(), 500);
+
+  auto wthr = portal.Execute("SELECT avg(*) FROM weather CLUSTER LEVEL 0");
+  ASSERT_TRUE(wthr.ok());
+  EXPECT_DOUBLE_EQ(wthr->rows[0][wthr->IndexOf("value")].AsDouble(),
+                   -5.0);
+  EXPECT_EQ(wthr->rows[0][wthr->IndexOf("sampled")].AsInt(), 200);
+
+  auto missing = portal.Execute("SELECT count(*) FROM traffic");
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status().code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace colr::portal

@@ -1,0 +1,270 @@
+#include "rtree/rtree.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/rng.h"
+#include "gtest/gtest.h"
+
+namespace colr {
+namespace {
+
+Rect RandomBox(Rng& rng, double span = 100.0, double max_side = 4.0) {
+  const double x = rng.Uniform(0, span);
+  const double y = rng.Uniform(0, span);
+  return Rect::FromCorners(x, y, x + rng.Uniform(0, max_side),
+                           y + rng.Uniform(0, max_side));
+}
+
+std::vector<int64_t> BruteForceSearch(
+    const std::vector<std::pair<Rect, int64_t>>& entries,
+    const Rect& query) {
+  std::vector<int64_t> out;
+  for (const auto& [box, value] : entries) {
+    if (box.Intersects(query)) out.push_back(value);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<int64_t> Sorted(std::vector<int64_t> v) {
+  std::sort(v.begin(), v.end());
+  return v;
+}
+
+TEST(RTreeTest, EmptyTree) {
+  RTree tree;
+  EXPECT_TRUE(tree.empty());
+  EXPECT_EQ(tree.height(), 0);
+  EXPECT_TRUE(tree.Search(Rect::FromCorners(0, 0, 1, 1)).empty());
+  EXPECT_TRUE(tree.CheckInvariants().ok());
+  EXPECT_TRUE(tree.bounding_box().IsEmpty());
+}
+
+TEST(RTreeTest, SingleEntry) {
+  RTree tree;
+  tree.Insert(Rect::FromPoint({5, 5}), 42);
+  EXPECT_EQ(tree.size(), 1u);
+  EXPECT_EQ(tree.height(), 1);
+  auto hits = tree.Search(Rect::FromCorners(0, 0, 10, 10));
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0], 42);
+  EXPECT_TRUE(tree.Search(Rect::FromCorners(6, 6, 10, 10)).empty());
+}
+
+TEST(RTreeTest, InsertMatchesBruteForce) {
+  Rng rng(1);
+  RTree tree;
+  std::vector<std::pair<Rect, int64_t>> entries;
+  for (int i = 0; i < 2000; ++i) {
+    Rect box = RandomBox(rng);
+    entries.push_back({box, i});
+    tree.Insert(box, i);
+  }
+  ASSERT_TRUE(tree.CheckInvariants().ok());
+  for (int q = 0; q < 100; ++q) {
+    Rect query = RandomBox(rng, 100.0, 20.0);
+    EXPECT_EQ(Sorted(tree.Search(query)), BruteForceSearch(entries, query));
+  }
+}
+
+TEST(RTreeTest, LinearSplitMatchesBruteForce) {
+  Rng rng(2);
+  RTree::Options opts;
+  opts.split = RTree::SplitAlgorithm::kLinear;
+  RTree tree(opts);
+  std::vector<std::pair<Rect, int64_t>> entries;
+  for (int i = 0; i < 1500; ++i) {
+    Rect box = RandomBox(rng);
+    entries.push_back({box, i});
+    tree.Insert(box, i);
+  }
+  ASSERT_TRUE(tree.CheckInvariants().ok());
+  for (int q = 0; q < 50; ++q) {
+    Rect query = RandomBox(rng, 100.0, 25.0);
+    EXPECT_EQ(Sorted(tree.Search(query)), BruteForceSearch(entries, query));
+  }
+}
+
+TEST(RTreeTest, BulkLoadMatchesBruteForce) {
+  Rng rng(3);
+  std::vector<std::pair<Rect, int64_t>> entries;
+  for (int i = 0; i < 5000; ++i) {
+    entries.push_back({Rect::FromPoint({rng.Uniform(0, 100),
+                                        rng.Uniform(0, 100)}),
+                       i});
+  }
+  RTree tree;
+  tree.BulkLoad(entries);
+  EXPECT_EQ(tree.size(), 5000u);
+  ASSERT_TRUE(tree.CheckInvariants().ok());
+  for (int q = 0; q < 100; ++q) {
+    Rect query = RandomBox(rng, 100.0, 30.0);
+    EXPECT_EQ(Sorted(tree.Search(query)), BruteForceSearch(entries, query));
+  }
+}
+
+TEST(RTreeTest, DeleteRemovesExactEntry) {
+  RTree tree;
+  const Rect a = Rect::FromPoint({1, 1});
+  const Rect b = Rect::FromPoint({2, 2});
+  tree.Insert(a, 1);
+  tree.Insert(b, 2);
+  EXPECT_FALSE(tree.Delete(a, 2));  // value mismatch
+  EXPECT_FALSE(tree.Delete(b, 1));  // box mismatch
+  EXPECT_TRUE(tree.Delete(a, 1));
+  EXPECT_EQ(tree.size(), 1u);
+  EXPECT_FALSE(tree.Delete(a, 1));  // already gone
+  EXPECT_TRUE(tree.Delete(b, 2));
+  EXPECT_TRUE(tree.empty());
+  EXPECT_TRUE(tree.CheckInvariants().ok());
+}
+
+TEST(RTreeTest, InterleavedInsertDeleteMatchesBruteForce) {
+  Rng rng(4);
+  RTree tree;
+  std::vector<std::pair<Rect, int64_t>> live;
+  int64_t next_id = 0;
+  for (int round = 0; round < 3000; ++round) {
+    if (live.empty() || rng.Bernoulli(0.6)) {
+      Rect box = RandomBox(rng);
+      live.push_back({box, next_id});
+      tree.Insert(box, next_id);
+      ++next_id;
+    } else {
+      const size_t pick = rng.UniformInt(live.size());
+      EXPECT_TRUE(tree.Delete(live[pick].first, live[pick].second));
+      live.erase(live.begin() + pick);
+    }
+    if (round % 500 == 0) {
+      ASSERT_TRUE(tree.CheckInvariants().ok()) << "round " << round;
+    }
+  }
+  ASSERT_TRUE(tree.CheckInvariants().ok());
+  EXPECT_EQ(tree.size(), live.size());
+  for (int q = 0; q < 50; ++q) {
+    Rect query = RandomBox(rng, 100.0, 25.0);
+    EXPECT_EQ(Sorted(tree.Search(query)), BruteForceSearch(live, query));
+  }
+}
+
+TEST(RTreeTest, DeleteEverything) {
+  Rng rng(5);
+  RTree tree;
+  std::vector<std::pair<Rect, int64_t>> entries;
+  for (int i = 0; i < 500; ++i) {
+    Rect box = RandomBox(rng);
+    entries.push_back({box, i});
+    tree.Insert(box, i);
+  }
+  for (const auto& [box, value] : entries) {
+    EXPECT_TRUE(tree.Delete(box, value));
+  }
+  EXPECT_TRUE(tree.empty());
+  EXPECT_EQ(tree.height(), 0);
+  EXPECT_TRUE(tree.CheckInvariants().ok());
+  // Tree is reusable after full drain.
+  tree.Insert(Rect::FromPoint({1, 1}), 9);
+  EXPECT_EQ(tree.Search(Rect::FromCorners(0, 0, 2, 2)).size(), 1u);
+}
+
+TEST(RTreeTest, SearchVisitEarlyStop) {
+  Rng rng(6);
+  RTree tree;
+  for (int i = 0; i < 100; ++i) {
+    tree.Insert(Rect::FromPoint({rng.Uniform(0, 10), rng.Uniform(0, 10)}),
+                i);
+  }
+  int visited = 0;
+  tree.SearchVisit(Rect::FromCorners(0, 0, 10, 10),
+                   [&visited](const Rect&, int64_t) {
+                     ++visited;
+                     return visited < 5;
+                   });
+  EXPECT_EQ(visited, 5);
+}
+
+TEST(RTreeTest, SearchStatsCountNodes) {
+  Rng rng(7);
+  RTree tree;
+  for (int i = 0; i < 3000; ++i) {
+    tree.Insert(Rect::FromPoint({rng.Uniform(0, 100), rng.Uniform(0, 100)}),
+                i);
+  }
+  RTree::SearchStats small_stats, large_stats;
+  tree.Search(Rect::FromCorners(0, 0, 5, 5), &small_stats);
+  tree.Search(Rect::FromCorners(0, 0, 90, 90), &large_stats);
+  EXPECT_GT(small_stats.nodes_visited, 0);
+  EXPECT_GT(large_stats.nodes_visited, small_stats.nodes_visited);
+  EXPECT_EQ(small_stats.nodes_visited, small_stats.leaf_nodes_visited +
+                                           small_stats.internal_nodes_visited);
+}
+
+TEST(RTreeTest, HeightGrowsLogarithmically) {
+  Rng rng(8);
+  RTree::Options opts;
+  opts.max_entries = 8;
+  opts.min_entries = 3;
+  RTree tree(opts);
+  for (int i = 0; i < 4096; ++i) {
+    tree.Insert(Rect::FromPoint({rng.Uniform(0, 100), rng.Uniform(0, 100)}),
+                i);
+  }
+  // With fanout >= 4 on average, height should be well under 8.
+  EXPECT_LE(tree.height(), 8);
+  EXPECT_GE(tree.height(), 4);
+  ASSERT_TRUE(tree.CheckInvariants().ok());
+}
+
+TEST(RTreeTest, DuplicateEntriesSupported) {
+  RTree tree;
+  const Rect box = Rect::FromPoint({1, 1});
+  tree.Insert(box, 7);
+  tree.Insert(box, 7);
+  EXPECT_EQ(tree.Search(Rect::FromCorners(0, 0, 2, 2)).size(), 2u);
+  EXPECT_TRUE(tree.Delete(box, 7));
+  EXPECT_EQ(tree.Search(Rect::FromCorners(0, 0, 2, 2)).size(), 1u);
+}
+
+TEST(RTreeTest, MoveConstruction) {
+  RTree a;
+  a.Insert(Rect::FromPoint({1, 1}), 1);
+  RTree b(std::move(a));
+  EXPECT_EQ(b.size(), 1u);
+  EXPECT_EQ(b.Search(Rect::FromCorners(0, 0, 2, 2)).size(), 1u);
+}
+
+// Parameterized sweep: both split algorithms, several fanouts, always
+// brute-force equivalent and structurally valid.
+class RTreeParamTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(RTreeParamTest, RandomWorkloadMatchesBruteForce) {
+  const auto [max_entries, split] = GetParam();
+  Rng rng(100 + max_entries + split);
+  RTree::Options opts;
+  opts.max_entries = max_entries;
+  opts.min_entries = std::max(1, max_entries / 3);
+  opts.split = split == 0 ? RTree::SplitAlgorithm::kQuadratic
+                          : RTree::SplitAlgorithm::kLinear;
+  RTree tree(opts);
+  std::vector<std::pair<Rect, int64_t>> entries;
+  for (int i = 0; i < 800; ++i) {
+    Rect box = RandomBox(rng);
+    entries.push_back({box, i});
+    tree.Insert(box, i);
+  }
+  ASSERT_TRUE(tree.CheckInvariants().ok());
+  for (int q = 0; q < 30; ++q) {
+    Rect query = RandomBox(rng, 100.0, 15.0);
+    EXPECT_EQ(Sorted(tree.Search(query)), BruteForceSearch(entries, query));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    FanoutsAndSplits, RTreeParamTest,
+    ::testing::Combine(::testing::Values(4, 8, 16, 32),
+                       ::testing::Values(0, 1)));
+
+}  // namespace
+}  // namespace colr

@@ -1,0 +1,315 @@
+#include "core/sampling.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/rng.h"
+#include "common/stats.h"
+#include "gtest/gtest.h"
+#include "sensor/network.h"
+
+namespace colr {
+namespace {
+
+constexpr TimeMs kMin = kMsPerMinute;
+
+ColrTree::Options TreeOptions() {
+  ColrTree::Options opts;
+  opts.cluster.fanout = 4;
+  opts.cluster.leaf_capacity = 8;
+  opts.slot_delta_ms = kMin;
+  opts.t_max_ms = 5 * kMin;
+  return opts;
+}
+
+/// Test fixture wiring a tree + network + a probe function that
+/// queries the simulated network.
+struct Rig {
+  explicit Rig(int n, uint64_t seed, double availability = 1.0)
+      : clock(10 * kMin) {
+    Rng rng(seed);
+    auto sensors = MakeUniformSensors(
+        n, Rect::FromCorners(0, 0, 100, 100), 5 * kMin, availability, rng);
+    network = std::make_unique<SensorNetwork>(std::move(sensors), &clock);
+    tree = std::make_unique<ColrTree>(network->sensors(), TreeOptions());
+  }
+
+  LayeredSampler::ProbeFn ProbeFn() {
+    return [this](const std::vector<SensorId>& ids) {
+      return network->ProbeBatch(ids).readings;
+    };
+  }
+
+  LayeredSampler::Result Sample(double target, const Rect& region,
+                                const LayeredSampler::Options& base = {},
+                                uint64_t seed = 99) {
+    LayeredSampler::Options opts = base;
+    opts.target = target;
+    Rng rng(seed);
+    return LayeredSampler::Run(*tree, QueryRegion::FromRect(region),
+                               clock.NowMs(), 5 * kMin, opts, rng,
+                               ProbeFn());
+  }
+
+  static int64_t CollectedSize(const LayeredSampler::Result& r) {
+    int64_t total = 0;
+    for (const auto& t : r.terminals) {
+      total += static_cast<int64_t>(t.collected.size()) + t.cached_count;
+    }
+    return total;
+  }
+
+  SimClock clock;
+  std::unique_ptr<SensorNetwork> network;
+  std::unique_ptr<ColrTree> tree;
+};
+
+TEST(ProbabilisticRoundTest, Bounds) {
+  Rng rng(1);
+  EXPECT_EQ(ProbabilisticRound(-2.0, rng), 0);
+  EXPECT_EQ(ProbabilisticRound(0.0, rng), 0);
+  EXPECT_EQ(ProbabilisticRound(3.0, rng), 3);
+  for (int i = 0; i < 100; ++i) {
+    const int r = ProbabilisticRound(2.7, rng);
+    EXPECT_TRUE(r == 2 || r == 3);
+  }
+}
+
+TEST(ProbabilisticRoundTest, Unbiased) {
+  Rng rng(2);
+  RunningStat stat;
+  for (int i = 0; i < 50000; ++i) {
+    stat.Add(ProbabilisticRound(2.3, rng));
+  }
+  EXPECT_NEAR(stat.mean(), 2.3, 0.02);
+}
+
+TEST(LayeredSamplerTest, EmptyCases) {
+  Rig rig(200, 3);
+  // Target 0: nothing.
+  auto r0 = rig.Sample(0, Rect::FromCorners(0, 0, 100, 100));
+  EXPECT_TRUE(r0.terminals.empty());
+  // Region outside the tree: nothing.
+  auto r1 = rig.Sample(10, Rect::FromCorners(200, 200, 300, 300));
+  EXPECT_TRUE(r1.terminals.empty());
+  EXPECT_EQ(rig.network->counters().probes, 0);
+}
+
+TEST(LayeredSamplerTest, FullRegionHitsTarget) {
+  Rig rig(2000, 4);
+  auto res = rig.Sample(100, Rect::FromCorners(0, 0, 100, 100));
+  // All sensors available, no cache: collected size should be near R.
+  EXPECT_NEAR(Rig::CollectedSize(res), 100, 25);
+}
+
+// Theorem 1: expected sample size is R. Average over repetitions.
+TEST(LayeredSamplerTest, Theorem1ExpectedSampleSize) {
+  Rig rig(3000, 5);
+  const Rect region = Rect::FromCorners(10, 10, 90, 90);
+  RunningStat sizes;
+  for (int rep = 0; rep < 60; ++rep) {
+    auto res = rig.Sample(80, region, {}, 1000 + rep);
+    sizes.Add(static_cast<double>(Rig::CollectedSize(res)));
+  }
+  // Standard error ~ sigma/sqrt(60); allow generous tolerance.
+  EXPECT_NEAR(sizes.mean(), 80.0, 8.0);
+}
+
+// Theorem 1 with unavailable sensors: oversampling compensates so the
+// expected number of *successful* probes is still ~R.
+TEST(LayeredSamplerTest, Theorem1WithUnavailability) {
+  Rig rig(3000, 6, /*availability=*/0.6);
+  const Rect region = Rect::FromCorners(5, 5, 95, 95);
+  RunningStat sizes, attempts;
+  for (int rep = 0; rep < 60; ++rep) {
+    auto res = rig.Sample(60, region, {}, 2000 + rep);
+    sizes.Add(static_cast<double>(Rig::CollectedSize(res)));
+    int64_t att = 0;
+    for (const auto& t : res.terminals) att += t.probes_attempted;
+    attempts.Add(static_cast<double>(att));
+  }
+  EXPECT_NEAR(sizes.mean(), 60.0, 8.0);
+  // Attempts must exceed successes by roughly 1/availability.
+  EXPECT_NEAR(attempts.mean(), 60.0 / 0.6, 15.0);
+}
+
+// Without oversampling, unavailability shrinks the collected sample.
+TEST(LayeredSamplerTest, NoOversamplingUndershootsWhenUnavailable) {
+  Rig rig(3000, 7, /*availability=*/0.5);
+  LayeredSampler::Options base;
+  base.oversample = false;
+  RunningStat sizes;
+  for (int rep = 0; rep < 40; ++rep) {
+    auto res = rig.Sample(80, Rect::FromCorners(5, 5, 95, 95), base,
+                          3000 + rep);
+    sizes.Add(static_cast<double>(Rig::CollectedSize(res)));
+  }
+  EXPECT_NEAR(sizes.mean(), 40.0, 8.0);  // ~R * availability
+}
+
+// Theorem 2: every sensor in the region is probed with probability
+// ~R/N (uniformity of the sensing workload).
+TEST(LayeredSamplerTest, Theorem2UniformInclusion) {
+  Rig rig(1000, 8);
+  const Rect region = Rect::FromCorners(0, 0, 100, 100);  // all sensors
+  constexpr int kReps = 300;
+  constexpr double kTarget = 50;
+  for (int rep = 0; rep < kReps; ++rep) {
+    rig.Sample(kTarget, region, {}, 4000 + rep);
+  }
+  // Expected probes per sensor: R/N * reps = 50/1000 * 300 = 15.
+  const auto& counts = rig.network->per_sensor_probes();
+  RunningStat per_sensor;
+  for (uint32_t c : counts) per_sensor.Add(c);
+  EXPECT_NEAR(per_sensor.mean(), 15.0, 1.5);
+  // No sensor should be wildly over-probed (uniformity): the max
+  // should be within a few standard deviations of a Binomial(300,.05).
+  EXPECT_LT(per_sensor.max(), 40.0);
+  // Chi-square-ish check: variance close to Binomial variance
+  // 300 * p * (1-p) ≈ 14.25 (allowing overhead for redistribution).
+  EXPECT_LT(per_sensor.variance(), 4.0 * 14.25);
+}
+
+TEST(LayeredSamplerTest, PartialRegionProportionalAllocation) {
+  // Sensors uniform: a region covering ~25% of the area should still
+  // produce ~R samples (allocation follows overlap), all inside it.
+  Rig rig(4000, 9);
+  const Rect region = Rect::FromCorners(0, 0, 50, 50);
+  auto res = rig.Sample(60, region, {}, 11);
+  for (const auto& t : res.terminals) {
+    for (const Reading& r : t.collected) {
+      EXPECT_TRUE(
+          region.Contains(rig.tree->sensor(r.sensor).location));
+    }
+  }
+  RunningStat sizes;
+  for (int rep = 0; rep < 40; ++rep) {
+    sizes.Add(static_cast<double>(
+        Rig::CollectedSize(rig.Sample(60, region, {}, 5000 + rep))));
+  }
+  EXPECT_NEAR(sizes.mean(), 60.0, 8.0);
+}
+
+TEST(LayeredSamplerTest, CacheReducesProbes) {
+  Rig rig(2000, 10);
+  const Rect region = Rect::FromCorners(20, 20, 80, 80);
+  // Prime the cache: insert fresh readings for every in-region sensor.
+  const TimeMs now = rig.clock.NowMs();
+  rig.tree->AdvanceTo(now);
+  for (const auto& s : rig.network->sensors()) {
+    if (region.Contains(s.location)) {
+      rig.tree->InsertReading({s.id, now, now + s.expiry_ms, 1.0});
+    }
+  }
+  rig.network->ResetCounters();
+  auto res = rig.Sample(100, region, {}, 12);
+  int64_t cached = 0, probed = 0;
+  for (const auto& t : res.terminals) {
+    cached += t.cached_count;
+    probed += t.probes_attempted;
+  }
+  EXPECT_EQ(probed, 0);  // fully cached region needs no probes
+  EXPECT_GT(cached, 0);
+  EXPECT_GT(res.cached_nodes_accessed, 0);
+  // And with cache disabled the same query probes.
+  LayeredSampler::Options no_cache;
+  no_cache.use_cache = false;
+  auto res2 = rig.Sample(100, region, no_cache, 13);
+  int64_t probed2 = 0;
+  for (const auto& t : res2.terminals) probed2 += t.probes_attempted;
+  EXPECT_GT(probed2, 50);
+}
+
+TEST(LayeredSamplerTest, TerminalLevelControlsGranularity) {
+  Rig rig(4000, 14);
+  const Rect region = Rect::FromCorners(0, 0, 100, 100);
+  LayeredSampler::Options coarse;
+  coarse.terminal_level = 0;
+  LayeredSampler::Options fine;
+  fine.terminal_level = 3;
+  auto rc = rig.Sample(100, region, coarse, 15);
+  auto rf = rig.Sample(100, region, fine, 16);
+  // Finer threshold forces deeper descent: more nodes traversed and
+  // at least as many terminals.
+  EXPECT_GT(rf.nodes_traversed, rc.nodes_traversed);
+  EXPECT_GE(rf.terminals.size(), rc.terminals.size());
+  for (const auto& t : rc.terminals) {
+    EXPECT_GT(rig.tree->node(t.node_id).level, 0);
+  }
+}
+
+TEST(LayeredSamplerTest, RedistributionCompensatesForLocalShortfall) {
+  // Left half: perfectly available sensors. Right half: sensors that
+  // almost never answer, so its share cannot be met even by probing
+  // every sensor there (a genuine local shortfall). REDISTRIBUTE
+  // should shift the lack to the left half, pulling the expected
+  // sample size back toward the target.
+  SimClock clock(10 * kMin);
+  Rng rng(17);
+  std::vector<SensorInfo> sensors = MakeUniformSensors(
+      500, Rect::FromCorners(0, 0, 50, 100), 5 * kMin, 1.0, rng);
+  auto right = MakeUniformSensors(500, Rect::FromCorners(50, 0, 100, 100),
+                                  5 * kMin, 0.05, rng);
+  for (auto& s : right) {
+    s.id = static_cast<SensorId>(sensors.size());
+    sensors.push_back(s);
+  }
+  SensorNetwork network(sensors, &clock);
+  ColrTree tree(network.sensors(), TreeOptions());
+  auto probe = [&network](const std::vector<SensorId>& ids) {
+    return network.ProbeBatch(ids).readings;
+  };
+  auto run = [&](bool redistribute, uint64_t seed) {
+    LayeredSampler::Options opts;
+    opts.target = 200;
+    opts.redistribute = redistribute;
+    Rng r(seed);
+    auto res = LayeredSampler::Run(
+        tree, QueryRegion::FromRect(Rect::FromCorners(0, 0, 100, 100)),
+        clock.NowMs(), 5 * kMin, opts, r, probe);
+    return Rig::CollectedSize(res);
+  };
+  RunningStat with, without;
+  for (int rep = 0; rep < 30; ++rep) {
+    with.Add(static_cast<double>(run(true, 6000 + rep)));
+    without.Add(static_cast<double>(run(false, 7000 + rep)));
+  }
+  // Right half yields ~25 readings at best for its ~100-share; without
+  // redistribution the total undershoots by most of that lack.
+  EXPECT_GT(with.mean(), without.mean() + 10.0);
+}
+
+TEST(LayeredSamplerTest, TargetsRecordedPerTerminal) {
+  Rig rig(2000, 18);
+  auto res = rig.Sample(50, Rect::FromCorners(0, 0, 100, 100), {}, 19);
+  double total_target = 0.0;
+  for (const auto& t : res.terminals) {
+    EXPECT_GE(t.target, 0.0);
+    total_target += t.target;
+  }
+  // Shares (plus redistribution) should roughly cover the target.
+  EXPECT_NEAR(total_target, 50.0, 15.0);
+}
+
+// Parameterized sweep of target sizes: expectation holds across
+// magnitudes (Theorem 1 as a property).
+class SamplerTargetSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(SamplerTargetSweep, ExpectedSizeMatchesTarget) {
+  const int target = GetParam();
+  Rig rig(3000, 20 + target);
+  RunningStat sizes;
+  for (int rep = 0; rep < 40; ++rep) {
+    sizes.Add(static_cast<double>(Rig::CollectedSize(
+        rig.Sample(target, Rect::FromCorners(0, 0, 100, 100), {},
+                   8000 + rep))));
+  }
+  EXPECT_NEAR(sizes.mean(), target, std::max(5.0, target * 0.15));
+}
+
+INSTANTIATE_TEST_SUITE_P(Targets, SamplerTargetSweep,
+                         ::testing::Values(10, 30, 100, 300));
+
+}  // namespace
+}  // namespace colr

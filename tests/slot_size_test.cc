@@ -1,0 +1,110 @@
+#include "core/slot_size.h"
+
+#include "common/rng.h"
+#include "gtest/gtest.h"
+#include "sensor/expiry_model.h"
+
+namespace colr {
+namespace {
+
+SlotSizeWorkload MakeWorkload(ExpiryModel model, uint64_t seed = 1,
+                              double mean_window = 0.3) {
+  Rng rng(seed);
+  SlotSizeWorkload w;
+  for (int i = 0; i < 5000; ++i) {
+    w.expiry_fractions.push_back(SampleExpiryFraction(model, rng));
+  }
+  for (int i = 0; i < 2000; ++i) {
+    w.query_windows.push_back(
+        std::clamp(rng.Exponential(1.0 / mean_window), 0.02, 1.0));
+  }
+  return w;
+}
+
+TEST(SlotSizeTest, CostDecreasesWithLargerSlots) {
+  SlotSizeWorkload w = MakeWorkload(ExpiryModel::kUniform);
+  const double c_small = EvaluateSlotSize(w, 0.05).cost;
+  const double c_large = EvaluateSlotSize(w, 0.5).cost;
+  EXPECT_GT(c_small, c_large);
+}
+
+TEST(SlotSizeTest, UtilityFavorsSmallSlotsForUniform) {
+  SlotSizeWorkload w = MakeWorkload(ExpiryModel::kUniform);
+  const double u_small = EvaluateSlotSize(w, 0.1).utility;
+  const double u_large = EvaluateSlotSize(w, 0.9).utility;
+  EXPECT_GT(u_small, u_large);
+  // Delta = 1 means one slot: everything dies on the first slide.
+  EXPECT_NEAR(EvaluateSlotSize(w, 1.0).utility, 0.0, 1e-12);
+}
+
+TEST(SlotSizeTest, UtilityMatchesClosedFormForUniform) {
+  // For uniform expiry, utility(Δ) ≈ Σ_i (Δ/1)(i-1)Δ ≈ (1-Δ)/2.
+  SlotSizeWorkload w = MakeWorkload(ExpiryModel::kUniform, 7);
+  for (double delta : {0.1, 0.25, 0.5}) {
+    EXPECT_NEAR(EvaluateSlotSize(w, delta).utility, (1.0 - delta) / 2.0,
+                0.03)
+        << "delta=" << delta;
+  }
+}
+
+TEST(SlotSizeTest, OptimumOrderingAcrossWorkloads) {
+  // The paper's Fig. 2: USGS (long expiries) prefers large slots,
+  // Weather (short expiries) prefers small slots, Uniform in between.
+  auto deltas = DefaultSlotSizeCandidates(20);
+  const double opt_uniform =
+      OptimalSlotSize(MakeWorkload(ExpiryModel::kUniform), deltas);
+  const double opt_usgs =
+      OptimalSlotSize(MakeWorkload(ExpiryModel::kUsgs), deltas);
+  const double opt_weather =
+      OptimalSlotSize(MakeWorkload(ExpiryModel::kWeather), deltas);
+  EXPECT_GT(opt_usgs, opt_uniform);
+  EXPECT_LT(opt_weather, opt_uniform);
+}
+
+TEST(SlotSizeTest, SweepCoversCandidates) {
+  SlotSizeWorkload w = MakeWorkload(ExpiryModel::kUniform);
+  auto deltas = DefaultSlotSizeCandidates(10);
+  auto sweep = SweepSlotSizes(w, deltas);
+  ASSERT_EQ(sweep.size(), 10u);
+  for (size_t i = 0; i < sweep.size(); ++i) {
+    EXPECT_DOUBLE_EQ(sweep[i].delta, deltas[i]);
+    EXPECT_GT(sweep[i].cost, 0.0);
+    EXPECT_GE(sweep[i].utility, 0.0);
+    EXPECT_NEAR(sweep[i].ratio, sweep[i].utility / sweep[i].cost, 1e-12);
+  }
+}
+
+TEST(SlotSizeTest, DegenerateInputs) {
+  SlotSizeWorkload empty;
+  const SlotSizePoint p = EvaluateSlotSize(empty, 0.5);
+  EXPECT_GT(p.cost, 0.0);  // guarded against divide-by-zero
+  EXPECT_DOUBLE_EQ(p.utility, 0.0);
+  EXPECT_DOUBLE_EQ(EvaluateSlotSize(empty, 0.0).ratio, 0.0);
+  EXPECT_DOUBLE_EQ(OptimalSlotSize(empty, {}), 0.25);  // documented default
+}
+
+TEST(SlotSizeTest, RecommendSlotDeltaScalesToTmax) {
+  SlotSizeWorkload w = MakeWorkload(ExpiryModel::kUniform, 9);
+  const int64_t t_max = 16 * 60 * 1000;  // 16 minutes
+  const int64_t delta = RecommendSlotDelta(w, t_max);
+  EXPECT_GE(delta, t_max / 20);
+  EXPECT_LE(delta, t_max);
+  // Consistent with the normalized optimum.
+  const double frac = OptimalSlotSize(w, DefaultSlotSizeCandidates(20));
+  EXPECT_EQ(delta, static_cast<int64_t>(frac * t_max));
+}
+
+TEST(SlotSizeTest, CollectionCostShiftsOptimumSmaller) {
+  // With expensive collection, uncovered window remainder dominates:
+  // smaller slots (less remainder) become more attractive.
+  SlotSizeWorkload cheap = MakeWorkload(ExpiryModel::kUniform, 3);
+  SlotSizeWorkload costly = cheap;
+  cheap.collection_cost = 1.0;
+  costly.collection_cost = 100.0;
+  auto deltas = DefaultSlotSizeCandidates(20);
+  EXPECT_LE(OptimalSlotSize(costly, deltas),
+            OptimalSlotSize(cheap, deltas));
+}
+
+}  // namespace
+}  // namespace colr

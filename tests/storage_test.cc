@@ -1,0 +1,482 @@
+#include <cstdio>
+#include <set>
+#include <string>
+
+#include "common/rng.h"
+#include "gtest/gtest.h"
+#include "storage/buffer_pool.h"
+#include "storage/catalog.h"
+#include "storage/disk_manager.h"
+#include "storage/heap_file.h"
+#include "storage/page.h"
+#include "storage/row_codec.h"
+#include "storage/table_io.h"
+
+namespace colr::storage {
+namespace {
+
+/// Unique temp file per test, removed on teardown.
+class StorageTest : public ::testing::Test {
+ protected:
+  StorageTest() {
+    path_ = std::string("/tmp/colr_storage_test_") +
+            ::testing::UnitTest::GetInstance()
+                ->current_test_info()
+                ->name() +
+            ".db";
+    std::remove(path_.c_str());
+  }
+  ~StorageTest() override { std::remove(path_.c_str()); }
+
+  std::string path_;
+};
+
+// ---------------------------------------------------------------------------
+// SlottedPage
+// ---------------------------------------------------------------------------
+
+TEST(SlottedPageTest, InsertGetDelete) {
+  Page raw;
+  SlottedPage page(&raw);
+  page.Init();
+  EXPECT_EQ(page.num_slots(), 0);
+
+  auto s0 = page.Insert("hello");
+  auto s1 = page.Insert("world!");
+  ASSERT_TRUE(s0.ok());
+  ASSERT_TRUE(s1.ok());
+  EXPECT_EQ(*page.Get(*s0), "hello");
+  EXPECT_EQ(*page.Get(*s1), "world!");
+  EXPECT_EQ(page.LiveRecords(), 2);
+
+  EXPECT_TRUE(page.Delete(*s0).ok());
+  EXPECT_FALSE(page.Get(*s0).ok());
+  EXPECT_FALSE(page.Delete(*s0).ok());  // tombstoned
+  EXPECT_EQ(page.LiveRecords(), 1);
+  // Slot ids remain stable after deletion.
+  EXPECT_EQ(*page.Get(*s1), "world!");
+}
+
+TEST(SlottedPageTest, FillsAndOverflows) {
+  Page raw;
+  SlottedPage page(&raw);
+  page.Init();
+  const std::string record(100, 'x');
+  int inserted = 0;
+  while (page.Insert(record).ok()) ++inserted;
+  // ~4KB / (100B + 8B slot) ≈ 37 records.
+  EXPECT_GT(inserted, 30);
+  EXPECT_LT(inserted, 41);
+  EXPECT_LT(page.FreeSpace(), record.size());
+}
+
+TEST(SlottedPageTest, CompactionReclaimsDeletedSpace) {
+  Page raw;
+  SlottedPage page(&raw);
+  page.Init();
+  const std::string record(200, 'a');
+  std::vector<int> slots;
+  while (true) {
+    auto s = page.Insert(record);
+    if (!s.ok()) break;
+    slots.push_back(*s);
+  }
+  // Delete every other record, then insert again: Insert() compacts.
+  for (size_t i = 0; i < slots.size(); i += 2) {
+    ASSERT_TRUE(page.Delete(slots[i]).ok());
+  }
+  auto s = page.Insert(std::string(200, 'b'));
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(*page.Get(*s), std::string(200, 'b'));
+  // Survivors intact after compaction.
+  for (size_t i = 1; i < slots.size(); i += 2) {
+    EXPECT_EQ(*page.Get(slots[i]), record);
+  }
+}
+
+TEST(SlottedPageTest, UpdateInPlaceAndRelocating) {
+  Page raw;
+  SlottedPage page(&raw);
+  page.Init();
+  auto s = page.Insert("0123456789");
+  ASSERT_TRUE(s.ok());
+  // Shrinking update is in place.
+  EXPECT_TRUE(page.Update(*s, "abc").ok());
+  EXPECT_EQ(*page.Get(*s), "abc");
+  // Growing update relocates within the page.
+  EXPECT_TRUE(page.Update(*s, std::string(500, 'z')).ok());
+  EXPECT_EQ(page.Get(*s)->size(), 500u);
+  EXPECT_FALSE(page.Update(99, "x").ok());
+}
+
+TEST(SlottedPageTest, UpdateTooLargeRestoresOldRecord) {
+  Page raw;
+  SlottedPage page(&raw);
+  page.Init();
+  // Nearly fill the page.
+  auto big = page.Insert(std::string(3500, 'a'));
+  ASSERT_TRUE(big.ok());
+  auto s = page.Insert("small");
+  ASSERT_TRUE(s.ok());
+  // An update that cannot fit anywhere fails and preserves the data.
+  Status st = page.Update(*s, std::string(2000, 'b'));
+  EXPECT_EQ(st.code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(*page.Get(*s), "small");
+  EXPECT_EQ(page.Get(*big)->size(), 3500u);
+}
+
+// ---------------------------------------------------------------------------
+// DiskManager
+// ---------------------------------------------------------------------------
+
+TEST_F(StorageTest, DiskManagerAllocateReadWrite) {
+  DiskManager disk;
+  ASSERT_TRUE(disk.Open(path_).ok());
+  auto p0 = disk.Allocate();
+  auto p1 = disk.Allocate();
+  ASSERT_TRUE(p0.ok());
+  ASSERT_TRUE(p1.ok());
+  EXPECT_EQ(*p0, 0);
+  EXPECT_EQ(*p1, 1);
+  EXPECT_EQ(disk.NumPages(), 2);
+
+  Page w;
+  std::snprintf(w.data, kPageSize, "page-one-contents");
+  ASSERT_TRUE(disk.Write(*p1, w).ok());
+  Page r;
+  ASSERT_TRUE(disk.Read(*p1, &r).ok());
+  EXPECT_STREQ(r.data, "page-one-contents");
+  EXPECT_FALSE(disk.Read(99, &r).ok());
+}
+
+TEST_F(StorageTest, DiskManagerPersistsAcrossReopen) {
+  {
+    DiskManager disk;
+    ASSERT_TRUE(disk.Open(path_).ok());
+    Page w;
+    std::snprintf(w.data, kPageSize, "durable");
+    ASSERT_TRUE(disk.Write(*disk.Allocate(), w).ok());
+    ASSERT_TRUE(disk.Sync().ok());
+  }
+  DiskManager disk;
+  ASSERT_TRUE(disk.Open(path_).ok());
+  EXPECT_EQ(disk.NumPages(), 1);
+  Page r;
+  ASSERT_TRUE(disk.Read(0, &r).ok());
+  EXPECT_STREQ(r.data, "durable");
+}
+
+TEST(DiskManagerTest, OperationsFailWhenClosed) {
+  DiskManager disk;
+  Page p;
+  EXPECT_FALSE(disk.Allocate().ok());
+  EXPECT_FALSE(disk.Read(0, &p).ok());
+  EXPECT_FALSE(disk.Write(0, p).ok());
+}
+
+// ---------------------------------------------------------------------------
+// BufferPool
+// ---------------------------------------------------------------------------
+
+TEST_F(StorageTest, BufferPoolHitAndMiss) {
+  DiskManager disk;
+  ASSERT_TRUE(disk.Open(path_).ok());
+  BufferPool pool(&disk, 4);
+  Page* page = nullptr;
+  auto id = pool.NewPage(&page);
+  ASSERT_TRUE(id.ok());
+  std::snprintf(page->data, kPageSize, "cached");
+  ASSERT_TRUE(pool.Unpin(*id, true).ok());
+
+  auto fetched = pool.Fetch(*id);
+  ASSERT_TRUE(fetched.ok());
+  EXPECT_STREQ((*fetched)->data, "cached");
+  EXPECT_EQ(pool.stats().hits, 1);
+  ASSERT_TRUE(pool.Unpin(*id, false).ok());
+}
+
+TEST_F(StorageTest, BufferPoolEvictsLruAndWritesBack) {
+  DiskManager disk;
+  ASSERT_TRUE(disk.Open(path_).ok());
+  BufferPool pool(&disk, 2);
+  std::vector<PageId> ids;
+  for (int i = 0; i < 4; ++i) {
+    Page* page = nullptr;
+    auto id = pool.NewPage(&page);
+    ASSERT_TRUE(id.ok());
+    std::snprintf(page->data, kPageSize, "page-%d", i);
+    ASSERT_TRUE(pool.Unpin(*id, true).ok());
+    ids.push_back(*id);
+  }
+  EXPECT_GE(pool.stats().evictions, 2);
+  EXPECT_GE(pool.stats().writebacks, 2);
+  // Evicted pages reload with their contents intact.
+  for (int i = 0; i < 4; ++i) {
+    auto fetched = pool.Fetch(ids[i]);
+    ASSERT_TRUE(fetched.ok());
+    char expect[16];
+    std::snprintf(expect, sizeof(expect), "page-%d", i);
+    EXPECT_STREQ((*fetched)->data, expect);
+    ASSERT_TRUE(pool.Unpin(ids[i], false).ok());
+  }
+}
+
+TEST_F(StorageTest, BufferPoolRefusesWhenAllPinned) {
+  DiskManager disk;
+  ASSERT_TRUE(disk.Open(path_).ok());
+  BufferPool pool(&disk, 2);
+  Page* p = nullptr;
+  auto a = pool.NewPage(&p);
+  auto b = pool.NewPage(&p);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  // Both frames pinned: a third page cannot be brought in.
+  Page* q = nullptr;
+  EXPECT_FALSE(pool.NewPage(&q).ok());
+  ASSERT_TRUE(pool.Unpin(*a, false).ok());
+  EXPECT_TRUE(pool.NewPage(&q).ok());
+}
+
+TEST_F(StorageTest, BufferPoolPinCountSemantics) {
+  DiskManager disk;
+  ASSERT_TRUE(disk.Open(path_).ok());
+  BufferPool pool(&disk, 2);
+  Page* p = nullptr;
+  auto id = pool.NewPage(&p);
+  ASSERT_TRUE(id.ok());
+  // Double pin requires double unpin.
+  ASSERT_TRUE(pool.Fetch(*id).ok());
+  ASSERT_TRUE(pool.Unpin(*id, false).ok());
+  ASSERT_TRUE(pool.Unpin(*id, false).ok());
+  EXPECT_FALSE(pool.Unpin(*id, false).ok());  // not pinned anymore
+  EXPECT_FALSE(pool.Unpin(12345, false).ok());
+}
+
+TEST_F(StorageTest, BufferPoolFlushAllPersists) {
+  DiskManager disk;
+  ASSERT_TRUE(disk.Open(path_).ok());
+  BufferPool pool(&disk, 8);
+  Page* p = nullptr;
+  auto id = pool.NewPage(&p);
+  std::snprintf(p->data, kPageSize, "flushed");
+  ASSERT_TRUE(pool.Unpin(*id, true).ok());
+  ASSERT_TRUE(pool.FlushAll().ok());
+  Page direct;
+  ASSERT_TRUE(disk.Read(*id, &direct).ok());
+  EXPECT_STREQ(direct.data, "flushed");
+}
+
+// ---------------------------------------------------------------------------
+// HeapFile
+// ---------------------------------------------------------------------------
+
+TEST_F(StorageTest, HeapFileCrud) {
+  DiskManager disk;
+  ASSERT_TRUE(disk.Open(path_).ok());
+  BufferPool pool(&disk, 8);
+  HeapFile heap(&pool);
+
+  auto id = heap.Insert("record-a");
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(*heap.Get(*id), "record-a");
+
+  auto updated = heap.Update(*id, "record-a-v2");
+  ASSERT_TRUE(updated.ok());
+  EXPECT_EQ(*heap.Get(*updated), "record-a-v2");
+
+  ASSERT_TRUE(heap.Delete(*updated).ok());
+  EXPECT_FALSE(heap.Get(*updated).ok());
+  EXPECT_FALSE(heap.Get(RecordId{99, 0}).ok());
+}
+
+TEST_F(StorageTest, HeapFileGrowsAcrossPagesAndScans) {
+  DiskManager disk;
+  ASSERT_TRUE(disk.Open(path_).ok());
+  BufferPool pool(&disk, 4);  // smaller than the heap: forces eviction
+  HeapFile heap(&pool);
+
+  Rng rng(1);
+  std::set<std::string> expected;
+  for (int i = 0; i < 500; ++i) {
+    std::string record =
+        "record-" + std::to_string(i) + "-" +
+        std::string(20 + rng.UniformInt(200), 'x');
+    ASSERT_TRUE(heap.Insert(record).ok());
+    expected.insert(std::move(record));
+  }
+  EXPECT_GT(heap.last_page(), heap.first_page());
+
+  std::set<std::string> seen;
+  ASSERT_TRUE(heap.Scan([&](RecordId, std::string_view rec) {
+                    seen.insert(std::string(rec));
+                    return true;
+                  })
+                  .ok());
+  EXPECT_EQ(seen, expected);
+}
+
+TEST_F(StorageTest, HeapFileReopenFromFirstLastPage) {
+  DiskManager disk;
+  ASSERT_TRUE(disk.Open(path_).ok());
+  PageId first = kInvalidPageId, last = kInvalidPageId;
+  {
+    BufferPool pool(&disk, 8);
+    HeapFile heap(&pool);
+    for (int i = 0; i < 100; ++i) {
+      ASSERT_TRUE(
+          heap.Insert("persisted-" + std::to_string(i)).ok());
+    }
+    ASSERT_TRUE(pool.FlushAll().ok());
+    first = heap.first_page();
+    last = heap.last_page();
+  }
+  BufferPool pool(&disk, 8);
+  HeapFile heap(&pool, first, last);
+  int count = 0;
+  ASSERT_TRUE(heap.Scan([&count](RecordId, std::string_view) {
+                    ++count;
+                    return true;
+                  })
+                  .ok());
+  EXPECT_EQ(count, 100);
+}
+
+TEST_F(StorageTest, HeapFileRejectsOversizedRecord) {
+  DiskManager disk;
+  ASSERT_TRUE(disk.Open(path_).ok());
+  BufferPool pool(&disk, 4);
+  HeapFile heap(&pool);
+  EXPECT_FALSE(heap.Insert(std::string(kPageSize, 'x')).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Row codec & table persistence
+// ---------------------------------------------------------------------------
+
+TEST(RowCodecTest, RoundTrip) {
+  rel::Row row{rel::Value(42), rel::Value(2.75), rel::Value("text"),
+               rel::Value::Null()};
+  auto decoded = DecodeRow(EncodeRow(row));
+  ASSERT_TRUE(decoded.ok());
+  ASSERT_EQ(decoded->size(), 4u);
+  EXPECT_EQ((*decoded)[0].AsInt(), 42);
+  EXPECT_DOUBLE_EQ((*decoded)[1].AsDouble(), 2.75);
+  EXPECT_EQ((*decoded)[2].AsString(), "text");
+  EXPECT_TRUE((*decoded)[3].is_null());
+}
+
+TEST(RowCodecTest, RejectsCorruptInput) {
+  EXPECT_FALSE(DecodeRow("").ok());
+  rel::Row row{rel::Value(1)};
+  std::string bytes = EncodeRow(row);
+  EXPECT_FALSE(DecodeRow(bytes.substr(0, bytes.size() - 2)).ok());
+  EXPECT_FALSE(DecodeRow(bytes + "junk").ok());
+}
+
+TEST_F(StorageTest, CatalogRoundTripInPageZero) {
+  DiskManager disk;
+  ASSERT_TRUE(disk.Open(path_).ok());
+  BufferPool pool(&disk, 4);
+  Page* p0 = nullptr;
+  ASSERT_TRUE(pool.NewPage(&p0).ok());
+  ASSERT_TRUE(pool.Unpin(0, true).ok());
+
+  Catalog catalog;
+  catalog.Put("readings", {3, 17});
+  catalog.Put("layer0", {18, 18});
+  ASSERT_TRUE(catalog.Save(&pool).ok());
+  ASSERT_TRUE(pool.FlushAll().ok());
+
+  auto loaded = Catalog::Load(&pool);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->extents().size(), 2u);
+  auto extent = loaded->Get("readings");
+  ASSERT_TRUE(extent.ok());
+  EXPECT_EQ(extent->first_page, 3);
+  EXPECT_EQ(extent->last_page, 17);
+  EXPECT_FALSE(loaded->Get("missing").ok());
+}
+
+TEST_F(StorageTest, CatalogLoadRejectsGarbagePage) {
+  DiskManager disk;
+  ASSERT_TRUE(disk.Open(path_).ok());
+  BufferPool pool(&disk, 4);
+  Page* p0 = nullptr;
+  ASSERT_TRUE(pool.NewPage(&p0).ok());
+  std::snprintf(p0->data, kPageSize, "not a catalog");
+  ASSERT_TRUE(pool.Unpin(0, true).ok());
+  EXPECT_FALSE(Catalog::Load(&pool).ok());
+}
+
+TEST_F(StorageTest, CheckpointAndRestoreDatabase) {
+  rel::Schema schema({{"k", rel::ValueType::kInt},
+                      {"v", rel::ValueType::kString}});
+  rel::Database db;
+  rel::Table* a = *db.CreateTable("alpha", schema);
+  rel::Table* b = *db.CreateTable("beta", schema);
+  db.CreateTable("empty", schema);
+  for (int i = 0; i < 300; ++i) {
+    a->Insert(rel::Row{rel::Value(i), rel::Value("a" + std::to_string(i))});
+  }
+  for (int i = 0; i < 7; ++i) {
+    b->Insert(rel::Row{rel::Value(i), rel::Value("b" + std::to_string(i))});
+  }
+  ASSERT_TRUE(CheckpointDatabase(db, path_).ok());
+
+  rel::Database restored;
+  restored.CreateTable("alpha", schema);
+  restored.CreateTable("beta", schema);
+  restored.CreateTable("empty", schema);
+  auto n = RestoreDatabase(path_, &restored);
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, 3);
+  EXPECT_EQ(restored.GetTable("alpha")->size(), 300u);
+  EXPECT_EQ(restored.GetTable("beta")->size(), 7u);
+  EXPECT_EQ(restored.GetTable("empty")->size(), 0u);
+  const auto id = restored.GetTable("alpha")->FindFirst(0, rel::Value(250));
+  ASSERT_GE(id, 0);
+  EXPECT_EQ((*restored.GetTable("alpha")->Get(id))[1].AsString(), "a250");
+}
+
+TEST_F(StorageTest, TablePersistAndLoad) {
+  rel::Schema schema({{"id", rel::ValueType::kInt},
+                      {"name", rel::ValueType::kString},
+                      {"v", rel::ValueType::kDouble}});
+  rel::Table original("t", schema);
+  for (int i = 0; i < 200; ++i) {
+    original.Insert(rel::Row{rel::Value(i),
+                             rel::Value("name" + std::to_string(i)),
+                             rel::Value(i * 1.5)});
+  }
+
+  DiskManager disk;
+  ASSERT_TRUE(disk.Open(path_).ok());
+  PageId first = kInvalidPageId, last = kInvalidPageId;
+  {
+    BufferPool pool(&disk, 8);
+    HeapFile heap(&pool);
+    auto written = PersistTable(original, &heap);
+    ASSERT_TRUE(written.ok());
+    EXPECT_EQ(*written, 200);
+    ASSERT_TRUE(pool.FlushAll().ok());
+    first = heap.first_page();
+    last = heap.last_page();
+  }
+
+  BufferPool pool(&disk, 8);
+  HeapFile heap(&pool, first, last);
+  rel::Table restored("t", schema);
+  auto loaded = LoadTable(heap, &restored);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(*loaded, 200);
+  EXPECT_EQ(restored.size(), original.size());
+  for (int i = 0; i < 200; ++i) {
+    const auto id = restored.FindFirst(0, rel::Value(i));
+    ASSERT_GE(id, 0) << i;
+    EXPECT_EQ((*restored.Get(id))[1].AsString(),
+              "name" + std::to_string(i));
+  }
+}
+
+}  // namespace
+}  // namespace colr::storage
