@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_slot_size.dir/ablation_slot_size.cc.o"
+  "CMakeFiles/ablation_slot_size.dir/ablation_slot_size.cc.o.d"
+  "ablation_slot_size"
+  "ablation_slot_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_slot_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

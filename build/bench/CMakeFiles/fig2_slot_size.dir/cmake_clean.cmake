@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_slot_size.dir/fig2_slot_size.cc.o"
+  "CMakeFiles/fig2_slot_size.dir/fig2_slot_size.cc.o.d"
+  "fig2_slot_size"
+  "fig2_slot_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_slot_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

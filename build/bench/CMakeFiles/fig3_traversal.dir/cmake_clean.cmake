@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_traversal.dir/fig3_traversal.cc.o"
+  "CMakeFiles/fig3_traversal.dir/fig3_traversal.cc.o.d"
+  "fig3_traversal"
+  "fig3_traversal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_traversal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

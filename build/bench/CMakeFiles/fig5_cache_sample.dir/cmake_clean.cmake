@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_cache_sample.dir/fig5_cache_sample.cc.o"
+  "CMakeFiles/fig5_cache_sample.dir/fig5_cache_sample.cc.o.d"
+  "fig5_cache_sample"
+  "fig5_cache_sample.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_cache_sample.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

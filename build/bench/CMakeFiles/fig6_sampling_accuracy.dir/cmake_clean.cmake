@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_sampling_accuracy.dir/fig6_sampling_accuracy.cc.o"
+  "CMakeFiles/fig6_sampling_accuracy.dir/fig6_sampling_accuracy.cc.o.d"
+  "fig6_sampling_accuracy"
+  "fig6_sampling_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_sampling_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

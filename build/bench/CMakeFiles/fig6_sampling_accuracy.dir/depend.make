@@ -1,0 +1,2 @@
+# Empty dependencies file for fig6_sampling_accuracy.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_approx_error.dir/fig7_approx_error.cc.o"
+  "CMakeFiles/fig7_approx_error.dir/fig7_approx_error.cc.o.d"
+  "fig7_approx_error"
+  "fig7_approx_error.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_approx_error.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

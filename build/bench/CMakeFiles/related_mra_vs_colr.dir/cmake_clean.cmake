@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/related_mra_vs_colr.dir/related_mra_vs_colr.cc.o"
+  "CMakeFiles/related_mra_vs_colr.dir/related_mra_vs_colr.cc.o.d"
+  "related_mra_vs_colr"
+  "related_mra_vs_colr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/related_mra_vs_colr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for related_mra_vs_colr.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/historical_warehouse.dir/historical_warehouse.cpp.o"
+  "CMakeFiles/historical_warehouse.dir/historical_warehouse.cpp.o.d"
+  "historical_warehouse"
+  "historical_warehouse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/historical_warehouse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

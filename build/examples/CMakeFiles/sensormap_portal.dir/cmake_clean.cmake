@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sensormap_portal.dir/sensormap_portal.cpp.o"
+  "CMakeFiles/sensormap_portal.dir/sensormap_portal.cpp.o.d"
+  "sensormap_portal"
+  "sensormap_portal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sensormap_portal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

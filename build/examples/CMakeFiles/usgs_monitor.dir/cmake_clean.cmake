@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/usgs_monitor.dir/usgs_monitor.cpp.o"
+  "CMakeFiles/usgs_monitor.dir/usgs_monitor.cpp.o.d"
+  "usgs_monitor"
+  "usgs_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/usgs_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cluster/cluster_tree.cc" "src/cluster/CMakeFiles/colr_cluster.dir/cluster_tree.cc.o" "gcc" "src/cluster/CMakeFiles/colr_cluster.dir/cluster_tree.cc.o.d"
+  "/root/repo/src/cluster/kmeans.cc" "src/cluster/CMakeFiles/colr_cluster.dir/kmeans.cc.o" "gcc" "src/cluster/CMakeFiles/colr_cluster.dir/kmeans.cc.o.d"
+  "/root/repo/src/cluster/str_pack.cc" "src/cluster/CMakeFiles/colr_cluster.dir/str_pack.cc.o" "gcc" "src/cluster/CMakeFiles/colr_cluster.dir/str_pack.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/colr_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/colr_geo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

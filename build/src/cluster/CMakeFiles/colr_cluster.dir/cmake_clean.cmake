@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/colr_cluster.dir/cluster_tree.cc.o"
+  "CMakeFiles/colr_cluster.dir/cluster_tree.cc.o.d"
+  "CMakeFiles/colr_cluster.dir/kmeans.cc.o"
+  "CMakeFiles/colr_cluster.dir/kmeans.cc.o.d"
+  "CMakeFiles/colr_cluster.dir/str_pack.cc.o"
+  "CMakeFiles/colr_cluster.dir/str_pack.cc.o.d"
+  "libcolr_cluster.a"
+  "libcolr_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/colr_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

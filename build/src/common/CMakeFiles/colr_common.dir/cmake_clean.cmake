@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/colr_common.dir/rng.cc.o"
+  "CMakeFiles/colr_common.dir/rng.cc.o.d"
+  "libcolr_common.a"
+  "libcolr_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/colr_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/aggregate.cc" "src/core/CMakeFiles/colr_core.dir/aggregate.cc.o" "gcc" "src/core/CMakeFiles/colr_core.dir/aggregate.cc.o.d"
+  "/root/repo/src/core/engine.cc" "src/core/CMakeFiles/colr_core.dir/engine.cc.o" "gcc" "src/core/CMakeFiles/colr_core.dir/engine.cc.o.d"
+  "/root/repo/src/core/flat_cache.cc" "src/core/CMakeFiles/colr_core.dir/flat_cache.cc.o" "gcc" "src/core/CMakeFiles/colr_core.dir/flat_cache.cc.o.d"
+  "/root/repo/src/core/reading_store.cc" "src/core/CMakeFiles/colr_core.dir/reading_store.cc.o" "gcc" "src/core/CMakeFiles/colr_core.dir/reading_store.cc.o.d"
+  "/root/repo/src/core/sampling.cc" "src/core/CMakeFiles/colr_core.dir/sampling.cc.o" "gcc" "src/core/CMakeFiles/colr_core.dir/sampling.cc.o.d"
+  "/root/repo/src/core/slot_size.cc" "src/core/CMakeFiles/colr_core.dir/slot_size.cc.o" "gcc" "src/core/CMakeFiles/colr_core.dir/slot_size.cc.o.d"
+  "/root/repo/src/core/tree.cc" "src/core/CMakeFiles/colr_core.dir/tree.cc.o" "gcc" "src/core/CMakeFiles/colr_core.dir/tree.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/colr_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/colr_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/sensor/CMakeFiles/colr_sensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/colr_cluster.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/colr_core.dir/aggregate.cc.o"
+  "CMakeFiles/colr_core.dir/aggregate.cc.o.d"
+  "CMakeFiles/colr_core.dir/engine.cc.o"
+  "CMakeFiles/colr_core.dir/engine.cc.o.d"
+  "CMakeFiles/colr_core.dir/flat_cache.cc.o"
+  "CMakeFiles/colr_core.dir/flat_cache.cc.o.d"
+  "CMakeFiles/colr_core.dir/reading_store.cc.o"
+  "CMakeFiles/colr_core.dir/reading_store.cc.o.d"
+  "CMakeFiles/colr_core.dir/sampling.cc.o"
+  "CMakeFiles/colr_core.dir/sampling.cc.o.d"
+  "CMakeFiles/colr_core.dir/slot_size.cc.o"
+  "CMakeFiles/colr_core.dir/slot_size.cc.o.d"
+  "CMakeFiles/colr_core.dir/tree.cc.o"
+  "CMakeFiles/colr_core.dir/tree.cc.o.d"
+  "libcolr_core.a"
+  "libcolr_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/colr_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/colr_geo.dir/geo.cc.o"
+  "CMakeFiles/colr_geo.dir/geo.cc.o.d"
+  "libcolr_geo.a"
+  "libcolr_geo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/colr_geo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

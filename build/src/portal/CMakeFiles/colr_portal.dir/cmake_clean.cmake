@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/colr_portal.dir/lexer.cc.o"
+  "CMakeFiles/colr_portal.dir/lexer.cc.o.d"
+  "CMakeFiles/colr_portal.dir/parser.cc.o"
+  "CMakeFiles/colr_portal.dir/parser.cc.o.d"
+  "CMakeFiles/colr_portal.dir/portal.cc.o"
+  "CMakeFiles/colr_portal.dir/portal.cc.o.d"
+  "libcolr_portal.a"
+  "libcolr_portal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/colr_portal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

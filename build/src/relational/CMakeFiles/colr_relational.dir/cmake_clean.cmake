@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/colr_relational.dir/executor.cc.o"
+  "CMakeFiles/colr_relational.dir/executor.cc.o.d"
+  "CMakeFiles/colr_relational.dir/table.cc.o"
+  "CMakeFiles/colr_relational.dir/table.cc.o.d"
+  "CMakeFiles/colr_relational.dir/value.cc.o"
+  "CMakeFiles/colr_relational.dir/value.cc.o.d"
+  "libcolr_relational.a"
+  "libcolr_relational.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/colr_relational.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/colr_relcolr.dir/relcolr.cc.o"
+  "CMakeFiles/colr_relcolr.dir/relcolr.cc.o.d"
+  "libcolr_relcolr.a"
+  "libcolr_relcolr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/colr_relcolr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcolr_relcolr.a"
+)

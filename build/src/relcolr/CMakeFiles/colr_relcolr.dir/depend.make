@@ -1,0 +1,2 @@
+# Empty dependencies file for colr_relcolr.
+# This may be replaced when dependencies are built.

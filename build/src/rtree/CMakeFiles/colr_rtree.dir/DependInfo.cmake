@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rtree/arb_tree.cc" "src/rtree/CMakeFiles/colr_rtree.dir/arb_tree.cc.o" "gcc" "src/rtree/CMakeFiles/colr_rtree.dir/arb_tree.cc.o.d"
+  "/root/repo/src/rtree/mra_tree.cc" "src/rtree/CMakeFiles/colr_rtree.dir/mra_tree.cc.o" "gcc" "src/rtree/CMakeFiles/colr_rtree.dir/mra_tree.cc.o.d"
+  "/root/repo/src/rtree/rtree.cc" "src/rtree/CMakeFiles/colr_rtree.dir/rtree.cc.o" "gcc" "src/rtree/CMakeFiles/colr_rtree.dir/rtree.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/colr_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/colr_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/colr_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/sensor/CMakeFiles/colr_sensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/colr_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/relational/CMakeFiles/colr_relational.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

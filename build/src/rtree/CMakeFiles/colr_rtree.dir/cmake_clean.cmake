@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/colr_rtree.dir/arb_tree.cc.o"
+  "CMakeFiles/colr_rtree.dir/arb_tree.cc.o.d"
+  "CMakeFiles/colr_rtree.dir/mra_tree.cc.o"
+  "CMakeFiles/colr_rtree.dir/mra_tree.cc.o.d"
+  "CMakeFiles/colr_rtree.dir/rtree.cc.o"
+  "CMakeFiles/colr_rtree.dir/rtree.cc.o.d"
+  "libcolr_rtree.a"
+  "libcolr_rtree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/colr_rtree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sensor/availability.cc" "src/sensor/CMakeFiles/colr_sensor.dir/availability.cc.o" "gcc" "src/sensor/CMakeFiles/colr_sensor.dir/availability.cc.o.d"
+  "/root/repo/src/sensor/expiry_model.cc" "src/sensor/CMakeFiles/colr_sensor.dir/expiry_model.cc.o" "gcc" "src/sensor/CMakeFiles/colr_sensor.dir/expiry_model.cc.o.d"
+  "/root/repo/src/sensor/network.cc" "src/sensor/CMakeFiles/colr_sensor.dir/network.cc.o" "gcc" "src/sensor/CMakeFiles/colr_sensor.dir/network.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/colr_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/colr_geo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/colr_sensor.dir/availability.cc.o"
+  "CMakeFiles/colr_sensor.dir/availability.cc.o.d"
+  "CMakeFiles/colr_sensor.dir/expiry_model.cc.o"
+  "CMakeFiles/colr_sensor.dir/expiry_model.cc.o.d"
+  "CMakeFiles/colr_sensor.dir/network.cc.o"
+  "CMakeFiles/colr_sensor.dir/network.cc.o.d"
+  "libcolr_sensor.a"
+  "libcolr_sensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/colr_sensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/colr_storage.dir/buffer_pool.cc.o"
+  "CMakeFiles/colr_storage.dir/buffer_pool.cc.o.d"
+  "CMakeFiles/colr_storage.dir/catalog.cc.o"
+  "CMakeFiles/colr_storage.dir/catalog.cc.o.d"
+  "CMakeFiles/colr_storage.dir/disk_manager.cc.o"
+  "CMakeFiles/colr_storage.dir/disk_manager.cc.o.d"
+  "CMakeFiles/colr_storage.dir/heap_file.cc.o"
+  "CMakeFiles/colr_storage.dir/heap_file.cc.o.d"
+  "CMakeFiles/colr_storage.dir/page.cc.o"
+  "CMakeFiles/colr_storage.dir/page.cc.o.d"
+  "CMakeFiles/colr_storage.dir/row_codec.cc.o"
+  "CMakeFiles/colr_storage.dir/row_codec.cc.o.d"
+  "CMakeFiles/colr_storage.dir/table_io.cc.o"
+  "CMakeFiles/colr_storage.dir/table_io.cc.o.d"
+  "CMakeFiles/colr_storage.dir/wal.cc.o"
+  "CMakeFiles/colr_storage.dir/wal.cc.o.d"
+  "libcolr_storage.a"
+  "libcolr_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/colr_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/live_local.cc" "src/workload/CMakeFiles/colr_workload.dir/live_local.cc.o" "gcc" "src/workload/CMakeFiles/colr_workload.dir/live_local.cc.o.d"
+  "/root/repo/src/workload/trace_io.cc" "src/workload/CMakeFiles/colr_workload.dir/trace_io.cc.o" "gcc" "src/workload/CMakeFiles/colr_workload.dir/trace_io.cc.o.d"
+  "/root/repo/src/workload/usgs_field.cc" "src/workload/CMakeFiles/colr_workload.dir/usgs_field.cc.o" "gcc" "src/workload/CMakeFiles/colr_workload.dir/usgs_field.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/colr_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/colr_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/sensor/CMakeFiles/colr_sensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/colr_workload.dir/live_local.cc.o"
+  "CMakeFiles/colr_workload.dir/live_local.cc.o.d"
+  "CMakeFiles/colr_workload.dir/trace_io.cc.o"
+  "CMakeFiles/colr_workload.dir/trace_io.cc.o.d"
+  "CMakeFiles/colr_workload.dir/usgs_field.cc.o"
+  "CMakeFiles/colr_workload.dir/usgs_field.cc.o.d"
+  "libcolr_workload.a"
+  "libcolr_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/colr_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

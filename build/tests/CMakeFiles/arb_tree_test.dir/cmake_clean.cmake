@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/arb_tree_test.dir/arb_tree_test.cc.o"
+  "CMakeFiles/arb_tree_test.dir/arb_tree_test.cc.o.d"
+  "arb_tree_test"
+  "arb_tree_test.pdb"
+  "arb_tree_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/arb_tree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flat_cache_test.dir/flat_cache_test.cc.o"
+  "CMakeFiles/flat_cache_test.dir/flat_cache_test.cc.o.d"
+  "flat_cache_test"
+  "flat_cache_test.pdb"
+  "flat_cache_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flat_cache_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

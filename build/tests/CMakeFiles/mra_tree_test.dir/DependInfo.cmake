@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/mra_tree_test.cc" "tests/CMakeFiles/mra_tree_test.dir/mra_tree_test.cc.o" "gcc" "tests/CMakeFiles/mra_tree_test.dir/mra_tree_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/colr_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/colr_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/rtree/CMakeFiles/colr_rtree.dir/DependInfo.cmake"
+  "/root/repo/build/src/sensor/CMakeFiles/colr_sensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/colr_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/colr_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/colr_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/relational/CMakeFiles/colr_relational.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/colr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

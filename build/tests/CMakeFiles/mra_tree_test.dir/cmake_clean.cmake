@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mra_tree_test.dir/mra_tree_test.cc.o"
+  "CMakeFiles/mra_tree_test.dir/mra_tree_test.cc.o.d"
+  "mra_tree_test"
+  "mra_tree_test.pdb"
+  "mra_tree_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mra_tree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/relcolr_test.dir/relcolr_test.cc.o"
+  "CMakeFiles/relcolr_test.dir/relcolr_test.cc.o.d"
+  "relcolr_test"
+  "relcolr_test.pdb"
+  "relcolr_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/relcolr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

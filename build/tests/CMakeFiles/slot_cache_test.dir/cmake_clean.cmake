@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slot_cache_test.dir/slot_cache_test.cc.o"
+  "CMakeFiles/slot_cache_test.dir/slot_cache_test.cc.o.d"
+  "slot_cache_test"
+  "slot_cache_test.pdb"
+  "slot_cache_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slot_cache_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

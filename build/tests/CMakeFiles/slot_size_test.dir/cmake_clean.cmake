@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slot_size_test.dir/slot_size_test.cc.o"
+  "CMakeFiles/slot_size_test.dir/slot_size_test.cc.o.d"
+  "slot_size_test"
+  "slot_size_test.pdb"
+  "slot_size_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slot_size_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
