@@ -30,6 +30,9 @@ struct BenchConfig {
   int cities = 120;
   uint64_t seed = 20080407;  // ICDE'08
   bool full = false;
+  /// When non-empty, harnesses also write their series to this path as
+  /// JSON (machine-readable companion to the printed tables).
+  std::string json_path;
 
   static BenchConfig FromArgs(int argc, char** argv) {
     BenchConfig cfg;
@@ -51,9 +54,14 @@ struct BenchConfig {
         cfg.queries = std::atoi(v);
       } else if (const char* v = value("--seed=")) {
         cfg.seed = std::strtoull(v, nullptr, 10);
+      } else if (const char* v = value("--json=")) {
+        cfg.json_path = v;
+      } else if (arg == "--json" && i + 1 < argc) {
+        cfg.json_path = argv[++i];
       } else if (arg == "--help" || arg == "-h") {
         std::printf(
-            "usage: %s [--full] [--sensors=N] [--queries=N] [--seed=S]\n",
+            "usage: %s [--full] [--sensors=N] [--queries=N] [--seed=S] "
+            "[--json PATH]\n",
             argv[0]);
         std::exit(0);
       }
@@ -132,6 +140,74 @@ class Testbed {
   std::unique_ptr<ColrTree> tree_;
   std::unique_ptr<ColrEngine> engine_;
 };
+
+/// Builds one JSON object incrementally: Field() for each key, then
+/// Done() for the serialized `{...}`. Keys are emitted verbatim (the
+/// harnesses use plain identifiers); string values get minimal quote /
+/// backslash escaping.
+class JsonObject {
+ public:
+  JsonObject& Field(const char* key, double v) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return Raw(key, buf);
+  }
+  JsonObject& Field(const char* key, int64_t v) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld",
+                  static_cast<long long>(v));
+    return Raw(key, buf);
+  }
+  JsonObject& Field(const char* key, int v) {
+    return Field(key, static_cast<int64_t>(v));
+  }
+  JsonObject& Field(const char* key, const char* v) {
+    std::string escaped = "\"";
+    for (const char* p = v; *p != '\0'; ++p) {
+      if (*p == '"' || *p == '\\') escaped += '\\';
+      escaped += *p;
+    }
+    escaped += '"';
+    return Raw(key, escaped.c_str());
+  }
+  std::string Done() const { return first_ ? "{}" : body_ + "}"; }
+
+ private:
+  JsonObject& Raw(const char* key, const char* v) {
+    body_ += first_ ? "{" : ", ";
+    first_ = false;
+    body_ += std::string("\"") + key + "\": " + v;
+    return *this;
+  }
+  std::string body_;
+  bool first_ = true;
+};
+
+/// Writes a bench report as `{"bench": ..., "config": {...},
+/// "series": [rows...]}` to cfg.json_path. No-op when --json was not
+/// given. Each row is a serialized JsonObject.
+inline void WriteJsonReport(const BenchConfig& cfg, const char* bench,
+                            const std::vector<std::string>& rows) {
+  if (cfg.json_path.empty()) return;
+  std::FILE* f = std::fopen(cfg.json_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", cfg.json_path.c_str());
+    return;
+  }
+  JsonObject config;
+  config.Field("sensors", cfg.sensors)
+      .Field("queries", cfg.queries)
+      .Field("cities", cfg.cities)
+      .Field("seed", static_cast<int64_t>(cfg.seed));
+  std::fprintf(f, "{\"bench\": \"%s\", \"config\": %s, \"series\": [",
+               bench, config.Done().c_str());
+  for (size_t i = 0; i < rows.size(); ++i) {
+    std::fprintf(f, "%s%s", i == 0 ? "" : ", ", rows[i].c_str());
+  }
+  std::fprintf(f, "]}\n");
+  std::fclose(f);
+  std::printf("json report written to %s\n", cfg.json_path.c_str());
+}
 
 inline void PrintHeader(const char* figure, const char* description,
                         const BenchConfig& cfg) {

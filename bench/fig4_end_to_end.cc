@@ -52,6 +52,7 @@ int Main(int argc, char** argv) {
   const int flat_max = cfg.full ? 5000 : -1;
 
   const TimeMs freshness_minutes[] = {1, 2, 4, 8, 16};
+  std::vector<std::string> json_rows;
 
   std::printf("%-10s | %12s %12s | %12s %12s | %10s | %10s %10s %10s\n",
               "freshness", "flat/colr", "hier/colr", "flat/colr",
@@ -80,7 +81,18 @@ int Main(int argc, char** argv) {
         hier.latency_ms.mean() / colr_lat, colr.probes.mean(),
         flat.latency_ms.mean(), hier.latency_ms.mean(),
         colr.latency_ms.mean());
+    json_rows.push_back(
+        JsonObject()
+            .Field("freshness_min", static_cast<int64_t>(mins))
+            .Field("flat_probes", flat.probes.mean())
+            .Field("hier_probes", hier.probes.mean())
+            .Field("colr_probes", colr.probes.mean())
+            .Field("flat_latency_ms", flat.latency_ms.mean())
+            .Field("hier_latency_ms", hier.latency_ms.mean())
+            .Field("colr_latency_ms", colr.latency_ms.mean())
+            .Done());
   }
+  WriteJsonReport(cfg, "fig4_end_to_end", json_rows);
 
   std::printf("\npaper shape: probe ratios 30-100x; latency ratio vs "
               "hier-cache 3-5x; colr probe curve heel near 4 min.\n");

@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Tier-1 gate: full build + test suite, then the concurrency test under
+# ThreadSanitizer. Run from anywhere; builds land in build/ and
+# build-tsan/ under the repo root.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+cd "$repo_root"
+
+jobs="$(nproc 2>/dev/null || echo 4)"
+
+echo "== tier-1: configure + build =="
+cmake -B build -S . >/dev/null
+cmake --build build -j "$jobs"
+
+echo "== tier-1: ctest =="
+(cd build && ctest --output-on-failure -j "$jobs")
+
+echo "== tsan: build concurrency test =="
+cmake -B build-tsan -S . -DCOLR_SANITIZE=thread >/dev/null
+cmake --build build-tsan -j "$jobs" --target concurrency_test
+
+echo "== tsan: run concurrency test =="
+./build-tsan/tests/concurrency_test
+
+echo "== all checks passed =="

@@ -2,6 +2,7 @@
 #define COLR_COMMON_CLOCK_H_
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 
@@ -25,18 +26,29 @@ class Clock {
 };
 
 /// Deterministic simulated clock, manually advanced by workload
-/// replayers and tests.
+/// replayers and tests. The time word is atomic so a replay driver can
+/// advance it while query threads read it (time only moves forward;
+/// see SetMs).
 class SimClock : public Clock {
  public:
   explicit SimClock(TimeMs start = 0) : now_(start) {}
 
-  TimeMs NowMs() const override { return now_; }
+  TimeMs NowMs() const override {
+    return now_.load(std::memory_order_relaxed);
+  }
 
-  void AdvanceMs(TimeMs delta) { now_ += delta; }
-  void SetMs(TimeMs t) { now_ = std::max(now_, t); }
+  void AdvanceMs(TimeMs delta) {
+    now_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  void SetMs(TimeMs t) {
+    TimeMs cur = now_.load(std::memory_order_relaxed);
+    while (cur < t &&
+           !now_.compare_exchange_weak(cur, t, std::memory_order_relaxed)) {
+    }
+  }
 
  private:
-  TimeMs now_;
+  std::atomic<TimeMs> now_;
 };
 
 /// Real wall clock (monotonic), used by the latency instrumentation.

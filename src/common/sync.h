@@ -1,0 +1,143 @@
+#ifndef COLR_COMMON_SYNC_H_
+#define COLR_COMMON_SYNC_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <shared_mutex>
+
+namespace colr {
+
+/// Striped (sharded) lock table: maps an integer key (node id, sensor
+/// id, ...) onto a small fixed set of shared_mutexes so that fine-
+/// grained state — e.g. one slot cache per COLR-Tree node — can be
+/// locked per entity without paying one mutex per entity. Collisions
+/// only cost false contention, never correctness.
+///
+/// Lock discipline (see DESIGN.md "Concurrency model"): a thread holds
+/// at most one stripe at a time, so stripe acquisition order can never
+/// deadlock.
+class StripedMutex {
+ public:
+  explicit StripedMutex(size_t stripes = 64) : stripes_(stripes) {}
+
+  std::shared_mutex& For(int64_t key) {
+    return locks_[static_cast<size_t>(Mix(key)) % kMaxStripes % stripes_];
+  }
+
+  size_t stripes() const { return stripes_; }
+
+ private:
+  static uint64_t Mix(int64_t key) {
+    // SplitMix64 finalizer: adjacent ids (siblings in the tree) land
+    // on unrelated stripes.
+    uint64_t z = static_cast<uint64_t>(key) + 0x9E3779B97F4A7C15ull;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+  }
+
+  static constexpr size_t kMaxStripes = 256;
+  size_t stripes_;
+  std::shared_mutex locks_[kMaxStripes];
+};
+
+/// Copyable atomic counter. std::atomic is neither copyable nor
+/// movable, which makes it awkward inside resizable containers and
+/// value-semantics structs (SensorNetwork::Counters, cumulative query
+/// stats); this wrapper restores copyability with the obvious
+/// load/store semantics. All operations are relaxed: the counters are
+/// statistics, ordered externally by the joins/barriers of whoever
+/// reads them.
+template <typename T>
+class AtomicCounter {
+ public:
+  AtomicCounter(T v = T{}) : v_(v) {}  // NOLINT: implicit by design
+  AtomicCounter(const AtomicCounter& o) : v_(o.load()) {}
+  AtomicCounter& operator=(const AtomicCounter& o) {
+    store(o.load());
+    return *this;
+  }
+  AtomicCounter& operator=(T v) {
+    store(v);
+    return *this;
+  }
+
+  T load() const { return v_.load(std::memory_order_relaxed); }
+  void store(T v) { v_.store(v, std::memory_order_relaxed); }
+  T Add(T d) { return v_.fetch_add(d, std::memory_order_relaxed) + d; }
+  AtomicCounter& operator+=(T d) {
+    v_.fetch_add(d, std::memory_order_relaxed);
+    return *this;
+  }
+  AtomicCounter& operator++() {
+    v_.fetch_add(T{1}, std::memory_order_relaxed);
+    return *this;
+  }
+  operator T() const { return load(); }  // NOLINT: implicit by design
+
+  /// Atomically raises the stored value to at least `v`.
+  void FetchMax(T v) {
+    T cur = v_.load(std::memory_order_relaxed);
+    while (cur < v &&
+           !v_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+
+ private:
+  std::atomic<T> v_;
+};
+
+/// Copyable atomic double with relaxed load/store plus a CAS-based
+/// fetch-add (portable even where atomic<double>::fetch_add is not
+/// lock-free). Used for metadata that is read on hot query paths and
+/// rewritten wholesale by maintenance (per-node mean availability,
+/// accumulated latency totals).
+class AtomicDouble {
+ public:
+  AtomicDouble(double v = 0.0) : v_(v) {}  // NOLINT: implicit by design
+  AtomicDouble(const AtomicDouble& o) : v_(o.load()) {}
+  AtomicDouble& operator=(const AtomicDouble& o) {
+    store(o.load());
+    return *this;
+  }
+  AtomicDouble& operator=(double v) {
+    store(v);
+    return *this;
+  }
+
+  double load() const { return v_.load(std::memory_order_relaxed); }
+  void store(double v) { v_.store(v, std::memory_order_relaxed); }
+  void Add(double d) {
+    double cur = v_.load(std::memory_order_relaxed);
+    while (!v_.compare_exchange_weak(cur, cur + d,
+                                     std::memory_order_relaxed)) {
+    }
+  }
+  bool CompareExchangeWeak(double& expected, double desired) {
+    return v_.compare_exchange_weak(expected, desired,
+                                    std::memory_order_relaxed);
+  }
+  AtomicDouble& operator+=(double d) {
+    Add(d);
+    return *this;
+  }
+  operator double() const { return load(); }  // NOLINT: implicit by design
+
+ private:
+  std::atomic<double> v_;
+};
+
+/// Mixes a base seed with a per-task ordinal into an independent
+/// 64-bit seed (SplitMix64). Used to give every concurrently executed
+/// query its own deterministic RNG stream.
+inline uint64_t DeriveSeed(uint64_t base, uint64_t ordinal) {
+  uint64_t z = base + (ordinal + 1) * 0x9E3779B97F4A7C15ull;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+}  // namespace colr
+
+#endif  // COLR_COMMON_SYNC_H_

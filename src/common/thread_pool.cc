@@ -1,0 +1,122 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+
+namespace colr {
+
+ThreadPool::ThreadPool(int num_threads) {
+  workers_.reserve(std::max(0, num_threads));
+  for (int i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::Submit(std::function<void()> fn) {
+  if (workers_.empty()) {
+    // Degenerate pool: run inline so submitted work is never lost.
+    fn();
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(fn));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (stop_ && queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+namespace {
+
+/// Shared state of one ParallelFor call. Helpers submitted to the pool
+/// hold it via shared_ptr so a helper that is dequeued after the call
+/// already finished finds an exhausted counter and exits immediately.
+struct ParallelForState {
+  std::function<void(size_t, size_t)> fn;
+  size_t n = 0;
+  size_t grain = 1;
+  size_t num_chunks = 0;
+  std::atomic<size_t> next_chunk{0};
+  std::atomic<size_t> done_chunks{0};
+  std::mutex mutex;
+  std::condition_variable done_cv;
+
+  /// Claims and runs chunks until the counter is exhausted.
+  void Drain() {
+    for (;;) {
+      const size_t c = next_chunk.fetch_add(1, std::memory_order_relaxed);
+      if (c >= num_chunks) return;
+      const size_t begin = c * grain;
+      const size_t end = std::min(n, begin + grain);
+      fn(begin, end);
+      if (done_chunks.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+          num_chunks) {
+        std::lock_guard<std::mutex> lock(mutex);
+        done_cv.notify_all();
+      }
+    }
+  }
+};
+
+}  // namespace
+
+void ThreadPool::ParallelFor(size_t n, size_t grain,
+                             const std::function<void(size_t, size_t)>& fn) {
+  if (n == 0) return;
+  grain = std::max<size_t>(1, grain);
+  const size_t num_chunks = (n + grain - 1) / grain;
+  if (workers_.empty() || num_chunks == 1) {
+    for (size_t begin = 0; begin < n; begin += grain) {
+      fn(begin, std::min(n, begin + grain));
+    }
+    return;
+  }
+
+  auto state = std::make_shared<ParallelForState>();
+  state->fn = fn;
+  state->n = n;
+  state->grain = grain;
+  state->num_chunks = num_chunks;
+
+  const size_t helpers =
+      std::min(workers_.size(), num_chunks - 1);
+  for (size_t i = 0; i < helpers; ++i) {
+    Submit([state] { state->Drain(); });
+  }
+
+  // The caller drains the same counter: even if every worker is busy
+  // (or blocked in its own ParallelFor), this loop alone completes
+  // all chunks.
+  state->Drain();
+
+  std::unique_lock<std::mutex> lock(state->mutex);
+  state->done_cv.wait(lock, [&] {
+    return state->done_chunks.load(std::memory_order_acquire) ==
+           state->num_chunks;
+  });
+}
+
+}  // namespace colr

@@ -1,0 +1,59 @@
+#ifndef COLR_COMMON_THREAD_POOL_H_
+#define COLR_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace colr {
+
+/// Fixed-size worker pool for the portal's concurrent query serving
+/// and for parallel probe batches inside SensorNetwork.
+///
+/// ParallelFor is the workhorse and is deliberately *caller-
+/// participating*: the calling thread drains the chunk counter itself
+/// while idle pool workers help. That makes nested use safe — a pool
+/// worker executing a portal query may call ParallelFor again from
+/// inside SensorNetwork::ProbeBatch without risking deadlock, because
+/// progress never depends on another pool thread becoming free. It
+/// also means `ThreadPool(0)` is a valid degenerate pool where every
+/// ParallelFor simply runs inline on the caller, which is how the
+/// 1-thread baseline of bench/concurrent_portal.cc is measured.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (0 is allowed: no workers, all work
+  /// runs on the calling thread).
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int size() const { return static_cast<int>(workers_.size()); }
+
+  /// Enqueues a task for asynchronous execution by a pool worker.
+  void Submit(std::function<void()> fn);
+
+  /// Runs fn(begin, end) over consecutive chunks of [0, n) with the
+  /// given grain size, returning when all of [0, n) has been
+  /// processed. The caller participates; up to size() workers help.
+  void ParallelFor(size_t n, size_t grain,
+                   const std::function<void(size_t, size_t)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace colr
+
+#endif  // COLR_COMMON_THREAD_POOL_H_

@@ -98,11 +98,16 @@ std::vector<Reading> ColrEngine::ProbeBatch(const std::vector<SensorId>& ids,
 }
 
 QueryResult ColrEngine::Execute(const Query& query) {
+  ExecutionContext ctx(&rng_);
+  return Execute(query, ctx);
+}
+
+QueryResult ColrEngine::Execute(const Query& query, ExecutionContext& ctx) {
   const TimeMs now = clock_->NowMs();
   QueryResult result;
   switch (options_.mode) {
     case Mode::kColr:
-      result = query.sample_size > 0 ? ExecuteColr(query, now)
+      result = query.sample_size > 0 ? ExecuteColr(query, now, ctx.rng())
                                      : ExecuteRange(query, now, true);
       break;
     case Mode::kHierCache:
@@ -119,6 +124,36 @@ QueryResult ColrEngine::Execute(const Query& query) {
   return result;
 }
 
+QueryStats ColrEngine::cumulative() const {
+  QueryStats s;
+  s.nodes_traversed = cumulative_.nodes_traversed.load();
+  s.internal_nodes_traversed = cumulative_.internal_nodes_traversed.load();
+  s.cached_nodes_accessed = cumulative_.cached_nodes_accessed.load();
+  s.sensors_probed = cumulative_.sensors_probed.load();
+  s.probe_successes = cumulative_.probe_successes.load();
+  s.cache_readings_used = cumulative_.cache_readings_used.load();
+  s.cached_agg_readings = cumulative_.cached_agg_readings.load();
+  s.slots_merged = cumulative_.slots_merged.load();
+  s.processing_ms = cumulative_.processing_ms.load();
+  s.collection_latency_ms = cumulative_.collection_latency_ms.load();
+  s.result_size = cumulative_.result_size.load();
+  return s;
+}
+
+void ColrEngine::ResetCumulative() {
+  cumulative_.nodes_traversed.store(0);
+  cumulative_.internal_nodes_traversed.store(0);
+  cumulative_.cached_nodes_accessed.store(0);
+  cumulative_.sensors_probed.store(0);
+  cumulative_.probe_successes.store(0);
+  cumulative_.cache_readings_used.store(0);
+  cumulative_.cached_agg_readings.store(0);
+  cumulative_.slots_merged.store(0);
+  cumulative_.processing_ms.store(0.0);
+  cumulative_.collection_latency_ms.store(0);
+  cumulative_.result_size.store(0);
+}
+
 void ColrEngine::FinishQuery(const Query& query, TimeMs now,
                              QueryResult* result) {
   (void)now;
@@ -126,19 +161,35 @@ void ColrEngine::FinishQuery(const Query& query, TimeMs now,
     result->stats.region_sensor_count =
         tree_->CountSensorsInRegion(query.region.bbox);
   }
-  if (tracker_ != nullptr &&
-      ++queries_since_refresh_ >= options_.availability_refresh_interval) {
-    tree_->RefreshAvailability(tracker_->estimates());
-    queries_since_refresh_ = 0;
+  if (tracker_ != nullptr) {
+    const int64_t interval =
+        std::max(1, options_.availability_refresh_interval);
+    const int64_t finished =
+        queries_finished_.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (finished % interval == 0) {
+      tree_->RefreshAvailability(tracker_->estimates());
+    }
   }
-  cumulative_.MergeCounters(result->stats);
+  const QueryStats& s = result->stats;
+  cumulative_.nodes_traversed += s.nodes_traversed;
+  cumulative_.internal_nodes_traversed += s.internal_nodes_traversed;
+  cumulative_.cached_nodes_accessed += s.cached_nodes_accessed;
+  cumulative_.sensors_probed += s.sensors_probed;
+  cumulative_.probe_successes += s.probe_successes;
+  cumulative_.cache_readings_used += s.cache_readings_used;
+  cumulative_.cached_agg_readings += s.cached_agg_readings;
+  cumulative_.slots_merged += s.slots_merged;
+  cumulative_.processing_ms += s.processing_ms;
+  cumulative_.collection_latency_ms += s.collection_latency_ms;
+  cumulative_.result_size += s.result_size;
 }
 
 // ---------------------------------------------------------------------------
 // Full COLR-Tree: layered sampling over the slot-cached index.
 // ---------------------------------------------------------------------------
 
-QueryResult ColrEngine::ExecuteColr(const Query& query, TimeMs now) {
+QueryResult ColrEngine::ExecuteColr(const Query& query, TimeMs now,
+                                    Rng& rng) {
   QueryResult result;
   Stopwatch watch;
 
@@ -156,7 +207,7 @@ QueryResult ColrEngine::ExecuteColr(const Query& query, TimeMs now) {
   };
 
   LayeredSampler::Result sres = LayeredSampler::Run(
-      *tree_, query.region, now, query.staleness_ms, sopts, rng_, probe_fn);
+      *tree_, query.region, now, query.staleness_ms, sopts, rng, probe_fn);
 
   // Assemble multi-resolution groups: each terminal contributes to its
   // ancestor at the query's cluster level.
@@ -175,15 +226,16 @@ QueryResult ColrEngine::ExecuteColr(const Query& query, TimeMs now) {
       AddToHistogram(query, r.value, &g);
     }
 
-    // Instrumentation + cache bookkeeping.
-    for (SensorId sid : t.cached_sensors) {
-      if (const Reading* r = tree_->store().Get(sid); r != nullptr) {
-        if (query.return_readings) {
-          result.served_from_cache.push_back(*r);
-        }
-        AddToHistogram(query, r->value, &g);
+    // Instrumentation + cache bookkeeping. The sampler copied the used
+    // readings out of the store under its lock (cached_readings), so
+    // no store pointers are dereferenced here.
+    for (size_t i = 0; i < t.cached_sensors.size(); ++i) {
+      const Reading& r = t.cached_readings[i];
+      if (query.return_readings) {
+        result.served_from_cache.push_back(r);
       }
-      tree_->TouchCached(sid);
+      AddToHistogram(query, r.value, &g);
+      tree_->TouchCached(t.cached_sensors[i]);
     }
     result.stats.cache_readings_used +=
         t.node_id >= 0 && tree_->node(t.node_id).IsLeaf() ? t.cached_count
@@ -303,18 +355,19 @@ QueryResult ColrEngine::ExecuteRange(const Query& query, TimeMs now,
             id, now, query.staleness_ms, partial ? &filter : nullptr,
             ColrTree::FreshnessRule::kSlotAligned);
         std::vector<SensorId> used;
-        for (SensorId sid : lookup.used_sensors) {
+        for (size_t i = 0; i < lookup.used_sensors.size(); ++i) {
+          const SensorId sid = lookup.used_sensors[i];
           if (query.region.polygon &&
               !query.region.Contains(tree_->sensor(sid).location)) {
             continue;
           }
           used.push_back(sid);
-          const Reading* cached_reading = tree_->store().Get(sid);
-          g.agg.Add(cached_reading->value);
-          AddToHistogram(query, cached_reading->value, &g);
+          const Reading& cached_reading = lookup.used_readings[i];
+          g.agg.Add(cached_reading.value);
+          AddToHistogram(query, cached_reading.value, &g);
           touched.push_back(sid);
           if (query.return_readings) {
-            result.served_from_cache.push_back(*cached_reading);
+            result.served_from_cache.push_back(cached_reading);
           }
         }
         if (!used.empty()) ++result.stats.cached_nodes_accessed;
@@ -377,8 +430,11 @@ QueryResult ColrEngine::ExecuteFlat(const Query& query, TimeMs now) {
   QueryResult result;
   Stopwatch watch;
 
-  FlatCache::Lookup lookup = flat_->Query(query.region, now,
-                                          query.staleness_ms);
+  FlatCache::Lookup lookup;
+  {
+    std::lock_guard<std::mutex> lock(flat_mutex_);
+    lookup = flat_->Query(query.region, now, query.staleness_ms);
+  }
   ProbeAccounting acct;
   std::vector<Reading> probed = ProbeBatch(lookup.missing, &acct);
 
@@ -397,7 +453,10 @@ QueryResult ColrEngine::ExecuteFlat(const Query& query, TimeMs now) {
   g.weight = static_cast<int>(lookup.cached.size() + lookup.missing.size());
   result.groups.push_back(std::move(g));
 
-  for (const Reading& r : probed) flat_->Insert(r);
+  {
+    std::lock_guard<std::mutex> lock(flat_mutex_);
+    for (const Reading& r : probed) flat_->Insert(r);
+  }
   result.collected = std::move(probed);
 
   result.stats.cache_readings_used =

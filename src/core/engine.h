@@ -2,9 +2,11 @@
 #define COLR_CORE_ENGINE_H_
 
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "common/rng.h"
+#include "common/sync.h"
 #include "core/flat_cache.h"
 #include "core/query.h"
 #include "core/sampling.h"
@@ -13,6 +15,29 @@
 #include "sensor/network.h"
 
 namespace colr {
+
+/// Per-query execution state: the RNG stream driving this query's
+/// sampling decisions plus nothing else — all remaining per-query
+/// state already lives in the QueryResult being built. Contexts are
+/// cheap to construct; concurrent drivers make one per query, seeded
+/// deterministically from the engine seed and a query ordinal
+/// (DeriveSeed), so a run's outcome depends on the (seed, ordinal)
+/// assignment but never on thread scheduling.
+class ExecutionContext {
+ public:
+  /// Context owning its own RNG (concurrent execution).
+  explicit ExecutionContext(uint64_t seed) : owned_(seed), rng_(&owned_) {}
+  /// Context borrowing an external RNG stream. The sequential
+  /// Execute() overload borrows the engine's persistent RNG so
+  /// single-threaded runs consume exactly the pre-concurrency stream.
+  explicit ExecutionContext(Rng* rng) : owned_(0), rng_(rng) {}
+
+  Rng& rng() { return *rng_; }
+
+ private:
+  Rng owned_;
+  Rng* rng_;
+};
 
 /// Query execution over a COLR-Tree, in the four configurations the
 /// paper evaluates (§VII-B/C):
@@ -29,6 +54,15 @@ namespace colr {
 /// The engine is the boundary between query processing and data
 /// collection: it owns the probe batching (parallel within a batch),
 /// cache population with collected readings, and all instrumentation.
+///
+/// Thread safety: the engine itself is an immutable plan/traversal
+/// core over thread-safe components. Execute(query, ctx) may be called
+/// from many threads at once — per-query mutable state lives in the
+/// ExecutionContext and the QueryResult; cumulative counters are
+/// atomics. The convenience overload Execute(query) borrows the
+/// engine's persistent RNG and is therefore for single-threaded
+/// (sequential) use only; it reproduces the pre-concurrency behaviour
+/// bit for bit.
 class ColrEngine {
  public:
   enum class Mode { kRTree, kFlatCache, kHierCache, kColr };
@@ -63,15 +97,26 @@ class ColrEngine {
   ColrEngine(const ColrEngine&) = delete;
   ColrEngine& operator=(const ColrEngine&) = delete;
 
-  /// Executes a portal query at the network clock's current time.
+  /// Executes a portal query at the network clock's current time using
+  /// the engine's own RNG stream. Sequential use only (one caller at a
+  /// time); bit-identical to the pre-concurrency engine.
   QueryResult Execute(const Query& query);
+
+  /// Thread-safe execution with caller-supplied per-query state.
+  QueryResult Execute(const Query& query, ExecutionContext& ctx);
+
+  /// Deterministic per-query seed for concurrent drivers: mixes the
+  /// engine seed with the query's ordinal position in the workload.
+  uint64_t QuerySeed(uint64_t ordinal) const {
+    return DeriveSeed(options_.seed, ordinal);
+  }
 
   const ColrTree& tree() const { return *tree_; }
   Mode mode() const { return options_.mode; }
 
-  /// Counters accumulated over all executed queries.
-  const QueryStats& cumulative() const { return cumulative_; }
-  void ResetCumulative() { cumulative_ = QueryStats{}; }
+  /// Snapshot of the counters accumulated over all executed queries.
+  QueryStats cumulative() const;
+  void ResetCumulative();
 
   /// The online availability estimator (nullptr unless
   /// Options::track_availability).
@@ -90,10 +135,26 @@ class ColrEngine {
     double sim_wall_ms = 0.0;
   };
 
+  /// Cumulative counters, atomic so concurrent FinishQuery calls
+  /// merge without a lock. Snapshot via cumulative().
+  struct Cumulative {
+    AtomicCounter<int64_t> nodes_traversed = 0;
+    AtomicCounter<int64_t> internal_nodes_traversed = 0;
+    AtomicCounter<int64_t> cached_nodes_accessed = 0;
+    AtomicCounter<int64_t> sensors_probed = 0;
+    AtomicCounter<int64_t> probe_successes = 0;
+    AtomicCounter<int64_t> cache_readings_used = 0;
+    AtomicCounter<int64_t> cached_agg_readings = 0;
+    AtomicCounter<int64_t> slots_merged = 0;
+    AtomicDouble processing_ms = 0.0;
+    AtomicCounter<int64_t> collection_latency_ms = 0;
+    AtomicCounter<int64_t> result_size = 0;
+  };
+
   std::vector<Reading> ProbeBatch(const std::vector<SensorId>& ids,
                                   ProbeAccounting* acct);
 
-  QueryResult ExecuteColr(const Query& query, TimeMs now);
+  QueryResult ExecuteColr(const Query& query, TimeMs now, Rng& rng);
   /// Shared by kRTree (use_cache = false) and kHierCache (true).
   QueryResult ExecuteRange(const Query& query, TimeMs now, bool use_cache);
   QueryResult ExecuteFlat(const Query& query, TimeMs now);
@@ -104,11 +165,15 @@ class ColrEngine {
   SensorNetwork* network_;
   const Clock* clock_;
   Options options_;
+  /// The sequential-path RNG (borrowed by Execute(query)'s context).
   Rng rng_;
   std::unique_ptr<FlatCache> flat_;
+  /// FlatCache is a plain scan structure; concurrent flat-mode queries
+  /// serialize their cache access here (probing still overlaps).
+  mutable std::mutex flat_mutex_;
   std::unique_ptr<AvailabilityTracker> tracker_;
-  int64_t queries_since_refresh_ = 0;
-  QueryStats cumulative_;
+  std::atomic<int64_t> queries_finished_ = 0;
+  Cumulative cumulative_;
 };
 
 }  // namespace colr

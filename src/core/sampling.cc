@@ -66,7 +66,7 @@ class Runner {
 
  private:
   double Availability(const ColrTree::Node& n) const {
-    return std::max(n.mean_availability, kMinAvailability);
+    return std::max<double>(n.mean_availability, kMinAvailability);
   }
 
   /// Terminal nodes: leaves (nothing below to descend into), or nodes
@@ -161,13 +161,17 @@ class Runner {
         Rect filter = region_.bbox;
         ColrTree::CacheLookup lookup = tree_.LookupCache(
             node_id, now_, staleness_, partial ? &filter : nullptr);
-        // Polygon refinement for cached leaf readings.
+        // Polygon refinement for cached leaf readings (the lookup
+        // copies used readings out under the store lock, so no store
+        // pointers are dereferenced here).
         if (region_.polygon) {
           ColrTree::CacheLookup refined;
-          for (SensorId sid : lookup.used_sensors) {
+          for (size_t i = 0; i < lookup.used_sensors.size(); ++i) {
+            const SensorId sid = lookup.used_sensors[i];
             if (region_.Contains(tree_.sensor(sid).location)) {
-              refined.agg.Add(tree_.store().Get(sid)->value);
+              refined.agg.Add(lookup.used_readings[i].value);
               refined.used_sensors.push_back(sid);
+              refined.used_readings.push_back(lookup.used_readings[i]);
             }
           }
           lookup = std::move(refined);
@@ -175,6 +179,7 @@ class Runner {
         t.cached_agg = lookup.agg;
         t.cached_count = lookup.agg.count;
         t.cached_sensors = std::move(lookup.used_sensors);
+        t.cached_readings = std::move(lookup.used_readings);
       } else {
         ColrTree::CacheLookup lookup =
             tree_.LookupCache(node_id, now_, staleness_);
@@ -248,11 +253,7 @@ class Runner {
           }
         } else {
           // Same slot rule the internal aggregate lookup used.
-          const Reading* r = tree_.store().Get(sid);
-          if (r != nullptr && tree_.scheme().SlotOf(r->expiry) > qslot &&
-              tree_.scheme().InWindow(tree_.scheme().SlotOf(r->expiry))) {
-            continue;
-          }
+          if (tree_.CachedInNewerSlot(sid, qslot)) continue;
         }
       }
       candidates.push_back(sid);

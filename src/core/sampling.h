@@ -61,6 +61,10 @@ class LayeredSampler {
     /// Leaf terminals: sensors whose cached readings were used (for
     /// LRF touch accounting).
     std::vector<SensorId> cached_sensors;
+    /// The used readings themselves, aligned with cached_sensors —
+    /// copied out of the store under its lock so the engine never
+    /// dereferences store pointers on the query path.
+    std::vector<Reading> cached_readings;
   };
 
   struct Result {

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/clock.h"
+#include "common/sync.h"
 #include "core/aggregate.h"
 
 namespace colr {
@@ -48,19 +49,25 @@ class SlotScheme {
   TimeMs SlotLowerEdge(SlotId slot) const { return slot * delta_; }
   TimeMs SlotUpperEdge(SlotId slot) const { return (slot + 1) * delta_; }
 
-  SlotId newest() const { return newest_; }
-  SlotId oldest() const { return newest_ - num_slots_ + 1; }
+  SlotId newest() const { return newest_.load(); }
+  SlotId oldest() const { return newest() - num_slots_ + 1; }
 
   bool InWindow(SlotId slot) const {
-    return slot >= oldest() && slot <= newest();
+    const SlotId newest_slot = newest();
+    return slot >= newest_slot - num_slots_ + 1 && slot <= newest_slot;
   }
 
   /// Advances the window so that `slot` becomes (at least) the newest
-  /// slot. Returns the number of slots the window slid.
+  /// slot. Returns the number of slots the window slid. Rolls must be
+  /// externally serialized (ColrTree's write path does so); concurrent
+  /// readers of newest()/oldest()/InWindow() are safe — the head is a
+  /// single atomic word, and content for slots that slide out is
+  /// filtered lazily by slot-id tags.
   int RollTo(SlotId slot) {
-    if (slot <= newest_) return 0;
-    const int slid = static_cast<int>(slot - newest_);
-    newest_ = slot;
+    const SlotId newest_slot = newest();
+    if (slot <= newest_slot) return 0;
+    const int slid = static_cast<int>(slot - newest_slot);
+    newest_.store(slot);
     return slid;
   }
 
@@ -74,7 +81,9 @@ class SlotScheme {
  private:
   TimeMs delta_;
   int num_slots_;
-  SlotId newest_;
+  /// Window head. Atomic (copyable wrapper) so query threads can test
+  /// slot usability while a serialized writer rolls the window.
+  AtomicCounter<SlotId> newest_;
 };
 
 /// Per-node slot cache holding one partial aggregate per slot

@@ -147,27 +147,40 @@ std::vector<SensorId> ColrTree::SensorsUnderInRegion(
   return out;
 }
 
+void ColrTree::ExpungeAfterRoll() {
+  std::vector<Reading> expunged;
+  {
+    std::unique_lock<std::shared_mutex> store_lock(store_mutex_);
+    expunged = store_.ExpungeExpiredSlots(scheme_);
+    // No aggregate propagation: the expunged slots are outside the
+    // window, so their ring positions lazily reset on reuse.
+  }
+  for (const Reading& r : expunged) RemoveFromLeafCachedSet(r.sensor);
+}
+
 void ColrTree::AdvanceTo(TimeMs now) {
   // The window covers [now - stale_margin, now + t_max]: newest slot
   // at now + t_max, the rest of the capacity keeping recent history.
+  std::lock_guard<std::mutex> write_lock(write_mutex_);
   const SlotId needed = scheme_.SlotOf(now + t_max_ms_);
-  if (scheme_.RollTo(needed) > 0) {
-    for (const Reading& r : store_.ExpungeExpiredSlots(scheme_)) {
-      RemoveFromLeafCachedSet(r.sensor);
-      // No aggregate propagation: the expunged slots are outside the
-      // window, so their ring positions lazily reset on reuse.
-    }
-  }
+  if (scheme_.RollTo(needed) > 0) ExpungeAfterRoll();
+}
+
+void ColrTree::TouchCached(SensorId sensor) {
+  std::unique_lock<std::shared_mutex> store_lock(store_mutex_);
+  store_.Touch(sensor);
+}
+
+size_t ColrTree::CachedReadingCount() const {
+  std::shared_lock<std::shared_mutex> store_lock(store_mutex_);
+  return store_.size();
 }
 
 void ColrTree::InsertReading(const Reading& reading) {
   if (reading.sensor >= sensors_.size()) return;
+  std::lock_guard<std::mutex> write_lock(write_mutex_);
   const SlotId slot = scheme_.SlotOf(reading.expiry);
-  if (scheme_.RollTo(slot) > 0) {
-    for (const Reading& r : store_.ExpungeExpiredSlots(scheme_)) {
-      RemoveFromLeafCachedSet(r.sensor);
-    }
-  }
+  if (scheme_.RollTo(slot) > 0) ExpungeAfterRoll();
   const int leaf = leaf_of_sensor_[reading.sensor];
   if (leaf < 0) return;
 
@@ -175,18 +188,29 @@ void ColrTree::InsertReading(const Reading& reading) {
   // aggregates *before* inserting the new one, so that a min/max
   // recompute triggered by the removal never observes the new value.
   bool had_old = false;
-  if (const Reading* old = store_.Get(reading.sensor); old != nullptr) {
-    const Reading old_copy = *old;
-    had_old = true;
-    store_.Erase(reading.sensor);
+  Reading old_copy;
+  {
+    std::unique_lock<std::shared_mutex> store_lock(store_mutex_);
+    if (const Reading* old = store_.Get(reading.sensor); old != nullptr) {
+      old_copy = *old;
+      had_old = true;
+      store_.Erase(reading.sensor);
+    }
+  }
+  if (had_old) {
     const SlotId old_slot = scheme_.SlotOf(old_copy.expiry);
     if (scheme_.InWindow(old_slot)) {
       PropagateRemove(leaf, old_slot, old_copy.value);
     }
   }
 
-  ReadingStore::InsertOutcome outcome = store_.Insert(scheme_, reading);
+  ReadingStore::InsertOutcome outcome;
+  {
+    std::unique_lock<std::shared_mutex> store_lock(store_mutex_);
+    outcome = store_.Insert(scheme_, reading);
+  }
   if (!had_old) {
+    std::unique_lock<std::shared_mutex> node_lock(node_mutex_.For(leaf));
     nodes_[leaf].cached_sensors.push_back(reading.sensor);
   }
   PropagateAdd(leaf, slot, reading.value);
@@ -203,12 +227,15 @@ void ColrTree::InsertReading(const Reading& reading) {
 
 void ColrTree::PropagateAdd(int leaf_id, SlotId slot, double value) {
   for (int n = leaf_id; n >= 0; n = nodes_[n].parent) {
+    std::unique_lock<std::shared_mutex> node_lock(node_mutex_.For(n));
     nodes_[n].cache.Add(scheme_, slot, value);
   }
 }
 
 Aggregate ColrTree::LeafSlotAggregate(int leaf_id, SlotId slot) const {
   Aggregate agg;
+  std::shared_lock<std::shared_mutex> node_lock(node_mutex_.For(leaf_id));
+  std::shared_lock<std::shared_mutex> store_lock(store_mutex_);
   for (SensorId sid : nodes_[leaf_id].cached_sensors) {
     const Reading* r = store_.Get(sid);
     if (r != nullptr && scheme_.SlotOf(r->expiry) == slot) {
@@ -225,15 +252,22 @@ void ColrTree::RecomputeSlotFromChildren(int node_id, SlotId slot) {
     agg = LeafSlotAggregate(node_id, slot);
   } else {
     for (int c : n.children) {
+      std::shared_lock<std::shared_mutex> child_lock(node_mutex_.For(c));
       agg.Merge(nodes_[c].cache.Get(scheme_, slot));
     }
   }
+  std::unique_lock<std::shared_mutex> node_lock(node_mutex_.For(node_id));
   nodes_[node_id].cache.Set(scheme_, slot, agg);
 }
 
 void ColrTree::PropagateRemove(int leaf_id, SlotId slot, double value) {
   for (int n = leaf_id; n >= 0; n = nodes_[n].parent) {
-    if (!nodes_[n].cache.Remove(scheme_, slot, value)) {
+    bool invertible;
+    {
+      std::unique_lock<std::shared_mutex> node_lock(node_mutex_.For(n));
+      invertible = nodes_[n].cache.Remove(scheme_, slot, value);
+    }
+    if (!invertible) {
       // The removal hit the slot's min/max: the decrement is not
       // invertible (§IV-B), recompute the slot bottom-up from children
       // (the slot-update trigger cascade).
@@ -245,6 +279,7 @@ void ColrTree::PropagateRemove(int leaf_id, SlotId slot, double value) {
 void ColrTree::RemoveFromLeafCachedSet(SensorId sensor) {
   const int leaf = leaf_of_sensor_[sensor];
   if (leaf < 0) return;
+  std::unique_lock<std::shared_mutex> node_lock(node_mutex_.For(leaf));
   auto& set = nodes_[leaf].cached_sensors;
   for (size_t i = 0; i < set.size(); ++i) {
     if (set[i] == sensor) {
@@ -277,6 +312,8 @@ ColrTree::CacheLookup ColrTree::LookupCache(int node_id, TimeMs now,
     // bound), either exactly (including entries in the query slot,
     // §IV-B leaf refinement) or slot-aligned.
     const SlotId qslot = QuerySlot(n, now, staleness_ms);
+    std::shared_lock<std::shared_mutex> node_lock(node_mutex_.For(node_id));
+    std::shared_lock<std::shared_mutex> store_lock(store_mutex_);
     for (SensorId sid : n.cached_sensors) {
       const Reading* r = store_.Get(sid);
       if (r == nullptr) continue;
@@ -292,10 +329,12 @@ ColrTree::CacheLookup ColrTree::LookupCache(int node_id, TimeMs now,
       }
       out.agg.Add(r->value);
       out.used_sensors.push_back(sid);
+      out.used_readings.push_back(*r);
     }
     return out;
   }
   const SlotId qslot = QuerySlot(n, now, staleness_ms);
+  std::shared_lock<std::shared_mutex> node_lock(node_mutex_.For(node_id));
   out.agg = n.cache.QueryNewerThan(scheme_, qslot, &out.slots_merged);
   return out;
 }
@@ -305,6 +344,8 @@ int64_t ColrTree::CachedCount(int node_id, TimeMs now,
   const Node& n = nodes_[node_id];
   if (n.IsLeaf()) {
     int64_t c = 0;
+    std::shared_lock<std::shared_mutex> node_lock(node_mutex_.For(node_id));
+    std::shared_lock<std::shared_mutex> store_lock(store_mutex_);
     for (SensorId sid : n.cached_sensors) {
       const Reading* r = store_.Get(sid);
       if (r != nullptr && r->ValidAt(now - staleness_ms)) {
@@ -313,13 +354,31 @@ int64_t ColrTree::CachedCount(int node_id, TimeMs now,
     }
     return c;
   }
+  std::shared_lock<std::shared_mutex> node_lock(node_mutex_.For(node_id));
   return n.cache.WeightNewerThan(scheme_, QuerySlot(n, now, staleness_ms));
+}
+
+std::optional<Reading> ColrTree::CachedReading(SensorId sensor) const {
+  std::shared_lock<std::shared_mutex> store_lock(store_mutex_);
+  const Reading* r = store_.Get(sensor);
+  if (r == nullptr) return std::nullopt;
+  return *r;
+}
+
+bool ColrTree::CachedInNewerSlot(SensorId sensor, SlotId query_slot) const {
+  std::shared_lock<std::shared_mutex> store_lock(store_mutex_);
+  const Reading* r = store_.Get(sensor);
+  if (r == nullptr) return false;
+  const SlotId slot = scheme_.SlotOf(r->expiry);
+  return slot > query_slot && scheme_.InWindow(slot);
 }
 
 Status ColrTree::CheckCacheConsistency() const {
   // For every node and every in-window slot, the cached aggregate must
   // equal the aggregate recomputed from raw cached readings under the
-  // node.
+  // node. Serialized against writers so the snapshot is coherent.
+  std::lock_guard<std::mutex> write_lock(write_mutex_);
+  std::shared_lock<std::shared_mutex> store_lock(store_mutex_);
   for (size_t id = 0; id < nodes_.size(); ++id) {
     const Node& n = nodes_[id];
     for (SlotId s = scheme_.oldest(); s <= scheme_.newest(); ++s) {

@@ -2,11 +2,15 @@
 #define COLR_CORE_TREE_H_
 
 #include <cstdint>
+#include <mutex>
+#include <optional>
+#include <shared_mutex>
 #include <vector>
 
 #include "cluster/cluster_tree.h"
 #include "common/clock.h"
 #include "common/status.h"
+#include "common/sync.h"
 #include "core/reading_store.h"
 #include "core/slot_cache.h"
 #include "geo/geo.h"
@@ -25,6 +29,22 @@ namespace colr {
 /// (the native equivalent of the paper's roll / slot-insert /
 /// slot-delete / slot-update triggers). Query execution lives in
 /// ColrEngine; sampling in sampling.{h,cc}.
+///
+/// Thread safety (full lock hierarchy in DESIGN.md "Concurrency
+/// model"): the tree structure (topology, bboxes, item ranges, the
+/// sensor catalog) is immutable after construction and read lock-free.
+/// Mutable cache state is protected at three levels —
+///   1. write_mutex_ serializes whole cache mutations (InsertReading,
+///      AdvanceTo), so the propagation triggers retain their exact
+///      sequential semantics;
+///   2. a striped per-node lock table guards each node's slot cache
+///      and cached-sensor set, letting concurrent queries read nodes
+///      the writer is not currently touching;
+///   3. store_mutex_ guards the shared raw-reading store.
+/// Node mean availability and the slot-window head are single atomic
+/// words. Query threads must use the copying accessors (LookupCache,
+/// CachedReading, ...); the raw store() reference is for
+/// single-threaded tests and tools only.
 class ColrTree {
  public:
   struct Options {
@@ -53,13 +73,17 @@ class ColrTree {
     int item_begin = 0;
     int item_end = 0;
     /// Mean historical availability of descendant sensors (a_i, §V-A).
-    double mean_availability = 1.0;
+    /// Atomic: refreshed online by the availability tracker while
+    /// query threads read it.
+    AtomicDouble mean_availability = 1.0;
     /// Maximum expiry period among descendant sensors (metadata for
     /// clients sizing staleness bounds; the window must span it).
     TimeMs max_expiry_ms = 0;
     /// Per-slot aggregates over cached readings under this node.
+    /// Guarded by the node's stripe in node_mutex_.
     AggregateSlotCache cache;
-    /// Leaf only: sensors with a currently cached reading.
+    /// Leaf only: sensors with a currently cached reading. Guarded by
+    /// the node's stripe in node_mutex_.
     std::vector<SensorId> cached_sensors;
 
     bool IsLeaf() const { return children.empty(); }
@@ -71,7 +95,7 @@ class ColrTree {
   ColrTree(const ColrTree&) = delete;
   ColrTree& operator=(const ColrTree&) = delete;
 
-  // ---- Structure access -------------------------------------------------
+  // ---- Structure access (immutable after construction) ------------------
 
   int root() const { return root_; }
   int height() const { return height_; }
@@ -96,6 +120,10 @@ class ColrTree {
   /// Maximum sensor expiry period (resolved from options or sensors).
   TimeMs t_max_ms() const { return t_max_ms_; }
   const Options& options() const { return options_; }
+  /// Raw store reference for single-threaded tests/tools. Concurrent
+  /// callers must use CachedReading()/CachedReadingCount() instead:
+  /// pointers returned by store().Get() are not stable under
+  /// concurrent inserts and evictions.
   const ReadingStore& store() const { return store_; }
 
   /// Exact number of sensors inside `region` (the "ideal result set
@@ -110,7 +138,7 @@ class ColrTree {
   /// Replaces every node's mean-availability metadata from fresh
   /// per-sensor estimates (indexed by SensorId) — the hook for an
   /// online AvailabilityTracker. Estimates drive the oversampling
-  /// factor of Algorithm 1.
+  /// factor of Algorithm 1. Thread-safe (atomic per-node stores).
   void RefreshAvailability(const std::vector<double>& estimates);
 
   /// Sensor ids under `node_id` whose location lies inside `region`.
@@ -123,18 +151,19 @@ class ColrTree {
   /// the reading's expiry lies beyond the newest slot (roll trigger),
   /// stores it at the leaf (slot insert trigger, evicting under the
   /// cache constraint — slot delete trigger), and propagates aggregate
-  /// deltas to the root (slot update trigger).
+  /// deltas to the root (slot update trigger). Thread-safe; mutations
+  /// are serialized on write_mutex_.
   void InsertReading(const Reading& reading);
 
   /// Advances the window so it covers `now` .. `now + t_max` and
   /// expunges slots that slid out. Called at query time so idle
-  /// periods don't leave stale slots in the window.
+  /// periods don't leave stale slots in the window. Thread-safe.
   void AdvanceTo(TimeMs now);
 
-  /// Marks cached readings as fetched (LRF policy input).
-  void TouchCached(SensorId sensor) { store_.Touch(sensor); }
+  /// Marks cached readings as fetched (LRF policy input). Thread-safe.
+  void TouchCached(SensorId sensor);
 
-  size_t CachedReadingCount() const { return store_.size(); }
+  size_t CachedReadingCount() const;
 
   // ---- Cache lookup -----------------------------------------------------
 
@@ -155,6 +184,10 @@ class ColrTree {
     /// Sensors whose cached reading was used (leaf lookups only;
     /// internal lookups report counts via agg.count).
     std::vector<SensorId> used_sensors;
+    /// The used readings themselves, aligned with used_sensors —
+    /// copied out under the store lock so callers never dereference
+    /// store pointers outside it.
+    std::vector<Reading> used_readings;
   };
   /// How leaf entries are admitted against the freshness bound.
   ///   kExact       — per-entry expiry comparison, including entries
@@ -176,12 +209,23 @@ class ColrTree {
   /// at internal nodes, exact at leaves.
   int64_t CachedCount(int node_id, TimeMs now, TimeMs staleness_ms) const;
 
+  /// Copy of the cached reading for a sensor (empty if none). The
+  /// thread-safe replacement for store().Get().
+  std::optional<Reading> CachedReading(SensorId sensor) const;
+
+  /// Whether the sensor's cached reading lies in a window slot
+  /// strictly newer than `query_slot` — the slot-aligned admission
+  /// rule the sampler's candidate filter shares with internal
+  /// aggregate lookups.
+  bool CachedInNewerSlot(SensorId sensor, SlotId query_slot) const;
+
   /// Structural / cache-consistency invariants (tests): per-node slot
   /// aggregates equal the aggregates recomputed from the raw cached
   /// readings below the node.
   Status CheckCacheConsistency() const;
 
  private:
+  void ExpungeAfterRoll();
   void PropagateAdd(int leaf_id, SlotId slot, double value);
   void PropagateRemove(int leaf_id, SlotId slot, double value);
   void RecomputeSlotFromChildren(int node_id, SlotId slot);
@@ -199,6 +243,14 @@ class ColrTree {
   TimeMs t_max_ms_ = 0;
   SlotScheme scheme_;
   ReadingStore store_;
+
+  /// Serializes cache mutations (level 1 of the lock hierarchy).
+  mutable std::mutex write_mutex_;
+  /// Per-node stripe locks (level 2). A thread holds at most one
+  /// stripe, except the serialized writer during slot recomputes.
+  mutable StripedMutex node_mutex_;
+  /// Guards the shared ReadingStore (level 3, innermost).
+  mutable std::shared_mutex store_mutex_;
 };
 
 }  // namespace colr

@@ -63,6 +63,58 @@ Result<Relation> SensorPortal::Execute(std::string_view text) {
              : FormatGroups(*collection.tree, result, parsed.agg);
 }
 
+SensorPortal::ConcurrentOutcome SensorPortal::ExecuteConcurrent(
+    const std::vector<std::string>& texts, ThreadPool& pool,
+    uint64_t seed) {
+  ConcurrentOutcome out;
+  const size_t n = texts.size();
+  out.results.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    out.results.push_back(
+        Result<Relation>(Status::Internal("query not executed")));
+  }
+  out.stats.resize(n);
+
+  // Everything below Execute() on this path is either pure (Parse),
+  // a const read of setup-time state (Resolve, PlanQuery), or the
+  // engine's thread-safe Execute(query, ctx) overload.
+  auto run_one = [this, &texts, &out, seed](size_t i) {
+    auto parsed = Parse(texts[i]);
+    if (!parsed.ok()) {
+      out.results[i] = parsed.status();
+      return;
+    }
+    auto collection = Resolve(parsed->table);
+    if (!collection.ok()) {
+      out.results[i] = collection.status();
+      return;
+    }
+    if (collection->tree->root() < 0) {
+      out.results[i] = Status::FailedPrecondition("no sensors registered");
+      return;
+    }
+    auto q = PlanQuery(*parsed, *collection->tree);
+    if (!q.ok()) {
+      out.results[i] = q.status();
+      return;
+    }
+    ExecutionContext ctx(DeriveSeed(seed, static_cast<uint64_t>(i)));
+    QueryResult result = collection->engine->Execute(*q, ctx);
+    out.stats[i] = result.stats;
+    out.results[i] = parsed->select_star
+                         ? FormatReadings(*collection->tree, result)
+                         : FormatGroups(*collection->tree, result,
+                                        parsed->agg);
+  };
+
+  Stopwatch watch;
+  pool.ParallelFor(n, 1, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) run_one(i);
+  });
+  out.wall_ms = watch.ElapsedMillis();
+  return out;
+}
+
 Relation SensorPortal::FormatGroups(const ColrTree& tree,
                                     const QueryResult& result,
                                     AggregateKind agg) const {

@@ -5,7 +5,10 @@
 #include <memory>
 #include <string>
 #include <string_view>
+#include <vector>
 
+#include "common/sync.h"
+#include "common/thread_pool.h"
 #include "core/engine.h"
 #include "core/tree.h"
 #include "portal/parser.h"
@@ -56,8 +59,26 @@ class SensorPortal {
     collections_[name] = Collection{tree, engine};
   }
 
-  /// Parses and executes one query.
+  /// Parses and executes one query. Sequential use only: it runs on
+  /// the engine's persistent RNG stream and records last_stats().
   Result<rel::Relation> Execute(std::string_view text);
+
+  /// Outcome of a concurrent batch: per-query results and stats in
+  /// input order, plus the batch wall-clock time.
+  struct ConcurrentOutcome {
+    std::vector<Result<rel::Relation>> results;
+    std::vector<QueryStats> stats;
+    double wall_ms = 0.0;
+  };
+
+  /// Executes a batch of query texts across the pool's workers plus
+  /// the calling thread (the multi-client serving path). Each query
+  /// gets its own ExecutionContext seeded from (seed, ordinal), so the
+  /// outcome is independent of thread scheduling. Does not touch
+  /// last_stats(); per-query stats are returned in the outcome.
+  ConcurrentOutcome ExecuteConcurrent(const std::vector<std::string>& texts,
+                                      ThreadPool& pool,
+                                      uint64_t seed = 0xC0FFEEu);
 
   /// Plans a parsed query into the engine's Query form against a
   /// specific collection's tree (exposed for tests and for callers

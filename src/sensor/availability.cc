@@ -9,16 +9,28 @@ AvailabilityTracker::AvailabilityTracker(
     : options_(options) {
   estimates_.reserve(sensors.size());
   for (const SensorInfo& s : sensors) {
-    estimates_.push_back(std::clamp(s.availability, options_.floor, 1.0));
+    estimates_.emplace_back(std::clamp(s.availability, options_.floor, 1.0));
   }
 }
 
 void AvailabilityTracker::Record(SensorId sensor, bool success) {
   if (sensor >= estimates_.size()) return;
-  double& e = estimates_[sensor];
-  e += options_.alpha * ((success ? 1.0 : 0.0) - e);
-  e = std::clamp(e, options_.floor, 1.0);
-  ++observations_;
+  AtomicDouble& slot = estimates_[sensor];
+  double e = slot.load();
+  for (;;) {
+    const double next = std::clamp(
+        e + options_.alpha * ((success ? 1.0 : 0.0) - e), options_.floor,
+        1.0);
+    if (slot.CompareExchangeWeak(e, next)) break;
+  }
+  observations_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::vector<double> AvailabilityTracker::estimates() const {
+  std::vector<double> out;
+  out.reserve(estimates_.size());
+  for (const AtomicDouble& e : estimates_) out.push_back(e.load());
+  return out;
 }
 
 }  // namespace colr

@@ -1,9 +1,11 @@
 #ifndef COLR_SENSOR_AVAILABILITY_H_
 #define COLR_SENSOR_AVAILABILITY_H_
 
+#include <atomic>
 #include <cstdint>
 #include <vector>
 
+#include "common/sync.h"
 #include "sensor/sensor.h"
 
 namespace colr {
@@ -19,6 +21,12 @@ namespace colr {
 /// drifts (a flaky gateway, a battery dying), which keeps the
 /// oversampling factor 1/a honest — see
 /// tests/availability_test.cc and bench/ablation_sampling.cc.
+///
+/// Thread-safe: Record() updates its sensor's estimate with a CAS loop
+/// (concurrent probes for different sensors never contend; concurrent
+/// probes of the same sensor fold their outcomes in some serial
+/// order), so engines can record probe outcomes from many query
+/// threads without locking.
 class AvailabilityTracker {
  public:
   struct Options {
@@ -37,14 +45,19 @@ class AvailabilityTracker {
   /// Records one probe outcome for a sensor.
   void Record(SensorId sensor, bool success);
 
-  double Estimate(SensorId sensor) const { return estimates_[sensor]; }
-  const std::vector<double>& estimates() const { return estimates_; }
-  int64_t observations() const { return observations_; }
+  double Estimate(SensorId sensor) const { return estimates_[sensor].load(); }
+  /// Snapshot of all estimates (indexed by SensorId).
+  std::vector<double> estimates() const;
+  int64_t observations() const {
+    return observations_.load(std::memory_order_relaxed);
+  }
 
  private:
   Options options_;
-  std::vector<double> estimates_;
-  int64_t observations_ = 0;
+  /// One atomic estimate per sensor; std::deque-free fixed size, so no
+  /// wrapper copyability is needed after construction.
+  std::vector<AtomicDouble> estimates_;
+  std::atomic<int64_t> observations_{0};
 };
 
 }  // namespace colr

@@ -1,6 +1,8 @@
 #include "sensor/network.h"
 
 #include <algorithm>
+#include <chrono>
+#include <thread>
 
 namespace colr {
 
@@ -14,7 +16,7 @@ SensorNetwork::SensorNetwork(std::vector<SensorInfo> sensors,
       clock_(clock),
       options_(options),
       rng_(options.seed),
-      per_sensor_probes_(sensors_.size(), 0) {
+      per_sensor_probes_(sensors_.size()) {
   // Default value model: a deterministic hash of (sensor, time bucket)
   // so tests get stable but non-constant values.
   value_fn_ = [](const SensorInfo& s, TimeMs now) {
@@ -33,9 +35,15 @@ SensorNetwork::ProbeResult SensorNetwork::Probe(SensorId id) {
   }
   const SensorInfo& info = sensors_[id];
   ++counters_.probes;
-  ++per_sensor_probes_[id];
-  result.success = rng_.Bernoulli(info.availability);
-  result.latency_ms = DrawLatency(result.success);
+  per_sensor_probes_[id].fetch_add(1, std::memory_order_relaxed);
+  {
+    // One critical section per probe covering both draws, so the
+    // sequential draw order (success then latency) is exactly the
+    // pre-concurrency stream.
+    std::lock_guard<std::mutex> lock(rng_mutex_);
+    result.success = rng_.Bernoulli(info.availability);
+    result.latency_ms = DrawLatency(result.success);
+  }
   if (result.success) {
     ++counters_.successes;
     const TimeMs now = clock_->NowMs();
@@ -50,17 +58,52 @@ SensorNetwork::BatchResult SensorNetwork::ProbeBatch(
   BatchResult batch;
   batch.attempted = ids.size();
   ++counters_.batches;
-  for (SensorId id : ids) {
-    ProbeResult r = Probe(id);
-    batch.latency_ms = std::max(batch.latency_ms, r.latency_ms);
-    if (r.success) batch.readings.push_back(r.reading);
+  if (pool_ != nullptr && ids.size() >= options_.min_parallel_batch) {
+    // Parallel collection: every probe is independent; per-id slots
+    // keep the fold below identical to the sequential order.
+    std::vector<ProbeResult> results(ids.size());
+    const size_t grain = std::max<size_t>(
+        4, ids.size() / (static_cast<size_t>(pool_->size()) * 4 + 1));
+    pool_->ParallelFor(ids.size(), grain, [&](size_t begin, size_t end) {
+      for (size_t i = begin; i < end; ++i) results[i] = Probe(ids[i]);
+    });
+    for (const ProbeResult& r : results) {
+      batch.latency_ms = std::max(batch.latency_ms, r.latency_ms);
+      if (r.success) batch.readings.push_back(r.reading);
+    }
+  } else {
+    for (SensorId id : ids) {
+      ProbeResult r = Probe(id);
+      batch.latency_ms = std::max(batch.latency_ms, r.latency_ms);
+      if (r.success) batch.readings.push_back(r.reading);
+    }
+  }
+  if (options_.simulated_latency_scale > 0.0 && batch.latency_ms > 0) {
+    // One sleep per batch (not per probe): the batch already runs its
+    // probes in parallel, so its real-time cost is the max latency.
+    std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+        static_cast<double>(batch.latency_ms) *
+        options_.simulated_latency_scale));
   }
   return batch;
 }
 
+std::vector<uint32_t> SensorNetwork::per_sensor_probes() const {
+  std::vector<uint32_t> out;
+  out.reserve(per_sensor_probes_.size());
+  for (const auto& c : per_sensor_probes_) {
+    out.push_back(c.load(std::memory_order_relaxed));
+  }
+  return out;
+}
+
 void SensorNetwork::ResetCounters() {
-  counters_ = Counters{};
-  std::fill(per_sensor_probes_.begin(), per_sensor_probes_.end(), 0u);
+  counters_.probes = 0;
+  counters_.successes = 0;
+  counters_.batches = 0;
+  for (auto& c : per_sensor_probes_) {
+    c.store(0, std::memory_order_relaxed);
+  }
 }
 
 TimeMs SensorNetwork::DrawLatency(bool success) {

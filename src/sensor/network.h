@@ -1,12 +1,16 @@
 #ifndef COLR_SENSOR_NETWORK_H_
 #define COLR_SENSOR_NETWORK_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
+#include <mutex>
 #include <vector>
 
 #include "common/clock.h"
 #include "common/rng.h"
+#include "common/sync.h"
+#include "common/thread_pool.h"
 #include "common/status.h"
 #include "sensor/sensor.h"
 
@@ -18,6 +22,14 @@ namespace colr {
 /// support pushing"), succeeds with the sensor's availability
 /// probability, costs simulated latency, and is counted — probe counts
 /// and sensing-load uniformity are the paper's headline metrics.
+///
+/// Thread-safe: probes may be issued from many query threads at once.
+/// Cumulative counters (including the per-sensor probe counts behind
+/// Theorem 2's load-uniformity analysis) are atomics; the Bernoulli /
+/// latency draws share one RNG behind a mutex so the sequential
+/// behaviour — and with it every seed-fixed experiment — is
+/// bit-identical to the pre-concurrency engine when probes are issued
+/// from a single thread.
 class SensorNetwork {
  public:
   struct Options {
@@ -28,10 +40,20 @@ class SensorNetwork {
     /// Failed probes hit a timeout instead of the regular RTT.
     TimeMs probe_timeout_ms = 400;
     uint64_t seed = 0xC01Au;
+    /// Minimum batch size before ProbeBatch fans out over an attached
+    /// thread pool; smaller batches run inline on the caller.
+    size_t min_parallel_batch = 16;
+    /// When > 0, ProbeBatch converts the batch's simulated collection
+    /// latency into real wall time (sleeping latency_ms * scale) so
+    /// serving benchmarks reproduce the I/O-bound regime of a portal
+    /// probing live web sensors. 0 (the default) keeps the simulator
+    /// instantaneous for replays and tests.
+    double simulated_latency_scale = 0.0;
   };
 
   /// Produces a reading value for a sensor at a given time. Installed
   /// by workloads (restaurant waiting times, water discharge, ...).
+  /// Must be pure (it is invoked concurrently from probe threads).
   using ValueFn = std::function<double(const SensorInfo&, TimeMs)>;
 
   SensorNetwork(std::vector<SensorInfo> sensors, const Clock* clock);
@@ -42,6 +64,12 @@ class SensorNetwork {
   SensorNetwork& operator=(const SensorNetwork&) = delete;
 
   void set_value_fn(ValueFn fn) { value_fn_ = std::move(fn); }
+
+  /// Attaches a pool used to execute large probe batches in parallel
+  /// (the simulator analogue of the portal's parallel data-collection
+  /// threads). nullptr (the default) restores strictly sequential
+  /// batches with a deterministic RNG draw order.
+  void set_thread_pool(ThreadPool* pool) { pool_ = pool; }
 
   struct ProbeResult {
     bool success = false;
@@ -62,7 +90,11 @@ class SensorNetwork {
     TimeMs latency_ms = 0;
   };
 
-  /// Probes all sensors in `ids` in parallel.
+  /// Probes all sensors in `ids` in parallel. With a thread pool
+  /// attached, batches of at least Options::min_parallel_batch really
+  /// do run across threads; the batch semantics are unchanged either
+  /// way (readings ordered by position in `ids`, batch latency = max
+  /// individual latency).
   BatchResult ProbeBatch(const std::vector<SensorId>& ids);
 
   size_t size() const { return sensors_.size(); }
@@ -71,15 +103,17 @@ class SensorNetwork {
   const SensorInfo& sensor(SensorId id) const { return sensors_[id]; }
 
   struct Counters {
-    int64_t probes = 0;
-    int64_t successes = 0;
-    int64_t batches = 0;
+    AtomicCounter<int64_t> probes = 0;
+    AtomicCounter<int64_t> successes = 0;
+    AtomicCounter<int64_t> batches = 0;
   };
   const Counters& counters() const { return counters_; }
   /// Number of times each sensor has been probed; the input to the
-  /// sensing-load-uniformity analysis (Theorem 2).
-  const std::vector<uint32_t>& per_sensor_probes() const {
-    return per_sensor_probes_;
+  /// sensing-load-uniformity analysis (Theorem 2). Snapshot of the
+  /// live atomic counters.
+  std::vector<uint32_t> per_sensor_probes() const;
+  uint32_t probe_count(SensorId id) const {
+    return per_sensor_probes_[id].load(std::memory_order_relaxed);
   }
   void ResetCounters();
 
@@ -89,10 +123,13 @@ class SensorNetwork {
   std::vector<SensorInfo> sensors_;
   const Clock* clock_;
   Options options_;
+  /// Guards rng_ — the only non-atomic mutable shared state.
+  std::mutex rng_mutex_;
   Rng rng_;
   ValueFn value_fn_;
+  ThreadPool* pool_ = nullptr;
   Counters counters_;
-  std::vector<uint32_t> per_sensor_probes_;
+  std::vector<std::atomic<uint32_t>> per_sensor_probes_;
 };
 
 /// Builds `n` sensors uniformly placed in `extent` with the given

@@ -1,0 +1,277 @@
+// Concurrent execution tests: the engine/portal stack must serve
+// queries from many threads with (a) no data races (run under
+// -DCOLR_SANITIZE=thread by scripts/check.sh), (b) consistent
+// instrumentation (per-query stats sum to the cumulative counters),
+// (c) no lost cache insertions, and (d) unchanged single-threaded
+// behaviour — the seed-fingerprint regression pins the pre-concurrency
+// semantics bit for bit.
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/sync.h"
+#include "common/thread_pool.h"
+#include "core/engine.h"
+#include "core/tree.h"
+#include "determinism_fingerprint.h"
+#include "portal/portal.h"
+#include "sensor/network.h"
+#include "workload/live_local.h"
+
+namespace colr {
+namespace {
+
+// Captured from the pre-concurrency engine (see
+// tests/determinism_fingerprint.h); stable across runs and builds of
+// the seed tree.
+constexpr uint64_t kSeedFingerprint = 0xECD593E56FF8BD78ull;
+
+TEST(ConcurrencyTest, SingleThreadedBehaviourMatchesSeedEngine) {
+  EXPECT_EQ(colr::testing::SeedBehaviourFingerprint(), kSeedFingerprint);
+}
+
+struct Harness {
+  LiveLocalWorkload workload;
+  SimClock clock;
+  std::unique_ptr<SensorNetwork> network;
+  std::unique_ptr<ColrTree> tree;
+  std::unique_ptr<ColrEngine> engine;
+
+  explicit Harness(size_t cache_capacity, bool track_availability = false,
+                   int num_sensors = 1200) {
+    LiveLocalOptions wopts;
+    wopts.num_sensors = num_sensors;
+    wopts.num_queries = 64;
+    wopts.num_cities = 8;
+    wopts.extent = Rect::FromCorners(0, 0, 100, 100);
+    wopts.duration_ms = 20 * kMsPerMinute;
+    wopts.seed = 0xBEEFull;
+    workload = GenerateLiveLocal(wopts);
+
+    network = std::make_unique<SensorNetwork>(workload.sensors, &clock);
+    network->set_value_fn(MakeRestaurantWaitingTimeFn());
+
+    ColrTree::Options topts;
+    topts.cluster.fanout = 4;
+    topts.cluster.leaf_capacity = 16;
+    topts.t_max_ms = wopts.expiry_max_ms;
+    topts.slot_delta_ms = wopts.expiry_max_ms / 4;
+    topts.cache_capacity = cache_capacity;
+    tree = std::make_unique<ColrTree>(workload.sensors, topts);
+
+    ColrEngine::Options eopts;
+    eopts.mode = ColrEngine::Mode::kColr;
+    eopts.track_availability = track_availability;
+    eopts.availability_refresh_interval = 10;
+    engine = std::make_unique<ColrEngine>(tree.get(), network.get(), eopts);
+
+    // Freeze the clock at a fixed point so no reading expires or is
+    // expunged while the threads run.
+    clock.SetMs(10 * kMsPerMinute);
+  }
+
+  /// A deterministic mixed viewport query for (thread, ordinal).
+  Query MakeQuery(int thread, int i) const {
+    const auto& rec =
+        workload.queries[(thread * 17 + i * 5) % workload.queries.size()];
+    Query q;
+    q.region = QueryRegion::FromRect(rec.region);
+    q.staleness_ms = 5 * kMsPerMinute;
+    q.sample_size = (i % 3 == 0) ? 0 : 25;  // mix exact and sampled
+    q.cluster_level = 2;
+    return q;
+  }
+};
+
+TEST(ConcurrencyTest, MixedQueriesKeepCountersConsistent) {
+  Harness h(/*cache_capacity=*/300, /*track_availability=*/true);
+  constexpr int kThreads = 8;
+  constexpr int kQueriesPerThread = 25;
+
+  std::vector<QueryStats> per_thread(kThreads);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h, &per_thread, t] {
+      for (int i = 0; i < kQueriesPerThread; ++i) {
+        ExecutionContext ctx(h.engine->QuerySeed(
+            static_cast<uint64_t>(t) * kQueriesPerThread + i));
+        const QueryResult r = h.engine->Execute(h.MakeQuery(t, i), ctx);
+        per_thread[t].MergeCounters(r.stats);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  QueryStats sum;
+  for (const QueryStats& s : per_thread) sum.MergeCounters(s);
+  const QueryStats cum = h.engine->cumulative();
+
+  // Per-query stats must add up exactly to the cumulative atomics: no
+  // lost or double-counted updates.
+  EXPECT_EQ(sum.nodes_traversed, cum.nodes_traversed);
+  EXPECT_EQ(sum.internal_nodes_traversed, cum.internal_nodes_traversed);
+  EXPECT_EQ(sum.cached_nodes_accessed, cum.cached_nodes_accessed);
+  EXPECT_EQ(sum.sensors_probed, cum.sensors_probed);
+  EXPECT_EQ(sum.probe_successes, cum.probe_successes);
+  EXPECT_EQ(sum.cache_readings_used, cum.cache_readings_used);
+  EXPECT_EQ(sum.cached_agg_readings, cum.cached_agg_readings);
+  EXPECT_EQ(sum.slots_merged, cum.slots_merged);
+  EXPECT_EQ(sum.result_size, cum.result_size);
+
+  // Every probe goes through the engine, so the network's cumulative
+  // counters must agree with the engine's.
+  EXPECT_EQ(cum.sensors_probed,
+            static_cast<int64_t>(h.network->counters().probes));
+  EXPECT_EQ(cum.probe_successes,
+            static_cast<int64_t>(h.network->counters().successes));
+  int64_t per_sensor_total = 0;
+  for (uint32_t c : h.network->per_sensor_probes()) per_sensor_total += c;
+  EXPECT_EQ(per_sensor_total, cum.sensors_probed);
+
+  // The caches must be internally consistent once the threads quiesce.
+  EXPECT_TRUE(h.tree->CheckCacheConsistency().ok())
+      << h.tree->CheckCacheConsistency().ToString();
+}
+
+TEST(ConcurrencyTest, NoCacheInsertionIsLost) {
+  // Unbounded capacity + frozen clock: nothing is ever evicted or
+  // expunged, so every successfully probed sensor must have a cached
+  // reading after the run.
+  Harness h(/*cache_capacity=*/0);
+  constexpr int kThreads = 6;
+  constexpr int kQueriesPerThread = 20;
+
+  std::mutex mu;
+  std::set<SensorId> collected_sensors;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      std::set<SensorId> local;
+      for (int i = 0; i < kQueriesPerThread; ++i) {
+        ExecutionContext ctx(h.engine->QuerySeed(
+            static_cast<uint64_t>(t) * kQueriesPerThread + i));
+        const QueryResult r = h.engine->Execute(h.MakeQuery(t, i), ctx);
+        for (const Reading& reading : r.collected) {
+          local.insert(reading.sensor);
+        }
+      }
+      std::lock_guard<std::mutex> lock(mu);
+      collected_sensors.insert(local.begin(), local.end());
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  EXPECT_GT(collected_sensors.size(), 0u);
+  for (SensorId sid : collected_sensors) {
+    EXPECT_TRUE(h.tree->CachedReading(sid).has_value())
+        << "sensor " << sid << " lost its cached reading";
+  }
+  EXPECT_EQ(h.tree->CachedReadingCount(), collected_sensors.size());
+  EXPECT_TRUE(h.tree->CheckCacheConsistency().ok())
+      << h.tree->CheckCacheConsistency().ToString();
+}
+
+TEST(ConcurrencyTest, ParallelProbeBatchKeepsSemantics) {
+  Harness h(/*cache_capacity=*/0);
+  ThreadPool pool(4);
+  h.network->set_thread_pool(&pool);
+
+  std::vector<SensorId> ids;
+  for (SensorId s = 0; s < 200; ++s) ids.push_back(s);
+
+  const SensorNetwork::BatchResult batch = h.network->ProbeBatch(ids);
+  EXPECT_EQ(batch.attempted, ids.size());
+  EXPECT_EQ(static_cast<int64_t>(h.network->counters().probes),
+            static_cast<int64_t>(ids.size()));
+  EXPECT_EQ(static_cast<int64_t>(h.network->counters().successes),
+            static_cast<int64_t>(batch.readings.size()));
+
+  // Readings keep the order of `ids` (each sensor appears once).
+  for (size_t i = 1; i < batch.readings.size(); ++i) {
+    EXPECT_LT(batch.readings[i - 1].sensor, batch.readings[i].sensor);
+  }
+  // Batch latency = max individual latency implies at least the base
+  // round-trip of a successful probe (or a timeout).
+  if (!batch.readings.empty()) {
+    EXPECT_GE(batch.latency_ms, 80);
+  }
+  for (SensorId s : ids) {
+    EXPECT_EQ(h.network->probe_count(s), 1u);
+  }
+}
+
+TEST(ConcurrencyTest, NestedParallelForDoesNotDeadlock) {
+  ThreadPool pool(3);
+  std::atomic<int> total{0};
+  pool.ParallelFor(8, 1, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      // Nested use: the inner loop runs on the same pool from inside a
+      // pooled task (the ProbeBatch-inside-query shape).
+      pool.ParallelFor(16, 4, [&](size_t b, size_t e) {
+        total.fetch_add(static_cast<int>(e - b));
+      });
+    }
+  });
+  EXPECT_EQ(total.load(), 8 * 16);
+}
+
+TEST(ConcurrencyTest, InlineThreadPoolRunsOnCaller) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.size(), 0);
+  std::atomic<int> total{0};
+  pool.ParallelFor(10, 3, [&](size_t begin, size_t end) {
+    total.fetch_add(static_cast<int>(end - begin));
+  });
+  EXPECT_EQ(total.load(), 10);
+}
+
+TEST(ConcurrencyTest, PortalExecuteConcurrentServesBatch) {
+  Harness h(/*cache_capacity=*/300);
+  portal::SensorPortal portal(h.tree.get(), h.engine.get());
+  ThreadPool pool(3);
+
+  std::vector<std::string> texts;
+  for (int i = 0; i < 24; ++i) {
+    const auto& rec = h.workload.queries[i % h.workload.queries.size()];
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "SELECT avg(*) FROM sensor S "
+                  "WHERE S.location WITHIN RECT(%.4f, %.4f, %.4f, %.4f) "
+                  "AND S.time BETWEEN now()-5 AND now() mins "
+                  "CLUSTER LEVEL 2 SAMPLESIZE 20",
+                  rec.region.min_x, rec.region.min_y, rec.region.max_x,
+                  rec.region.max_y);
+    texts.push_back(buf);
+  }
+  texts.push_back("SELECT nonsense");  // parse error must stay in order
+
+  const auto outcome = portal.ExecuteConcurrent(texts, pool);
+  ASSERT_EQ(outcome.results.size(), texts.size());
+  ASSERT_EQ(outcome.stats.size(), texts.size());
+  for (size_t i = 0; i + 1 < texts.size(); ++i) {
+    EXPECT_TRUE(outcome.results[i].ok())
+        << i << ": " << outcome.results[i].status().ToString();
+    EXPECT_GT(outcome.stats[i].nodes_traversed, 0);
+  }
+  EXPECT_FALSE(outcome.results.back().ok());
+  EXPECT_TRUE(h.tree->CheckCacheConsistency().ok());
+}
+
+TEST(ConcurrencyTest, DeriveSeedSeparatesOrdinals) {
+  std::set<uint64_t> seeds;
+  for (uint64_t i = 0; i < 1000; ++i) {
+    seeds.insert(DeriveSeed(0xC0FFEEull, i));
+  }
+  EXPECT_EQ(seeds.size(), 1000u);
+}
+
+}  // namespace
+}  // namespace colr

@@ -1,0 +1,112 @@
+#ifndef COLR_TESTS_DETERMINISM_FINGERPRINT_H_
+#define COLR_TESTS_DETERMINISM_FINGERPRINT_H_
+
+// Bit-exact fingerprint of a fixed single-threaded query replay. The
+// golden value (kSeedFingerprint in concurrency_test.cc) was captured
+// from the pre-concurrency seed tree; the regression test asserts the
+// refactored engine still produces it, i.e. the concurrency refactor
+// changed architecture, not semantics: same RNG streams, same probe
+// decisions, same float accumulation order, same group structure.
+
+#include <cstdint>
+#include <cstring>
+
+#include "common/clock.h"
+#include "core/engine.h"
+#include "core/tree.h"
+#include "sensor/network.h"
+#include "workload/live_local.h"
+
+namespace colr::testing {
+
+class Fingerprint {
+ public:
+  void Mix(uint64_t v) {
+    h_ ^= v;
+    h_ *= 0x100000001B3ull;  // FNV-1a prime, 64-bit
+  }
+  void MixDouble(double d) {
+    uint64_t bits;
+    std::memcpy(&bits, &d, sizeof(bits));
+    Mix(bits);
+  }
+  uint64_t value() const { return h_; }
+
+ private:
+  uint64_t h_ = 0xCBF29CE484222325ull;  // FNV offset basis
+};
+
+/// Replays a fixed Live-Local workload through one engine in kColr
+/// mode (alternating sampled and exact queries) and fingerprints every
+/// result plus the cumulative instrumentation.
+inline uint64_t SeedBehaviourFingerprint() {
+  LiveLocalOptions wopts;
+  wopts.num_sensors = 2500;
+  wopts.num_queries = 160;
+  wopts.num_cities = 16;
+  wopts.extent = Rect::FromCorners(0, 0, 100, 100);
+  wopts.city_sigma_min = 1.0;
+  wopts.city_sigma_max = 8.0;
+  wopts.duration_ms = 20 * kMsPerMinute;
+  wopts.seed = 0xD5EEDull;
+  const LiveLocalWorkload w = GenerateLiveLocal(wopts);
+
+  SimClock clock;
+  SensorNetwork network(w.sensors, &clock);
+  network.set_value_fn(MakeRestaurantWaitingTimeFn());
+
+  ColrTree::Options topts;
+  topts.cluster.fanout = 4;
+  topts.cluster.leaf_capacity = 16;
+  topts.t_max_ms = wopts.expiry_max_ms;
+  topts.slot_delta_ms = wopts.expiry_max_ms / 4;
+  topts.cache_capacity = w.sensors.size() / 4;
+  ColrTree tree(w.sensors, topts);
+
+  ColrEngine::Options eopts;
+  eopts.mode = ColrEngine::Mode::kColr;
+  eopts.track_availability = true;
+  ColrEngine engine(&tree, &network, eopts);
+
+  Fingerprint fp;
+  int i = 0;
+  for (const auto& rec : w.queries) {
+    clock.SetMs(rec.at);
+    Query q;
+    q.region = QueryRegion::FromRect(rec.region);
+    q.staleness_ms = 5 * kMsPerMinute;
+    q.sample_size = (i % 3 == 0) ? 0 : 40;  // mix exact and sampled
+    q.cluster_level = 2;
+    ++i;
+
+    const QueryResult result = engine.Execute(q);
+    for (const GroupResult& g : result.groups) {
+      fp.Mix(static_cast<uint64_t>(g.node_id));
+      fp.Mix(static_cast<uint64_t>(g.agg.count));
+      fp.MixDouble(g.agg.sum);
+      if (g.agg.count > 0) {
+        fp.MixDouble(g.agg.min);
+        fp.MixDouble(g.agg.max);
+      }
+    }
+    fp.Mix(static_cast<uint64_t>(result.stats.sensors_probed));
+    fp.Mix(static_cast<uint64_t>(result.stats.probe_successes));
+    fp.Mix(static_cast<uint64_t>(result.stats.cache_readings_used));
+    fp.Mix(static_cast<uint64_t>(result.stats.cached_agg_readings));
+    fp.Mix(static_cast<uint64_t>(result.stats.nodes_traversed));
+  }
+
+  const QueryStats cum = engine.cumulative();
+  fp.Mix(static_cast<uint64_t>(cum.sensors_probed));
+  fp.Mix(static_cast<uint64_t>(cum.probe_successes));
+  fp.Mix(static_cast<uint64_t>(cum.nodes_traversed));
+  fp.Mix(static_cast<uint64_t>(cum.cache_readings_used));
+  fp.Mix(static_cast<uint64_t>(network.counters().probes));
+  fp.Mix(static_cast<uint64_t>(network.counters().successes));
+  fp.Mix(static_cast<uint64_t>(tree.CachedReadingCount()));
+  return fp.value();
+}
+
+}  // namespace colr::testing
+
+#endif  // COLR_TESTS_DETERMINISM_FINGERPRINT_H_
