@@ -29,6 +29,7 @@ int Main(int argc, char** argv) {
   const int divisors[] = {16, 8, 4, 2, 1};
   std::printf("%-12s %12s %14s %14s %12s\n", "delta/t_max", "probes/qry",
               "slots merged", "latency ms", "cache hits");
+  std::vector<std::string> json_rows;
   for (int d : divisors) {
     const TimeMs delta = t_max / d;
     Testbed bed(workload, ColrEngine::Mode::kHierCache,
@@ -46,7 +47,15 @@ int Main(int argc, char** argv) {
                });
     std::printf("1/%-10d %12.1f %14.1f %14.3f %12.1f\n", d,
                 probes.mean(), slots.mean(), latency.mean(), hits.mean());
+    json_rows.push_back(JsonObject()
+                            .Field("delta_divisor", d)
+                            .Field("probes_per_query", probes.mean())
+                            .Field("slots_merged", slots.mean())
+                            .Field("latency_ms", latency.mean())
+                            .Field("cache_hits", hits.mean())
+                            .Done());
   }
+  WriteJsonReport(cfg, "ablation_slot_size", json_rows);
   std::printf(
       "\nreading: probes/latency bottom out at an intermediate delta —\n"
       "fine slots admit borderline readings but fragment aggregates and\n"

@@ -7,6 +7,7 @@
 // corresponding paper figure reports. Default scale runs in seconds;
 // pass --full for paper-scale (370k sensors / 106k queries).
 
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -36,6 +37,17 @@ struct BenchConfig {
 
   static BenchConfig FromArgs(int argc, char** argv) {
     BenchConfig cfg;
+    // --full is a set of defaults, not an override: apply it first
+    // regardless of its position so `--sensors=1000 --full` and
+    // `--full --sensors=1000` agree (explicit flags always win).
+    for (int i = 1; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--full") == 0) {
+        cfg.full = true;
+        cfg.sensors = 370000;
+        cfg.queries = 106000;
+        cfg.cities = 250;
+      }
+    }
     for (int i = 1; i < argc; ++i) {
       const std::string arg = argv[i];
       auto value = [&arg](const char* prefix) -> const char* {
@@ -44,14 +56,13 @@ struct BenchConfig {
                                                 : nullptr;
       };
       if (arg == "--full") {
-        cfg.full = true;
-        cfg.sensors = 370000;
-        cfg.queries = 106000;
-        cfg.cities = 250;
+        // Handled in the defaults pass above.
       } else if (const char* v = value("--sensors=")) {
         cfg.sensors = std::atoi(v);
       } else if (const char* v = value("--queries=")) {
         cfg.queries = std::atoi(v);
+      } else if (const char* v = value("--cities=")) {
+        cfg.cities = std::atoi(v);
       } else if (const char* v = value("--seed=")) {
         cfg.seed = std::strtoull(v, nullptr, 10);
       } else if (const char* v = value("--json=")) {
@@ -60,8 +71,8 @@ struct BenchConfig {
         cfg.json_path = argv[++i];
       } else if (arg == "--help" || arg == "-h") {
         std::printf(
-            "usage: %s [--full] [--sensors=N] [--queries=N] [--seed=S] "
-            "[--json PATH]\n",
+            "usage: %s [--full] [--sensors=N] [--queries=N] [--cities=N] "
+            "[--seed=S] [--json PATH]\n",
             argv[0]);
         std::exit(0);
       }
@@ -143,11 +154,13 @@ class Testbed {
 
 /// Builds one JSON object incrementally: Field() for each key, then
 /// Done() for the serialized `{...}`. Keys are emitted verbatim (the
-/// harnesses use plain identifiers); string values get minimal quote /
-/// backslash escaping.
+/// harnesses use plain identifiers); string values get full RFC 8259
+/// escaping and non-finite doubles become `null` (JSON has no
+/// nan/inf), so every emitted object is valid JSON.
 class JsonObject {
  public:
   JsonObject& Field(const char* key, double v) {
+    if (!std::isfinite(v)) return Raw(key, "null");
     char buf[64];
     std::snprintf(buf, sizeof(buf), "%.17g", v);
     return Raw(key, buf);
@@ -164,8 +177,22 @@ class JsonObject {
   JsonObject& Field(const char* key, const char* v) {
     std::string escaped = "\"";
     for (const char* p = v; *p != '\0'; ++p) {
-      if (*p == '"' || *p == '\\') escaped += '\\';
-      escaped += *p;
+      const unsigned char c = static_cast<unsigned char>(*p);
+      switch (c) {
+        case '"': escaped += "\\\""; break;
+        case '\\': escaped += "\\\\"; break;
+        case '\n': escaped += "\\n"; break;
+        case '\t': escaped += "\\t"; break;
+        case '\r': escaped += "\\r"; break;
+        default:
+          if (c < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+            escaped += buf;
+          } else {
+            escaped += static_cast<char>(c);
+          }
+      }
     }
     escaped += '"';
     return Raw(key, escaped.c_str());

@@ -69,12 +69,20 @@ int Main(int argc, char** argv) {
       maxima[m] = std::max(maxima[m], p.ratio);
     }
   }
+  std::vector<std::string> json_rows;
   for (size_t i = 0; i < deltas.size(); ++i) {
     std::printf("%-8.2f %12.3f %12.3f %12.3f\n", deltas[i],
                 sweeps[0][i].ratio / maxima[0],
                 sweeps[1][i].ratio / maxima[1],
                 sweeps[2][i].ratio / maxima[2]);
+    json_rows.push_back(JsonObject()
+                            .Field("delta", deltas[i])
+                            .Field("uniform", sweeps[0][i].ratio / maxima[0])
+                            .Field("usgs", sweeps[1][i].ratio / maxima[1])
+                            .Field("weather", sweeps[2][i].ratio / maxima[2])
+                            .Done());
   }
+  WriteJsonReport(cfg, "fig2_slot_size", json_rows);
 
   std::printf("\noptimal slot size (paper: Uniform 0.5, USGS 0.8, "
               "Weather 0.2):\n");

@@ -65,6 +65,7 @@ int Main(int argc, char** argv) {
               "hier-cached", "colr-cached");
   std::printf("%-14s %8s | %32s | %21s\n", "(bin center)", "",
               "avg nodes traversed", "avg cached nodes");
+  std::vector<std::string> json_rows;
   for (int b = 0; b < kBins; ++b) {
     if (rtree.nodes.bin(b).count() == 0) continue;
     std::printf("%-14.0f %8lld | %10.1f %10.1f %10.1f | %10.2f %10.2f\n",
@@ -73,7 +74,18 @@ int Main(int argc, char** argv) {
                 rtree.nodes.bin(b).mean(), hier.nodes.bin(b).mean(),
                 colr.nodes.bin(b).mean(), hier.cached.bin(b).mean(),
                 colr.cached.bin(b).mean());
+    json_rows.push_back(
+        JsonObject()
+            .Field("result_size", rtree.nodes.BinCenter(b))
+            .Field("queries", rtree.nodes.bin(b).count())
+            .Field("rtree_nodes", rtree.nodes.bin(b).mean())
+            .Field("hier_nodes", hier.nodes.bin(b).mean())
+            .Field("colr_nodes", colr.nodes.bin(b).mean())
+            .Field("hier_cached", hier.cached.bin(b).mean())
+            .Field("colr_cached", colr.cached.bin(b).mean())
+            .Done());
   }
+  WriteJsonReport(cfg, "fig3_traversal", json_rows);
 
   // Headline ratios the paper calls out.
   double hier_cached_total = 0, colr_cached_total = 0;

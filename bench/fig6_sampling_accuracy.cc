@@ -30,6 +30,7 @@ int Main(int argc, char** argv) {
 
   std::printf("%-8s %-8s | %14s %14s\n", "cache%", "sample",
               "target acc(%)", "pde");
+  std::vector<std::string> json_rows;
   for (double frac : cache_fracs) {
     const size_t cap =
         static_cast<size_t>(frac * workload.sensors.size());
@@ -76,8 +77,15 @@ int Main(int argc, char** argv) {
           });
       std::printf("%-8.0f %-8d | %14.1f %14.3f\n", frac * 100, sample,
                   accuracy.mean(), pde.mean());
+      json_rows.push_back(JsonObject()
+                              .Field("cache_frac", frac)
+                              .Field("sample", sample)
+                              .Field("target_accuracy_pct", accuracy.mean())
+                              .Field("pde", pde.mean())
+                              .Done());
     }
   }
+  WriteJsonReport(cfg, "fig6_sampling_accuracy", json_rows);
   std::printf("\npaper shape: accuracy 93%% -> 99%% as target/cache grow; "
               "pde rises with cache at target=100, falls at target=10000.\n");
   return 0;

@@ -16,11 +16,14 @@ cmake --build build -j "$jobs"
 echo "== tier-1: ctest =="
 (cd build && ctest --output-on-failure -j "$jobs")
 
-echo "== tsan: build concurrency test =="
+echo "== tsan: build concurrency tests =="
 cmake -B build-tsan -S . -DCOLR_SANITIZE=thread >/dev/null
-cmake --build build-tsan -j "$jobs" --target concurrency_test
+cmake --build build-tsan -j "$jobs" --target concurrency_test timed_replay_test
 
 echo "== tsan: run concurrency test =="
 ./build-tsan/tests/concurrency_test
+
+echo "== tsan: run timed replay test =="
+./build-tsan/tests/timed_replay_test
 
 echo "== all checks passed =="

@@ -51,6 +51,59 @@ class SimClock : public Clock {
   std::atomic<TimeMs> now_;
 };
 
+/// Moving replay clock: maps trace time onto real wall time at a
+/// configurable speedup, so a multi-hour query trace replays in
+/// seconds while the window-maintenance machinery (rolls, expunges,
+/// availability refreshes) runs against continuously advancing time —
+/// unlike SimClock, which only moves when a driver pushes it.
+///
+///   trace_now = trace_start + elapsed_wall_ms * speedup
+///
+/// Restart() re-anchors trace_start to the current wall instant; call
+/// it once before spawning replay threads (thread creation provides
+/// the happens-before edge). NowMs() is const, lock-free and safe to
+/// call from any number of threads, and monotone because the
+/// underlying steady_clock is.
+class ReplayClock : public Clock {
+ public:
+  explicit ReplayClock(TimeMs trace_start = 0, double speedup = 1.0)
+      : trace_start_(trace_start),
+        speedup_(speedup > 0.0 ? speedup : 1.0),
+        wall_start_(std::chrono::steady_clock::now()) {}
+
+  TimeMs NowMs() const override {
+    const double wall_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - wall_start_)
+            .count();
+    return trace_start_ + static_cast<TimeMs>(wall_ms * speedup_);
+  }
+
+  TimeMs trace_start() const { return trace_start_; }
+  double speedup() const { return speedup_; }
+
+  /// Re-anchors the clock: trace time `trace_start` corresponds to
+  /// "now" on the wall; `speedup` > 0 also replaces the rate. Not
+  /// thread-safe; call before replay threads start.
+  void Restart(TimeMs trace_start, double speedup = 0.0) {
+    trace_start_ = trace_start;
+    if (speedup > 0.0) speedup_ = speedup;
+    wall_start_ = std::chrono::steady_clock::now();
+  }
+
+  /// Wall milliseconds until the replay clock reaches trace time `t`
+  /// (<= 0 when `t` is already in the past). What a paced replay
+  /// driver sleeps between trace events.
+  double WallMsUntil(TimeMs t) const {
+    return static_cast<double>(t - NowMs()) / speedup_;
+  }
+
+ private:
+  TimeMs trace_start_;
+  double speedup_;
+  std::chrono::steady_clock::time_point wall_start_;
+};
+
 /// Real wall clock (monotonic), used by the latency instrumentation.
 class WallClock : public Clock {
  public:

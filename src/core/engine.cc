@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <map>
+#include <unordered_map>
 
 namespace colr {
 
@@ -66,6 +67,8 @@ ColrEngine::ColrEngine(ColrTree* tree, SensorNetwork* network,
   }
   if (options_.track_availability) {
     tracker_ = std::make_unique<AvailabilityTracker>(network_->sensors());
+    last_availability_refresh_ms_.store(clock_->NowMs(),
+                                        std::memory_order_relaxed);
   }
 }
 
@@ -80,18 +83,17 @@ std::vector<Reading> ColrEngine::ProbeBatch(const std::vector<SensorId>& ids,
       std::max(acct->max_batch_latency_ms, batch.latency_ms);
   if (tracker_ != nullptr) {
     // Successes are identified by the returned readings; everything
-    // else in the batch failed.
-    std::vector<bool> ok(ids.size(), false);
-    for (const Reading& r : batch.readings) {
-      for (size_t i = 0; i < ids.size(); ++i) {
-        if (ids[i] == r.sensor) {
-          ok[i] = true;
-          break;
-        }
-      }
-    }
-    for (size_t i = 0; i < ids.size(); ++i) {
-      tracker_->Record(ids[i], ok[i]);
+    // else in the batch failed. Count successes per sensor so a
+    // duplicated id records one outcome per occurrence (a positional
+    // first-match scan would mark every repeat a spurious failure and
+    // bias the EWMA low).
+    std::unordered_map<SensorId, int> successes;
+    for (const Reading& r : batch.readings) ++successes[r.sensor];
+    for (SensorId id : ids) {
+      auto it = successes.find(id);
+      const bool ok = it != successes.end() && it->second > 0;
+      if (ok) --it->second;
+      tracker_->Record(id, ok);
     }
   }
   return batch.readings;
@@ -156,17 +158,20 @@ void ColrEngine::ResetCumulative() {
 
 void ColrEngine::FinishQuery(const Query& query, TimeMs now,
                              QueryResult* result) {
-  (void)now;
   if (options_.fill_region_count) {
     result->stats.region_sensor_count =
         tree_->CountSensorsInRegion(query.region.bbox);
   }
   if (tracker_ != nullptr) {
-    const int64_t interval =
-        std::max(1, options_.availability_refresh_interval);
-    const int64_t finished =
-        queries_finished_.fetch_add(1, std::memory_order_relaxed) + 1;
-    if (finished % interval == 0) {
+    // Clock-driven refresh: when a full interval has elapsed on the
+    // engine's clock, the CAS elects this query to push the tracker's
+    // estimates into the tree. Concurrent finishers that lose the CAS
+    // skip — one refresh per due interval, regardless of query rate.
+    const TimeMs interval = std::max<TimeMs>(1, options_.availability_refresh_ms);
+    TimeMs last = last_availability_refresh_ms_.load(std::memory_order_relaxed);
+    if (now - last >= interval &&
+        last_availability_refresh_ms_.compare_exchange_strong(
+            last, now, std::memory_order_relaxed)) {
       tree_->RefreshAvailability(tracker_->estimates());
     }
   }

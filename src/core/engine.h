@@ -87,8 +87,12 @@ class ColrEngine {
     /// availability metadata is wrong or drifts (§V-A "historical
     /// availability").
     bool track_availability = false;
-    /// Queries between availability refreshes of the tree.
-    int availability_refresh_interval = 50;
+    /// Clock time between availability refreshes of the tree, off the
+    /// engine's clock (simulated or replay). Clock-driven rather than
+    /// query-count-driven so the refresh cadence is decoupled from the
+    /// workload rate: a burst of queries doesn't thrash the tree's
+    /// node means, and a trickle doesn't starve them.
+    TimeMs availability_refresh_ms = kMsPerMinute;
     uint64_t seed = 0xC0FFEEu;
   };
 
@@ -125,6 +129,11 @@ class ColrEngine {
   }
 
  private:
+  /// Test hook (tests/engine_test.cc): drives ProbeBatch directly to
+  /// pin down per-occurrence availability accounting for batches with
+  /// duplicated sensor ids.
+  friend struct ColrEngineTestPeer;
+
   struct ProbeAccounting {
     int64_t attempted = 0;
     int64_t succeeded = 0;
@@ -172,7 +181,9 @@ class ColrEngine {
   /// serialize their cache access here (probing still overlaps).
   mutable std::mutex flat_mutex_;
   std::unique_ptr<AvailabilityTracker> tracker_;
-  std::atomic<int64_t> queries_finished_ = 0;
+  /// Clock timestamp of the last availability refresh; the CAS in
+  /// FinishQuery elects exactly one refresher per due interval.
+  std::atomic<TimeMs> last_availability_refresh_ms_ = 0;
   Cumulative cumulative_;
 };
 

@@ -101,28 +101,31 @@ class AggregateSlotCache {
 
   /// Adds a reading value to the slot for its expiry time. The slot
   /// position is reset first if it still carries an older slot's data.
+  /// Out-of-window slots are refused (no-op): re-tagging a ring
+  /// position with an expired slot id would clear the in-window slot
+  /// sharing that position (ring-index collision).
   void Add(const SlotScheme& scheme, SlotId slot, double value) {
-    Slot& s = MutableSlot(scheme, slot);
-    s.agg.Add(value);
+    if (Slot* s = MutableSlot(scheme, slot)) s->agg.Add(value);
   }
 
-  /// Merges a partial aggregate (bulk insert from a child).
+  /// Merges a partial aggregate (bulk insert from a child). Refuses
+  /// out-of-window slots like Add.
   void Merge(const SlotScheme& scheme, SlotId slot, const Aggregate& agg) {
-    Slot& s = MutableSlot(scheme, slot);
-    s.agg.Merge(agg);
+    if (Slot* s = MutableSlot(scheme, slot)) s->agg.Merge(agg);
   }
 
   /// Decrements a value. Returns false when the aggregate's min/max
   /// became unreliable and the slot must be recomputed by the caller.
+  /// An out-of-window slot has nothing to undo and reports invertible.
   bool Remove(const SlotScheme& scheme, SlotId slot, double value) {
-    Slot& s = MutableSlot(scheme, slot);
-    return s.agg.Remove(value);
+    Slot* s = MutableSlot(scheme, slot);
+    return s == nullptr || s->agg.Remove(value);
   }
 
   /// Overwrites a slot's aggregate (used by recompute-from-children).
+  /// Refuses out-of-window slots like Add.
   void Set(const SlotScheme& scheme, SlotId slot, const Aggregate& agg) {
-    Slot& s = MutableSlot(scheme, slot);
-    s.agg = agg;
+    if (Slot* s = MutableSlot(scheme, slot)) s->agg = agg;
   }
 
   /// Read-only view of a slot; returns an empty aggregate when the
@@ -169,13 +172,18 @@ class AggregateSlotCache {
     Aggregate agg;
   };
 
-  Slot& MutableSlot(const SlotScheme& scheme, SlotId slot) {
+  /// Ring position for `slot`, lazily reset if it still carries an
+  /// older slot's data. Returns nullptr for slots outside the window:
+  /// a late-arriving mutation for an expired slot must never re-tag a
+  /// ring position that an in-window slot currently owns.
+  Slot* MutableSlot(const SlotScheme& scheme, SlotId slot) {
+    if (!scheme.InWindow(slot)) return nullptr;
     Slot& s = slots_[scheme.RingIndex(slot)];
     if (s.slot_id != slot) {
       s.slot_id = slot;
       s.agg.Clear();
     }
-    return s;
+    return &s;
   }
 
   std::vector<Slot> slots_;

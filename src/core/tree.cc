@@ -155,6 +155,7 @@ void ColrTree::ExpungeAfterRoll() {
     // No aggregate propagation: the expunged slots are outside the
     // window, so their ring positions lazily reset on reuse.
   }
+  maintenance_.readings_expunged += static_cast<int64_t>(expunged.size());
   for (const Reading& r : expunged) RemoveFromLeafCachedSet(r.sensor);
 }
 
@@ -163,7 +164,12 @@ void ColrTree::AdvanceTo(TimeMs now) {
   // at now + t_max, the rest of the capacity keeping recent history.
   std::lock_guard<std::mutex> write_lock(write_mutex_);
   const SlotId needed = scheme_.SlotOf(now + t_max_ms_);
-  if (scheme_.RollTo(needed) > 0) ExpungeAfterRoll();
+  const int slid = scheme_.RollTo(needed);
+  if (slid > 0) {
+    ++maintenance_.rolls;
+    maintenance_.slots_rolled += slid;
+    ExpungeAfterRoll();
+  }
 }
 
 void ColrTree::TouchCached(SensorId sensor) {
@@ -180,7 +186,21 @@ void ColrTree::InsertReading(const Reading& reading) {
   if (reading.sensor >= sensors_.size()) return;
   std::lock_guard<std::mutex> write_lock(write_mutex_);
   const SlotId slot = scheme_.SlotOf(reading.expiry);
-  if (scheme_.RollTo(slot) > 0) ExpungeAfterRoll();
+  const int slid = scheme_.RollTo(slot);
+  if (slid > 0) {
+    ++maintenance_.rolls;
+    maintenance_.slots_rolled += slid;
+    ExpungeAfterRoll();
+  }
+  if (slot < scheme_.oldest()) {
+    // Late arrival: the reading's expiry slot slid out of the window
+    // before this insert acquired the write mutex (RollTo above was a
+    // no-op — the window only moves forward). Storing it would place a
+    // dead reading in the store, and propagating it would re-tag ring
+    // positions that in-window slots own. Drop it and count it.
+    ++maintenance_.late_readings_dropped;
+    return;
+  }
   const int leaf = leaf_of_sensor_[reading.sensor];
   if (leaf < 0) return;
 
@@ -215,6 +235,8 @@ void ColrTree::InsertReading(const Reading& reading) {
   }
   PropagateAdd(leaf, slot, reading.value);
 
+  maintenance_.readings_evicted +=
+      static_cast<int64_t>(outcome.evicted.size());
   for (const Reading& victim : outcome.evicted) {
     const int vleaf = leaf_of_sensor_[victim.sensor];
     RemoveFromLeafCachedSet(victim.sensor);
@@ -246,6 +268,7 @@ Aggregate ColrTree::LeafSlotAggregate(int leaf_id, SlotId slot) const {
 }
 
 void ColrTree::RecomputeSlotFromChildren(int node_id, SlotId slot) {
+  ++maintenance_.slot_recomputes;
   const Node& n = nodes_[node_id];
   Aggregate agg;
   if (n.IsLeaf()) {

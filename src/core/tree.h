@@ -151,8 +151,11 @@ class ColrTree {
   /// the reading's expiry lies beyond the newest slot (roll trigger),
   /// stores it at the leaf (slot insert trigger, evicting under the
   /// cache constraint — slot delete trigger), and propagates aggregate
-  /// deltas to the root (slot update trigger). Thread-safe; mutations
-  /// are serialized on write_mutex_.
+  /// deltas to the root (slot update trigger). A reading whose expiry
+  /// slot already slid out of the window (late arrival after a
+  /// concurrent roll) is dropped and counted — caching it would both
+  /// be useless (no query can admit it) and corrupt the ring caches.
+  /// Thread-safe; mutations are serialized on write_mutex_.
   void InsertReading(const Reading& reading);
 
   /// Advances the window so it covers `now` .. `now + t_max` and
@@ -164,6 +167,27 @@ class ColrTree {
   void TouchCached(SensorId sensor);
 
   size_t CachedReadingCount() const;
+
+  /// Cumulative counters over the cache-maintenance triggers — what a
+  /// moving-clock replay exercises (roll → expunge cascade, §IV-B) and
+  /// what bench/timed_replay reports. All atomic; snapshot freely.
+  struct MaintenanceCounters {
+    /// Roll events (window head advanced at least one slot).
+    AtomicCounter<int64_t> rolls = 0;
+    /// Total slots the window slid across all rolls.
+    AtomicCounter<int64_t> slots_rolled = 0;
+    /// Readings expunged because their slot slid out of the window.
+    AtomicCounter<int64_t> readings_expunged = 0;
+    /// Readings evicted by the store's capacity constraint.
+    AtomicCounter<int64_t> readings_evicted = 0;
+    /// Late-arriving readings dropped because their expiry slot was
+    /// already outside the window at insert time.
+    AtomicCounter<int64_t> late_readings_dropped = 0;
+    /// Non-invertible removals that forced a slot recompute from
+    /// children (the cache-table recompute cascade).
+    AtomicCounter<int64_t> slot_recomputes = 0;
+  };
+  const MaintenanceCounters& maintenance() const { return maintenance_; }
 
   // ---- Cache lookup -----------------------------------------------------
 
@@ -251,6 +275,7 @@ class ColrTree {
   mutable StripedMutex node_mutex_;
   /// Guards the shared ReadingStore (level 3, innermost).
   mutable std::shared_mutex store_mutex_;
+  MaintenanceCounters maintenance_;
 };
 
 }  // namespace colr

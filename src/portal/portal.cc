@@ -63,6 +63,27 @@ Result<Relation> SensorPortal::Execute(std::string_view text) {
              : FormatGroups(*collection.tree, result, parsed.agg);
 }
 
+Result<Relation> SensorPortal::ExecuteOne(std::string_view text,
+                                          ExecutionContext& ctx,
+                                          QueryStats* stats) {
+  // Everything on this path is either pure (Parse), a const read of
+  // setup-time state (Resolve, PlanQuery), or the engine's
+  // thread-safe Execute(query, ctx) overload.
+  COLR_ASSIGN_OR_RETURN(const ParsedQuery parsed, Parse(text));
+  COLR_ASSIGN_OR_RETURN(const Collection collection,
+                        Resolve(parsed.table));
+  if (collection.tree->root() < 0) {
+    return Status::FailedPrecondition("no sensors registered");
+  }
+  COLR_ASSIGN_OR_RETURN(const Query q,
+                        PlanQuery(parsed, *collection.tree));
+  QueryResult result = collection.engine->Execute(q, ctx);
+  if (stats != nullptr) *stats = result.stats;
+  return parsed.select_star
+             ? FormatReadings(*collection.tree, result)
+             : FormatGroups(*collection.tree, result, parsed.agg);
+}
+
 SensorPortal::ConcurrentOutcome SensorPortal::ExecuteConcurrent(
     const std::vector<std::string>& texts, ThreadPool& pool,
     uint64_t seed) {
@@ -75,41 +96,12 @@ SensorPortal::ConcurrentOutcome SensorPortal::ExecuteConcurrent(
   }
   out.stats.resize(n);
 
-  // Everything below Execute() on this path is either pure (Parse),
-  // a const read of setup-time state (Resolve, PlanQuery), or the
-  // engine's thread-safe Execute(query, ctx) overload.
-  auto run_one = [this, &texts, &out, seed](size_t i) {
-    auto parsed = Parse(texts[i]);
-    if (!parsed.ok()) {
-      out.results[i] = parsed.status();
-      return;
-    }
-    auto collection = Resolve(parsed->table);
-    if (!collection.ok()) {
-      out.results[i] = collection.status();
-      return;
-    }
-    if (collection->tree->root() < 0) {
-      out.results[i] = Status::FailedPrecondition("no sensors registered");
-      return;
-    }
-    auto q = PlanQuery(*parsed, *collection->tree);
-    if (!q.ok()) {
-      out.results[i] = q.status();
-      return;
-    }
-    ExecutionContext ctx(DeriveSeed(seed, static_cast<uint64_t>(i)));
-    QueryResult result = collection->engine->Execute(*q, ctx);
-    out.stats[i] = result.stats;
-    out.results[i] = parsed->select_star
-                         ? FormatReadings(*collection->tree, result)
-                         : FormatGroups(*collection->tree, result,
-                                        parsed->agg);
-  };
-
   Stopwatch watch;
   pool.ParallelFor(n, 1, [&](size_t begin, size_t end) {
-    for (size_t i = begin; i < end; ++i) run_one(i);
+    for (size_t i = begin; i < end; ++i) {
+      ExecutionContext ctx(DeriveSeed(seed, static_cast<uint64_t>(i)));
+      out.results[i] = ExecuteOne(texts[i], ctx, &out.stats[i]);
+    }
   });
   out.wall_ms = watch.ElapsedMillis();
   return out;

@@ -63,6 +63,16 @@ class SensorPortal {
   /// the engine's persistent RNG stream and records last_stats().
   Result<rel::Relation> Execute(std::string_view text);
 
+  /// Thread-safe single-query execution with caller-supplied per-query
+  /// state: the full parse → plan → execute → format path, touching no
+  /// portal-wide mutable state (last_stats() is not recorded; pass
+  /// `stats` to receive this query's counters). The building block of
+  /// ExecuteConcurrent and of paced replay drivers that interleave
+  /// queries with a moving clock (replay::RunTimedReplay).
+  Result<rel::Relation> ExecuteOne(std::string_view text,
+                                   ExecutionContext& ctx,
+                                   QueryStats* stats = nullptr);
+
   /// Outcome of a concurrent batch: per-query results and stats in
   /// input order, plus the batch wall-clock time.
   struct ConcurrentOutcome {

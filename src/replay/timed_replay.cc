@@ -1,0 +1,189 @@
+#include "replay/timed_replay.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <condition_variable>
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "common/sync.h"
+
+namespace colr::replay {
+namespace {
+
+std::vector<std::string> BuildQueryTexts(const LiveLocalWorkload& workload,
+                                         const TimedReplayOptions& options,
+                                         size_t count) {
+  std::vector<std::string> texts;
+  texts.reserve(count);
+  const long long staleness_min =
+      std::max<long long>(1, options.staleness_ms / kMsPerMinute);
+  char buf[256];
+  for (size_t i = 0; i < count; ++i) {
+    const Rect& r = workload.queries[i].region;
+    const int sample =
+        (options.exact_every > 0 &&
+         i % static_cast<size_t>(options.exact_every) == 0)
+            ? 0
+            : options.sample_size;
+    std::snprintf(buf, sizeof(buf),
+                  "SELECT count(*) FROM sensor S "
+                  "WHERE S.location WITHIN RECT(%.6f, %.6f, %.6f, %.6f) "
+                  "AND S.time BETWEEN now()-%lld AND now() mins "
+                  "CLUSTER LEVEL %d SAMPLESIZE %d",
+                  r.min_x, r.min_y, r.max_x, r.max_y, staleness_min,
+                  options.cluster_level, sample);
+    texts.push_back(buf);
+  }
+  return texts;
+}
+
+double Percentile(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const double rank = p * static_cast<double>(sorted.size() - 1);
+  const size_t lo = static_cast<size_t>(rank);
+  const size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+}  // namespace
+
+TimedReplayReport RunTimedReplay(portal::SensorPortal& portal,
+                                 ColrTree& tree, SensorNetwork& network,
+                                 const LiveLocalWorkload& workload,
+                                 ReplayClock& clock,
+                                 const TimedReplayOptions& options) {
+  TimedReplayReport report;
+  const size_t count =
+      options.max_queries >= 0
+          ? std::min<size_t>(static_cast<size_t>(options.max_queries),
+                             workload.queries.size())
+          : workload.queries.size();
+  if (count == 0 || network.size() == 0) return report;
+
+  TimeMs trace_start = workload.queries[0].at;
+  TimeMs trace_end = trace_start;
+  for (size_t i = 0; i < count; ++i) {
+    trace_start = std::min(trace_start, workload.queries[i].at);
+    trace_end = std::max(trace_end, workload.queries[i].at);
+  }
+  report.trace_span_ms = trace_end - trace_start;
+
+  const std::vector<std::string> texts =
+      BuildQueryTexts(workload, options, count);
+
+  // Align the window to the trace start before any thread launches,
+  // then let time move at the requested rate.
+  clock.Restart(trace_start, options.speedup);
+  tree.AdvanceTo(clock.NowMs());
+
+  std::atomic<bool> done{false};
+  std::mutex done_mutex;
+  std::condition_variable done_cv;
+  std::atomic<int64_t> ticks{0};
+  std::atomic<int64_t> probes{0};
+  std::atomic<int64_t> inserts{0};
+
+  // Collector: the portal's background ingestion loop. Each tick rolls
+  // the window to the current replay time, probes the next round-robin
+  // chunk of the catalog and inserts whatever answered — so rolls,
+  // expunges and slot updates happen *while* query streams traverse.
+  std::thread collector([&] {
+    const size_t num_sensors = network.size();
+    const size_t chunk =
+        std::min<size_t>(std::max(1, options.probes_per_tick), num_sensors);
+    const double tick_wall_ms =
+        static_cast<double>(std::max<TimeMs>(1, options.collector_interval_ms)) /
+        clock.speedup();
+    size_t cursor = 0;
+    std::vector<SensorId> batch(chunk);
+    while (!done.load(std::memory_order_acquire)) {
+      tree.AdvanceTo(clock.NowMs());
+      for (size_t i = 0; i < chunk; ++i) {
+        batch[i] = static_cast<SensorId>(cursor);
+        cursor = (cursor + 1) % num_sensors;
+      }
+      SensorNetwork::BatchResult res = network.ProbeBatch(batch);
+      for (const Reading& r : res.readings) tree.InsertReading(r);
+      ticks.fetch_add(1, std::memory_order_relaxed);
+      probes.fetch_add(static_cast<int64_t>(batch.size()),
+                       std::memory_order_relaxed);
+      inserts.fetch_add(static_cast<int64_t>(res.readings.size()),
+                        std::memory_order_relaxed);
+      std::unique_lock<std::mutex> lock(done_mutex);
+      done_cv.wait_for(
+          lock, std::chrono::duration<double, std::milli>(tick_wall_ms),
+          [&] { return done.load(std::memory_order_acquire); });
+    }
+  });
+
+  // Query streams: shared cursor over the trace; each query sleeps
+  // until the replay clock reaches its arrival time, then executes
+  // with its ordinal-derived deterministic context.
+  std::atomic<size_t> next{0};
+  std::atomic<int64_t> errors{0};
+  std::vector<double> latencies(count, 0.0);
+  auto stream_fn = [&] {
+    for (size_t i = next.fetch_add(1, std::memory_order_relaxed); i < count;
+         i = next.fetch_add(1, std::memory_order_relaxed)) {
+      const double wait_ms = clock.WallMsUntil(workload.queries[i].at);
+      if (wait_ms > 0.0) {
+        std::this_thread::sleep_for(
+            std::chrono::duration<double, std::milli>(wait_ms));
+      }
+      ExecutionContext ctx(DeriveSeed(options.seed, static_cast<uint64_t>(i)));
+      Stopwatch watch;
+      const auto result = portal.ExecuteOne(texts[i], ctx);
+      latencies[i] = watch.ElapsedMillis();
+      if (!result.ok()) errors.fetch_add(1, std::memory_order_relaxed);
+    }
+  };
+
+  Stopwatch wall;
+  const int streams = std::max(1, options.streams);
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(streams - 1));
+  for (int t = 0; t + 1 < streams; ++t) threads.emplace_back(stream_fn);
+  stream_fn();  // the caller is stream 0
+  for (std::thread& t : threads) t.join();
+
+  {
+    std::lock_guard<std::mutex> lock(done_mutex);
+    done.store(true, std::memory_order_release);
+  }
+  done_cv.notify_all();
+  collector.join();
+  // Quiescence: one final roll to the current replay time so the
+  // caller's CheckCacheConsistency() sees a settled window.
+  tree.AdvanceTo(clock.NowMs());
+
+  report.wall_ms = wall.ElapsedMillis();
+  report.queries = static_cast<int64_t>(count);
+  report.errors = errors.load();
+  report.qps = report.wall_ms > 0.0
+                   ? static_cast<double>(count) * 1000.0 / report.wall_ms
+                   : 0.0;
+  std::sort(latencies.begin(), latencies.end());
+  report.p50_latency_ms = Percentile(latencies, 0.50);
+  report.p99_latency_ms = Percentile(latencies, 0.99);
+  report.max_latency_ms = latencies.empty() ? 0.0 : latencies.back();
+  report.collector_ticks = ticks.load();
+  report.collector_probes = probes.load();
+  report.collector_inserts = inserts.load();
+  report.maintenance = tree.maintenance();
+  const TimeMs t_max = tree.t_max_ms();
+  if (t_max > 0 && report.trace_span_ms > 0) {
+    report.rolls_per_tmax =
+        static_cast<double>(report.maintenance.rolls.load()) /
+        (static_cast<double>(report.trace_span_ms) /
+         static_cast<double>(t_max));
+  }
+  return report;
+}
+
+}  // namespace colr::replay

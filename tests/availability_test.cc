@@ -106,7 +106,9 @@ TEST(AvailabilityIntegrationTest, TrackingRestoresSampleSize) {
     ColrEngine::Options eopts;
     eopts.mode = ColrEngine::Mode::kColr;
     eopts.track_availability = track;
-    eopts.availability_refresh_interval = 10;
+    // The clock advances 20 minutes per query, so this refreshes the
+    // tree's node means after every query.
+    eopts.availability_refresh_ms = 10 * kMin;
     ColrEngine engine(&tree, &real_net, eopts);
 
     // Warm-up + measurement. Advance time so the cache never answers

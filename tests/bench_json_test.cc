@@ -1,0 +1,340 @@
+// The --json reports are consumed by external tooling, so every byte
+// the harnesses emit must be valid JSON (RFC 8259). These tests drive
+// the shared emitters in bench/bench_common.h — JsonObject and
+// WriteJsonReport — through the hostile cases (control characters,
+// quotes, non-finite doubles) with a minimal validating parser, plus
+// the flag-parsing contract of BenchConfig::FromArgs.
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "gtest/gtest.h"
+
+namespace colr::bench {
+namespace {
+
+// ---------------------------------------------------------------------------
+// A strict RFC 8259 validating parser (no values built, just syntax).
+// ---------------------------------------------------------------------------
+
+class JsonValidator {
+ public:
+  explicit JsonValidator(const std::string& text) : text_(text) {}
+
+  bool Valid() {
+    pos_ = 0;
+    if (!Value()) return false;
+    SkipWs();
+    return pos_ == text_.size();
+  }
+
+ private:
+  void SkipWs() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+            text_[pos_] == '\n' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Literal(const char* lit) {
+    const size_t len = std::strlen(lit);
+    if (text_.compare(pos_, len, lit) != 0) return false;
+    pos_ += len;
+    return true;
+  }
+
+  bool String() {
+    if (pos_ >= text_.size() || text_[pos_] != '"') return false;
+    ++pos_;
+    while (pos_ < text_.size()) {
+      const unsigned char c = static_cast<unsigned char>(text_[pos_]);
+      if (c == '"') {
+        ++pos_;
+        return true;
+      }
+      if (c < 0x20) return false;  // raw control char: invalid
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= text_.size()) return false;
+        const char esc = text_[pos_];
+        if (esc == 'u') {
+          for (int i = 1; i <= 4; ++i) {
+            if (pos_ + i >= text_.size() ||
+                !std::isxdigit(static_cast<unsigned char>(text_[pos_ + i]))) {
+              return false;
+            }
+          }
+          pos_ += 4;
+        } else if (std::strchr("\"\\/bfnrt", esc) == nullptr) {
+          return false;
+        }
+      }
+      ++pos_;
+    }
+    return false;  // unterminated
+  }
+
+  bool Number() {
+    const size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    if (pos_ >= text_.size() ||
+        !std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      return false;
+    }
+    while (pos_ < text_.size() &&
+           std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      ++pos_;
+      if (pos_ >= text_.size() ||
+          !std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        return false;
+      }
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      if (pos_ >= text_.size() ||
+          !std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        return false;
+      }
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+    }
+    return pos_ > start;
+  }
+
+  bool Value() {
+    SkipWs();
+    if (pos_ >= text_.size()) return false;
+    switch (text_[pos_]) {
+      case '{': return Object();
+      case '[': return Array();
+      case '"': return String();
+      case 't': return Literal("true");
+      case 'f': return Literal("false");
+      case 'n': return Literal("null");
+      default: return Number();
+    }
+  }
+
+  bool Object() {
+    ++pos_;  // '{'
+    SkipWs();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      SkipWs();
+      if (!String()) return false;
+      SkipWs();
+      if (pos_ >= text_.size() || text_[pos_] != ':') return false;
+      ++pos_;
+      if (!Value()) return false;
+      SkipWs();
+      if (pos_ >= text_.size()) return false;
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == '}') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool Array() {
+    ++pos_;  // '['
+    SkipWs();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      if (!Value()) return false;
+      SkipWs();
+      if (pos_ >= text_.size()) return false;
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == ']') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+bool IsValidJson(const std::string& s) { return JsonValidator(s).Valid(); }
+
+// The validator itself must reject what it claims to reject.
+TEST(JsonValidatorTest, RejectsMalformedInputs) {
+  EXPECT_TRUE(IsValidJson("{\"a\": 1, \"b\": [1.5e-3, null, \"x\"]}"));
+  EXPECT_FALSE(IsValidJson("{\"a\": nan}"));
+  EXPECT_FALSE(IsValidJson("{\"a\": 1"));
+  EXPECT_FALSE(IsValidJson("{\"a\": \"unterminated}"));
+  EXPECT_FALSE(IsValidJson(std::string("{\"a\": \"\x01\"}")));  // raw ctrl
+  EXPECT_FALSE(IsValidJson("{\"a\": 01e}"));
+  EXPECT_FALSE(IsValidJson(""));
+}
+
+// ---------------------------------------------------------------------------
+// JsonObject
+// ---------------------------------------------------------------------------
+
+TEST(JsonObjectTest, EmptyObjectIsValid) {
+  EXPECT_EQ(JsonObject().Done(), "{}");
+  EXPECT_TRUE(IsValidJson(JsonObject().Done()));
+}
+
+TEST(JsonObjectTest, EscapesQuotesBackslashesAndControlCharacters) {
+  const std::string out = JsonObject()
+                              .Field("s", "a\"b\\c\nd\te\rf\x01g")
+                              .Done();
+  EXPECT_TRUE(IsValidJson(out)) << out;
+  EXPECT_NE(out.find("\\\""), std::string::npos);
+  EXPECT_NE(out.find("\\\\"), std::string::npos);
+  EXPECT_NE(out.find("\\n"), std::string::npos);
+  EXPECT_NE(out.find("\\t"), std::string::npos);
+  EXPECT_NE(out.find("\\r"), std::string::npos);
+  EXPECT_NE(out.find("\\u0001"), std::string::npos);
+  // No raw control byte survives.
+  for (const char c : out) {
+    EXPECT_GE(static_cast<unsigned char>(c), 0x20u);
+  }
+}
+
+TEST(JsonObjectTest, NonFiniteDoublesBecomeNull) {
+  const std::string out =
+      JsonObject()
+          .Field("nan", std::nan(""))
+          .Field("inf", std::numeric_limits<double>::infinity())
+          .Field("ninf", -std::numeric_limits<double>::infinity())
+          .Field("ok", 1.5)
+          .Done();
+  EXPECT_TRUE(IsValidJson(out)) << out;
+  EXPECT_NE(out.find("\"nan\": null"), std::string::npos);
+  EXPECT_NE(out.find("\"inf\": null"), std::string::npos);
+  EXPECT_NE(out.find("\"ninf\": null"), std::string::npos);
+  EXPECT_NE(out.find("1.5"), std::string::npos);
+  EXPECT_EQ(out.find("nan,"), std::string::npos);
+}
+
+TEST(JsonObjectTest, MixedFieldTypesStayValid) {
+  // The field shapes every harness row uses: ints, int64 counters,
+  // doubles (possibly extreme), and label strings.
+  const std::string out =
+      JsonObject()
+          .Field("streams", 16)
+          .Field("count", static_cast<int64_t>(1) << 40)
+          .Field("tiny", 4.9e-324)
+          .Field("huge", 1.7976931348623157e308)
+          .Field("neg", -0.0)
+          .Field("mode", "colr [cache+sample]")
+          .Done();
+  EXPECT_TRUE(IsValidJson(out)) << out;
+}
+
+// ---------------------------------------------------------------------------
+// WriteJsonReport: the envelope every harness writes with --json.
+// ---------------------------------------------------------------------------
+
+TEST(WriteJsonReportTest, ReportFileParsesEndToEnd) {
+  BenchConfig cfg;
+  cfg.sensors = 123;
+  cfg.queries = 45;
+  cfg.cities = 6;
+  cfg.json_path =
+      ::testing::TempDir() + "/colr_bench_json_test_report.json";
+
+  std::vector<std::string> rows;
+  rows.push_back(JsonObject().Field("x", 1).Field("y", 2.5).Done());
+  rows.push_back(
+      JsonObject().Field("label", "line\nbreak").Field("v", std::nan("")).Done());
+  WriteJsonReport(cfg, "unit", rows);
+
+  std::ifstream in(cfg.json_path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const std::string report = buf.str();
+  EXPECT_TRUE(IsValidJson(report)) << report;
+  EXPECT_NE(report.find("\"bench\": \"unit\""), std::string::npos);
+  EXPECT_NE(report.find("\"sensors\": 123"), std::string::npos);
+  EXPECT_NE(report.find("\"series\": ["), std::string::npos);
+  std::remove(cfg.json_path.c_str());
+}
+
+TEST(WriteJsonReportTest, EmptySeriesParses) {
+  BenchConfig cfg;
+  cfg.json_path = ::testing::TempDir() + "/colr_bench_json_test_empty.json";
+  WriteJsonReport(cfg, "unit", {});
+  std::ifstream in(cfg.json_path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buf;
+  buf << in.rdbuf();
+  EXPECT_TRUE(IsValidJson(buf.str()));
+  std::remove(cfg.json_path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// BenchConfig::FromArgs: --full is a defaults pass, not an override.
+// ---------------------------------------------------------------------------
+
+TEST(BenchConfigTest, FullFlagIsOrderIndependent) {
+  char prog[] = "bench";
+  char full[] = "--full";
+  char sensors[] = "--sensors=1000";
+  {
+    char* argv[] = {prog, sensors, full};
+    BenchConfig cfg = BenchConfig::FromArgs(3, argv);
+    EXPECT_TRUE(cfg.full);
+    EXPECT_EQ(cfg.sensors, 1000);   // explicit flag wins over --full
+    EXPECT_EQ(cfg.queries, 106000); // --full default still applies
+    EXPECT_EQ(cfg.cities, 250);
+  }
+  {
+    char* argv[] = {prog, full, sensors};
+    BenchConfig cfg = BenchConfig::FromArgs(3, argv);
+    EXPECT_TRUE(cfg.full);
+    EXPECT_EQ(cfg.sensors, 1000);
+    EXPECT_EQ(cfg.queries, 106000);
+    EXPECT_EQ(cfg.cities, 250);
+  }
+}
+
+TEST(BenchConfigTest, CitiesFlagParsed) {
+  char prog[] = "bench";
+  char cities[] = "--cities=42";
+  char* argv[] = {prog, cities};
+  BenchConfig cfg = BenchConfig::FromArgs(2, argv);
+  EXPECT_EQ(cfg.cities, 42);
+}
+
+}  // namespace
+}  // namespace colr::bench

@@ -1,5 +1,7 @@
 #include <algorithm>
+#include <chrono>
 #include <set>
+#include <thread>
 #include <vector>
 
 #include "common/clock.h"
@@ -219,6 +221,41 @@ TEST(ClockTest, WallClockMonotonic) {
   const TimeMs a = clock.NowMs();
   const TimeMs b = clock.NowMs();
   EXPECT_LE(a, b);
+}
+
+TEST(ClockTest, ReplayClockAdvancesFromTraceStart) {
+  ReplayClock clock(/*trace_start=*/5000, /*speedup=*/1000.0);
+  const TimeMs a = clock.NowMs();
+  EXPECT_GE(a, 5000);
+  EXPECT_EQ(clock.trace_start(), 5000);
+  EXPECT_DOUBLE_EQ(clock.speedup(), 1000.0);
+  // At 1000x a few real ms move trace time by seconds; only assert
+  // monotonicity and a loose lower bound to stay timing-robust.
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  const TimeMs b = clock.NowMs();
+  EXPECT_GT(b, a);
+  EXPECT_GE(b - a, 1000);  // >= 1 real ms elapsed
+}
+
+TEST(ClockTest, ReplayClockRestartReanchors) {
+  ReplayClock clock(0, 1.0);
+  clock.Restart(/*trace_start=*/42000, /*speedup=*/500.0);
+  EXPECT_EQ(clock.trace_start(), 42000);
+  EXPECT_DOUBLE_EQ(clock.speedup(), 500.0);
+  EXPECT_GE(clock.NowMs(), 42000);
+  // Restart without a speedup keeps the previous rate.
+  clock.Restart(0);
+  EXPECT_DOUBLE_EQ(clock.speedup(), 500.0);
+}
+
+TEST(ClockTest, ReplayClockWallMsUntil) {
+  ReplayClock clock(0, 100.0);
+  // 10 s of trace time is <= 100 ms of wall time at 100x (and > 0).
+  const double wait = clock.WallMsUntil(10 * kMsPerSecond);
+  EXPECT_GT(wait, 0.0);
+  EXPECT_LE(wait, 100.0);
+  // Past trace instants need no wait.
+  EXPECT_LE(clock.WallMsUntil(-kMsPerSecond), 0.0);
 }
 
 // ---------------------------------------------------------------------------

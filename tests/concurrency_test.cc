@@ -68,7 +68,7 @@ struct Harness {
     ColrEngine::Options eopts;
     eopts.mode = ColrEngine::Mode::kColr;
     eopts.track_availability = track_availability;
-    eopts.availability_refresh_interval = 10;
+    eopts.availability_refresh_ms = kMsPerMinute;
     engine = std::make_unique<ColrEngine>(tree.get(), network.get(), eopts);
 
     // Freeze the clock at a fixed point so no reading expires or is

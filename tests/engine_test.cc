@@ -8,6 +8,17 @@
 #include "workload/live_local.h"
 
 namespace colr {
+
+// Friend of ColrEngine: drives the private ProbeBatch directly so the
+// availability accounting can be pinned down for crafted batches.
+struct ColrEngineTestPeer {
+  static std::vector<Reading> ProbeBatch(ColrEngine& engine,
+                                         const std::vector<SensorId>& ids) {
+    ColrEngine::ProbeAccounting acct;
+    return engine.ProbeBatch(ids, &acct);
+  }
+};
+
 namespace {
 
 constexpr TimeMs kMin = kMsPerMinute;
@@ -357,6 +368,59 @@ TEST(EngineHistogramTest, DisabledByDefault) {
   for (const GroupResult& g : r.groups) {
     EXPECT_TRUE(g.histogram.empty());
   }
+}
+
+// ---------------------------------------------------------------------------
+// Probe-batch availability accounting
+// ---------------------------------------------------------------------------
+
+// Regression: a batch may legitimately contain the same sensor id more
+// than once (the network probes each occurrence independently). The
+// accounting must record one outcome per occurrence; the old
+// first-match scan recorded every repeat of an available sensor as a
+// spurious failure and dragged its EWMA estimate down.
+TEST(EngineProbeAccountingTest, DuplicateIdsRecordPerOccurrence) {
+  Rig rig(20, 30, /*availability=*/1.0);
+  auto engine = [&] {
+    ColrEngine::Options opts;
+    opts.mode = ColrEngine::Mode::kColr;
+    opts.track_availability = true;
+    return std::make_unique<ColrEngine>(rig.tree.get(), rig.network.get(),
+                                        opts);
+  }();
+  const AvailabilityTracker* tracker = engine->availability_tracker();
+  ASSERT_NE(tracker, nullptr);
+
+  // Fully available sensors: every occurrence succeeds, so every
+  // recorded outcome must be a success.
+  std::vector<Reading> readings =
+      ColrEngineTestPeer::ProbeBatch(*engine, {0, 0, 0, 1});
+  EXPECT_EQ(readings.size(), 4u);
+  EXPECT_EQ(tracker->observations(), 4);
+  EXPECT_DOUBLE_EQ(tracker->Estimate(0), 1.0);
+  EXPECT_DOUBLE_EQ(tracker->Estimate(1), 1.0);
+}
+
+TEST(EngineProbeAccountingTest, DuplicateIdsOfDeadSensorAllFail) {
+  // A dead sensor (availability 0) probed three times in one batch:
+  // one failure per occurrence, and the estimate stays pinned at the
+  // tracker's floor (it was seeded there from the metadata).
+  Rig rig(20, 31, /*availability=*/0.0);
+  auto engine = [&] {
+    ColrEngine::Options opts;
+    opts.mode = ColrEngine::Mode::kColr;
+    opts.track_availability = true;
+    return std::make_unique<ColrEngine>(rig.tree.get(), rig.network.get(),
+                                        opts);
+  }();
+  const AvailabilityTracker* tracker = engine->availability_tracker();
+  ASSERT_NE(tracker, nullptr);
+
+  std::vector<Reading> readings =
+      ColrEngineTestPeer::ProbeBatch(*engine, {2, 2, 2});
+  EXPECT_TRUE(readings.empty());
+  EXPECT_EQ(tracker->observations(), 3);
+  EXPECT_LE(tracker->Estimate(2), AvailabilityTracker::Options().floor);
 }
 
 // ---------------------------------------------------------------------------

@@ -191,6 +191,36 @@ TEST(AggregateSlotCacheTest, RemoveAndSet) {
   EXPECT_DOUBLE_EQ(cache.Get(s, 1).max, 2.0);
 }
 
+TEST(AggregateSlotCacheTest, RefusesOutOfWindowMutations) {
+  SlotScheme s(100, 300);  // 4 slots; window 0..3
+  AggregateSlotCache cache(s.num_slots());
+  s.RollTo(7);  // window now 4..7
+  cache.Add(s, 6, 5.0);
+  ASSERT_EQ(cache.Get(s, 6).count, 1);
+
+  // Slot 2 shares ring position 2 with in-window slot 6. A late
+  // mutation for it must not re-tag the position and wipe slot 6.
+  cache.Add(s, 2, 9.0);
+  EXPECT_EQ(cache.Get(s, 6).count, 1);
+  EXPECT_DOUBLE_EQ(cache.Get(s, 6).sum, 5.0);
+  Aggregate merged;
+  merged.Add(1.0);
+  cache.Merge(s, 2, merged);
+  cache.Set(s, 2, merged);
+  EXPECT_EQ(cache.Get(s, 6).count, 1);
+  EXPECT_DOUBLE_EQ(cache.Get(s, 6).sum, 5.0);
+  // An out-of-window Remove has nothing to undo: reports invertible
+  // (no recompute cascade) and leaves the colliding slot alone.
+  EXPECT_TRUE(cache.Remove(s, 2, 9.0));
+  EXPECT_EQ(cache.Get(s, 6).count, 1);
+  // Slots beyond the window head are refused too (slot 8 collides
+  // with in-window slot 4 at ring position 0).
+  cache.Add(s, 4, 2.0);
+  cache.Add(s, 8, 3.0);
+  EXPECT_EQ(cache.Get(s, 4).count, 1);
+  EXPECT_DOUBLE_EQ(cache.Get(s, 4).sum, 2.0);
+}
+
 // ---------------------------------------------------------------------------
 // ReadingStore
 // ---------------------------------------------------------------------------
@@ -257,6 +287,41 @@ TEST(ReadingStoreTest, ExpungeExpiredSlots) {
   EXPECT_EQ(store.Get(1), nullptr);
   EXPECT_EQ(store.Get(2), nullptr);
   EXPECT_NE(store.Get(3), nullptr);
+}
+
+TEST(ReadingStoreTest, ExpungeAfterRollPastWholeWindow) {
+  SlotScheme s(1000, 3000);  // 4 slots; window 0..3
+  ReadingStore store(100);
+  store.Insert(s, MakeReading(1, 0, 500, 1.0));    // slot 0
+  store.Insert(s, MakeReading(2, 0, 1500, 2.0));   // slot 1
+  store.Insert(s, MakeReading(3, 0, 3500, 3.0));   // slot 3
+  // Roll more than num_slots forward in one step: every occupied slot
+  // slides out, including ones whose ring position is reused by the
+  // new window.
+  s.RollTo(s.newest() + 2 * s.num_slots() + 1);
+  auto expunged = store.ExpungeExpiredSlots(s);
+  EXPECT_EQ(expunged.size(), 3u);
+  EXPECT_EQ(store.size(), 0u);
+  // The store is immediately usable in the new window.
+  store.Insert(s, MakeReading(1, 0, s.SlotLowerEdge(s.newest()) + 1, 4.0));
+  EXPECT_EQ(store.size(), 1u);
+  EXPECT_NE(store.Get(1), nullptr);
+}
+
+TEST(ReadingStoreTest, ReplacementAtCapacityEvictsNothing) {
+  SlotScheme s(1000, 5000);
+  ReadingStore store(2);
+  store.Insert(s, MakeReading(1, 0, 1100, 1.0));
+  store.Insert(s, MakeReading(2, 0, 3500, 2.0));
+  // Replacing sensor 1's reading (even into a different slot) keeps
+  // the store at capacity: no eviction, and never of sensor 1 itself.
+  auto out = store.Insert(s, MakeReading(1, 100, 4500, 9.0));
+  EXPECT_TRUE(out.replaced);
+  EXPECT_DOUBLE_EQ(out.old_reading.value, 1.0);
+  EXPECT_TRUE(out.evicted.empty());
+  EXPECT_EQ(store.size(), 2u);
+  EXPECT_DOUBLE_EQ(store.Get(1)->value, 9.0);
+  EXPECT_NE(store.Get(2), nullptr);
 }
 
 TEST(ReadingStoreTest, EraseAndClear) {

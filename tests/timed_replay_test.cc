@@ -1,0 +1,210 @@
+// Moving-clock replay: the only regime where window rolls, slot
+// expunges and late-reading drops interleave with in-flight query
+// execution. These tests are the tier-1 face of the TSan target in
+// scripts/check.sh — run them under COLR_SANITIZE=thread to verify
+// the maintenance/lookup interleavings are race-free.
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "core/engine.h"
+#include "core/tree.h"
+#include "gtest/gtest.h"
+#include "portal/portal.h"
+#include "replay/timed_replay.h"
+#include "sensor/network.h"
+#include "workload/live_local.h"
+
+namespace colr {
+namespace {
+
+LiveLocalWorkload SmallWorkload() {
+  LiveLocalOptions opts;
+  opts.num_sensors = 400;
+  opts.num_queries = 120;
+  opts.num_cities = 8;
+  opts.duration_ms = 20 * kMsPerMinute;
+  // Short expiries so the 20 min trace spans many t_max periods: the
+  // initial window covers t_max + margin, and rolls only start once
+  // the trace outruns it.
+  opts.expiry_min_ms = kMsPerMinute;
+  opts.expiry_max_ms = 3 * kMsPerMinute;
+  opts.seed = 0x5EED5EEDull;
+  return GenerateLiveLocal(opts);
+}
+
+/// Everything RunTimedReplay needs, wired to one ReplayClock. The
+/// store capacity is unconstrained (0) so expiry — not eviction — is
+/// what removes readings, making the roll -> expunge cascade fire.
+struct ReplayRig {
+  explicit ReplayRig(const LiveLocalWorkload& workload) {
+    SensorNetwork::Options nopts;
+    nopts.simulated_latency_scale = 1e-3;
+    network = std::make_unique<SensorNetwork>(workload.sensors, &clock,
+                                              nopts);
+    network->set_value_fn(MakeRestaurantWaitingTimeFn());
+
+    ColrTree::Options topts;
+    topts.cluster.fanout = 8;
+    topts.cluster.leaf_capacity = 32;
+    topts.cache_capacity = 0;
+    TimeMs t_max = 0;
+    for (const auto& s : workload.sensors) {
+      t_max = std::max(t_max, s.expiry_ms);
+    }
+    topts.t_max_ms = t_max;
+    topts.slot_delta_ms = t_max / 4;
+    tree = std::make_unique<ColrTree>(workload.sensors, topts);
+
+    ColrEngine::Options eopts;
+    eopts.mode = ColrEngine::Mode::kColr;
+    eopts.track_availability = true;
+    eopts.availability_refresh_ms = 2 * kMsPerMinute;
+    engine = std::make_unique<ColrEngine>(tree.get(), network.get(), eopts);
+    portal = std::make_unique<portal::SensorPortal>(tree.get(), engine.get());
+  }
+
+  ReplayClock clock;
+  std::unique_ptr<SensorNetwork> network;
+  std::unique_ptr<ColrTree> tree;
+  std::unique_ptr<ColrEngine> engine;
+  std::unique_ptr<portal::SensorPortal> portal;
+};
+
+TEST(TimedReplayTest, MovingClockStressIsConsistentAtQuiescence) {
+  const LiveLocalWorkload workload = SmallWorkload();
+  ReplayRig rig(workload);
+
+  replay::TimedReplayOptions opts;
+  opts.speedup = 6000.0;  // 20 min of trace in ~0.2 s of wall time
+  opts.streams = 4;
+  opts.collector_interval_ms = 15 * kMsPerSecond;
+  opts.probes_per_tick = 48;
+  const replay::TimedReplayReport report = replay::RunTimedReplay(
+      *rig.portal, *rig.tree, *rig.network, workload, rig.clock, opts);
+
+  EXPECT_EQ(report.queries,
+            static_cast<int64_t>(workload.queries.size()));
+  EXPECT_EQ(report.errors, 0);
+  EXPECT_GT(report.collector_ticks, 0);
+  EXPECT_GT(report.collector_inserts, 0);
+  // The trace spans several t_max periods, so the window must have
+  // rolled while queries were in flight...
+  EXPECT_GE(report.maintenance.rolls.load(), 1);
+  EXPECT_GE(report.rolls_per_tmax, 1.0);
+  // ...and with an unconstrained store, rolled-out readings are
+  // removed by expunge, not eviction.
+  EXPECT_GT(report.maintenance.readings_expunged.load(), 0);
+  EXPECT_EQ(report.maintenance.readings_evicted.load(), 0);
+  // Latency percentiles are ordered.
+  EXPECT_LE(report.p50_latency_ms, report.p99_latency_ms);
+  EXPECT_LE(report.p99_latency_ms, report.max_latency_ms);
+
+  EXPECT_TRUE(rig.tree->CheckCacheConsistency().ok());
+}
+
+TEST(TimedReplayTest, ReplayReportIsDeterministicInCounts) {
+  const LiveLocalWorkload workload = SmallWorkload();
+  replay::TimedReplayOptions opts;
+  opts.speedup = 12000.0;
+  opts.streams = 2;
+  opts.max_queries = 60;
+
+  ReplayRig a(workload);
+  const replay::TimedReplayReport ra = replay::RunTimedReplay(
+      *a.portal, *a.tree, *a.network, workload, a.clock, opts);
+  ReplayRig b(workload);
+  const replay::TimedReplayReport rb = replay::RunTimedReplay(
+      *b.portal, *b.tree, *b.network, workload, b.clock, opts);
+
+  // Wall-clock scheduling varies run to run, but the replayed trace
+  // and its span do not.
+  EXPECT_EQ(ra.queries, 60);
+  EXPECT_EQ(rb.queries, 60);
+  EXPECT_EQ(ra.errors, 0);
+  EXPECT_EQ(rb.errors, 0);
+  EXPECT_EQ(ra.trace_span_ms, rb.trace_span_ms);
+  EXPECT_TRUE(a.tree->CheckCacheConsistency().ok());
+  EXPECT_TRUE(b.tree->CheckCacheConsistency().ok());
+}
+
+// Pins the interleaving S5 targets: one writer advancing the window
+// (roll -> expunge) and inserting while readers run leaf lookups and
+// per-sensor cache reads on the nodes being maintained. Run under
+// TSan via scripts/check.sh.
+TEST(TimedReplayTest, ExpungeRacingLeafLookupIsRaceFree) {
+  std::vector<SensorInfo> sensors;
+  for (int i = 0; i < 64; ++i) {
+    SensorInfo s;
+    s.id = i;
+    s.location = Point{static_cast<double>(i % 8),
+                       static_cast<double>(i / 8)};
+    s.expiry_ms = 4 * kMsPerMinute;
+    sensors.push_back(s);
+  }
+  ColrTree::Options topts;
+  topts.cluster.fanout = 4;
+  topts.cluster.leaf_capacity = 8;
+  topts.cache_capacity = 0;
+  topts.t_max_ms = 4 * kMsPerMinute;
+  topts.slot_delta_ms = kMsPerMinute;
+  ColrTree tree(sensors, topts);
+
+  constexpr int kWriterSteps = 400;
+  constexpr TimeMs kStep = 30 * kMsPerSecond;  // half a slot per step
+  std::atomic<TimeMs> now{0};
+  std::atomic<bool> done{false};
+
+  std::thread writer([&] {
+    for (int step = 0; step < kWriterSteps; ++step) {
+      const TimeMs t = step * kStep;
+      now.store(t, std::memory_order_release);
+      tree.AdvanceTo(t);
+      for (int i = 0; i < 8; ++i) {
+        const SensorId id = (step * 8 + i) % 64;
+        Reading r;
+        r.sensor = id;
+        r.timestamp = t;
+        r.expiry = t + sensors[id].expiry_ms;
+        r.value = static_cast<double>(step);
+        tree.InsertReading(r);
+      }
+    }
+    done.store(true, std::memory_order_release);
+  });
+
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 3; ++r) {
+    readers.emplace_back([&, r] {
+      uint64_t sink = 0;
+      while (!done.load(std::memory_order_acquire)) {
+        const TimeMs t = now.load(std::memory_order_acquire);
+        const SensorId id = (sink + r) % 64;
+        const auto lookup =
+            tree.LookupCache(tree.LeafOf(id), t, 2 * kMsPerMinute);
+        sink += static_cast<uint64_t>(lookup.agg.count);
+        if (tree.CachedReading(id).has_value()) ++sink;
+        sink += static_cast<uint64_t>(tree.CachedCount(
+            tree.root(), t, 2 * kMsPerMinute));
+      }
+      // Keep the loop's results observable so it cannot be elided.
+      EXPECT_GE(sink, 0u);
+    });
+  }
+
+  writer.join();
+  for (auto& t : readers) t.join();
+
+  // Quiesce: one final advance past everything, then the invariant.
+  tree.AdvanceTo(kWriterSteps * kStep + 10 * kMsPerMinute);
+  EXPECT_GE(tree.maintenance().rolls.load(), 1);
+  EXPECT_GT(tree.maintenance().readings_expunged.load(), 0);
+  EXPECT_EQ(tree.CachedReadingCount(), 0u);
+  EXPECT_TRUE(tree.CheckCacheConsistency().ok());
+}
+
+}  // namespace
+}  // namespace colr

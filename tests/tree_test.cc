@@ -206,6 +206,70 @@ TEST(ColrTreeCacheTest, WindowRollExpungesExpired) {
   EXPECT_TRUE(tree.CheckCacheConsistency().ok());
 }
 
+// Regression for the late-reading ring-index collision: a reading
+// whose expiry slot already slid out of the window must be dropped,
+// not cached. With delta = 1 min and t_max + stale margin = 10 min the
+// scheme has 11 slots, so out-of-window slot S and in-window slot
+// S + 11 share a ring position; propagating the late reading used to
+// re-tag that position and wipe the in-window aggregate while the
+// store kept the live reading — CheckCacheConsistency() failed.
+TEST(ColrTreeCacheTest, LateReadingIsDroppedNotCorrupting) {
+  auto sensors = MakeSensors(100, 21);
+  ColrTree tree(sensors, SmallTreeOptions());
+  const SlotScheme& scheme = tree.scheme();
+  ASSERT_EQ(scheme.num_slots(), 11);
+
+  // Move the window well forward: slots 15..25 (times 15..26 min).
+  tree.AdvanceTo(20 * kMin);
+  ASSERT_EQ(scheme.oldest(), 15);
+
+  // A live reading in slot 16 — ring position 16 % 11 = 5.
+  tree.InsertReading(
+      Reading{sensors[0].id, 15 * kMin, 16 * kMin + 1, 40.0});
+  const SlotId live_slot = scheme.SlotOf(16 * kMin + 1);
+  ASSERT_EQ(live_slot, 16);
+  const Aggregate& before =
+      tree.node(tree.root()).cache.Get(scheme, live_slot);
+  ASSERT_EQ(before.count, 1);
+
+  // A late reading expiring in slot 5 = 16 - 11: same ring position,
+  // but its slot left the window long ago.
+  tree.InsertReading(Reading{sensors[1].id, 0, 5 * kMin + 1, 99.0});
+  EXPECT_EQ(tree.maintenance().late_readings_dropped.load(), 1);
+  EXPECT_EQ(tree.CachedReadingCount(), 1u);
+  const Aggregate& after =
+      tree.node(tree.root()).cache.Get(scheme, live_slot);
+  EXPECT_EQ(after.count, 1);
+  EXPECT_DOUBLE_EQ(after.sum, 40.0);
+  EXPECT_TRUE(tree.CheckCacheConsistency().ok());
+}
+
+TEST(ColrTreeCacheTest, RollPastWholeWindowCountsMaintenance) {
+  auto sensors = MakeSensors(60, 22);
+  ColrTree tree(sensors, SmallTreeOptions());
+  tree.InsertReading(ReadingFor(sensors[0], 0, 1.0));
+  tree.InsertReading(ReadingFor(sensors[1], 0, 2.0));
+  tree.InsertReading(ReadingFor(sensors[2], 30 * 1000, 3.0));
+  ASSERT_EQ(tree.CachedReadingCount(), 3u);
+
+  // One jump of far more than num_slots: a single roll event sliding
+  // many slots, expunging every cached reading.
+  const int64_t slots_before = tree.scheme().newest();
+  tree.AdvanceTo(3 * kMsPerHour);
+  EXPECT_EQ(tree.maintenance().rolls.load(), 1);
+  EXPECT_EQ(tree.maintenance().slots_rolled.load(),
+            tree.scheme().newest() - slots_before);
+  EXPECT_GT(tree.maintenance().slots_rolled.load(),
+            static_cast<int64_t>(tree.scheme().num_slots()));
+  EXPECT_EQ(tree.maintenance().readings_expunged.load(), 3);
+  EXPECT_EQ(tree.CachedReadingCount(), 0u);
+  EXPECT_TRUE(tree.CheckCacheConsistency().ok());
+
+  // A second advance with nothing to do is not a roll event.
+  tree.AdvanceTo(3 * kMsPerHour);
+  EXPECT_EQ(tree.maintenance().rolls.load(), 1);
+}
+
 TEST(ColrTreeCacheTest, RandomizedMaintenanceStress) {
   auto sensors = MakeSensors(150, 14);
   Rng rng(15);
