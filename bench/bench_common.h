@@ -210,6 +210,32 @@ class JsonObject {
   bool first_ = true;
 };
 
+/// One row of the writer-scaling sweep (bench/concurrent_portal
+/// --writer-scaling): InsertReading throughput at a collector-thread
+/// count, for either the sharded write protocol or the serialized
+/// baseline (ColrTree::Options::writer_shard_level = 0). Shared with
+/// tests/bench_json_test so the emitted shape stays valid JSON.
+inline std::string WriterScalingJsonRow(int collector_threads,
+                                        bool serialized, int64_t inserts,
+                                        double wall_ms,
+                                        double inserts_per_sec,
+                                        int64_t rolls, int64_t late_dropped,
+                                        int64_t evicted, int64_t recomputes,
+                                        bool consistent) {
+  return JsonObject()
+      .Field("collector_threads", collector_threads)
+      .Field("writer_mode", serialized ? "serialized" : "sharded")
+      .Field("inserts", inserts)
+      .Field("wall_ms", wall_ms)
+      .Field("inserts_per_sec", inserts_per_sec)
+      .Field("rolls", rolls)
+      .Field("late_readings_dropped", late_dropped)
+      .Field("readings_evicted", evicted)
+      .Field("slot_recomputes", recomputes)
+      .Field("consistent", consistent ? 1 : 0)
+      .Done();
+}
+
 /// Writes a bench report as `{"bench": ..., "config": {...},
 /// "series": [rows...]}` to cfg.json_path. No-op when --json was not
 /// given. Each row is a serialized JsonObject.

@@ -12,9 +12,25 @@
 // locks, and only cache mutation and the network RNG serialize.
 //
 // Expectation: qps grows monotonically from 1 to 4 streams.
+//
+// --writer-scaling switches to an insert-heavy mode instead: N
+// collector threads (default sweep 1/2/4/8, or --collector-threads=N)
+// hammer ColrTree::InsertReading over disjoint, shard-aligned sensor
+// partitions with trace time advancing across several window rolls.
+// Each thread count runs twice — with the sharded write protocol and
+// with writers serialized (writer_shard_level = 0, the old global
+// write mutex's behavior) — so the sweep locates the old mutex's
+// bottleneck directly. CheckCacheConsistency() runs at quiescence
+// after every run. Expectation: sharded insert throughput at 8
+// collector threads is >= 2x the serialized baseline at 8.
 
+#include <algorithm>
 #include <cstdio>
+#include <cstring>
+#include <functional>
+#include <map>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench_common.h"
@@ -103,8 +119,207 @@ RunOutcome RunStreams(const LiveLocalWorkload& workload,
   return out;
 }
 
+// ---------------------------------------------------------------------------
+// Writer-scaling mode
+// ---------------------------------------------------------------------------
+
+struct WriterScalingOutcome {
+  int64_t inserts = 0;
+  double wall_ms = 0.0;
+  double inserts_per_sec = 0.0;
+  int64_t rolls = 0;
+  int64_t late_dropped = 0;
+  int64_t evicted = 0;
+  int64_t recomputes = 0;
+  bool consistent = true;
+};
+
+/// Runs `threads` insert loops over shard-aligned sensor partitions.
+/// `serialized` rebuilds the tree with writer_shard_level = 0 (one
+/// shard — the pre-sharding global-writer behavior) as the baseline.
+WriterScalingOutcome RunWriterScaling(const LiveLocalWorkload& workload,
+                                      int threads, bool serialized,
+                                      int rounds) {
+  ColrTree::Options topts;
+  topts.cluster.fanout = 8;
+  topts.cluster.leaf_capacity = 32;
+  // Cache sized to the catalog: the steady-state *replacement* regime
+  // (every insert after the first round erases + re-propagates the
+  // sensor's previous reading — the full slot-update path), with no
+  // capacity evictions. Eviction order is a single global LRF sequence
+  // out of the oldest occupied slot, so an eviction-bound run measures
+  // that policy's serial drain, not writer scaling; the capacity-
+  // constrained regime is exercised by bench/timed_replay and the
+  // multi-writer stress tests instead.
+  topts.cache_capacity = workload.sensors.size();
+  TimeMs t_max = 0;
+  for (const auto& s : workload.sensors) t_max = std::max(t_max, s.expiry_ms);
+  topts.t_max_ms = t_max;
+  topts.slot_delta_ms = t_max / 4;
+  if (serialized) topts.writer_shard_level = 0;
+  ColrTree tree(workload.sensors, topts);
+
+  // Whole-shard ownership: group sensors by their writer shard and
+  // deal shards largest-first onto the least-loaded thread, so no two
+  // threads ever contend on a shard lock — the "one collector per
+  // region" deployment the sharded protocol targets. The serialized
+  // baseline has a single shard (every thread contends on it by
+  // design), so its sensors are split evenly instead.
+  std::map<int, std::vector<SensorId>> by_shard;
+  for (size_t i = 0; i < workload.sensors.size(); ++i) {
+    const SensorId sid = static_cast<SensorId>(i);
+    by_shard[tree.AncestorAtLevel(tree.LeafOf(sid),
+                                  tree.writer_shard_level())]
+        .push_back(sid);
+  }
+  std::vector<std::vector<SensorId>> partitions(
+      static_cast<size_t>(threads));
+  if (by_shard.size() <= 1) {
+    size_t t = 0;
+    for (const auto& [shard, sensors] : by_shard) {
+      for (SensorId sid : sensors) {
+        partitions[t++ % partitions.size()].push_back(sid);
+      }
+    }
+  } else {
+    std::vector<const std::vector<SensorId>*> groups;
+    for (const auto& [shard, sensors] : by_shard) groups.push_back(&sensors);
+    std::sort(groups.begin(), groups.end(),
+              [](const auto* a, const auto* b) { return a->size() > b->size(); });
+    for (const auto* g : groups) {
+      auto least = std::min_element(
+          partitions.begin(), partitions.end(),
+          [](const auto& a, const auto& b) { return a.size() < b.size(); });
+      least->insert(least->end(), g->begin(), g->end());
+    }
+  }
+
+  // Trace time advances across the rounds so inserts themselves pull
+  // the window forward (the roll trigger), spanning several rolls.
+  const TimeMs span = 4 * t_max;
+  const TimeMs step = std::max<TimeMs>(1, span / std::max(1, rounds));
+
+  auto writer_fn = [&](const std::vector<SensorId>& mine) {
+    Reading r;
+    for (int round = 0; round < rounds; ++round) {
+      const TimeMs at = static_cast<TimeMs>(round) * step;
+      for (SensorId sid : mine) {
+        r.sensor = sid;
+        r.timestamp = at;
+        r.expiry = at + workload.sensors[sid].expiry_ms;
+        r.value = static_cast<double>((sid * 37 + round * 101) % 997);
+        tree.InsertReading(r);
+      }
+    }
+  };
+
+  Stopwatch wall;
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<size_t>(threads - 1));
+  for (int k = 1; k < threads; ++k) {
+    pool.emplace_back(writer_fn, std::cref(partitions[static_cast<size_t>(k)]));
+  }
+  writer_fn(partitions[0]);
+  for (std::thread& t : pool) t.join();
+
+  WriterScalingOutcome out;
+  out.wall_ms = wall.ElapsedMillis();
+  out.inserts = static_cast<int64_t>(workload.sensors.size()) * rounds;
+  out.inserts_per_sec =
+      out.wall_ms > 0.0
+          ? static_cast<double>(out.inserts) * 1000.0 / out.wall_ms
+          : 0.0;
+  out.rolls = tree.maintenance().rolls.load();
+  out.late_dropped = tree.maintenance().late_readings_dropped.load();
+  out.evicted = tree.maintenance().readings_evicted.load();
+  out.recomputes = tree.maintenance().slot_recomputes.load();
+  const Status consistency = tree.CheckCacheConsistency();
+  out.consistent = consistency.ok();
+  if (!out.consistent) {
+    std::fprintf(stderr, "cache consistency FAILED at quiescence: %s\n",
+                 consistency.ToString().c_str());
+  }
+  return out;
+}
+
+int WriterScalingMain(const BenchConfig& cfg, int pinned_threads) {
+  PrintHeader("Writer scaling",
+              "InsertReading throughput vs collector threads", cfg);
+  LiveLocalWorkload workload = GenerateLiveLocal(cfg.WorkloadOptions());
+
+  std::vector<int> thread_counts;
+  if (pinned_threads > 0) {
+    thread_counts.push_back(pinned_threads);
+    if (pinned_threads != 8) thread_counts.push_back(8);
+  } else {
+    thread_counts = {1, 2, 4, 8};
+  }
+  // Enough rounds that each run crosses several window rolls.
+  const int rounds =
+      std::max(4, static_cast<int>(160000 / std::max<size_t>(
+                                                1, workload.sensors.size())));
+
+  std::printf("%-10s %-10s | %10s | %12s | %6s %7s %9s %6s | %s\n",
+              "mode", "threads", "wall ms", "inserts/sec", "rolls", "late",
+              "evicted", "recomp", "consistent");
+  std::vector<std::string> json_rows;
+  double serialized_at_max = 0.0;
+  double sharded_at_max = 0.0;
+  const int max_threads =
+      *std::max_element(thread_counts.begin(), thread_counts.end());
+  for (const bool serialized : {true, false}) {
+    for (int threads : thread_counts) {
+      WriterScalingOutcome out =
+          RunWriterScaling(workload, threads, serialized, rounds);
+      std::printf("%-10s %-10d | %10.1f | %12.0f | %6lld %7lld %9lld %6lld | %s\n",
+                  serialized ? "serialized" : "sharded", threads, out.wall_ms,
+                  out.inserts_per_sec, static_cast<long long>(out.rolls),
+                  static_cast<long long>(out.late_dropped),
+                  static_cast<long long>(out.evicted),
+                  static_cast<long long>(out.recomputes),
+                  out.consistent ? "yes" : "NO");
+      json_rows.push_back(WriterScalingJsonRow(
+          threads, serialized, out.inserts, out.wall_ms, out.inserts_per_sec,
+          out.rolls, out.late_dropped, out.evicted, out.recomputes,
+          out.consistent));
+      if (threads == max_threads) {
+        (serialized ? serialized_at_max : sharded_at_max) =
+            out.inserts_per_sec;
+      }
+      if (!out.consistent) return 1;
+    }
+  }
+  WriteJsonReport(cfg, "writer_scaling", json_rows);
+
+  if (serialized_at_max > 0.0) {
+    const unsigned cores = std::thread::hardware_concurrency();
+    std::printf("\nsharded/serialized speedup at %d threads: %.2fx "
+                "(expectation: >= 2x on a host with >= %d cores)\n",
+                max_threads, sharded_at_max / serialized_at_max,
+                max_threads);
+    if (cores < 2) {
+      std::printf("note: this host exposes %u core(s); collector threads "
+                  "are time-sliced, so lock-protocol scaling cannot "
+                  "manifest as wall-clock speedup here.\n",
+                  cores);
+    }
+  }
+  return 0;
+}
+
 int Main(int argc, char** argv) {
   BenchConfig cfg = BenchConfig::FromArgs(argc, argv);
+  bool writer_scaling = false;
+  int collector_threads = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--writer-scaling") == 0) {
+      writer_scaling = true;
+    } else if (std::strncmp(argv[i], "--collector-threads=", 20) == 0) {
+      collector_threads = std::atoi(argv[i] + 20);
+      writer_scaling = true;
+    }
+  }
+  if (writer_scaling) return WriterScalingMain(cfg, collector_threads);
   PrintHeader("Concurrent portal", "queries/sec vs client streams", cfg);
 
   LiveLocalWorkload workload = GenerateLiveLocal(cfg.WorkloadOptions());

@@ -27,6 +27,9 @@ namespace {
 struct ReplayArgs {
   int streams = 0;  // 0 = sweep {1, 2, 4, 8, 16}
   double speedup = 600.0;
+  /// Concurrent collector threads ingesting disjoint catalog
+  /// partitions (the tree's sharded write path).
+  int collector_threads = 1;
 
   static ReplayArgs FromArgs(int argc, char** argv) {
     ReplayArgs out;
@@ -35,6 +38,8 @@ struct ReplayArgs {
         out.streams = std::atoi(argv[i] + 10);
       } else if (std::strncmp(argv[i], "--speedup=", 10) == 0) {
         out.speedup = std::atof(argv[i] + 10);
+      } else if (std::strncmp(argv[i], "--collector-threads=", 20) == 0) {
+        out.collector_threads = std::atoi(argv[i] + 20);
       }
     }
     return out;
@@ -42,7 +47,8 @@ struct ReplayArgs {
 };
 
 replay::TimedReplayReport RunOnce(const LiveLocalWorkload& workload,
-                                  double speedup, int streams) {
+                                  double speedup, int streams,
+                                  int collector_threads) {
   ReplayClock clock;
   SensorNetwork::Options nopts;
   nopts.simulated_latency_scale = 1e-3;
@@ -69,6 +75,7 @@ replay::TimedReplayReport RunOnce(const LiveLocalWorkload& workload,
   replay::TimedReplayOptions ropts;
   ropts.speedup = speedup;
   ropts.streams = streams;
+  ropts.collector_threads = collector_threads;
   replay::TimedReplayReport report =
       replay::RunTimedReplay(portal, tree, network, workload, clock, ropts);
 
@@ -88,10 +95,12 @@ int Main(int argc, char** argv) {
   PrintHeader("Timed replay", "moving-clock serving under concurrency", cfg);
 
   LiveLocalWorkload workload = GenerateLiveLocal(cfg.WorkloadOptions());
-  std::printf("speedup: %.0fx trace time (trace %.0f min -> ~%.1f s wall)\n\n",
+  std::printf("speedup: %.0fx trace time (trace %.0f min -> ~%.1f s wall), "
+              "%d collector thread(s)\n\n",
               rargs.speedup,
               static_cast<double>(2 * kMsPerHour) / kMsPerMinute,
-              static_cast<double>(2 * kMsPerHour) / rargs.speedup / 1000.0);
+              static_cast<double>(2 * kMsPerHour) / rargs.speedup / 1000.0,
+              rargs.collector_threads);
 
   std::vector<int> stream_counts;
   if (rargs.streams > 0) {
@@ -106,7 +115,7 @@ int Main(int argc, char** argv) {
   std::vector<std::string> json_rows;
   for (int streams : stream_counts) {
     replay::TimedReplayReport r =
-        RunOnce(workload, rargs.speedup, streams);
+        RunOnce(workload, rargs.speedup, streams, rargs.collector_threads);
     std::printf(
         "%-8d | %9.1f | %8.2f %8.2f | %6lld %9lld %9lld %7lld | %10.2f\n",
         streams, r.qps, r.p50_latency_ms, r.p99_latency_ms,
@@ -118,6 +127,7 @@ int Main(int argc, char** argv) {
     json_rows.push_back(
         JsonObject()
             .Field("streams", streams)
+            .Field("collector_threads", rargs.collector_threads)
             .Field("speedup", rargs.speedup)
             .Field("queries", r.queries)
             .Field("errors", r.errors)
@@ -129,6 +139,7 @@ int Main(int argc, char** argv) {
             .Field("collector_ticks", r.collector_ticks)
             .Field("collector_probes", r.collector_probes)
             .Field("collector_inserts", r.collector_inserts)
+            .Field("inserts_per_sec", r.inserts_per_sec)
             .Field("rolls", r.maintenance.rolls.load())
             .Field("slots_rolled", r.maintenance.slots_rolled.load())
             .Field("readings_expunged", r.maintenance.readings_expunged.load())

@@ -18,12 +18,16 @@ echo "== tier-1: ctest =="
 
 echo "== tsan: build concurrency tests =="
 cmake -B build-tsan -S . -DCOLR_SANITIZE=thread >/dev/null
-cmake --build build-tsan -j "$jobs" --target concurrency_test timed_replay_test
+cmake --build build-tsan -j "$jobs" \
+  --target concurrency_test timed_replay_test multi_writer_test
 
 echo "== tsan: run concurrency test =="
 ./build-tsan/tests/concurrency_test
 
 echo "== tsan: run timed replay test =="
 ./build-tsan/tests/timed_replay_test
+
+echo "== tsan: run multi-writer stress test =="
+./build-tsan/tests/multi_writer_test
 
 echo "== all checks passed =="

@@ -5,6 +5,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <shared_mutex>
+#include <thread>
 
 namespace colr {
 
@@ -40,6 +41,127 @@ class StripedMutex {
   static constexpr size_t kMaxStripes = 256;
   size_t stripes_;
   std::shared_mutex locks_[kMaxStripes];
+};
+
+/// Shared/exclusive latch that stamps an epoch number on every
+/// exclusive section. Writers that only need the protected state to
+/// stay *stable* (e.g. ColrTree inserts, which require the slot-window
+/// head not to move mid-insert) hold it shared and proceed
+/// concurrently; rare maintenance that *changes* that state (window
+/// rolls, expunges, whole-tree consistency audits) holds it exclusive
+/// and advances the epoch on release. The epoch counter gives tests
+/// and diagnostics a cheap "how many exclusive maintenance sections
+/// have completed" observable without any extra synchronization.
+///
+/// Meets the Lockable / SharedLockable requirements, so it composes
+/// with std::lock_guard / std::shared_lock.
+///
+/// The shared side is reader-striped (a "big-reader" lock): each
+/// thread read-locks only its own cache-line-padded stripe, so
+/// concurrent shared acquisitions never touch a common line — a single
+/// shared_mutex here would turn its lock word into an all-writers
+/// contention point at millions of acquisitions per second. The
+/// exclusive side acquires every stripe in index order (uniform order
+/// across exclusive lockers, so they cannot deadlock; shared holders
+/// hold exactly one stripe). Exclusive sections therefore cost
+/// kStripes lock operations — the intended trade for latches whose
+/// exclusive side is rare maintenance.
+class EpochLatch {
+ public:
+  void lock() {
+    for (size_t i = 0; i < kStripes; ++i) stripes_[i].mu.lock();
+  }
+  void unlock() {
+    epoch_.fetch_add(1, std::memory_order_release);
+    for (size_t i = kStripes; i-- > 0;) stripes_[i].mu.unlock();
+  }
+  bool try_lock() {
+    for (size_t i = 0; i < kStripes; ++i) {
+      if (!stripes_[i].mu.try_lock()) {
+        while (i-- > 0) stripes_[i].mu.unlock();
+        return false;
+      }
+    }
+    return true;
+  }
+
+  void lock_shared() { stripes_[MyStripe()].mu.lock_shared(); }
+  void unlock_shared() { stripes_[MyStripe()].mu.unlock_shared(); }
+  bool try_lock_shared() { return stripes_[MyStripe()].mu.try_lock_shared(); }
+
+  /// Number of completed exclusive sections.
+  uint64_t epoch() const { return epoch_.load(std::memory_order_acquire); }
+
+ private:
+  static constexpr size_t kStripes = 32;
+  struct alignas(64) Stripe {
+    std::shared_mutex mu;
+  };
+
+  /// Stable per-thread stripe index (round-robin at first use), so a
+  /// thread's unlock_shared always releases the stripe its
+  /// lock_shared took.
+  static size_t MyStripe() {
+    static std::atomic<size_t> next{0};
+    static thread_local const size_t stripe =
+        next.fetch_add(1, std::memory_order_relaxed) % kStripes;
+    return stripe;
+  }
+
+  Stripe stripes_[kStripes];
+  std::atomic<uint64_t> epoch_{0};
+};
+
+/// Test-and-test-and-set spinlock for critical sections of a few
+/// dozen nanoseconds that many threads hit on every operation (e.g.
+/// ColrTree's root-region aggregate updates: two ring-buffer writes).
+/// At that section length a std::mutex costs more in futex handoff
+/// latency under contention than the protected work itself — waiters
+/// sleep and wake in multi-microsecond turns, capping system
+/// throughput at one wakeup per turn. Spinning keeps the handoff at
+/// cache-coherence latency. Not fair; only use it where the hold time
+/// is provably tiny and bounded.
+///
+/// Waiters spin a bounded number of iterations and then yield the
+/// core: if the holder was preempted (oversubscribed or single-core
+/// hosts), unbounded spinning would burn the holder's own CPU quantum
+/// waiting for it to run again.
+///
+/// Meets the Lockable requirements (composes with std::lock_guard).
+class SpinMutex {
+ public:
+  void lock() {
+    while (locked_.exchange(true, std::memory_order_acquire)) {
+      // Spin on a plain load so waiters share the line in the cache
+      // until the holder's store invalidates it (test-and-test-and-set).
+      int spins = 0;
+      while (locked_.load(std::memory_order_relaxed)) {
+        if (++spins < kSpinLimit) {
+          CpuRelax();
+        } else {
+          spins = 0;
+          std::this_thread::yield();
+        }
+      }
+    }
+  }
+  bool try_lock() {
+    return !locked_.load(std::memory_order_relaxed) &&
+           !locked_.exchange(true, std::memory_order_acquire);
+  }
+  void unlock() { locked_.store(false, std::memory_order_release); }
+
+ private:
+  static void CpuRelax() {
+#if defined(__x86_64__) || defined(__i386__)
+    __builtin_ia32_pause();
+#elif defined(__aarch64__)
+    asm volatile("yield" ::: "memory");
+#endif
+  }
+
+  static constexpr int kSpinLimit = 128;
+  std::atomic<bool> locked_{false};
 };
 
 /// Copyable atomic counter. std::atomic is neither copyable nor

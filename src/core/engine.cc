@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <map>
 #include <unordered_map>
+#include <unordered_set>
 
 namespace colr {
 
@@ -359,14 +360,15 @@ QueryResult ColrEngine::ExecuteRange(const Query& query, TimeMs now,
         ColrTree::CacheLookup lookup = tree_->LookupCache(
             id, now, query.staleness_ms, partial ? &filter : nullptr,
             ColrTree::FreshnessRule::kSlotAligned);
-        std::vector<SensorId> used;
+        std::unordered_set<SensorId> used;
+        used.reserve(lookup.used_sensors.size());
         for (size_t i = 0; i < lookup.used_sensors.size(); ++i) {
           const SensorId sid = lookup.used_sensors[i];
           if (query.region.polygon &&
               !query.region.Contains(tree_->sensor(sid).location)) {
             continue;
           }
-          used.push_back(sid);
+          used.insert(sid);
           const Reading& cached_reading = lookup.used_readings[i];
           g.agg.Add(cached_reading.value);
           AddToHistogram(query, cached_reading.value, &g);
@@ -384,7 +386,7 @@ QueryResult ColrEngine::ExecuteRange(const Query& query, TimeMs now,
               !query.region.Contains(tree_->sensor(sid).location)) {
             continue;
           }
-          if (std::find(used.begin(), used.end(), sid) == used.end()) {
+          if (used.count(sid) == 0) {
             to_probe.push_back(sid);
           }
         }
@@ -415,9 +417,13 @@ QueryResult ColrEngine::ExecuteRange(const Query& query, TimeMs now,
   if (use_cache) {
     for (const Reading& r : result.collected) tree_->InsertReading(r);
   }
-  for (auto& [gid, g] : groups) {
-    if (!g.agg.empty() || g.node_id >= 0) result.groups.push_back(g);
-  }
+  // Every visited group is reported, even when all of its probes
+  // failed and no cached reading contributed: the group's node_id,
+  // bbox and weight still tell the client the cluster exists (the same
+  // contract as ExecuteColr, which emits every sampled terminal's
+  // group unconditionally — an all-sensors-unavailable leaf yields an
+  // empty aggregate, not a missing group).
+  for (auto& [gid, g] : groups) result.groups.push_back(g);
 
   result.stats.sensors_probed = acct.attempted;
   result.stats.probe_successes = acct.succeeded;

@@ -4,6 +4,20 @@ namespace colr {
 
 ReadingStore::InsertOutcome ReadingStore::Insert(const SlotScheme& scheme,
                                                  const Reading& reading) {
+  InsertOutcome outcome = InsertWithoutEviction(scheme, reading);
+  // Enforce the capacity constraint: evict least-recently-fetched
+  // readings from the oldest occupied slot first.
+  while (capacity_ > 0 && entries_.size() > capacity_) {
+    std::optional<Reading> victim = PeekEvictionCandidate(reading.sensor);
+    if (!victim) break;  // store holds only the new reading
+    outcome.evicted.push_back(*victim);
+    Erase(victim->sensor);
+  }
+  return outcome;
+}
+
+ReadingStore::InsertOutcome ReadingStore::InsertWithoutEviction(
+    const SlotScheme& scheme, const Reading& reading) {
   InsertOutcome outcome;
   auto it = entries_.find(reading.sensor);
   if (it != entries_.end()) {
@@ -19,31 +33,43 @@ ReadingStore::InsertOutcome ReadingStore::Insert(const SlotScheme& scheme,
   Entry entry;
   entry.reading = reading;
   entry.slot = slot;
+  entry.seq = NextSeq();
   entry.lru_it = std::prev(lru.end());
   entries_.emplace(reading.sensor, entry);
-
-  // Enforce the capacity constraint: evict least-recently-fetched
-  // readings from the oldest occupied slot first.
-  while (capacity_ > 0 && entries_.size() > capacity_) {
-    auto slot_it = slots_.begin();
-    SensorId victim = slot_it->second.front();
-    if (victim == reading.sensor) {
-      // Never evict the reading we just inserted; it is by definition
-      // the only entry we must keep. Pick the next candidate.
-      if (slot_it->second.size() > 1) {
-        victim = *std::next(slot_it->second.begin());
-      } else if (std::next(slot_it) != slots_.end()) {
-        victim = std::next(slot_it)->second.front();
-      } else {
-        break;  // store holds only the new reading
-      }
-    }
-    auto vit = entries_.find(victim);
-    outcome.evicted.push_back(vit->second.reading);
-    Unlink(vit);
-    entries_.erase(vit);
-  }
+  PublishSize();
   return outcome;
+}
+
+std::optional<ReadingStore::EvictionCandidate>
+ReadingStore::PeekEvictionCandidateInfo(SensorId protect) const {
+  if (slots_.empty()) return std::nullopt;
+  auto slot_it = slots_.begin();
+  SensorId victim = slot_it->second.front();
+  if (victim == protect) {
+    // Never evict the reading that was just inserted; it is by
+    // definition the one entry the caller must keep. Pick the next
+    // candidate.
+    if (slot_it->second.size() > 1) {
+      victim = *std::next(slot_it->second.begin());
+    } else if (std::next(slot_it) != slots_.end()) {
+      victim = std::next(slot_it)->second.front();
+    } else {
+      return std::nullopt;
+    }
+  }
+  const Entry& e = entries_.at(victim);
+  EvictionCandidate cand;
+  cand.reading = e.reading;
+  cand.slot = e.slot;
+  cand.seq = e.seq;
+  return cand;
+}
+
+std::optional<Reading> ReadingStore::PeekEvictionCandidate(
+    SensorId protect) const {
+  std::optional<EvictionCandidate> cand = PeekEvictionCandidateInfo(protect);
+  if (!cand) return std::nullopt;
+  return cand->reading;
 }
 
 void ReadingStore::Touch(SensorId sensor) {
@@ -52,6 +78,7 @@ void ReadingStore::Touch(SensorId sensor) {
   auto& lru = slots_[it->second.slot];
   lru.splice(lru.end(), lru, it->second.lru_it);
   it->second.lru_it = std::prev(lru.end());
+  it->second.seq = NextSeq();
 }
 
 const Reading* ReadingStore::Get(SensorId sensor) const {
@@ -71,6 +98,7 @@ std::vector<Reading> ReadingStore::ExpungeExpiredSlots(
     }
     slots_.erase(slots_.begin());
   }
+  PublishSize();
   return expunged;
 }
 
@@ -79,12 +107,14 @@ bool ReadingStore::Erase(SensorId sensor) {
   if (it == entries_.end()) return false;
   Unlink(it);
   entries_.erase(it);
+  PublishSize();
   return true;
 }
 
 void ReadingStore::Clear() {
   entries_.clear();
   slots_.clear();
+  PublishSize();
 }
 
 void ReadingStore::Unlink(

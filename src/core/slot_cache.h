@@ -105,13 +105,19 @@ class AggregateSlotCache {
   /// position with an expired slot id would clear the in-window slot
   /// sharing that position (ring-index collision).
   void Add(const SlotScheme& scheme, SlotId slot, double value) {
-    if (Slot* s = MutableSlot(scheme, slot)) s->agg.Add(value);
+    if (Slot* s = MutableSlot(scheme, slot)) {
+      s->agg.Add(value);
+      ++s->version;
+    }
   }
 
   /// Merges a partial aggregate (bulk insert from a child). Refuses
   /// out-of-window slots like Add.
   void Merge(const SlotScheme& scheme, SlotId slot, const Aggregate& agg) {
-    if (Slot* s = MutableSlot(scheme, slot)) s->agg.Merge(agg);
+    if (Slot* s = MutableSlot(scheme, slot)) {
+      s->agg.Merge(agg);
+      ++s->version;
+    }
   }
 
   /// Decrements a value. Returns false when the aggregate's min/max
@@ -119,13 +125,32 @@ class AggregateSlotCache {
   /// An out-of-window slot has nothing to undo and reports invertible.
   bool Remove(const SlotScheme& scheme, SlotId slot, double value) {
     Slot* s = MutableSlot(scheme, slot);
-    return s == nullptr || s->agg.Remove(value);
+    if (s == nullptr) return true;
+    ++s->version;
+    return s->agg.Remove(value);
   }
 
   /// Overwrites a slot's aggregate (used by recompute-from-children).
   /// Refuses out-of-window slots like Add.
   void Set(const SlotScheme& scheme, SlotId slot, const Aggregate& agg) {
-    if (Slot* s = MutableSlot(scheme, slot)) s->agg = agg;
+    if (Slot* s = MutableSlot(scheme, slot)) {
+      s->agg = agg;
+      ++s->version;
+    }
+  }
+
+  /// Version tag of the ring position currently backing `slot` (0 for
+  /// out-of-window slots). The tag is bumped by every mutation of the
+  /// position — including lazy re-tags to a different slot id — and is
+  /// monotone per position, so an unchanged version between two reads
+  /// under the same lock discipline proves the slot's aggregate did
+  /// not change in between (no ABA: re-tagging never resets it).
+  /// ColrTree's recompute-from-children validates against this before
+  /// overwriting a slot, turning any concurrent-writer interleaving
+  /// into a retry instead of a lost update.
+  uint64_t SlotVersion(const SlotScheme& scheme, SlotId slot) const {
+    if (!scheme.InWindow(slot)) return 0;
+    return slots_[scheme.RingIndex(slot)].version;
   }
 
   /// Read-only view of a slot; returns an empty aggregate when the
@@ -141,27 +166,40 @@ class AggregateSlotCache {
   /// newest window slot — the paper's lookup rule ("useful readings
   /// ... lying in slots which are strictly younger", §IV-A). Also
   /// reports how many slots contributed.
+  ///
+  /// The window head is read exactly once: a roll concurrent with the
+  /// lookup moves `scheme.newest()` mid-scan, and re-reading it per
+  /// iteration would merge a mix of slots from two different window
+  /// positions (a torn window — e.g. the pre-roll oldest slot plus the
+  /// post-roll newest slot, which the ring stores at the same index).
+  /// Every slot is therefore filtered against the one snapshot; slots
+  /// the concurrent roll re-tagged simply read as empty.
   Aggregate QueryNewerThan(const SlotScheme& scheme, SlotId query_slot,
                            int* slots_merged = nullptr) const {
     Aggregate out;
-    const SlotId from = std::max(query_slot + 1, scheme.oldest());
-    for (SlotId s = from; s <= scheme.newest(); ++s) {
-      const Aggregate& a = Get(scheme, s);
-      if (!a.empty()) {
-        out.Merge(a);
-        if (slots_merged) ++*slots_merged;
-      }
+    const SlotId newest = scheme.newest();  // single atomic head read
+    const SlotId oldest = newest - scheme.num_slots() + 1;
+    const SlotId from = std::max(query_slot + 1, oldest);
+    for (SlotId s = from; s <= newest; ++s) {
+      const Slot& ring = slots_[scheme.RingIndex(s)];
+      if (ring.slot_id != s || ring.agg.empty()) continue;
+      out.Merge(ring.agg);
+      if (slots_merged) ++*slots_merged;
     }
     return out;
   }
 
   /// Total cached reading count in slots strictly newer than
-  /// query_slot — |c_i| in Algorithm 1.
+  /// query_slot — |c_i| in Algorithm 1. Same snapshot-head discipline
+  /// as QueryNewerThan.
   int64_t WeightNewerThan(const SlotScheme& scheme, SlotId query_slot) const {
-    const SlotId from = std::max(query_slot + 1, scheme.oldest());
+    const SlotId newest = scheme.newest();  // single atomic head read
+    const SlotId oldest = newest - scheme.num_slots() + 1;
+    const SlotId from = std::max(query_slot + 1, oldest);
     int64_t w = 0;
-    for (SlotId s = from; s <= scheme.newest(); ++s) {
-      w += Get(scheme, s).count;
+    for (SlotId s = from; s <= newest; ++s) {
+      const Slot& ring = slots_[scheme.RingIndex(s)];
+      if (ring.slot_id == s) w += ring.agg.count;
     }
     return w;
   }
@@ -169,6 +207,8 @@ class AggregateSlotCache {
  private:
   struct Slot {
     SlotId slot_id = std::numeric_limits<SlotId>::min();
+    /// Mutation tag; see SlotVersion().
+    uint64_t version = 0;
     Aggregate agg;
   };
 
@@ -182,6 +222,7 @@ class AggregateSlotCache {
     if (s.slot_id != slot) {
       s.slot_id = slot;
       s.agg.Clear();
+      ++s.version;
     }
     return &s;
   }

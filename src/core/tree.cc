@@ -33,8 +33,7 @@ ColrTree::ColrTree(std::vector<SensorInfo> sensors, Options options)
     : options_(options),
       sensors_(std::move(sensors)),
       t_max_ms_(ResolveTmax(options, sensors_)),
-      scheme_(MakeScheme(options, t_max_ms_)),
-      store_(options.cache_capacity) {
+      scheme_(MakeScheme(options, t_max_ms_)) {
   std::vector<Point> points;
   points.reserve(sensors_.size());
   for (const SensorInfo& s : sensors_) points.push_back(s.location);
@@ -76,6 +75,32 @@ ColrTree::ColrTree(std::vector<SensorInfo> sensors, Options options)
       }
     }
   }
+
+  // Resolve the writer-sharding level against the built hierarchy.
+  // Auto picks level 1 (the root's children): the root region then
+  // spans just two nodes per path, maximizing the portion of the
+  // leaf-to-root propagation that disjoint shards run concurrently.
+  const int max_level = std::max(0, height_ - 1);
+  shard_level_ = options_.writer_shard_level >= 0
+                     ? std::min(options_.writer_shard_level, max_level)
+                     : std::min(1, max_level);
+
+  // One reading store per shard, all stamping fetches from one shared
+  // sequence so the cross-shard eviction order stays globally exact.
+  // Store capacities are unbounded; the tree enforces
+  // options_.cache_capacity across all of them.
+  store_index_of_node_.assign(nodes_.size(), -1);
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    if (!nodes_[i].IsLeaf()) continue;
+    const int shard = ShardOf(static_cast<int>(i));
+    if (store_index_of_node_[shard] < 0) {
+      store_index_of_node_[shard] =
+          static_cast<int>(shard_node_of_store_.size());
+      shard_node_of_store_.push_back(shard);
+    }
+  }
+  stores_ = std::vector<ReadingStore>(shard_node_of_store_.size());
+  for (ReadingStore& store : stores_) store.set_sequence_source(&fetch_seq_);
 }
 
 int ColrTree::CountSensorsInRegion(const Rect& region) const {
@@ -148,22 +173,29 @@ std::vector<SensorId> ColrTree::SensorsUnderInRegion(
 }
 
 void ColrTree::ExpungeAfterRoll() {
-  std::vector<Reading> expunged;
-  {
-    std::unique_lock<std::shared_mutex> store_lock(store_mutex_);
-    expunged = store_.ExpungeExpiredSlots(scheme_);
-    // No aggregate propagation: the expunged slots are outside the
-    // window, so their ring positions lazily reset on reuse.
+  // Caller holds the exclusive epoch: no writer, toucher or evictor
+  // is active (they all hold the shared side), so the per-shard
+  // stores can be walked without their shard locks. No aggregate
+  // propagation: the expunged slots are outside the window, so their
+  // ring positions lazily reset on reuse.
+  size_t total = 0;
+  for (ReadingStore& store : stores_) {
+    const std::vector<Reading> expunged = store.ExpungeExpiredSlots(scheme_);
+    total += expunged.size();
+    for (const Reading& r : expunged) RemoveFromLeafCachedSet(r.sensor);
   }
-  maintenance_.readings_expunged += static_cast<int64_t>(expunged.size());
-  for (const Reading& r : expunged) RemoveFromLeafCachedSet(r.sensor);
+  maintenance_.readings_expunged += static_cast<int64_t>(total);
+  cached_total_.fetch_sub(total, std::memory_order_relaxed);
 }
 
 void ColrTree::AdvanceTo(TimeMs now) {
   // The window covers [now - stale_margin, now + t_max]: newest slot
   // at now + t_max, the rest of the capacity keeping recent history.
-  std::lock_guard<std::mutex> write_lock(write_mutex_);
   const SlotId needed = scheme_.SlotOf(now + t_max_ms_);
+  // Lock-free fast path: the head only moves forward, so a stale read
+  // at worst defers the roll to the next advance.
+  if (needed <= scheme_.newest()) return;
+  std::lock_guard<EpochLatch> epoch_lock(epoch_latch_);
   const int slid = scheme_.RollTo(needed);
   if (slid > 0) {
     ++maintenance_.rolls;
@@ -173,73 +205,156 @@ void ColrTree::AdvanceTo(TimeMs now) {
 }
 
 void ColrTree::TouchCached(SensorId sensor) {
-  std::unique_lock<std::shared_mutex> store_lock(store_mutex_);
-  store_.Touch(sensor);
+  if (sensor >= sensors_.size()) return;
+  const int leaf = leaf_of_sensor_[sensor];
+  if (leaf < 0) return;
+  // Store mutations follow the writer protocol: shared epoch (so
+  // rolls/expunges see a quiesced store) + the sensor's shard lock.
+  std::shared_lock<EpochLatch> epoch_lock(epoch_latch_);
+  std::unique_lock<std::shared_mutex> shard_lock(
+      shard_mutex_.For(ShardOf(leaf)));
+  StoreForLeaf(leaf).Touch(sensor);
 }
 
 size_t ColrTree::CachedReadingCount() const {
-  std::shared_lock<std::shared_mutex> store_lock(store_mutex_);
-  return store_.size();
+  return cached_total_.load(std::memory_order_acquire);
 }
 
 void ColrTree::InsertReading(const Reading& reading) {
   if (reading.sensor >= sensors_.size()) return;
-  std::lock_guard<std::mutex> write_lock(write_mutex_);
   const SlotId slot = scheme_.SlotOf(reading.expiry);
-  const int slid = scheme_.RollTo(slot);
-  if (slid > 0) {
-    ++maintenance_.rolls;
-    maintenance_.slots_rolled += slid;
-    ExpungeAfterRoll();
+
+  if (slot > scheme_.newest()) {
+    // Roll trigger: the reading's expiry lies beyond the newest slot,
+    // so the window must slide first. Rolls take the exclusive epoch
+    // (no writer holds its shared side), keeping the expunge cascade
+    // serialized exactly as before. Rare: at most one insert per slot
+    // width pays this.
+    std::lock_guard<EpochLatch> epoch_lock(epoch_latch_);
+    const int slid = scheme_.RollTo(slot);
+    if (slid > 0) {
+      ++maintenance_.rolls;
+      maintenance_.slots_rolled += slid;
+      ExpungeAfterRoll();
+    }
   }
+
+  // Shared epoch: the window head is frozen for the rest of the
+  // insert (rolls need the exclusive side), so every InWindow /
+  // oldest() test below is stable.
+  std::shared_lock<EpochLatch> epoch_lock(epoch_latch_);
   if (slot < scheme_.oldest()) {
     // Late arrival: the reading's expiry slot slid out of the window
-    // before this insert acquired the write mutex (RollTo above was a
-    // no-op — the window only moves forward). Storing it would place a
-    // dead reading in the store, and propagating it would re-tag ring
-    // positions that in-window slots own. Drop it and count it.
+    // before this insert pinned the epoch (the roll above only moves
+    // the window forward). Storing it would place a dead reading in
+    // the store, and propagating it would re-tag ring positions that
+    // in-window slots own. Drop it and count it.
     ++maintenance_.late_readings_dropped;
     return;
   }
   const int leaf = leaf_of_sensor_[reading.sensor];
   if (leaf < 0) return;
 
-  // Replacement: remove the old reading from both the store and the
-  // aggregates *before* inserting the new one, so that a min/max
-  // recompute triggered by the removal never observes the new value.
-  bool had_old = false;
-  Reading old_copy;
   {
-    std::unique_lock<std::shared_mutex> store_lock(store_mutex_);
-    if (const Reading* old = store_.Get(reading.sensor); old != nullptr) {
-      old_copy = *old;
-      had_old = true;
-      store_.Erase(reading.sensor);
+    // All cache mutation below the root region happens under this
+    // leaf's shard lock; inserts into other shards proceed in
+    // parallel.
+    std::unique_lock<std::shared_mutex> shard_lock(
+        shard_mutex_.For(ShardOf(leaf)));
+
+    // The shard's own store needs no further lock — this shard lock
+    // serializes all its mutators. Its content may lead the aggregates
+    // within this shard-locked region: recomputes read the
+    // leaf-resident table, and eviction re-resolves its candidate
+    // under this shard's lock.
+    ReadingStore::InsertOutcome outcome =
+        StoreForLeaf(leaf).InsertWithoutEviction(scheme_, reading);
+    if (!outcome.replaced) {
+      cached_total_.fetch_add(1, std::memory_order_release);
     }
-  }
-  if (had_old) {
-    const SlotId old_slot = scheme_.SlotOf(old_copy.expiry);
-    if (scheme_.InWindow(old_slot)) {
-      PropagateRemove(leaf, old_slot, old_copy.value);
+
+    // Replacement: remove the old reading from the leaf table and the
+    // aggregates *before* the new one lands in either, so that a
+    // min/max recompute triggered by the removal never observes the
+    // new value.
+    if (outcome.replaced) {
+      {
+        std::unique_lock<std::shared_mutex> node_lock(node_mutex_.For(leaf));
+        nodes_[leaf].cached_readings.erase(reading.sensor);
+      }
+      const SlotId old_slot = scheme_.SlotOf(outcome.old_reading.expiry);
+      if (scheme_.InWindow(old_slot)) {
+        PropagateRemove(leaf, old_slot, outcome.old_reading.value);
+      }
     }
+
+    {
+      std::unique_lock<std::shared_mutex> node_lock(node_mutex_.For(leaf));
+      nodes_[leaf].cached_readings[reading.sensor] = reading;
+      if (!outcome.replaced) {
+        nodes_[leaf].cached_sensors.push_back(reading.sensor);
+      }
+    }
+    PropagateAdd(leaf, slot, reading.value);
   }
 
-  ReadingStore::InsertOutcome outcome;
-  {
-    std::unique_lock<std::shared_mutex> store_lock(store_mutex_);
-    outcome = store_.Insert(scheme_, reading);
-  }
-  if (!had_old) {
-    std::unique_lock<std::shared_mutex> node_lock(node_mutex_.For(leaf));
-    nodes_[leaf].cached_sensors.push_back(reading.sensor);
-  }
-  PropagateAdd(leaf, slot, reading.value);
+  // Capacity enforcement runs after our own shard lock is released:
+  // the victim may live in any shard, and its removal must be done
+  // under *that* shard's lock (one shard stripe at a time, so shard
+  // acquisition can never deadlock).
+  EnforceCacheCapacity(reading.sensor);
+}
 
-  maintenance_.readings_evicted +=
-      static_cast<int64_t>(outcome.evicted.size());
-  for (const Reading& victim : outcome.evicted) {
-    const int vleaf = leaf_of_sensor_[victim.sensor];
+void ColrTree::EnforceCacheCapacity(SensorId protect) {
+  const size_t capacity = options_.cache_capacity;
+  if (capacity == 0) return;
+  // Lock-free fast path. cached_total_ already reflects this thread's
+  // own insert; if some concurrent insert pushes the cache over
+  // capacity after this read, that writer's own enforcement pass sees
+  // the overshoot — at quiescence the last mutation's count has been
+  // observed by the thread that made it, so the constraint holds.
+  while (cached_total_.load(std::memory_order_acquire) > capacity) {
+    // Peek phase: the global least-recently-fetched entry in the
+    // oldest occupied slot is the (slot, seq)-minimum over the
+    // per-shard candidates, because every store stamps fetches from
+    // the shared sequence. One shard stripe held at a time (shared),
+    // so the scan cannot deadlock with writers or other evictors.
+    std::optional<ReadingStore::EvictionCandidate> best;
+    size_t best_store = 0;
+    for (size_t s = 0; s < stores_.size(); ++s) {
+      std::shared_lock<std::shared_mutex> peek_lock(
+          shard_mutex_.For(shard_node_of_store_[s]));
+      std::optional<ReadingStore::EvictionCandidate> cand =
+          stores_[s].PeekEvictionCandidateInfo(protect);
+      if (cand && (!best || cand->slot < best->slot ||
+                   (cand->slot == best->slot && cand->seq < best->seq))) {
+        best = cand;
+        best_store = s;
+      }
+    }
+    if (!best) return;  // only `protect` remains cached
+    // Evict under the victim's shard lock: the erase and the aggregate
+    // undo must be atomic with respect to that shard's own writers,
+    // whose slot recomputes read the leaf tables and would otherwise
+    // observe the erase before the undo (double-removing the victim's
+    // value). Re-resolve locally under the lock; checking *global*
+    // minimality again would need other shards' locks (deadlock), and
+    // local re-resolution suffices: if the shard still offers the same
+    // sensor, erasing it keeps the cache moving toward capacity.
+    std::unique_lock<std::shared_mutex> shard_lock(
+        shard_mutex_.For(shard_node_of_store_[best_store]));
+    if (cached_total_.load(std::memory_order_acquire) <= capacity) return;
+    std::optional<ReadingStore::EvictionCandidate> cand =
+        stores_[best_store].PeekEvictionCandidateInfo(protect);
+    if (!cand || cand->reading.sensor != best->reading.sensor) {
+      continue;  // the shard moved on since the peek; rescan
+    }
+    const Reading victim = cand->reading;
+    stores_[best_store].Erase(victim.sensor);
+    cached_total_.fetch_sub(1, std::memory_order_release);
+    ++maintenance_.readings_evicted;
     RemoveFromLeafCachedSet(victim.sensor);
+    const int vleaf = leaf_of_sensor_[victim.sensor];
     const SlotId vslot = scheme_.SlotOf(victim.expiry);
     if (vleaf >= 0 && scheme_.InWindow(vslot)) {
       PropagateRemove(vleaf, vslot, victim.value);
@@ -248,20 +363,35 @@ void ColrTree::InsertReading(const Reading& reading) {
 }
 
 void ColrTree::PropagateAdd(int leaf_id, SlotId slot, double value) {
-  for (int n = leaf_id; n >= 0; n = nodes_[n].parent) {
+  int n = leaf_id;
+  for (; n >= 0 && nodes_[n].level > shard_level_; n = nodes_[n].parent) {
+    std::unique_lock<std::shared_mutex> node_lock(node_mutex_.For(n));
+    nodes_[n].cache.Add(scheme_, slot, value);
+  }
+  // Root region: the shard node and its ancestors are shared by every
+  // shard, so this short tail (at most shard_level_ + 1 ring updates)
+  // merges under root_mutex_.
+  std::lock_guard<SpinMutex> root_lock(root_mutex_);
+  for (; n >= 0; n = nodes_[n].parent) {
     std::unique_lock<std::shared_mutex> node_lock(node_mutex_.For(n));
     nodes_[n].cache.Add(scheme_, slot, value);
   }
 }
 
 Aggregate ColrTree::LeafSlotAggregate(int leaf_id, SlotId slot) const {
+  // Reads the leaf-resident table, not the store: the gather runs
+  // entirely under this leaf's stripe (whose mutators all hold the
+  // caller's shard lock), keeping the recompute cascade off the
+  // global store lock. Iterate in cached_sensors order so the
+  // floating-point accumulation order matches the sequential build.
   Aggregate agg;
   std::shared_lock<std::shared_mutex> node_lock(node_mutex_.For(leaf_id));
-  std::shared_lock<std::shared_mutex> store_lock(store_mutex_);
-  for (SensorId sid : nodes_[leaf_id].cached_sensors) {
-    const Reading* r = store_.Get(sid);
-    if (r != nullptr && scheme_.SlotOf(r->expiry) == slot) {
-      agg.Add(r->value);
+  const Node& n = nodes_[leaf_id];
+  for (SensorId sid : n.cached_sensors) {
+    auto it = n.cached_readings.find(sid);
+    if (it != n.cached_readings.end() &&
+        scheme_.SlotOf(it->second.expiry) == slot) {
+      agg.Add(it->second.value);
     }
   }
   return agg;
@@ -270,21 +400,41 @@ Aggregate ColrTree::LeafSlotAggregate(int leaf_id, SlotId slot) const {
 void ColrTree::RecomputeSlotFromChildren(int node_id, SlotId slot) {
   ++maintenance_.slot_recomputes;
   const Node& n = nodes_[node_id];
-  Aggregate agg;
-  if (n.IsLeaf()) {
-    agg = LeafSlotAggregate(node_id, slot);
-  } else {
-    for (int c : n.children) {
-      std::shared_lock<std::shared_mutex> child_lock(node_mutex_.For(c));
-      agg.Merge(nodes_[c].cache.Get(scheme_, slot));
+  // The caller's lock domain already makes the child snapshot stable:
+  // below the shard node every mutator of the children holds this
+  // shard's lock; at and above it, root_mutex_. The version-tag
+  // validation is defense in depth — if any interleaving slips a
+  // concurrent mutation of this slot between the snapshot and the
+  // overwrite, the Set is abandoned and the gather retried instead of
+  // silently losing that writer's delta.
+  for (;;) {
+    uint64_t version;
+    {
+      std::shared_lock<std::shared_mutex> node_lock(node_mutex_.For(node_id));
+      version = n.cache.SlotVersion(scheme_, slot);
     }
+    Aggregate agg;
+    if (n.IsLeaf()) {
+      agg = LeafSlotAggregate(node_id, slot);
+    } else {
+      for (int c : n.children) {
+        std::shared_lock<std::shared_mutex> child_lock(node_mutex_.For(c));
+        agg.Merge(nodes_[c].cache.Get(scheme_, slot));
+      }
+    }
+    {
+      std::unique_lock<std::shared_mutex> node_lock(node_mutex_.For(node_id));
+      if (nodes_[node_id].cache.SlotVersion(scheme_, slot) == version) {
+        nodes_[node_id].cache.Set(scheme_, slot, agg);
+        return;
+      }
+    }
+    ++maintenance_.slot_recompute_retries;
   }
-  std::unique_lock<std::shared_mutex> node_lock(node_mutex_.For(node_id));
-  nodes_[node_id].cache.Set(scheme_, slot, agg);
 }
 
 void ColrTree::PropagateRemove(int leaf_id, SlotId slot, double value) {
-  for (int n = leaf_id; n >= 0; n = nodes_[n].parent) {
+  const auto remove_at = [&](int n) {
     bool invertible;
     {
       std::unique_lock<std::shared_mutex> node_lock(node_mutex_.For(n));
@@ -296,6 +446,19 @@ void ColrTree::PropagateRemove(int leaf_id, SlotId slot, double value) {
       // (the slot-update trigger cascade).
       RecomputeSlotFromChildren(n, slot);
     }
+  };
+  int n = leaf_id;
+  for (; n >= 0 && nodes_[n].level > shard_level_; n = nodes_[n].parent) {
+    remove_at(n);
+  }
+  // Root region: same split as PropagateAdd. Holding root_mutex_ here
+  // is also what makes the recompute sound — the children of any
+  // root-region node are themselves mutated only under root_mutex_
+  // (or, for the shard node's children, under this shard's lock,
+  // which the caller already holds).
+  std::lock_guard<SpinMutex> root_lock(root_mutex_);
+  for (; n >= 0; n = nodes_[n].parent) {
+    remove_at(n);
   }
 }
 
@@ -303,6 +466,7 @@ void ColrTree::RemoveFromLeafCachedSet(SensorId sensor) {
   const int leaf = leaf_of_sensor_[sensor];
   if (leaf < 0) return;
   std::unique_lock<std::shared_mutex> node_lock(node_mutex_.For(leaf));
+  nodes_[leaf].cached_readings.erase(sensor);
   auto& set = nodes_[leaf].cached_sensors;
   for (size_t i = 0; i < set.size(); ++i) {
     if (set[i] == sensor) {
@@ -336,23 +500,23 @@ ColrTree::CacheLookup ColrTree::LookupCache(int node_id, TimeMs now,
     // §IV-B leaf refinement) or slot-aligned.
     const SlotId qslot = QuerySlot(n, now, staleness_ms);
     std::shared_lock<std::shared_mutex> node_lock(node_mutex_.For(node_id));
-    std::shared_lock<std::shared_mutex> store_lock(store_mutex_);
     for (SensorId sid : n.cached_sensors) {
-      const Reading* r = store_.Get(sid);
-      if (r == nullptr) continue;
+      auto it = n.cached_readings.find(sid);
+      if (it == n.cached_readings.end()) continue;
+      const Reading& r = it->second;
       if (rule == FreshnessRule::kExact) {
-        if (!r->ValidAt(now - staleness_ms)) continue;
+        if (!r.ValidAt(now - staleness_ms)) continue;
       } else {
-        const SlotId slot = scheme_.SlotOf(r->expiry);
+        const SlotId slot = scheme_.SlotOf(r.expiry);
         if (slot <= qslot || !scheme_.InWindow(slot)) continue;
       }
       if (region_filter != nullptr &&
           !region_filter->Contains(sensors_[sid].location)) {
         continue;
       }
-      out.agg.Add(r->value);
+      out.agg.Add(r.value);
       out.used_sensors.push_back(sid);
-      out.used_readings.push_back(*r);
+      out.used_readings.push_back(r);
     }
     return out;
   }
@@ -368,10 +532,10 @@ int64_t ColrTree::CachedCount(int node_id, TimeMs now,
   if (n.IsLeaf()) {
     int64_t c = 0;
     std::shared_lock<std::shared_mutex> node_lock(node_mutex_.For(node_id));
-    std::shared_lock<std::shared_mutex> store_lock(store_mutex_);
     for (SensorId sid : n.cached_sensors) {
-      const Reading* r = store_.Get(sid);
-      if (r != nullptr && r->ValidAt(now - staleness_ms)) {
+      auto it = n.cached_readings.find(sid);
+      if (it != n.cached_readings.end() &&
+          it->second.ValidAt(now - staleness_ms)) {
         ++c;
       }
     }
@@ -382,32 +546,78 @@ int64_t ColrTree::CachedCount(int node_id, TimeMs now,
 }
 
 std::optional<Reading> ColrTree::CachedReading(SensorId sensor) const {
-  std::shared_lock<std::shared_mutex> store_lock(store_mutex_);
-  const Reading* r = store_.Get(sensor);
-  if (r == nullptr) return std::nullopt;
-  return *r;
+  if (sensor >= sensors_.size()) return std::nullopt;
+  const int leaf = leaf_of_sensor_[sensor];
+  if (leaf < 0) return std::nullopt;
+  std::shared_lock<std::shared_mutex> node_lock(node_mutex_.For(leaf));
+  const auto& readings = nodes_[leaf].cached_readings;
+  auto it = readings.find(sensor);
+  if (it == readings.end()) return std::nullopt;
+  return it->second;
 }
 
 bool ColrTree::CachedInNewerSlot(SensorId sensor, SlotId query_slot) const {
-  std::shared_lock<std::shared_mutex> store_lock(store_mutex_);
-  const Reading* r = store_.Get(sensor);
-  if (r == nullptr) return false;
-  const SlotId slot = scheme_.SlotOf(r->expiry);
+  if (sensor >= sensors_.size()) return false;
+  const int leaf = leaf_of_sensor_[sensor];
+  if (leaf < 0) return false;
+  std::shared_lock<std::shared_mutex> node_lock(node_mutex_.For(leaf));
+  const auto& readings = nodes_[leaf].cached_readings;
+  auto it = readings.find(sensor);
+  if (it == readings.end()) return false;
+  const SlotId slot = scheme_.SlotOf(it->second.expiry);
   return slot > query_slot && scheme_.InWindow(slot);
 }
 
 Status ColrTree::CheckCacheConsistency() const {
   // For every node and every in-window slot, the cached aggregate must
   // equal the aggregate recomputed from raw cached readings under the
-  // node. Serialized against writers so the snapshot is coherent.
-  std::lock_guard<std::mutex> write_lock(write_mutex_);
-  std::shared_lock<std::shared_mutex> store_lock(store_mutex_);
+  // node. The exclusive epoch drains every in-flight writer (they all
+  // hold the shared side), so the snapshot is coherent.
+  std::lock_guard<EpochLatch> epoch_lock(epoch_latch_);
+  // The exclusive epoch also drains every store mutator, so the
+  // per-shard stores can be read without their shard locks. Each
+  // sensor's reading lives in its own shard's store.
+  const auto stored = [this](SensorId sid) -> const Reading* {
+    const int leaf = leaf_of_sensor_[sid];
+    return leaf < 0 ? nullptr : StoreForLeaf(leaf).Get(sid);
+  };
+  // The leaf-resident reading tables must mirror the stores exactly:
+  // same membership (via cached_sensors) and same reading per sensor.
+  size_t leaf_total = 0;
+  for (size_t id = 0; id < nodes_.size(); ++id) {
+    const Node& n = nodes_[id];
+    if (!n.IsLeaf()) continue;
+    if (n.cached_readings.size() != n.cached_sensors.size()) {
+      return Status::Internal(
+          "leaf reading table size diverges from cached-sensor set at "
+          "leaf " +
+          std::to_string(id));
+    }
+    leaf_total += n.cached_readings.size();
+    for (SensorId sid : n.cached_sensors) {
+      auto it = n.cached_readings.find(sid);
+      const Reading* r = stored(sid);
+      if (it == n.cached_readings.end() || r == nullptr ||
+          r->value != it->second.value || r->expiry != it->second.expiry) {
+        return Status::Internal(
+            "leaf reading table diverges from store at leaf " +
+            std::to_string(id) + " sensor " + std::to_string(sid));
+      }
+    }
+  }
+  size_t store_total = 0;
+  for (const ReadingStore& store : stores_) store_total += store.size();
+  if (leaf_total != store_total ||
+      store_total != cached_total_.load(std::memory_order_acquire)) {
+    return Status::Internal(
+        "store totals diverge from leaf tables or the cached count");
+  }
   for (size_t id = 0; id < nodes_.size(); ++id) {
     const Node& n = nodes_[id];
     for (SlotId s = scheme_.oldest(); s <= scheme_.newest(); ++s) {
       Aggregate expected;
       for (int j = n.item_begin; j < n.item_end; ++j) {
-        const Reading* r = store_.Get(sensor_order_[j]);
+        const Reading* r = stored(sensor_order_[j]);
         if (r != nullptr && scheme_.SlotOf(r->expiry) == s) {
           expected.Add(r->value);
         }

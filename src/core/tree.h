@@ -5,6 +5,7 @@
 #include <mutex>
 #include <optional>
 #include <shared_mutex>
+#include <unordered_map>
 #include <vector>
 
 #include "cluster/cluster_tree.h"
@@ -33,18 +34,42 @@ namespace colr {
 /// Thread safety (full lock hierarchy in DESIGN.md "Concurrency
 /// model"): the tree structure (topology, bboxes, item ranges, the
 /// sensor catalog) is immutable after construction and read lock-free.
-/// Mutable cache state is protected at three levels —
-///   1. write_mutex_ serializes whole cache mutations (InsertReading,
-///      AdvanceTo), so the propagation triggers retain their exact
-///      sequential semantics;
-///   2. a striped per-node lock table guards each node's slot cache
-///      and cached-sensor set, letting concurrent queries read nodes
-///      the writer is not currently touching;
-///   3. store_mutex_ guards the shared raw-reading store.
+/// Mutable cache state is protected by an epoch-versioned, subtree-
+/// sharded write protocol, acquired strictly in this order —
+///   1. epoch_latch_: writers (InsertReading) hold it shared, so the
+///      slot-window head is frozen for the duration of an insert;
+///      window rolls/expunges (AdvanceTo, the insert-side roll
+///      trigger) and whole-tree audits (CheckCacheConsistency) hold
+///      it exclusive and advance the epoch;
+///   2. shard_mutex_: a striped writer lock keyed by the leaf's
+///      ancestor at writer_shard_level (the "shard node"). Inserts
+///      whose leaf-to-root paths diverge below the shard level
+///      proceed fully concurrently;
+///   3. root_mutex_: the shard node and its ancestors are shared by
+///      every shard, so that top path segment (at most
+///      writer_shard_level + 1 ring updates) merges under one short
+///      critical section — it also makes the non-invertible min/max
+///      recompute safe, because a recompute at any root-region node
+///      holds the lock that covers all mutators of its children;
+///   4. node_mutex_ (innermost): striped per-node locks guarding each
+///      node's slot cache, cached-sensor set and leaf-resident reading
+///      table (held one at a time), letting concurrent queries read
+///      nodes a writer is not touching.
+/// There is no global store lock: the raw-reading store is sharded
+/// the same way as the writers — each shard's ReadingStore is guarded
+/// by that shard's stripe in shard_mutex_, which the insert path
+/// already holds, so an insert performs zero global lock
+/// acquisitions. A shared atomic fetch-sequence stamp totally orders
+/// fetches across shards, and capacity eviction picks the global
+/// least-recently-fetched victim by comparing per-shard candidates by
+/// (slot, seq) — the exact order the former single store evicted in.
+/// Per-slot version tags (AggregateSlotCache::SlotVersion) additionally
+/// validate recompute-from-children against concurrent slot mutation,
+/// turning any protocol gap into a retry instead of a lost update.
 /// Node mean availability and the slot-window head are single atomic
-/// words. Query threads must use the copying accessors (LookupCache,
-/// CachedReading, ...); the raw store() reference is for
-/// single-threaded tests and tools only.
+/// words. All threads (including tests) read cached readings through
+/// the copying accessors (LookupCache, CachedReading, ...); the
+/// per-shard stores are internal.
 class ColrTree {
  public:
   struct Options {
@@ -61,6 +86,14 @@ class ColrTree {
     TimeMs stale_margin_ms = -1;
     /// Raw-reading cache capacity (number of readings); 0 = unbounded.
     size_t cache_capacity = 0;
+    /// Level of the "shard node" partitioning concurrent writers:
+    /// inserts lock only their leaf's ancestor at this level (plus the
+    /// short root-region critical section above it). -1 = auto (level
+    /// 1 — the root's children — which maximizes the concurrent
+    /// portion of the propagation path); 0 = a single shard, i.e.
+    /// writers fully serialized (the pre-sharding behavior, kept as
+    /// the baseline mode for writer-scaling benchmarks).
+    int writer_shard_level = -1;
   };
 
   struct Node {
@@ -85,6 +118,14 @@ class ColrTree {
     /// Leaf only: sensors with a currently cached reading. Guarded by
     /// the node's stripe in node_mutex_.
     std::vector<SensorId> cached_sensors;
+    /// Leaf only: the cached reading per sensor — the leaf-resident
+    /// mirror of the ReadingStore's entries for this leaf, guarded by
+    /// the node's stripe. Slot recomputes and leaf lookups read this
+    /// table instead of the store, so the hot read paths stay inside
+    /// the shard's own lock domain and never touch the global
+    /// store_mutex_ (which is left guarding only the cross-shard
+    /// eviction/expunge order).
+    std::unordered_map<SensorId, Reading> cached_readings;
 
     bool IsLeaf() const { return children.empty(); }
     int Weight() const { return item_end - item_begin; }
@@ -120,11 +161,6 @@ class ColrTree {
   /// Maximum sensor expiry period (resolved from options or sensors).
   TimeMs t_max_ms() const { return t_max_ms_; }
   const Options& options() const { return options_; }
-  /// Raw store reference for single-threaded tests/tools. Concurrent
-  /// callers must use CachedReading()/CachedReadingCount() instead:
-  /// pointers returned by store().Get() are not stable under
-  /// concurrent inserts and evictions.
-  const ReadingStore& store() const { return store_; }
 
   /// Exact number of sensors inside `region` (the "ideal result set
   /// size" used to bin queries in Fig. 3).
@@ -155,7 +191,8 @@ class ColrTree {
   /// slot already slid out of the window (late arrival after a
   /// concurrent roll) is dropped and counted — caching it would both
   /// be useless (no query can admit it) and corrupt the ring caches.
-  /// Thread-safe; mutations are serialized on write_mutex_.
+  /// Thread-safe; inserts into disjoint writer shards run
+  /// concurrently (see the class comment's lock hierarchy).
   void InsertReading(const Reading& reading);
 
   /// Advances the window so it covers `now` .. `now + t_max` and
@@ -186,8 +223,21 @@ class ColrTree {
     /// Non-invertible removals that forced a slot recompute from
     /// children (the cache-table recompute cascade).
     AtomicCounter<int64_t> slot_recomputes = 0;
+    /// Recomputes whose version-tag validation failed and retried —
+    /// expected to stay 0 (the shard/root lock domains make child
+    /// snapshots stable); any nonzero value flags a protocol gap the
+    /// version tags absorbed.
+    AtomicCounter<int64_t> slot_recompute_retries = 0;
   };
   const MaintenanceCounters& maintenance() const { return maintenance_; }
+
+  /// Resolved writer-sharding level (Options::writer_shard_level with
+  /// -1 resolved against the built tree's height).
+  int writer_shard_level() const { return shard_level_; }
+
+  /// Number of completed exclusive write epochs (window rolls,
+  /// consistency audits). Advances at least once per roll.
+  uint64_t write_epoch() const { return epoch_latch_.epoch(); }
 
   // ---- Cache lookup -----------------------------------------------------
 
@@ -209,8 +259,8 @@ class ColrTree {
     /// internal lookups report counts via agg.count).
     std::vector<SensorId> used_sensors;
     /// The used readings themselves, aligned with used_sensors —
-    /// copied out under the store lock so callers never dereference
-    /// store pointers outside it.
+    /// copied out under the leaf's stripe so callers never hold
+    /// references into the leaf-resident reading table.
     std::vector<Reading> used_readings;
   };
   /// How leaf entries are admitted against the freshness bound.
@@ -250,6 +300,22 @@ class ColrTree {
 
  private:
   void ExpungeAfterRoll();
+  /// Shard node (lock key into shard_mutex_) for a leaf's write path.
+  int ShardOf(int leaf_id) const {
+    return AncestorAtLevel(leaf_id, shard_level_);
+  }
+  /// The shard-local reading store for a leaf's sensors. Guarded by
+  /// the shard's stripe in shard_mutex_.
+  ReadingStore& StoreForLeaf(int leaf_id) {
+    return stores_[static_cast<size_t>(store_index_of_node_[ShardOf(leaf_id)])];
+  }
+  const ReadingStore& StoreForLeaf(int leaf_id) const {
+    return stores_[static_cast<size_t>(store_index_of_node_[ShardOf(leaf_id)])];
+  }
+  /// Evicts store entries until the capacity constraint holds, each
+  /// under the *victim's* shard lock. Caller must hold the shared
+  /// epoch and no shard lock. `protect` is never evicted.
+  void EnforceCacheCapacity(SensorId protect);
   void PropagateAdd(int leaf_id, SlotId slot, double value);
   void PropagateRemove(int leaf_id, SlotId slot, double value);
   void RecomputeSlotFromChildren(int node_id, SlotId slot);
@@ -266,15 +332,39 @@ class ColrTree {
   int height_ = 0;
   TimeMs t_max_ms_ = 0;
   SlotScheme scheme_;
-  ReadingStore store_;
+  /// One ReadingStore per writer shard, each guarded by its shard's
+  /// stripe in shard_mutex_ and sharing fetch_seq_ so eviction order
+  /// is globally exact. Individual stores are unbounded; the tree
+  /// enforces options_.cache_capacity across all of them
+  /// (EnforceCacheCapacity), tracking the total entry count in
+  /// cached_total_.
+  std::vector<ReadingStore> stores_;
+  /// Shard node id of each store in stores_ (lock key).
+  std::vector<int> shard_node_of_store_;
+  /// node id -> index into stores_ (-1 for non-shard nodes).
+  std::vector<int> store_index_of_node_;
+  /// Fetch-sequence source shared by all per-shard stores.
+  std::atomic<uint64_t> fetch_seq_{0};
+  /// Total readings cached across all shards.
+  std::atomic<size_t> cached_total_{0};
 
-  /// Serializes cache mutations (level 1 of the lock hierarchy).
-  mutable std::mutex write_mutex_;
-  /// Per-node stripe locks (level 2). A thread holds at most one
-  /// stripe, except the serialized writer during slot recomputes.
+  /// Resolved Options::writer_shard_level.
+  int shard_level_ = 0;
+  /// Level 1 of the lock hierarchy: shared by writers (freezes the
+  /// window head for the duration of an insert), exclusive for rolls,
+  /// expunges and consistency audits.
+  mutable EpochLatch epoch_latch_;
+  /// Level 2: per-shard writer locks, keyed by the shard node id.
+  /// A thread holds at most one shard stripe at a time.
+  mutable StripedMutex shard_mutex_;
+  /// Level 3: serializes mutation of the root region (the shard node
+  /// and its ancestors), which every shard's propagation path shares.
+  /// A SpinMutex: the section is two ring-buffer updates (plus a rare
+  /// recompute), far below the cost of a contended futex handoff.
+  mutable SpinMutex root_mutex_;
+  /// Level 4 (innermost): per-node stripe locks. A thread holds at
+  /// most one stripe at a time.
   mutable StripedMutex node_mutex_;
-  /// Guards the shared ReadingStore (level 3, innermost).
-  mutable std::shared_mutex store_mutex_;
   MaintenanceCounters maintenance_;
 };
 

@@ -51,6 +51,27 @@ double Percentile(const std::vector<double>& sorted, double p) {
   return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
 }
 
+/// Per-run counter deltas: `after - before`, so a warm-started tree's
+/// lifetime totals don't leak into the report.
+ColrTree::MaintenanceCounters CounterDelta(
+    const ColrTree::MaintenanceCounters& after,
+    const ColrTree::MaintenanceCounters& before) {
+  ColrTree::MaintenanceCounters d;
+  d.rolls = after.rolls.load() - before.rolls.load();
+  d.slots_rolled = after.slots_rolled.load() - before.slots_rolled.load();
+  d.readings_expunged =
+      after.readings_expunged.load() - before.readings_expunged.load();
+  d.readings_evicted =
+      after.readings_evicted.load() - before.readings_evicted.load();
+  d.late_readings_dropped = after.late_readings_dropped.load() -
+                            before.late_readings_dropped.load();
+  d.slot_recomputes =
+      after.slot_recomputes.load() - before.slot_recomputes.load();
+  d.slot_recompute_retries = after.slot_recompute_retries.load() -
+                             before.slot_recompute_retries.load();
+  return d;
+}
+
 }  // namespace
 
 TimedReplayReport RunTimedReplay(portal::SensorPortal& portal,
@@ -77,6 +98,12 @@ TimedReplayReport RunTimedReplay(portal::SensorPortal& portal,
   const std::vector<std::string> texts =
       BuildQueryTexts(workload, options, count);
 
+  // Snapshot the tree's lifetime maintenance counters so the report
+  // covers only what *this run* did (a warm-started tree keeps its
+  // history).
+  const ColrTree::MaintenanceCounters maintenance_before =
+      tree.maintenance();
+
   // Align the window to the trace start before any thread launches,
   // then let time move at the requested rate.
   clock.Restart(trace_start, options.speedup);
@@ -89,14 +116,19 @@ TimedReplayReport RunTimedReplay(portal::SensorPortal& portal,
   std::atomic<int64_t> probes{0};
   std::atomic<int64_t> inserts{0};
 
-  // Collector: the portal's background ingestion loop. Each tick rolls
-  // the window to the current replay time, probes the next round-robin
-  // chunk of the catalog and inserts whatever answered — so rolls,
-  // expunges and slot updates happen *while* query streams traverse.
-  std::thread collector([&] {
-    const size_t num_sensors = network.size();
+  // Collectors: the portal's background ingestion loop. Each tick
+  // rolls the window to the current replay time, probes the next
+  // round-robin chunk of the collector's catalog partition and inserts
+  // whatever answered — so rolls, expunges and slot updates happen
+  // *while* query streams traverse. With collector_threads > 1 the
+  // partitions ingest concurrently, exercising the tree's sharded
+  // write path.
+  const int collectors = std::max(1, options.collector_threads);
+  auto collector_fn = [&](size_t part_begin, size_t part_end) {
+    const size_t part_size = part_end - part_begin;
+    if (part_size == 0) return;
     const size_t chunk =
-        std::min<size_t>(std::max(1, options.probes_per_tick), num_sensors);
+        std::min<size_t>(std::max(1, options.probes_per_tick), part_size);
     const double tick_wall_ms =
         static_cast<double>(std::max<TimeMs>(1, options.collector_interval_ms)) /
         clock.speedup();
@@ -105,8 +137,8 @@ TimedReplayReport RunTimedReplay(portal::SensorPortal& portal,
     while (!done.load(std::memory_order_acquire)) {
       tree.AdvanceTo(clock.NowMs());
       for (size_t i = 0; i < chunk; ++i) {
-        batch[i] = static_cast<SensorId>(cursor);
-        cursor = (cursor + 1) % num_sensors;
+        batch[i] = static_cast<SensorId>(part_begin + cursor);
+        cursor = (cursor + 1) % part_size;
       }
       SensorNetwork::BatchResult res = network.ProbeBatch(batch);
       for (const Reading& r : res.readings) tree.InsertReading(r);
@@ -120,7 +152,17 @@ TimedReplayReport RunTimedReplay(portal::SensorPortal& portal,
           lock, std::chrono::duration<double, std::milli>(tick_wall_ms),
           [&] { return done.load(std::memory_order_acquire); });
     }
-  });
+  };
+  std::vector<std::thread> collector_threads;
+  collector_threads.reserve(static_cast<size_t>(collectors));
+  const size_t num_sensors = network.size();
+  for (int c = 0; c < collectors; ++c) {
+    const size_t begin = num_sensors * static_cast<size_t>(c) /
+                         static_cast<size_t>(collectors);
+    const size_t end = num_sensors * static_cast<size_t>(c + 1) /
+                       static_cast<size_t>(collectors);
+    collector_threads.emplace_back(collector_fn, begin, end);
+  }
 
   // Query streams: shared cursor over the trace; each query sleeps
   // until the replay clock reaches its arrival time, then executes
@@ -157,7 +199,7 @@ TimedReplayReport RunTimedReplay(portal::SensorPortal& portal,
     done.store(true, std::memory_order_release);
   }
   done_cv.notify_all();
-  collector.join();
+  for (std::thread& t : collector_threads) t.join();
   // Quiescence: one final roll to the current replay time so the
   // caller's CheckCacheConsistency() sees a settled window.
   tree.AdvanceTo(clock.NowMs());
@@ -175,7 +217,12 @@ TimedReplayReport RunTimedReplay(portal::SensorPortal& portal,
   report.collector_ticks = ticks.load();
   report.collector_probes = probes.load();
   report.collector_inserts = inserts.load();
-  report.maintenance = tree.maintenance();
+  report.inserts_per_sec =
+      report.wall_ms > 0.0
+          ? static_cast<double>(report.collector_inserts) * 1000.0 /
+                report.wall_ms
+          : 0.0;
+  report.maintenance = CounterDelta(tree.maintenance(), maintenance_before);
   const TimeMs t_max = tree.t_max_ms();
   if (t_max > 0 && report.trace_span_ms > 0) {
     report.rolls_per_tmax =

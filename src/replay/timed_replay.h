@@ -36,7 +36,13 @@ struct TimedReplayOptions {
   int streams = 4;
   /// Trace time between collector ticks (probe + insert + AdvanceTo).
   TimeMs collector_interval_ms = 30 * kMsPerSecond;
-  /// Sensors probed per collector tick (round-robin over the catalog).
+  /// Concurrent collector threads. Each owns a contiguous partition of
+  /// the sensor catalog and round-robins within it — the multi-
+  /// collector regime whose InsertReading calls exercise the tree's
+  /// sharded write path.
+  int collector_threads = 1;
+  /// Sensors probed per collector tick (round-robin over the
+  /// collector's partition; per thread when collector_threads > 1).
   int probes_per_tick = 64;
   /// Freshness bound applied to every replayed query.
   TimeMs staleness_ms = 5 * kMsPerMinute;
@@ -63,8 +69,12 @@ struct TimedReplayReport {
   int64_t collector_ticks = 0;
   int64_t collector_probes = 0;
   int64_t collector_inserts = 0;
-  /// Snapshot of the tree's maintenance counters after quiescence
-  /// (rolls, expunges, evictions, late drops, recomputes).
+  /// Collector insert throughput over the run's wall time.
+  double inserts_per_sec = 0.0;
+  /// The tree's maintenance counters accumulated *by this run*: the
+  /// difference between the post-quiescence counters and a snapshot
+  /// taken at replay start, so a warm-started (pre-rolled, pre-filled)
+  /// tree does not inflate rolls, expunges or rolls_per_tmax.
   ColrTree::MaintenanceCounters maintenance;
   /// Trace span covered by the replay (first to last query arrival).
   TimeMs trace_span_ms = 0;

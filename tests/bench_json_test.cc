@@ -336,5 +336,58 @@ TEST(BenchConfigTest, CitiesFlagParsed) {
   EXPECT_EQ(cfg.cities, 42);
 }
 
+// ---------------------------------------------------------------------------
+// Writer-scaling rows (concurrent_portal --writer-scaling --json)
+// ---------------------------------------------------------------------------
+
+TEST(WriterScalingJsonRowTest, RowParsesAndLabelsMode) {
+  const std::string sharded = WriterScalingJsonRow(
+      /*collector_threads=*/8, /*serialized=*/false, /*inserts=*/240000,
+      /*wall_ms=*/151.25, /*inserts_per_sec=*/1586776.8, /*rolls=*/7,
+      /*late_dropped=*/12, /*evicted=*/0, /*recomputes=*/71420,
+      /*consistent=*/true);
+  EXPECT_TRUE(IsValidJson(sharded)) << sharded;
+  EXPECT_NE(sharded.find("\"writer_mode\": \"sharded\""), std::string::npos);
+  EXPECT_NE(sharded.find("\"collector_threads\": 8"), std::string::npos);
+  EXPECT_NE(sharded.find("\"consistent\": 1"), std::string::npos);
+
+  const std::string serialized = WriterScalingJsonRow(
+      1, /*serialized=*/true, 30000, 0.0,
+      std::numeric_limits<double>::infinity(), 0, 0, 0, 0,
+      /*consistent=*/false);
+  EXPECT_TRUE(IsValidJson(serialized)) << serialized;
+  EXPECT_NE(serialized.find("\"writer_mode\": \"serialized\""),
+            std::string::npos);
+  EXPECT_NE(serialized.find("\"consistent\": 0"), std::string::npos);
+  // Non-finite throughput (zero wall time) must not leak "inf".
+  EXPECT_NE(serialized.find("\"inserts_per_sec\": null"), std::string::npos);
+}
+
+TEST(WriteJsonReportTest, WriterScalingReportParsesEndToEnd) {
+  char prog[] = "bench";
+  char json[] = "--json=writer_scaling_rows_test.json";
+  char* argv[] = {prog, json};
+  BenchConfig cfg = BenchConfig::FromArgs(2, argv);
+
+  std::vector<std::string> rows;
+  for (int threads : {1, 2, 4, 8}) {
+    for (bool serialized : {true, false}) {
+      rows.push_back(WriterScalingJsonRow(threads, serialized,
+                                          30000 * threads, 100.0 + threads,
+                                          300000.0 * threads, threads, 0, 5,
+                                          900 * threads, true));
+    }
+  }
+  WriteJsonReport(cfg, "writer_scaling", rows);
+
+  std::ifstream in(cfg.json_path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buf;
+  buf << in.rdbuf();
+  EXPECT_TRUE(IsValidJson(buf.str())) << buf.str();
+  EXPECT_NE(buf.str().find("writer_scaling"), std::string::npos);
+  std::remove(cfg.json_path.c_str());
+}
+
 }  // namespace
 }  // namespace colr::bench

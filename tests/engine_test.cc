@@ -424,6 +424,40 @@ TEST(EngineProbeAccountingTest, DuplicateIdsOfDeadSensorAllFail) {
 }
 
 // ---------------------------------------------------------------------------
+// Group emission for unreachable leaves.
+// ---------------------------------------------------------------------------
+
+// A leaf whose sensors are all unavailable (and nothing cached) still
+// yields its group: the group's node_id, bbox and weight tell the
+// client the cluster exists even though no reading contributed — the
+// same contract as ExecuteColr, which emits every sampled terminal's
+// group unconditionally. Pins the ExecuteRange emission condition
+// (an always-true predicate used to hide whether empty groups were
+// intended; they are).
+TEST(EngineGroupEmissionTest, AllSensorsUnavailableLeafStillEmitsGroup) {
+  Rig rig(200, 33, /*availability=*/0.0);
+  const Rect region = Rect::FromCorners(0, 0, 100, 100);
+  for (ColrEngine::Mode mode :
+       {ColrEngine::Mode::kRTree, ColrEngine::Mode::kHierCache}) {
+    auto engine = rig.Engine(mode);
+    QueryResult result = engine->Execute(MakeQuery(region));
+    EXPECT_EQ(result.stats.probe_successes, 0);
+    EXPECT_EQ(result.Total().count, 0);
+    ASSERT_FALSE(result.groups.empty());
+    int total_weight = 0;
+    for (const GroupResult& g : result.groups) {
+      EXPECT_TRUE(g.agg.empty());
+      EXPECT_GE(g.node_id, 0);
+      EXPECT_GT(g.weight, 0);
+      total_weight += g.weight;
+    }
+    // Every sensor in the region is accounted for by some emitted
+    // group even though none produced a reading.
+    EXPECT_EQ(total_weight, rig.tree->CountSensorsInRegion(region));
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Cross-mode comparisons (the paper's qualitative claims).
 // ---------------------------------------------------------------------------
 

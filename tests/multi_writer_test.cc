@@ -1,0 +1,157 @@
+// Multi-writer stress for the epoch/shard write protocol: concurrent
+// InsertReading callers (per-shard writer locks), a roller taking the
+// exclusive epoch (AdvanceTo), touch traffic feeding the LRF policy,
+// and a capacity-constrained store so cross-shard eviction runs under
+// load. These tests are the TSan face of the sharded write path — run
+// them under COLR_SANITIZE=thread via scripts/check.sh. Quiescent
+// state must be sequential-exact: every run ends in
+// CheckCacheConsistency().
+
+#include <atomic>
+#include <cmath>
+#include <thread>
+#include <vector>
+
+#include "core/tree.h"
+#include "gtest/gtest.h"
+
+namespace colr {
+namespace {
+
+constexpr TimeMs kMin = kMsPerMinute;
+
+std::vector<SensorInfo> MakeGridSensors(int n, TimeMs expiry) {
+  std::vector<SensorInfo> sensors;
+  sensors.reserve(n);
+  const int side = 1 + static_cast<int>(std::sqrt(static_cast<double>(n)));
+  for (int i = 0; i < n; ++i) {
+    SensorInfo s;
+    s.id = i;
+    s.location = Point{static_cast<double>(i % side),
+                       static_cast<double>(i / side)};
+    s.expiry_ms = expiry;
+    sensors.push_back(s);
+  }
+  return sensors;
+}
+
+ColrTree::Options StressOptions(size_t capacity, int shard_level = -1) {
+  ColrTree::Options topts;
+  topts.cluster.fanout = 4;
+  topts.cluster.leaf_capacity = 8;
+  topts.t_max_ms = 4 * kMin;
+  topts.slot_delta_ms = kMin;
+  topts.cache_capacity = capacity;
+  topts.writer_shard_level = shard_level;
+  return topts;
+}
+
+Reading MakeReading(const std::vector<SensorInfo>& sensors, SensorId id,
+                    TimeMs t, double value) {
+  Reading r;
+  r.sensor = id;
+  r.timestamp = t;
+  r.expiry = t + sensors[id].expiry_ms;
+  r.value = value;
+  return r;
+}
+
+// N writer threads own disjoint sensor partitions and insert
+// replacement-heavy rounds while one roller advances the window and
+// the capacity constraint forces cross-shard evictions. At
+// quiescence, every node's slot aggregates must equal a recompute
+// from the raw cached readings.
+TEST(MultiWriterTest, ConcurrentWritersRollerAndEvictionsStayConsistent) {
+  const auto sensors = MakeGridSensors(512, 4 * kMin);
+  // Capacity at half the catalog: steady-state eviction pressure.
+  ColrTree tree(sensors, StressOptions(sensors.size() / 2));
+  ASSERT_GE(tree.writer_shard_level(), 1) << "tree too shallow to shard";
+
+  constexpr int kWriters = 4;
+  constexpr int kRounds = 120;
+  constexpr TimeMs kStep = 20 * kMsPerSecond;  // a slot every 3 rounds
+  std::atomic<TimeMs> now{0};
+  std::atomic<bool> done{false};
+
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&, w] {
+      for (int round = 0; round < kRounds; ++round) {
+        const TimeMs t = now.load(std::memory_order_acquire);
+        for (size_t i = w; i < sensors.size(); i += kWriters) {
+          tree.InsertReading(MakeReading(
+              sensors, static_cast<SensorId>(i), t,
+              static_cast<double>((i * 37 + round * 101) % 997)));
+          if (i % 7 == 0) tree.TouchCached(static_cast<SensorId>(i));
+        }
+      }
+    });
+  }
+  std::thread roller([&] {
+    int tick = 0;
+    while (!done.load(std::memory_order_acquire)) {
+      now.store(++tick * kStep, std::memory_order_release);
+      tree.AdvanceTo(tick * kStep);
+      std::this_thread::yield();
+    }
+  });
+
+  for (auto& t : writers) t.join();
+  done.store(true, std::memory_order_release);
+  roller.join();
+
+  EXPECT_GT(tree.maintenance().readings_evicted.load(), 0);
+  EXPECT_LE(tree.CachedReadingCount(), sensors.size() / 2);
+  EXPECT_TRUE(tree.CheckCacheConsistency().ok());
+}
+
+// writer_shard_level = 0 degenerates to the serialized protocol (one
+// shard: the root) — the baseline the writer-scaling bench compares
+// against. It must behave identically, just without parallelism.
+TEST(MultiWriterTest, SerializedShardLevelStaysConsistent) {
+  const auto sensors = MakeGridSensors(256, 4 * kMin);
+  ColrTree tree(sensors, StressOptions(sensors.size() / 2,
+                                       /*shard_level=*/0));
+  EXPECT_EQ(tree.writer_shard_level(), 0);
+
+  std::vector<std::thread> writers;
+  for (int w = 0; w < 3; ++w) {
+    writers.emplace_back([&, w] {
+      for (int round = 0; round < 60; ++round) {
+        for (size_t i = w; i < sensors.size(); i += 3) {
+          tree.InsertReading(MakeReading(sensors, static_cast<SensorId>(i),
+                                         0, static_cast<double>(i % 97)));
+        }
+      }
+    });
+  }
+  for (auto& t : writers) t.join();
+
+  EXPECT_LE(tree.CachedReadingCount(), sensors.size() / 2);
+  EXPECT_TRUE(tree.CheckCacheConsistency().ok());
+}
+
+// The epoch counter is the protocol's observable: every exclusive
+// maintenance section (roll, audit) advances it, and concurrent
+// shared holders never do.
+TEST(MultiWriterTest, WriteEpochAdvancesPerExclusiveSection) {
+  const auto sensors = MakeGridSensors(64, 4 * kMin);
+  ColrTree tree(sensors, StressOptions(0));
+
+  const uint64_t e0 = tree.write_epoch();
+  tree.InsertReading(MakeReading(sensors, 0, 0, 1.0));  // shared only
+  EXPECT_EQ(tree.write_epoch(), e0);
+
+  tree.AdvanceTo(10 * kMin);  // rolls: takes the exclusive epoch
+  const uint64_t e1 = tree.write_epoch();
+  EXPECT_GT(e1, e0);
+
+  tree.AdvanceTo(10 * kMin);  // no roll needed: no exclusive section
+  EXPECT_EQ(tree.write_epoch(), e1);
+
+  ASSERT_TRUE(tree.CheckCacheConsistency().ok());  // exclusive audit
+  EXPECT_GT(tree.write_epoch(), e1);
+}
+
+}  // namespace
+}  // namespace colr

@@ -1,5 +1,9 @@
 #include "core/slot_cache.h"
 
+#include <atomic>
+#include <mutex>
+#include <thread>
+
 #include "common/rng.h"
 #include "core/aggregate.h"
 #include "core/reading_store.h"
@@ -380,6 +384,93 @@ TEST(ReadingStoreTest, StressAgainstModelOfSize) {
       EXPECT_EQ(store.Get(i), nullptr);
     }
   }
+}
+
+// ---------------------------------------------------------------------------
+// Torn-window regression: RollTo concurrent with QueryNewerThan
+// ---------------------------------------------------------------------------
+
+// Version tags are monotone per ring position and bump on every
+// mutation, including the lazy re-tag to a new slot id — the property
+// ColrTree's recompute-from-children relies on to detect concurrent
+// slot mutation (no ABA through re-tagging).
+TEST(AggregateSlotCacheTest, SlotVersionBumpsOnEveryMutation) {
+  SlotScheme s(10, 30);  // 4 slots, window 0..3
+  AggregateSlotCache cache(s.num_slots());
+
+  EXPECT_EQ(cache.SlotVersion(s, 99), 0u);  // out of window: no tag
+  const uint64_t v0 = cache.SlotVersion(s, 2);
+  cache.Add(s, 2, 5.0);  // re-tag + add
+  const uint64_t v1 = cache.SlotVersion(s, 2);
+  EXPECT_GT(v1, v0);
+  cache.Remove(s, 2, 5.0);
+  const uint64_t v2 = cache.SlotVersion(s, 2);
+  EXPECT_GT(v2, v1);
+  Aggregate agg;
+  agg.Add(1.0);
+  cache.Set(s, 2, agg);
+  const uint64_t v3 = cache.SlotVersion(s, 2);
+  EXPECT_GT(v3, v2);
+  // The roll re-tags position RingIndex(2) when slot 6 claims it; the
+  // tag keeps growing through the identity change.
+  s.RollTo(6);
+  cache.Add(s, 6, 2.0);
+  EXPECT_GT(cache.SlotVersion(s, 6), v3);
+}
+
+// The lookup must read the window head exactly once: with the head
+// re-read per iteration, a roll concurrent with the scan merges a mix
+// of slots from two window positions (or drops slots that slid out
+// mid-scan). Protocol mirrors ColrTree: cache *content* only mutates
+// under a lock that the reader shares, while RollTo advances the
+// atomic head outside it — exactly the exposure queries have in the
+// live tree, where a roll only takes the epoch latch, not every
+// node's stripe.
+TEST(AggregateSlotCacheTest, QueryNewerThanIsSnapshotConsistentUnderRolls) {
+  SlotScheme s(10, 30);  // 4 slots
+  AggregateSlotCache cache(s.num_slots());
+  std::mutex content_mutex;
+
+  // Occupy the initial window: slot k holds one value == k.
+  for (SlotId k = s.oldest(); k <= s.newest(); ++k) {
+    cache.Add(s, k, static_cast<double>(k));
+  }
+
+  constexpr SlotId kLastSlot = 4000;
+  std::atomic<bool> done{false};
+  std::thread roller([&] {
+    for (SlotId next = s.newest() + 1; next <= kLastSlot; ++next) {
+      s.RollTo(next);  // head moves with no lock held
+      std::lock_guard<std::mutex> lock(content_mutex);
+      cache.Add(s, next, static_cast<double>(next));
+    }
+    done.store(true, std::memory_order_release);
+  });
+
+  // Keep querying while the roller runs, and for a floor of
+  // iterations regardless — on a single-core host the roller can
+  // finish before this thread is scheduled at all.
+  int64_t lookups = 0;
+  while (!done.load(std::memory_order_acquire) || lookups < 100) {
+    std::lock_guard<std::mutex> lock(content_mutex);
+    int merged = 0;
+    const Aggregate agg = cache.QueryNewerThan(s, -1000, &merged);
+    ++lookups;
+    // Valid snapshots: all four in-window slots occupied, or three
+    // plus the freshly rolled-in head whose Add is still pending.
+    ASSERT_GE(agg.count, s.num_slots() - 1);
+    ASSERT_LE(agg.count, s.num_slots());
+    ASSERT_EQ(merged, agg.count);
+    // All merged values must come from ONE window position: a torn
+    // scan mixes pre- and post-roll slots, whose ids (== values) are
+    // more than a window apart.
+    ASSERT_LE(agg.max - agg.min, static_cast<double>(s.num_slots() - 1));
+    const int64_t weight = cache.WeightNewerThan(s, -1000);
+    ASSERT_GE(weight, s.num_slots() - 1);
+    ASSERT_LE(weight, s.num_slots());
+  }
+  roller.join();
+  EXPECT_GT(lookups, 0);
 }
 
 }  // namespace

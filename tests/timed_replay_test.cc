@@ -10,6 +10,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/rng.h"
 #include "core/engine.h"
 #include "core/tree.h"
 #include "gtest/gtest.h"
@@ -129,6 +130,62 @@ TEST(TimedReplayTest, ReplayReportIsDeterministicInCounts) {
   EXPECT_EQ(ra.trace_span_ms, rb.trace_span_ms);
   EXPECT_TRUE(a.tree->CheckCacheConsistency().ok());
   EXPECT_TRUE(b.tree->CheckCacheConsistency().ok());
+}
+
+// A warm-started tree (window already rolled, counters well away from
+// zero) must not leak its lifetime totals into the replay report: the
+// report's maintenance block is the post-run counters minus a snapshot
+// taken at replay start. Before the delta fix, this tree's pre-run
+// rolls/expunges showed up in report.maintenance and inflated
+// rolls_per_tmax.
+TEST(TimedReplayTest, WarmStartedTreeReportsPerRunDeltas) {
+  const LiveLocalWorkload workload = SmallWorkload();
+  ReplayRig rig(workload);
+
+  // Warm: feed and roll the tree across several t_max periods. The
+  // final advance parks the window past the whole trace, so the replay
+  // itself cannot roll — any nonzero rolls in the report would be
+  // pre-run counts leaking through.
+  Rng rng(7);
+  for (int step = 0; step < 40; ++step) {
+    const TimeMs t = step * kMsPerMinute;
+    rig.tree->AdvanceTo(t);
+    for (int i = 0; i < 16; ++i) {
+      const auto& s =
+          workload.sensors[rng.UniformInt(workload.sensors.size())];
+      Reading r;
+      r.sensor = s.id;
+      r.timestamp = t;
+      r.expiry = t + s.expiry_ms;
+      r.value = 1.0;
+      rig.tree->InsertReading(r);
+    }
+  }
+  const int64_t rolls_before = rig.tree->maintenance().rolls.load();
+  const int64_t expunged_before =
+      rig.tree->maintenance().readings_expunged.load();
+  ASSERT_GT(rolls_before, 0);
+  ASSERT_GT(expunged_before, 0);
+
+  replay::TimedReplayOptions opts;
+  opts.speedup = 12000.0;
+  opts.streams = 2;
+  opts.max_queries = 40;
+  const replay::TimedReplayReport report = replay::RunTimedReplay(
+      *rig.portal, *rig.tree, *rig.network, workload, rig.clock, opts);
+
+  EXPECT_EQ(report.queries, 40);
+  // The report covers only this run's maintenance...
+  EXPECT_EQ(report.maintenance.rolls.load(),
+            rig.tree->maintenance().rolls.load() - rolls_before);
+  EXPECT_EQ(report.maintenance.readings_expunged.load(),
+            rig.tree->maintenance().readings_expunged.load() -
+                expunged_before);
+  // ...and since the window was parked past the trace, that is zero —
+  // a lifetime-cumulative report would show rolls_before here.
+  EXPECT_EQ(report.maintenance.rolls.load(), 0);
+  EXPECT_EQ(report.rolls_per_tmax, 0.0);
+  EXPECT_TRUE(rig.tree->CheckCacheConsistency().ok());
 }
 
 // Pins the interleaving S5 targets: one writer advancing the window

@@ -355,8 +355,8 @@ TEST(ColrTreeLookupTest, InternalLookupNeverUsesExpiredOrStale) {
     // the reading was still valid within the staleness window.
     int exact = 0;
     for (const auto& si : sensors) {
-      const Reading* r = tree.store().Get(si.id);
-      if (r != nullptr && r->ValidAt(now - staleness)) {
+      const std::optional<Reading> r = tree.CachedReading(si.id);
+      if (r.has_value() && r->ValidAt(now - staleness)) {
         ++exact;
       }
     }
