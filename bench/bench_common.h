@@ -17,6 +17,7 @@
 
 #include "common/clock.h"
 #include "common/stats.h"
+#include "common/sync_stats.h"
 #include "core/engine.h"
 #include "core/query.h"
 #include "core/tree.h"
@@ -197,6 +198,12 @@ class JsonObject {
     escaped += '"';
     return Raw(key, escaped.c_str());
   }
+  /// Embeds an already-serialized JSON value (object or array) under
+  /// `key` verbatim. The caller is responsible for its validity —
+  /// pass only output of JsonObject::Done() or the emitters below.
+  JsonObject& Nested(const char* key, const std::string& raw_json) {
+    return Raw(key, raw_json.c_str());
+  }
   std::string Done() const { return first_ ? "{}" : body_ + "}"; }
 
  private:
@@ -210,21 +217,91 @@ class JsonObject {
   bool first_ = true;
 };
 
+/// Per-site lock-contention block for a `--json` row: "" when the
+/// snapshot was taken with stats disabled (callers then omit the
+/// field entirely), otherwise `{"hottest_site": ..., "total_wait_ns":
+/// ..., "sites": [{site, acquisitions, contended, total_wait_ns,
+/// max_wait_ns, contention_share, wait_hist[32]}, ...]}`. Each site's
+/// wait_hist buckets sum to its acquisition count (bucket 0 holds the
+/// uncontended acquisitions; bucket b >= 1 the waits in [2^(b-1),
+/// 2^b) ns) — tests/bench_json_test pins that invariant.
+inline std::string SyncStatsJsonBlock(const SyncStatsSnapshot& snap) {
+  if (!snap.enabled) return "";
+  std::string sites = "[";
+  for (int i = 0; i < kNumSyncSites; ++i) {
+    const SyncSite site = static_cast<SyncSite>(i);
+    const SyncSiteStats& s = snap.sites[i];
+    std::string hist = "[";
+    for (int h = 0; h < kSyncWaitBuckets; ++h) {
+      if (h > 0) hist += ", ";
+      hist += std::to_string(s.wait_hist[h]);
+    }
+    hist += "]";
+    JsonObject row;
+    row.Field("site", SyncSiteName(site))
+        .Field("acquisitions", s.acquisitions)
+        .Field("contended", s.contended)
+        .Field("total_wait_ns", s.total_wait_ns)
+        .Field("max_wait_ns", s.max_wait_ns)
+        .Field("contention_share", snap.ContentionShare(site))
+        .Nested("wait_hist", hist);
+    if (i > 0) sites += ", ";
+    sites += row.Done();
+  }
+  sites += "]";
+  const int hot = snap.HottestSite();
+  JsonObject block;
+  block
+      .Field("hottest_site",
+             hot >= 0 ? SyncSiteName(static_cast<SyncSite>(hot)) : "none")
+      .Field("total_wait_ns", snap.TotalWaitNs())
+      .Nested("sites", sites);
+  return block.Done();
+}
+
+/// Human-readable one-line contention summary for bench stdout: names
+/// the hottest site and each acquired site's share of the total wait.
+inline std::string SyncStatsSummaryLine(const SyncStatsSnapshot& snap) {
+  if (!snap.enabled) {
+    return "contention: sync stats disabled (COLR_SYNC_STATS=1 to enable)";
+  }
+  const int hot = snap.HottestSite();
+  if (hot < 0) return "contention: no lock acquisitions recorded";
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "contention: hottest site %s (%.1f%% of %.3f ms total wait)",
+                SyncSiteName(static_cast<SyncSite>(hot)),
+                100.0 * snap.ContentionShare(static_cast<SyncSite>(hot)),
+                static_cast<double>(snap.TotalWaitNs()) / 1e6);
+  std::string out = buf;
+  for (int i = 0; i < kNumSyncSites; ++i) {
+    const SyncSite site = static_cast<SyncSite>(i);
+    const SyncSiteStats& s = snap.sites[i];
+    if (s.acquisitions == 0) continue;
+    std::snprintf(buf, sizeof(buf), "; %s %lld/%lld contended (%.1f%%)",
+                  SyncSiteName(site), static_cast<long long>(s.contended),
+                  static_cast<long long>(s.acquisitions),
+                  100.0 * snap.ContentionShare(site));
+    out += buf;
+  }
+  return out;
+}
+
 /// One row of the writer-scaling sweep (bench/concurrent_portal
 /// --writer-scaling): InsertReading throughput at a collector-thread
-/// count, for either the sharded write protocol or the serialized
-/// baseline (ColrTree::Options::writer_shard_level = 0). Shared with
-/// tests/bench_json_test so the emitted shape stays valid JSON.
-inline std::string WriterScalingJsonRow(int collector_threads,
-                                        bool serialized, int64_t inserts,
-                                        double wall_ms,
-                                        double inserts_per_sec,
-                                        int64_t rolls, int64_t late_dropped,
-                                        int64_t evicted, int64_t recomputes,
-                                        bool consistent) {
-  return JsonObject()
-      .Field("collector_threads", collector_threads)
+/// count and writer shard level (0 = serialized baseline). `sync_json`
+/// is the SyncStatsJsonBlock for the run; empty (stats disabled) omits
+/// the "sync" field entirely. Shared with tests/bench_json_test so the
+/// emitted shape stays valid JSON.
+inline std::string WriterScalingJsonRow(
+    int collector_threads, bool serialized, int shard_level, int64_t inserts,
+    double wall_ms, double inserts_per_sec, int64_t rolls,
+    int64_t late_dropped, int64_t evicted, int64_t recomputes,
+    bool consistent, const std::string& sync_json = std::string()) {
+  JsonObject row;
+  row.Field("collector_threads", collector_threads)
       .Field("writer_mode", serialized ? "serialized" : "sharded")
+      .Field("writer_shard_level", shard_level)
       .Field("inserts", inserts)
       .Field("wall_ms", wall_ms)
       .Field("inserts_per_sec", inserts_per_sec)
@@ -232,8 +309,9 @@ inline std::string WriterScalingJsonRow(int collector_threads,
       .Field("late_readings_dropped", late_dropped)
       .Field("readings_evicted", evicted)
       .Field("slot_recomputes", recomputes)
-      .Field("consistent", consistent ? 1 : 0)
-      .Done();
+      .Field("consistent", consistent ? 1 : 0);
+  if (!sync_json.empty()) row.Nested("sync", sync_json);
+  return row.Done();
 }
 
 /// Writes a bench report as `{"bench": ..., "config": {...},

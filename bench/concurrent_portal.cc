@@ -23,6 +23,13 @@
 // bottleneck directly. CheckCacheConsistency() runs at quiescence
 // after every run. Expectation: sharded insert throughput at 8
 // collector threads is >= 2x the serialized baseline at 8.
+//
+// --full --writer-scaling is the paper-scale contention sweep
+// (EXPERIMENTS.md): collector threads x writer_shard_level in
+// {0, 1, 2}, with the sync-stats instrumentation (sync_stats.h)
+// force-enabled so every cell reports which lock site burned the wait
+// time. Rows carry the per-site counters in --json; the table names
+// the hottest site per cell.
 
 #include <algorithm>
 #include <cstdio>
@@ -132,13 +139,22 @@ struct WriterScalingOutcome {
   int64_t evicted = 0;
   int64_t recomputes = 0;
   bool consistent = true;
+  /// Resolved ColrTree::writer_shard_level() for the run.
+  int shard_level = 0;
+  /// Writer shards and their balance (max/mean cached readings per
+  /// shard at quiescence; 1.0 = perfectly even).
+  size_t shards = 0;
+  double shard_balance = 0.0;
+  /// Per-run lock-contention deltas (enabled=false when stats off).
+  SyncStatsSnapshot sync;
 };
 
 /// Runs `threads` insert loops over shard-aligned sensor partitions.
-/// `serialized` rebuilds the tree with writer_shard_level = 0 (one
-/// shard — the pre-sharding global-writer behavior) as the baseline.
+/// `shard_level` is ColrTree::Options::writer_shard_level: 0 rebuilds
+/// the tree with one shard (the pre-sharding global-writer baseline),
+/// -1 the auto sharding default, >= 1 an explicit shard depth.
 WriterScalingOutcome RunWriterScaling(const LiveLocalWorkload& workload,
-                                      int threads, bool serialized,
+                                      int threads, int shard_level,
                                       int rounds) {
   ColrTree::Options topts;
   topts.cluster.fanout = 8;
@@ -156,8 +172,10 @@ WriterScalingOutcome RunWriterScaling(const LiveLocalWorkload& workload,
   for (const auto& s : workload.sensors) t_max = std::max(t_max, s.expiry_ms);
   topts.t_max_ms = t_max;
   topts.slot_delta_ms = t_max / 4;
-  if (serialized) topts.writer_shard_level = 0;
+  topts.writer_shard_level = shard_level;
   ColrTree tree(workload.sensors, topts);
+  const SyncStatsSnapshot sync_before =
+      SyncStatsRegistry::Instance().Snapshot();
 
   // Whole-shard ownership: group sensors by their writer shard and
   // deal shards largest-first onto the least-loaded thread, so no two
@@ -233,6 +251,23 @@ WriterScalingOutcome RunWriterScaling(const LiveLocalWorkload& workload,
   out.late_dropped = tree.maintenance().late_readings_dropped.load();
   out.evicted = tree.maintenance().readings_evicted.load();
   out.recomputes = tree.maintenance().slot_recomputes.load();
+  out.sync =
+      SyncStatsDelta(SyncStatsRegistry::Instance().Snapshot(), sync_before);
+  out.shard_level = tree.writer_shard_level();
+  const std::vector<ColrTree::ShardOccupancy> occupancy =
+      tree.ShardOccupancies();
+  out.shards = occupancy.size();
+  size_t max_readings = 0;
+  size_t total_readings = 0;
+  for (const ColrTree::ShardOccupancy& o : occupancy) {
+    max_readings = std::max(max_readings, o.readings);
+    total_readings += o.readings;
+  }
+  out.shard_balance =
+      total_readings > 0 ? static_cast<double>(max_readings) *
+                               static_cast<double>(occupancy.size()) /
+                               static_cast<double>(total_readings)
+                         : 0.0;
   const Status consistency = tree.CheckCacheConsistency();
   out.consistent = consistency.ok();
   if (!out.consistent) {
@@ -242,9 +277,28 @@ WriterScalingOutcome RunWriterScaling(const LiveLocalWorkload& workload,
   return out;
 }
 
+const char* ModeLabel(int shard_level) {
+  switch (shard_level) {
+    case 0:
+      return "serialized";
+    case -1:
+      return "sharded";
+    case 1:
+      return "sharded-L1";
+    case 2:
+      return "sharded-L2";
+    default:
+      return "sharded-LN";
+  }
+}
+
 int WriterScalingMain(const BenchConfig& cfg, int pinned_threads) {
   PrintHeader("Writer scaling",
               "InsertReading throughput vs collector threads", cfg);
+  // The paper-scale orchestration mode is a contention *diagnosis*:
+  // force the sync-stats instrumentation on so every cell can name its
+  // hottest lock site.
+  if (cfg.full) SyncStatsRegistry::Enable();
   LiveLocalWorkload workload = GenerateLiveLocal(cfg.WorkloadOptions());
 
   std::vector<int> thread_counts;
@@ -254,43 +308,70 @@ int WriterScalingMain(const BenchConfig& cfg, int pinned_threads) {
   } else {
     thread_counts = {1, 2, 4, 8};
   }
+  // Serialized baseline first, then the sharded configurations. The
+  // default run compares baseline vs auto sharding; --full sweeps
+  // explicit shard levels so the contention report localizes where
+  // the old write mutex's time goes as sharding deepens.
+  const std::vector<int> shard_levels =
+      cfg.full ? std::vector<int>{0, 1, 2} : std::vector<int>{0, -1};
   // Enough rounds that each run crosses several window rolls.
   const int rounds =
       std::max(4, static_cast<int>(160000 / std::max<size_t>(
                                                 1, workload.sensors.size())));
 
-  std::printf("%-10s %-10s | %10s | %12s | %6s %7s %9s %6s | %s\n",
+  const bool stats_on = SyncStatsEnabled();
+  std::printf("%-10s %-10s | %10s | %12s | %6s %7s %9s %6s | %-10s%s\n",
               "mode", "threads", "wall ms", "inserts/sec", "rolls", "late",
-              "evicted", "recomp", "consistent");
+              "evicted", "recomp", "consistent",
+              stats_on ? " | shards bal  | hottest site (share)" : "");
   std::vector<std::string> json_rows;
   double serialized_at_max = 0.0;
   double sharded_at_max = 0.0;
+  SyncStatsSnapshot sweep_sync;
   const int max_threads =
       *std::max_element(thread_counts.begin(), thread_counts.end());
-  for (const bool serialized : {true, false}) {
+  for (const int shard_level : shard_levels) {
     for (int threads : thread_counts) {
       WriterScalingOutcome out =
-          RunWriterScaling(workload, threads, serialized, rounds);
-      std::printf("%-10s %-10d | %10.1f | %12.0f | %6lld %7lld %9lld %6lld | %s\n",
-                  serialized ? "serialized" : "sharded", threads, out.wall_ms,
-                  out.inserts_per_sec, static_cast<long long>(out.rolls),
-                  static_cast<long long>(out.late_dropped),
-                  static_cast<long long>(out.evicted),
-                  static_cast<long long>(out.recomputes),
-                  out.consistent ? "yes" : "NO");
+          RunWriterScaling(workload, threads, shard_level, rounds);
+      std::printf(
+          "%-10s %-10d | %10.1f | %12.0f | %6lld %7lld %9lld %6lld | %-10s",
+          ModeLabel(shard_level), threads, out.wall_ms, out.inserts_per_sec,
+          static_cast<long long>(out.rolls),
+          static_cast<long long>(out.late_dropped),
+          static_cast<long long>(out.evicted),
+          static_cast<long long>(out.recomputes),
+          out.consistent ? "yes" : "NO");
+      if (stats_on) {
+        const int hot = out.sync.HottestSite();
+        std::printf(" | %4zu %5.2f | %s (%.1f%%)", out.shards,
+                    out.shard_balance,
+                    hot >= 0 ? SyncSiteName(static_cast<SyncSite>(hot))
+                             : "none",
+                    hot >= 0 ? 100.0 * out.sync.ContentionShare(
+                                           static_cast<SyncSite>(hot))
+                             : 0.0);
+      }
+      std::printf("\n");
       json_rows.push_back(WriterScalingJsonRow(
-          threads, serialized, out.inserts, out.wall_ms, out.inserts_per_sec,
-          out.rolls, out.late_dropped, out.evicted, out.recomputes,
-          out.consistent));
+          threads, shard_level == 0, out.shard_level, out.inserts,
+          out.wall_ms, out.inserts_per_sec, out.rolls, out.late_dropped,
+          out.evicted, out.recomputes, out.consistent,
+          SyncStatsJsonBlock(out.sync)));
       if (threads == max_threads) {
-        (serialized ? serialized_at_max : sharded_at_max) =
-            out.inserts_per_sec;
+        if (shard_level == 0) {
+          serialized_at_max = out.inserts_per_sec;
+        } else {
+          sharded_at_max = std::max(sharded_at_max, out.inserts_per_sec);
+        }
       }
       if (!out.consistent) return 1;
     }
   }
   WriteJsonReport(cfg, "writer_scaling", json_rows);
+  if (stats_on) sweep_sync = SyncStatsRegistry::Instance().Snapshot();
 
+  std::printf("\n%s\n", SyncStatsSummaryLine(sweep_sync).c_str());
   if (serialized_at_max > 0.0) {
     const unsigned cores = std::thread::hardware_concurrency();
     std::printf("\nsharded/serialized speedup at %d threads: %.2fx "

@@ -6,7 +6,11 @@
 
 #include <benchmark/benchmark.h>
 
+#include <mutex>
+
 #include "common/rng.h"
+#include "common/sync.h"
+#include "common/sync_stats.h"
 #include "core/engine.h"
 #include "core/sampling.h"
 #include "core/slot_cache.h"
@@ -211,6 +215,39 @@ BENCHMARK(BM_EngineQuery)
     ->Arg(static_cast<int>(ColrEngine::Mode::kRTree))
     ->Arg(static_cast<int>(ColrEngine::Mode::kHierCache))
     ->Arg(static_cast<int>(ColrEngine::Mode::kColr));
+
+// ---------------------------------------------------------------------------
+// Sync-stats overhead pair: an uncontended SpinMutex round-trip
+// through a plain guard vs. through the instrumented SyncTimedLock
+// with stats disabled. scripts/check.sh compares the two — the
+// disabled guard is a relaxed bool load plus the same lock()/unlock(),
+// so the pair must stay within noise of each other.
+// ---------------------------------------------------------------------------
+
+void BM_SpinMutexPlainGuard(benchmark::State& state) {
+  SpinMutex mu;
+  int64_t x = 0;
+  for (auto _ : state) {
+    std::lock_guard<SpinMutex> lock(mu);
+    benchmark::DoNotOptimize(++x);
+  }
+}
+BENCHMARK(BM_SpinMutexPlainGuard);
+
+void BM_SpinMutexSyncTimedLockDisabled(benchmark::State& state) {
+  SpinMutex mu;
+  int64_t x = 0;
+  if (SyncStatsEnabled()) {
+    state.SkipWithError("COLR_SYNC_STATS is set; overhead pair "
+                        "measures the disabled path");
+    return;
+  }
+  for (auto _ : state) {
+    SyncTimedLock<SpinMutex> lock(mu, SyncSite::kRootSpin);
+    benchmark::DoNotOptimize(++x);
+  }
+}
+BENCHMARK(BM_SpinMutexSyncTimedLockDisabled);
 
 void BM_ColrTreeInsertReading(benchmark::State& state) {
   SimClock clock(0);

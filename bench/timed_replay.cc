@@ -124,31 +124,37 @@ int Main(int argc, char** argv) {
         static_cast<long long>(r.maintenance.readings_evicted.load()),
         static_cast<long long>(r.maintenance.late_readings_dropped.load()),
         r.rolls_per_tmax);
-    json_rows.push_back(
-        JsonObject()
-            .Field("streams", streams)
-            .Field("collector_threads", rargs.collector_threads)
-            .Field("speedup", rargs.speedup)
-            .Field("queries", r.queries)
-            .Field("errors", r.errors)
-            .Field("wall_ms", r.wall_ms)
-            .Field("qps", r.qps)
-            .Field("p50_latency_ms", r.p50_latency_ms)
-            .Field("p99_latency_ms", r.p99_latency_ms)
-            .Field("max_latency_ms", r.max_latency_ms)
-            .Field("collector_ticks", r.collector_ticks)
-            .Field("collector_probes", r.collector_probes)
-            .Field("collector_inserts", r.collector_inserts)
-            .Field("inserts_per_sec", r.inserts_per_sec)
-            .Field("rolls", r.maintenance.rolls.load())
-            .Field("slots_rolled", r.maintenance.slots_rolled.load())
-            .Field("readings_expunged", r.maintenance.readings_expunged.load())
-            .Field("readings_evicted", r.maintenance.readings_evicted.load())
-            .Field("late_readings_dropped",
-                   r.maintenance.late_readings_dropped.load())
-            .Field("slot_recomputes", r.maintenance.slot_recomputes.load())
-            .Field("rolls_per_tmax", r.rolls_per_tmax)
-            .Done());
+    JsonObject row;
+    row.Field("streams", streams)
+        .Field("collector_threads", rargs.collector_threads)
+        .Field("speedup", rargs.speedup)
+        .Field("queries", r.queries)
+        .Field("errors", r.errors)
+        .Field("wall_ms", r.wall_ms)
+        .Field("qps", r.qps)
+        .Field("p50_latency_ms", r.p50_latency_ms)
+        .Field("p99_latency_ms", r.p99_latency_ms)
+        .Field("max_latency_ms", r.max_latency_ms)
+        .Field("collector_ticks", r.collector_ticks)
+        .Field("collector_probes", r.collector_probes)
+        .Field("collector_inserts", r.collector_inserts)
+        .Field("inserts_per_sec", r.inserts_per_sec)
+        .Field("rolls", r.maintenance.rolls.load())
+        .Field("slots_rolled", r.maintenance.slots_rolled.load())
+        .Field("readings_expunged", r.maintenance.readings_expunged.load())
+        .Field("readings_evicted", r.maintenance.readings_evicted.load())
+        .Field("late_readings_dropped",
+               r.maintenance.late_readings_dropped.load())
+        .Field("slot_recomputes", r.maintenance.slot_recomputes.load())
+        .Field("rolls_per_tmax", r.rolls_per_tmax);
+    // Per-run lock-contention deltas ride inside the maintenance
+    // counters; stats disabled -> empty block -> no "sync" field.
+    const std::string sync_json = SyncStatsJsonBlock(r.maintenance.sync);
+    if (!sync_json.empty()) row.Nested("sync", sync_json);
+    json_rows.push_back(row.Done());
+    if (r.maintenance.sync.enabled) {
+      std::printf("  %s\n", SyncStatsSummaryLine(r.maintenance.sync).c_str());
+    }
     if (r.errors > 0) {
       std::fprintf(stderr, "streams=%d: %lld errors\n", streams,
                    static_cast<long long>(r.errors));

@@ -9,6 +9,14 @@
 
 namespace colr {
 
+// The lock primitives below are deliberately plain Lockable /
+// SharedLockable types; contention observability lives one layer up in
+// sync_stats.h (SyncTimedLock / SyncTimedSharedLock wrap any of them
+// with per-site acquisition/wait counters that compile down to the
+// plain lock when disabled). Instrumented call sites name a SyncSite;
+// the primitives stay measurement-free so uninstrumented users pay
+// nothing.
+
 /// Striped (sharded) lock table: maps an integer key (node id, sensor
 /// id, ...) onto a small fixed set of shared_mutexes so that fine-
 /// grained state — e.g. one slot cache per COLR-Tree node — can be

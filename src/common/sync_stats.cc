@@ -1,0 +1,211 @@
+#include "common/sync_stats.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstdlib>
+#include <mutex>
+#include <tuple>
+#include <vector>
+
+namespace colr {
+
+namespace sync_internal {
+namespace {
+bool EnvEnabled() {
+  const char* v = std::getenv("COLR_SYNC_STATS");
+  // Any non-empty value other than "0" enables (matches the usual
+  // FLAG=1 convention while letting FLAG=0 explicitly disable).
+  return v != nullptr && v[0] != '\0' && !(v[0] == '0' && v[1] == '\0');
+}
+}  // namespace
+std::atomic<bool> g_sync_stats_enabled{EnvEnabled()};
+}  // namespace sync_internal
+
+const char* SyncSiteName(SyncSite site) {
+  switch (site) {
+    case SyncSite::kEpochShared:
+      return "epoch_shared";
+    case SyncSite::kEpochExclusive:
+      return "epoch_exclusive";
+    case SyncSite::kShardWriter:
+      return "shard_writer";
+    case SyncSite::kRootSpin:
+      return "root_spin";
+    case SyncSite::kNodeStripe:
+      return "node_stripe";
+  }
+  return "unknown";
+}
+
+int SyncWaitBucket(int64_t wait_ns) {
+  if (wait_ns <= 0) return 0;
+  // Bucket b >= 1 holds waits in [2^(b-1), 2^b - 1] ns.
+  const int width = std::bit_width(static_cast<uint64_t>(wait_ns));
+  return width < kSyncWaitBuckets ? width : kSyncWaitBuckets - 1;
+}
+
+int64_t SyncStatsSnapshot::TotalWaitNs() const {
+  int64_t total = 0;
+  for (const SyncSiteStats& s : sites) total += s.total_wait_ns;
+  return total;
+}
+
+int SyncStatsSnapshot::HottestSite() const {
+  int best = -1;
+  for (int i = 0; i < kNumSyncSites; ++i) {
+    if (sites[i].acquisitions == 0) continue;
+    if (best < 0) {
+      best = i;
+      continue;
+    }
+    const SyncSiteStats& a = sites[i];
+    const SyncSiteStats& b = sites[best];
+    if (std::tie(a.total_wait_ns, a.contended, a.acquisitions) >
+        std::tie(b.total_wait_ns, b.contended, b.acquisitions)) {
+      best = i;
+    }
+  }
+  return best;
+}
+
+double SyncStatsSnapshot::ContentionShare(SyncSite site) const {
+  const int64_t total = TotalWaitNs();
+  if (total <= 0) return 0.0;
+  return static_cast<double>(sites[static_cast<size_t>(site)].total_wait_ns) /
+         static_cast<double>(total);
+}
+
+SyncStatsSnapshot SyncStatsDelta(const SyncStatsSnapshot& after,
+                                 const SyncStatsSnapshot& before) {
+  SyncStatsSnapshot delta;
+  delta.enabled = after.enabled;
+  for (int i = 0; i < kNumSyncSites; ++i) {
+    const SyncSiteStats& a = after.sites[i];
+    const SyncSiteStats& b = before.sites[i];
+    SyncSiteStats& d = delta.sites[i];
+    d.acquisitions = a.acquisitions - b.acquisitions;
+    d.contended = a.contended - b.contended;
+    d.total_wait_ns = a.total_wait_ns - b.total_wait_ns;
+    // The per-interval max is not recoverable from two cumulative
+    // snapshots; report the process-lifetime max (monotone, and exact
+    // for benches that start from a fresh process).
+    d.max_wait_ns = a.max_wait_ns;
+    for (int h = 0; h < kSyncWaitBuckets; ++h) {
+      d.wait_hist[h] = a.wait_hist[h] - b.wait_hist[h];
+    }
+  }
+  return delta;
+}
+
+// ---- Registry -----------------------------------------------------------
+
+struct SyncStatsRegistry::ThreadBlock {
+  struct Site {
+    std::atomic<int64_t> acquisitions{0};
+    std::atomic<int64_t> contended{0};
+    std::atomic<int64_t> total_wait_ns{0};
+    std::atomic<int64_t> max_wait_ns{0};
+    std::atomic<int64_t> wait_hist[kSyncWaitBuckets]{};
+  };
+  Site sites[kNumSyncSites];
+};
+
+struct SyncStatsRegistry::Impl {
+  mutable std::mutex mu;
+  /// Blocks of live threads (owner-written relaxed atomics; readable
+  /// under mu while the owners keep recording).
+  std::vector<ThreadBlock*> live;
+  /// Flushed totals of exited threads, guarded by mu.
+  SyncSiteStats retired[kNumSyncSites];
+};
+
+/// Per-thread RAII holder: keeps the thread's block id and flushes it
+/// into the registry's retired accumulator when the thread exits.
+class SyncStatsRegistry::ThreadHolder {
+ public:
+  ThreadHolder(SyncStatsRegistry* reg, ThreadBlock* block)
+      : reg_(reg), block_(block) {}
+  ~ThreadHolder() { reg_->Retire(block_); }
+  ThreadBlock* block() const { return block_; }
+
+ private:
+  SyncStatsRegistry* reg_;
+  ThreadBlock* block_;
+};
+
+SyncStatsRegistry::SyncStatsRegistry() : impl_(new Impl) {}
+
+SyncStatsRegistry& SyncStatsRegistry::Instance() {
+  // Leaked: thread-local holders flush into it at thread exit, which
+  // can happen after static destruction would have run.
+  static SyncStatsRegistry* registry = new SyncStatsRegistry;
+  return *registry;
+}
+
+void SyncStatsRegistry::Enable() {
+  sync_internal::g_sync_stats_enabled.store(true, std::memory_order_relaxed);
+}
+
+SyncStatsRegistry::ThreadBlock* SyncStatsRegistry::BlockForThisThread() {
+  thread_local ThreadHolder holder(this, [this] {
+    ThreadBlock* block = new ThreadBlock;
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    impl_->live.push_back(block);
+    return block;
+  }());
+  return holder.block();
+}
+
+void SyncStatsRegistry::Retire(ThreadBlock* block) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  AccumulateBlock(impl_->retired, *block);
+  auto& live = impl_->live;
+  live.erase(std::remove(live.begin(), live.end(), block), live.end());
+  delete block;
+}
+
+SyncStatsSnapshot SyncStatsRegistry::Snapshot() const {
+  SyncStatsSnapshot snap;
+  snap.enabled = SyncStatsEnabled();
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  for (int i = 0; i < kNumSyncSites; ++i) snap.sites[i] = impl_->retired[i];
+  for (const ThreadBlock* block : impl_->live) {
+    AccumulateBlock(snap.sites.data(), *block);
+  }
+  return snap;
+}
+
+void SyncStatsRegistry::AccumulateBlock(SyncSiteStats* out,
+                                        const ThreadBlock& block) {
+  for (int i = 0; i < kNumSyncSites; ++i) {
+    const auto& s = block.sites[i];
+    SyncSiteStats& o = out[i];
+    o.acquisitions += s.acquisitions.load(std::memory_order_relaxed);
+    o.contended += s.contended.load(std::memory_order_relaxed);
+    o.total_wait_ns += s.total_wait_ns.load(std::memory_order_relaxed);
+    o.max_wait_ns = std::max(o.max_wait_ns,
+                             s.max_wait_ns.load(std::memory_order_relaxed));
+    for (int h = 0; h < kSyncWaitBuckets; ++h) {
+      o.wait_hist[h] += s.wait_hist[h].load(std::memory_order_relaxed);
+    }
+  }
+}
+
+void SyncStatsRecord(SyncSite site, bool contended, int64_t wait_ns) {
+  SyncStatsRegistry::ThreadBlock* block =
+      SyncStatsRegistry::Instance().BlockForThisThread();
+  auto& s = block->sites[static_cast<size_t>(site)];
+  // Owner-only writes; relaxed atomics so concurrent Snapshot() reads
+  // stay TSan-clean.
+  s.acquisitions.fetch_add(1, std::memory_order_relaxed);
+  s.wait_hist[SyncWaitBucket(wait_ns)].fetch_add(1, std::memory_order_relaxed);
+  if (contended) {
+    s.contended.fetch_add(1, std::memory_order_relaxed);
+    s.total_wait_ns.fetch_add(wait_ns, std::memory_order_relaxed);
+    if (wait_ns > s.max_wait_ns.load(std::memory_order_relaxed)) {
+      s.max_wait_ns.store(wait_ns, std::memory_order_relaxed);
+    }
+  }
+}
+
+}  // namespace colr

@@ -1,0 +1,207 @@
+#ifndef COLR_COMMON_SYNC_STATS_H_
+#define COLR_COMMON_SYNC_STATS_H_
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+namespace colr {
+
+/// Contention instrumentation for the lock hierarchy in sync.h
+/// (DESIGN.md §6 "Sync-stats model"). Every named lock *site* — a
+/// (lock, acquisition-mode) pair in ColrTree's write protocol — gets
+/// per-site counters: acquisitions, contended acquisitions (the fast
+/// try_lock missed), total and max wait nanoseconds, plus a coarse
+/// log2 wait histogram. The counters answer the question qps alone
+/// cannot: *which* lock burns the time when writer scaling flattens.
+///
+/// Cost model: recording is off by default and the guards below
+/// compile down to a relaxed load + branch around a plain lock(), so
+/// the disabled path is indistinguishable from using std::lock_guard
+/// directly (the overhead smoke check in scripts/check.sh pins this).
+/// Enable per process via ColrTree::Options::sync_stats or the
+/// COLR_SYNC_STATS=1 environment variable. Defining COLR_NO_SYNC_STATS
+/// removes even the branch.
+///
+/// Collection protocol: each recording thread owns a registered block
+/// of per-site accumulators and is the only writer to it (relaxed
+/// atomics, so snapshot readers race benignly and TSan-cleanly).
+/// Snapshot() sums the live blocks plus an accumulator holding the
+/// blocks of exited threads (each thread's block is flushed into the
+/// registry's retired accumulator by its thread-local holder's
+/// destructor). Totals are exact whenever no thread is mid-record —
+/// in particular at the quiescent points where benches and
+/// MaintenanceSnapshot() read them.
+
+/// Instrumented lock sites, in lock-hierarchy order. Kept dense so
+/// per-site storage is a plain array.
+enum class SyncSite : int {
+  /// EpochLatch shared side: InsertReading / TouchCached pinning the
+  /// window head.
+  kEpochShared = 0,
+  /// EpochLatch exclusive side: rolls, expunges, consistency audits.
+  kEpochExclusive,
+  /// Per-shard writer locks (shard_mutex_), unique or shared.
+  kShardWriter,
+  /// root_mutex_ SpinMutex serializing the root-region merge.
+  kRootSpin,
+  /// Striped per-node locks (node_mutex_), unique or shared.
+  kNodeStripe,
+};
+inline constexpr int kNumSyncSites = 5;
+
+/// Stable JSON-friendly site name ("epoch_shared", ...).
+const char* SyncSiteName(SyncSite site);
+
+/// Log2 wait-time bucket: 0 for uncontended acquisitions (wait 0),
+/// otherwise 1 + floor(log2(wait_ns)) clamped to the last bucket —
+/// so the buckets of one site always sum to its acquisition count.
+inline constexpr int kSyncWaitBuckets = 32;
+int SyncWaitBucket(int64_t wait_ns);
+
+/// Plain-value per-site counters (snapshot form).
+struct SyncSiteStats {
+  int64_t acquisitions = 0;
+  int64_t contended = 0;
+  int64_t total_wait_ns = 0;
+  int64_t max_wait_ns = 0;
+  std::array<int64_t, kSyncWaitBuckets> wait_hist{};
+};
+
+/// Point-in-time view of every site, readable while threads record.
+struct SyncStatsSnapshot {
+  /// Whether recording was enabled when the snapshot was taken. A
+  /// disabled snapshot is all zeros and JSON emitters skip it.
+  bool enabled = false;
+  std::array<SyncSiteStats, kNumSyncSites> sites{};
+
+  int64_t TotalWaitNs() const;
+  /// Site burning the most wait time (ties and all-zero waits fall
+  /// back to contended count, then acquisitions). -1 if no site was
+  /// ever acquired.
+  int HottestSite() const;
+  /// This site's share of the total wait time, in [0, 1] (0 when no
+  /// site waited at all).
+  double ContentionShare(SyncSite site) const;
+};
+
+/// Per-site difference after - before (counters are cumulative per
+/// process; benches and MaintenanceSnapshot() report per-run deltas).
+SyncStatsSnapshot SyncStatsDelta(const SyncStatsSnapshot& after,
+                                 const SyncStatsSnapshot& before);
+
+namespace sync_internal {
+/// Process-wide enable flag; initialized from COLR_SYNC_STATS at
+/// startup, latched on by SyncStatsRegistry::Enable().
+extern std::atomic<bool> g_sync_stats_enabled;
+}  // namespace sync_internal
+
+/// Hot-path guard read by every instrumented lock site.
+inline bool SyncStatsEnabled() {
+#ifdef COLR_NO_SYNC_STATS
+  return false;
+#else
+  return sync_internal::g_sync_stats_enabled.load(std::memory_order_relaxed);
+#endif
+}
+
+/// Records one acquisition into the calling thread's block (registers
+/// the block on first use). Only call when SyncStatsEnabled().
+void SyncStatsRecord(SyncSite site, bool contended, int64_t wait_ns);
+
+/// Process-wide registry of per-thread accumulator blocks.
+class SyncStatsRegistry {
+ public:
+  /// The singleton. Intentionally leaked so thread-local holders
+  /// flushing at thread exit never outlive it.
+  static SyncStatsRegistry& Instance();
+
+  /// Turns recording on for the whole process (sticky; there is no
+  /// disable — counters are cumulative and consumers read deltas).
+  static void Enable();
+
+  /// Sums live thread blocks + retired accumulator.
+  SyncStatsSnapshot Snapshot() const;
+
+ private:
+  friend void SyncStatsRecord(SyncSite, bool, int64_t);
+  struct ThreadBlock;
+  class ThreadHolder;
+  struct Impl;
+
+  SyncStatsRegistry();
+  ThreadBlock* BlockForThisThread();
+  void Retire(ThreadBlock* block);
+  static void AccumulateBlock(SyncSiteStats* out, const ThreadBlock& block);
+
+  Impl* const impl_;  // leaked with the registry
+};
+
+/// RAII guard: lock() with contention timing. Disabled → exactly
+/// std::lock_guard. Enabled → try_lock fast path records an
+/// uncontended acquisition; on miss, times the blocking lock() with
+/// steady_clock and records the wait. Works with any Lockable
+/// (SpinMutex, EpochLatch exclusive side, std::shared_mutex unique
+/// side).
+template <typename Mutex>
+class SyncTimedLock {
+ public:
+  SyncTimedLock(Mutex& mu, SyncSite site) : mu_(mu) {
+    if (!SyncStatsEnabled()) {
+      mu_.lock();
+      return;
+    }
+    if (mu_.try_lock()) {
+      SyncStatsRecord(site, false, 0);
+      return;
+    }
+    const auto start = std::chrono::steady_clock::now();
+    mu_.lock();
+    const auto wait = std::chrono::steady_clock::now() - start;
+    SyncStatsRecord(
+        site, true,
+        std::chrono::duration_cast<std::chrono::nanoseconds>(wait).count());
+  }
+  ~SyncTimedLock() { mu_.unlock(); }
+
+  SyncTimedLock(const SyncTimedLock&) = delete;
+  SyncTimedLock& operator=(const SyncTimedLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// Shared-side counterpart for SharedLockable types (EpochLatch
+/// shared side, std::shared_mutex shared side).
+template <typename Mutex>
+class SyncTimedSharedLock {
+ public:
+  SyncTimedSharedLock(Mutex& mu, SyncSite site) : mu_(mu) {
+    if (!SyncStatsEnabled()) {
+      mu_.lock_shared();
+      return;
+    }
+    if (mu_.try_lock_shared()) {
+      SyncStatsRecord(site, false, 0);
+      return;
+    }
+    const auto start = std::chrono::steady_clock::now();
+    mu_.lock_shared();
+    const auto wait = std::chrono::steady_clock::now() - start;
+    SyncStatsRecord(
+        site, true,
+        std::chrono::duration_cast<std::chrono::nanoseconds>(wait).count());
+  }
+  ~SyncTimedSharedLock() { mu_.unlock_shared(); }
+
+  SyncTimedSharedLock(const SyncTimedSharedLock&) = delete;
+  SyncTimedSharedLock& operator=(const SyncTimedSharedLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+}  // namespace colr
+
+#endif  // COLR_COMMON_SYNC_STATS_H_

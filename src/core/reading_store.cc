@@ -111,6 +111,8 @@ bool ReadingStore::Erase(SensorId sensor) {
   return true;
 }
 
+size_t ReadingStore::OccupiedSlots() const { return slots_.size(); }
+
 void ReadingStore::Clear() {
   entries_.clear();
   slots_.clear();

@@ -111,6 +111,12 @@ class ReadingStore {
   /// relational cross-check). Returns true if present.
   bool Erase(SensorId sensor);
 
+  /// Number of distinct occupied expiry slots. Unlike size() this
+  /// reads the slot map, so the caller must hold the owner's store
+  /// lock (ColrTree: the shard's writer stripe). Diagnostics input
+  /// for the writer-scaling sweep's shard-balance report.
+  size_t OccupiedSlots() const;
+
   void Clear();
 
  private:

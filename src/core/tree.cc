@@ -34,6 +34,7 @@ ColrTree::ColrTree(std::vector<SensorInfo> sensors, Options options)
       sensors_(std::move(sensors)),
       t_max_ms_(ResolveTmax(options, sensors_)),
       scheme_(MakeScheme(options, t_max_ms_)) {
+  if (options_.sync_stats) SyncStatsRegistry::Enable();
   std::vector<Point> points;
   points.reserve(sensors_.size());
   for (const SensorInfo& s : sensors_) points.push_back(s.location);
@@ -195,7 +196,8 @@ void ColrTree::AdvanceTo(TimeMs now) {
   // Lock-free fast path: the head only moves forward, so a stale read
   // at worst defers the roll to the next advance.
   if (needed <= scheme_.newest()) return;
-  std::lock_guard<EpochLatch> epoch_lock(epoch_latch_);
+  SyncTimedLock<EpochLatch> epoch_lock(epoch_latch_,
+                                       SyncSite::kEpochExclusive);
   const int slid = scheme_.RollTo(needed);
   if (slid > 0) {
     ++maintenance_.rolls;
@@ -210,14 +212,37 @@ void ColrTree::TouchCached(SensorId sensor) {
   if (leaf < 0) return;
   // Store mutations follow the writer protocol: shared epoch (so
   // rolls/expunges see a quiesced store) + the sensor's shard lock.
-  std::shared_lock<EpochLatch> epoch_lock(epoch_latch_);
-  std::unique_lock<std::shared_mutex> shard_lock(
-      shard_mutex_.For(ShardOf(leaf)));
+  SyncTimedSharedLock<EpochLatch> epoch_lock(epoch_latch_,
+                                             SyncSite::kEpochShared);
+  SyncTimedLock<std::shared_mutex> shard_lock(shard_mutex_.For(ShardOf(leaf)),
+                                              SyncSite::kShardWriter);
   StoreForLeaf(leaf).Touch(sensor);
 }
 
 size_t ColrTree::CachedReadingCount() const {
   return cached_total_.load(std::memory_order_acquire);
+}
+
+ColrTree::MaintenanceCounters ColrTree::MaintenanceSnapshot() const {
+  MaintenanceCounters snap = maintenance_;
+  snap.sync = SyncStatsRegistry::Instance().Snapshot();
+  return snap;
+}
+
+std::vector<ColrTree::ShardOccupancy> ColrTree::ShardOccupancies() const {
+  std::vector<ShardOccupancy> out;
+  out.reserve(stores_.size());
+  // Shared epoch: expunges walk the stores without shard locks under
+  // the exclusive side, so the stripe alone would not exclude them.
+  SyncTimedSharedLock<EpochLatch> epoch_lock(epoch_latch_,
+                                             SyncSite::kEpochShared);
+  for (size_t s = 0; s < stores_.size(); ++s) {
+    SyncTimedSharedLock<std::shared_mutex> shard_lock(
+        shard_mutex_.For(shard_node_of_store_[s]), SyncSite::kShardWriter);
+    out.push_back({shard_node_of_store_[s], stores_[s].size(),
+                   stores_[s].OccupiedSlots()});
+  }
+  return out;
 }
 
 void ColrTree::InsertReading(const Reading& reading) {
@@ -230,7 +255,8 @@ void ColrTree::InsertReading(const Reading& reading) {
     // (no writer holds its shared side), keeping the expunge cascade
     // serialized exactly as before. Rare: at most one insert per slot
     // width pays this.
-    std::lock_guard<EpochLatch> epoch_lock(epoch_latch_);
+    SyncTimedLock<EpochLatch> epoch_lock(epoch_latch_,
+                                         SyncSite::kEpochExclusive);
     const int slid = scheme_.RollTo(slot);
     if (slid > 0) {
       ++maintenance_.rolls;
@@ -242,7 +268,8 @@ void ColrTree::InsertReading(const Reading& reading) {
   // Shared epoch: the window head is frozen for the rest of the
   // insert (rolls need the exclusive side), so every InWindow /
   // oldest() test below is stable.
-  std::shared_lock<EpochLatch> epoch_lock(epoch_latch_);
+  SyncTimedSharedLock<EpochLatch> epoch_lock(epoch_latch_,
+                                             SyncSite::kEpochShared);
   if (slot < scheme_.oldest()) {
     // Late arrival: the reading's expiry slot slid out of the window
     // before this insert pinned the epoch (the roll above only moves
@@ -259,8 +286,8 @@ void ColrTree::InsertReading(const Reading& reading) {
     // All cache mutation below the root region happens under this
     // leaf's shard lock; inserts into other shards proceed in
     // parallel.
-    std::unique_lock<std::shared_mutex> shard_lock(
-        shard_mutex_.For(ShardOf(leaf)));
+    SyncTimedLock<std::shared_mutex> shard_lock(
+        shard_mutex_.For(ShardOf(leaf)), SyncSite::kShardWriter);
 
     // The shard's own store needs no further lock — this shard lock
     // serializes all its mutators. Its content may lead the aggregates
@@ -279,7 +306,8 @@ void ColrTree::InsertReading(const Reading& reading) {
     // new value.
     if (outcome.replaced) {
       {
-        std::unique_lock<std::shared_mutex> node_lock(node_mutex_.For(leaf));
+        SyncTimedLock<std::shared_mutex> node_lock(node_mutex_.For(leaf),
+                                                   SyncSite::kNodeStripe);
         nodes_[leaf].cached_readings.erase(reading.sensor);
       }
       const SlotId old_slot = scheme_.SlotOf(outcome.old_reading.expiry);
@@ -289,7 +317,8 @@ void ColrTree::InsertReading(const Reading& reading) {
     }
 
     {
-      std::unique_lock<std::shared_mutex> node_lock(node_mutex_.For(leaf));
+      SyncTimedLock<std::shared_mutex> node_lock(node_mutex_.For(leaf),
+                                                 SyncSite::kNodeStripe);
       nodes_[leaf].cached_readings[reading.sensor] = reading;
       if (!outcome.replaced) {
         nodes_[leaf].cached_sensors.push_back(reading.sensor);
@@ -322,8 +351,8 @@ void ColrTree::EnforceCacheCapacity(SensorId protect) {
     std::optional<ReadingStore::EvictionCandidate> best;
     size_t best_store = 0;
     for (size_t s = 0; s < stores_.size(); ++s) {
-      std::shared_lock<std::shared_mutex> peek_lock(
-          shard_mutex_.For(shard_node_of_store_[s]));
+      SyncTimedSharedLock<std::shared_mutex> peek_lock(
+          shard_mutex_.For(shard_node_of_store_[s]), SyncSite::kShardWriter);
       std::optional<ReadingStore::EvictionCandidate> cand =
           stores_[s].PeekEvictionCandidateInfo(protect);
       if (cand && (!best || cand->slot < best->slot ||
@@ -341,8 +370,9 @@ void ColrTree::EnforceCacheCapacity(SensorId protect) {
     // minimality again would need other shards' locks (deadlock), and
     // local re-resolution suffices: if the shard still offers the same
     // sensor, erasing it keeps the cache moving toward capacity.
-    std::unique_lock<std::shared_mutex> shard_lock(
-        shard_mutex_.For(shard_node_of_store_[best_store]));
+    SyncTimedLock<std::shared_mutex> shard_lock(
+        shard_mutex_.For(shard_node_of_store_[best_store]),
+                         SyncSite::kShardWriter);
     if (cached_total_.load(std::memory_order_acquire) <= capacity) return;
     std::optional<ReadingStore::EvictionCandidate> cand =
         stores_[best_store].PeekEvictionCandidateInfo(protect);
@@ -365,15 +395,17 @@ void ColrTree::EnforceCacheCapacity(SensorId protect) {
 void ColrTree::PropagateAdd(int leaf_id, SlotId slot, double value) {
   int n = leaf_id;
   for (; n >= 0 && nodes_[n].level > shard_level_; n = nodes_[n].parent) {
-    std::unique_lock<std::shared_mutex> node_lock(node_mutex_.For(n));
+    SyncTimedLock<std::shared_mutex> node_lock(node_mutex_.For(n),
+                                               SyncSite::kNodeStripe);
     nodes_[n].cache.Add(scheme_, slot, value);
   }
   // Root region: the shard node and its ancestors are shared by every
   // shard, so this short tail (at most shard_level_ + 1 ring updates)
   // merges under root_mutex_.
-  std::lock_guard<SpinMutex> root_lock(root_mutex_);
+  SyncTimedLock<SpinMutex> root_lock(root_mutex_, SyncSite::kRootSpin);
   for (; n >= 0; n = nodes_[n].parent) {
-    std::unique_lock<std::shared_mutex> node_lock(node_mutex_.For(n));
+    SyncTimedLock<std::shared_mutex> node_lock(node_mutex_.For(n),
+                                               SyncSite::kNodeStripe);
     nodes_[n].cache.Add(scheme_, slot, value);
   }
 }
@@ -385,7 +417,8 @@ Aggregate ColrTree::LeafSlotAggregate(int leaf_id, SlotId slot) const {
   // global store lock. Iterate in cached_sensors order so the
   // floating-point accumulation order matches the sequential build.
   Aggregate agg;
-  std::shared_lock<std::shared_mutex> node_lock(node_mutex_.For(leaf_id));
+  SyncTimedSharedLock<std::shared_mutex> node_lock(node_mutex_.For(leaf_id),
+                                                   SyncSite::kNodeStripe);
   const Node& n = nodes_[leaf_id];
   for (SensorId sid : n.cached_sensors) {
     auto it = n.cached_readings.find(sid);
@@ -410,7 +443,8 @@ void ColrTree::RecomputeSlotFromChildren(int node_id, SlotId slot) {
   for (;;) {
     uint64_t version;
     {
-      std::shared_lock<std::shared_mutex> node_lock(node_mutex_.For(node_id));
+      SyncTimedSharedLock<std::shared_mutex> node_lock(node_mutex_.For(node_id),
+                                                       SyncSite::kNodeStripe);
       version = n.cache.SlotVersion(scheme_, slot);
     }
     Aggregate agg;
@@ -418,12 +452,14 @@ void ColrTree::RecomputeSlotFromChildren(int node_id, SlotId slot) {
       agg = LeafSlotAggregate(node_id, slot);
     } else {
       for (int c : n.children) {
-        std::shared_lock<std::shared_mutex> child_lock(node_mutex_.For(c));
+        SyncTimedSharedLock<std::shared_mutex> child_lock(
+            node_mutex_.For(c), SyncSite::kNodeStripe);
         agg.Merge(nodes_[c].cache.Get(scheme_, slot));
       }
     }
     {
-      std::unique_lock<std::shared_mutex> node_lock(node_mutex_.For(node_id));
+      SyncTimedLock<std::shared_mutex> node_lock(node_mutex_.For(node_id),
+                                                 SyncSite::kNodeStripe);
       if (nodes_[node_id].cache.SlotVersion(scheme_, slot) == version) {
         nodes_[node_id].cache.Set(scheme_, slot, agg);
         return;
@@ -437,7 +473,8 @@ void ColrTree::PropagateRemove(int leaf_id, SlotId slot, double value) {
   const auto remove_at = [&](int n) {
     bool invertible;
     {
-      std::unique_lock<std::shared_mutex> node_lock(node_mutex_.For(n));
+      SyncTimedLock<std::shared_mutex> node_lock(node_mutex_.For(n),
+                                                 SyncSite::kNodeStripe);
       invertible = nodes_[n].cache.Remove(scheme_, slot, value);
     }
     if (!invertible) {
@@ -456,7 +493,7 @@ void ColrTree::PropagateRemove(int leaf_id, SlotId slot, double value) {
   // root-region node are themselves mutated only under root_mutex_
   // (or, for the shard node's children, under this shard's lock,
   // which the caller already holds).
-  std::lock_guard<SpinMutex> root_lock(root_mutex_);
+  SyncTimedLock<SpinMutex> root_lock(root_mutex_, SyncSite::kRootSpin);
   for (; n >= 0; n = nodes_[n].parent) {
     remove_at(n);
   }
@@ -465,7 +502,8 @@ void ColrTree::PropagateRemove(int leaf_id, SlotId slot, double value) {
 void ColrTree::RemoveFromLeafCachedSet(SensorId sensor) {
   const int leaf = leaf_of_sensor_[sensor];
   if (leaf < 0) return;
-  std::unique_lock<std::shared_mutex> node_lock(node_mutex_.For(leaf));
+  SyncTimedLock<std::shared_mutex> node_lock(node_mutex_.For(leaf),
+                                             SyncSite::kNodeStripe);
   nodes_[leaf].cached_readings.erase(sensor);
   auto& set = nodes_[leaf].cached_sensors;
   for (size_t i = 0; i < set.size(); ++i) {
@@ -499,7 +537,8 @@ ColrTree::CacheLookup ColrTree::LookupCache(int node_id, TimeMs now,
     // bound), either exactly (including entries in the query slot,
     // §IV-B leaf refinement) or slot-aligned.
     const SlotId qslot = QuerySlot(n, now, staleness_ms);
-    std::shared_lock<std::shared_mutex> node_lock(node_mutex_.For(node_id));
+    SyncTimedSharedLock<std::shared_mutex> node_lock(node_mutex_.For(node_id),
+                                                     SyncSite::kNodeStripe);
     for (SensorId sid : n.cached_sensors) {
       auto it = n.cached_readings.find(sid);
       if (it == n.cached_readings.end()) continue;
@@ -521,7 +560,8 @@ ColrTree::CacheLookup ColrTree::LookupCache(int node_id, TimeMs now,
     return out;
   }
   const SlotId qslot = QuerySlot(n, now, staleness_ms);
-  std::shared_lock<std::shared_mutex> node_lock(node_mutex_.For(node_id));
+  SyncTimedSharedLock<std::shared_mutex> node_lock(node_mutex_.For(node_id),
+                                                   SyncSite::kNodeStripe);
   out.agg = n.cache.QueryNewerThan(scheme_, qslot, &out.slots_merged);
   return out;
 }
@@ -531,7 +571,8 @@ int64_t ColrTree::CachedCount(int node_id, TimeMs now,
   const Node& n = nodes_[node_id];
   if (n.IsLeaf()) {
     int64_t c = 0;
-    std::shared_lock<std::shared_mutex> node_lock(node_mutex_.For(node_id));
+    SyncTimedSharedLock<std::shared_mutex> node_lock(node_mutex_.For(node_id),
+                                                     SyncSite::kNodeStripe);
     for (SensorId sid : n.cached_sensors) {
       auto it = n.cached_readings.find(sid);
       if (it != n.cached_readings.end() &&
@@ -541,7 +582,8 @@ int64_t ColrTree::CachedCount(int node_id, TimeMs now,
     }
     return c;
   }
-  std::shared_lock<std::shared_mutex> node_lock(node_mutex_.For(node_id));
+  SyncTimedSharedLock<std::shared_mutex> node_lock(node_mutex_.For(node_id),
+                                                   SyncSite::kNodeStripe);
   return n.cache.WeightNewerThan(scheme_, QuerySlot(n, now, staleness_ms));
 }
 
@@ -549,7 +591,8 @@ std::optional<Reading> ColrTree::CachedReading(SensorId sensor) const {
   if (sensor >= sensors_.size()) return std::nullopt;
   const int leaf = leaf_of_sensor_[sensor];
   if (leaf < 0) return std::nullopt;
-  std::shared_lock<std::shared_mutex> node_lock(node_mutex_.For(leaf));
+  SyncTimedSharedLock<std::shared_mutex> node_lock(node_mutex_.For(leaf),
+                                                   SyncSite::kNodeStripe);
   const auto& readings = nodes_[leaf].cached_readings;
   auto it = readings.find(sensor);
   if (it == readings.end()) return std::nullopt;
@@ -560,7 +603,8 @@ bool ColrTree::CachedInNewerSlot(SensorId sensor, SlotId query_slot) const {
   if (sensor >= sensors_.size()) return false;
   const int leaf = leaf_of_sensor_[sensor];
   if (leaf < 0) return false;
-  std::shared_lock<std::shared_mutex> node_lock(node_mutex_.For(leaf));
+  SyncTimedSharedLock<std::shared_mutex> node_lock(node_mutex_.For(leaf),
+                                                   SyncSite::kNodeStripe);
   const auto& readings = nodes_[leaf].cached_readings;
   auto it = readings.find(sensor);
   if (it == readings.end()) return false;
@@ -573,7 +617,8 @@ Status ColrTree::CheckCacheConsistency() const {
   // equal the aggregate recomputed from raw cached readings under the
   // node. The exclusive epoch drains every in-flight writer (they all
   // hold the shared side), so the snapshot is coherent.
-  std::lock_guard<EpochLatch> epoch_lock(epoch_latch_);
+  SyncTimedLock<EpochLatch> epoch_lock(epoch_latch_,
+                                       SyncSite::kEpochExclusive);
   // The exclusive epoch also drains every store mutator, so the
   // per-shard stores can be read without their shard locks. Each
   // sensor's reading lives in its own shard's store.

@@ -12,6 +12,7 @@
 #include "common/clock.h"
 #include "common/status.h"
 #include "common/sync.h"
+#include "common/sync_stats.h"
 #include "core/reading_store.h"
 #include "core/slot_cache.h"
 #include "geo/geo.h"
@@ -94,6 +95,12 @@ class ColrTree {
     /// writers fully serialized (the pre-sharding behavior, kept as
     /// the baseline mode for writer-scaling benchmarks).
     int writer_shard_level = -1;
+    /// Enables the process-wide lock-contention counters (sync_stats.h)
+    /// for every lock site in the write protocol. Off by default: the
+    /// instrumented guards then take the identical plain lock() path.
+    /// Equivalent to COLR_SYNC_STATS=1 in the environment; sticky for
+    /// the process (counters are cumulative, consumers read deltas).
+    bool sync_stats = false;
   };
 
   struct Node {
@@ -228,12 +235,33 @@ class ColrTree {
     /// snapshots stable); any nonzero value flags a protocol gap the
     /// version tags absorbed.
     AtomicCounter<int64_t> slot_recompute_retries = 0;
+    /// Lock-contention counters per sync site (all zeros unless sync
+    /// stats are enabled). Only stamped by MaintenanceSnapshot() —
+    /// the live maintenance() reference keeps an empty snapshot.
+    SyncStatsSnapshot sync;
   };
   const MaintenanceCounters& maintenance() const { return maintenance_; }
+  /// Copy of the maintenance counters with the current process-wide
+  /// sync-stats snapshot stamped into `.sync` — what benches diff
+  /// before/after a run (see SyncStatsDelta / replay::CounterDelta).
+  MaintenanceCounters MaintenanceSnapshot() const;
 
   /// Resolved writer-sharding level (Options::writer_shard_level with
   /// -1 resolved against the built tree's height).
   int writer_shard_level() const { return shard_level_; }
+
+  /// Per-shard cache occupancy: cached readings and distinct occupied
+  /// slots in each writer shard's store. Follows the writer protocol
+  /// (shared epoch + each shard's stripe, one at a time), so it is
+  /// safe to call concurrently with inserts. Diagnostics for the
+  /// writer-scaling sweep: a skewed balance explains shard_writer
+  /// contention that shard count alone would not.
+  struct ShardOccupancy {
+    int shard_node = -1;
+    size_t readings = 0;
+    size_t occupied_slots = 0;
+  };
+  std::vector<ShardOccupancy> ShardOccupancies() const;
 
   /// Number of completed exclusive write epochs (window rolls,
   /// consistency audits). Advances at least once per roll.

@@ -69,6 +69,7 @@ ColrTree::MaintenanceCounters CounterDelta(
       after.slot_recomputes.load() - before.slot_recomputes.load();
   d.slot_recompute_retries = after.slot_recompute_retries.load() -
                              before.slot_recompute_retries.load();
+  d.sync = SyncStatsDelta(after.sync, before.sync);
   return d;
 }
 
@@ -102,7 +103,7 @@ TimedReplayReport RunTimedReplay(portal::SensorPortal& portal,
   // covers only what *this run* did (a warm-started tree keeps its
   // history).
   const ColrTree::MaintenanceCounters maintenance_before =
-      tree.maintenance();
+      tree.MaintenanceSnapshot();
 
   // Align the window to the trace start before any thread launches,
   // then let time move at the requested rate.
@@ -222,7 +223,8 @@ TimedReplayReport RunTimedReplay(portal::SensorPortal& portal,
           ? static_cast<double>(report.collector_inserts) * 1000.0 /
                 report.wall_ms
           : 0.0;
-  report.maintenance = CounterDelta(tree.maintenance(), maintenance_before);
+  report.maintenance =
+      CounterDelta(tree.MaintenanceSnapshot(), maintenance_before);
   const TimeMs t_max = tree.t_max_ms();
   if (t_max > 0 && report.trace_span_ms > 0) {
     report.rolls_per_tmax =

@@ -74,7 +74,9 @@ struct TimedReplayReport {
   /// The tree's maintenance counters accumulated *by this run*: the
   /// difference between the post-quiescence counters and a snapshot
   /// taken at replay start, so a warm-started (pre-rolled, pre-filled)
-  /// tree does not inflate rolls, expunges or rolls_per_tmax.
+  /// tree does not inflate rolls, expunges or rolls_per_tmax. Its
+  /// `.sync` member carries the per-run lock-contention deltas when
+  /// sync stats are enabled (sync_stats.h; all zeros otherwise).
   ColrTree::MaintenanceCounters maintenance;
   /// Trace span covered by the replay (first to last query arrival).
   TimeMs trace_span_ms = 0;

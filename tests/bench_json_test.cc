@@ -5,16 +5,21 @@
 // quotes, non-finite doubles) with a minimal validating parser, plus
 // the flag-parsing contract of BenchConfig::FromArgs.
 
+#include <algorithm>
 #include <cctype>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <limits>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench_common.h"
+#include "common/sync.h"
+#include "common/sync_stats.h"
 #include "gtest/gtest.h"
 
 namespace colr::bench {
@@ -342,25 +347,131 @@ TEST(BenchConfigTest, CitiesFlagParsed) {
 
 TEST(WriterScalingJsonRowTest, RowParsesAndLabelsMode) {
   const std::string sharded = WriterScalingJsonRow(
-      /*collector_threads=*/8, /*serialized=*/false, /*inserts=*/240000,
-      /*wall_ms=*/151.25, /*inserts_per_sec=*/1586776.8, /*rolls=*/7,
-      /*late_dropped=*/12, /*evicted=*/0, /*recomputes=*/71420,
+      /*collector_threads=*/8, /*serialized=*/false, /*shard_level=*/-1,
+      /*inserts=*/240000, /*wall_ms=*/151.25, /*inserts_per_sec=*/1586776.8,
+      /*rolls=*/7, /*late_dropped=*/12, /*evicted=*/0, /*recomputes=*/71420,
       /*consistent=*/true);
   EXPECT_TRUE(IsValidJson(sharded)) << sharded;
   EXPECT_NE(sharded.find("\"writer_mode\": \"sharded\""), std::string::npos);
+  EXPECT_NE(sharded.find("\"writer_shard_level\": -1"), std::string::npos);
   EXPECT_NE(sharded.find("\"collector_threads\": 8"), std::string::npos);
   EXPECT_NE(sharded.find("\"consistent\": 1"), std::string::npos);
+  // Stats disabled: no sync block at all.
+  EXPECT_EQ(sharded.find("\"sync\""), std::string::npos);
 
   const std::string serialized = WriterScalingJsonRow(
-      1, /*serialized=*/true, 30000, 0.0,
+      1, /*serialized=*/true, /*shard_level=*/0, 30000, 0.0,
       std::numeric_limits<double>::infinity(), 0, 0, 0, 0,
       /*consistent=*/false);
   EXPECT_TRUE(IsValidJson(serialized)) << serialized;
   EXPECT_NE(serialized.find("\"writer_mode\": \"serialized\""),
             std::string::npos);
+  EXPECT_NE(serialized.find("\"writer_shard_level\": 0"), std::string::npos);
   EXPECT_NE(serialized.find("\"consistent\": 0"), std::string::npos);
   // Non-finite throughput (zero wall time) must not leak "inf".
   EXPECT_NE(serialized.find("\"inserts_per_sec\": null"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Sync-stats JSON (the "sync" block nested in writer-scaling and
+// timed-replay rows): present when a snapshot is enabled, absent when
+// disabled, histogram buckets summing to the acquisition count.
+// ---------------------------------------------------------------------------
+
+// A hand-built snapshot with the invariant the recorder maintains:
+// every acquisition lands in exactly one wait_hist bucket.
+SyncStatsSnapshot MakeEnabledSnapshot() {
+  SyncStatsSnapshot snap;
+  snap.enabled = true;
+  auto record = [&snap](SyncSite site, bool contended, int64_t wait_ns) {
+    SyncSiteStats& s = snap.sites[static_cast<size_t>(site)];
+    ++s.acquisitions;
+    ++s.wait_hist[SyncWaitBucket(wait_ns)];
+    if (contended) {
+      ++s.contended;
+      s.total_wait_ns += wait_ns;
+      s.max_wait_ns = std::max(s.max_wait_ns, wait_ns);
+    }
+  };
+  for (int i = 0; i < 40; ++i) record(SyncSite::kEpochShared, false, 0);
+  record(SyncSite::kEpochExclusive, true, 1 << 20);
+  for (int i = 0; i < 7; ++i) record(SyncSite::kShardWriter, false, 0);
+  record(SyncSite::kShardWriter, true, 100);
+  record(SyncSite::kShardWriter, true, 5000);
+  record(SyncSite::kNodeStripe, true, 1 << 14);
+  return snap;
+}
+
+TEST(SyncStatsJsonTest, DisabledSnapshotEmitsNothingAnywhere) {
+  SyncStatsSnapshot snap;  // default: enabled = false
+  EXPECT_EQ(SyncStatsJsonBlock(snap), "");
+  const std::string row = WriterScalingJsonRow(
+      4, /*serialized=*/false, -1, 1000, 1.0, 1e6, 0, 0, 0, 0, true,
+      SyncStatsJsonBlock(snap));
+  EXPECT_TRUE(IsValidJson(row)) << row;
+  EXPECT_EQ(row.find("\"sync\""), std::string::npos);
+}
+
+TEST(SyncStatsJsonTest, EnabledSnapshotEmitsEverySiteAndHottest) {
+  const SyncStatsSnapshot snap = MakeEnabledSnapshot();
+  const std::string block = SyncStatsJsonBlock(snap);
+  EXPECT_TRUE(IsValidJson(block)) << block;
+  for (int i = 0; i < kNumSyncSites; ++i) {
+    EXPECT_NE(block.find(std::string("\"site\": \"") +
+                         SyncSiteName(static_cast<SyncSite>(i)) + "\""),
+              std::string::npos)
+        << block;
+  }
+  // kEpochExclusive carries the largest total wait in MakeEnabledSnapshot.
+  EXPECT_NE(block.find("\"hottest_site\": \"epoch_exclusive\""),
+            std::string::npos)
+      << block;
+  // Nested into a writer-scaling row it stays valid and addressable.
+  const std::string row = WriterScalingJsonRow(
+      4, /*serialized=*/false, -1, 1000, 1.0, 1e6, 0, 0, 0, 0, true, block);
+  EXPECT_TRUE(IsValidJson(row)) << row;
+  EXPECT_NE(row.find("\"sync\": {"), std::string::npos);
+}
+
+TEST(SyncStatsJsonTest, HistogramBucketsSumToAcquisitions) {
+  const SyncStatsSnapshot snap = MakeEnabledSnapshot();
+  for (int i = 0; i < kNumSyncSites; ++i) {
+    const SyncSiteStats& s = snap.sites[i];
+    int64_t hist_sum = 0;
+    for (int h = 0; h < kSyncWaitBuckets; ++h) hist_sum += s.wait_hist[h];
+    EXPECT_EQ(hist_sum, s.acquisitions)
+        << SyncSiteName(static_cast<SyncSite>(i));
+  }
+}
+
+TEST(SyncStatsJsonTest, LiveRecorderMaintainsHistogramInvariant) {
+  // Drive the real registry through the instrumented guard and check
+  // the recorder keeps the bucket invariant the JSON tests rely on.
+  SyncStatsRegistry::Instance().Enable();
+  const SyncStatsSnapshot before = SyncStatsRegistry::Instance().Snapshot();
+  SpinMutex mu;
+  for (int i = 0; i < 64; ++i) {
+    SyncTimedLock<SpinMutex> lock(mu, SyncSite::kRootSpin);
+  }
+  mu.lock();
+  std::thread waiter([&mu] {
+    SyncTimedLock<SpinMutex> lock(mu, SyncSite::kRootSpin);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  mu.unlock();
+  waiter.join();
+  const SyncStatsSnapshot delta =
+      SyncStatsDelta(SyncStatsRegistry::Instance().Snapshot(), before);
+  EXPECT_TRUE(delta.enabled);
+  const SyncSiteStats& s =
+      delta.sites[static_cast<size_t>(SyncSite::kRootSpin)];
+  EXPECT_EQ(s.acquisitions, 65);
+  int64_t hist_sum = 0;
+  for (int h = 0; h < kSyncWaitBuckets; ++h) hist_sum += s.wait_hist[h];
+  EXPECT_EQ(hist_sum, s.acquisitions);
+  const std::string block = SyncStatsJsonBlock(delta);
+  EXPECT_TRUE(IsValidJson(block)) << block;
+  EXPECT_NE(block.find("\"site\": \"root_spin\""), std::string::npos);
 }
 
 TEST(WriteJsonReportTest, WriterScalingReportParsesEndToEnd) {
@@ -371,11 +482,11 @@ TEST(WriteJsonReportTest, WriterScalingReportParsesEndToEnd) {
 
   std::vector<std::string> rows;
   for (int threads : {1, 2, 4, 8}) {
-    for (bool serialized : {true, false}) {
-      rows.push_back(WriterScalingJsonRow(threads, serialized,
-                                          30000 * threads, 100.0 + threads,
-                                          300000.0 * threads, threads, 0, 5,
-                                          900 * threads, true));
+    for (int level : {0, -1, 1, 2}) {
+      rows.push_back(WriterScalingJsonRow(threads, /*serialized=*/level == 0,
+                                          level, 30000 * threads,
+                                          100.0 + threads, 300000.0 * threads,
+                                          threads, 0, 5, 900 * threads, true));
     }
   }
   WriteJsonReport(cfg, "writer_scaling", rows);

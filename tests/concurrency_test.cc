@@ -19,6 +19,7 @@
 #include "common/thread_pool.h"
 #include "core/engine.h"
 #include "core/tree.h"
+#include "concurrent_harness.h"
 #include "determinism_fingerprint.h"
 #include "portal/portal.h"
 #include "sensor/network.h"
@@ -36,58 +37,9 @@ TEST(ConcurrencyTest, SingleThreadedBehaviourMatchesSeedEngine) {
   EXPECT_EQ(colr::testing::SeedBehaviourFingerprint(), kSeedFingerprint);
 }
 
-struct Harness {
-  LiveLocalWorkload workload;
-  SimClock clock;
-  std::unique_ptr<SensorNetwork> network;
-  std::unique_ptr<ColrTree> tree;
-  std::unique_ptr<ColrEngine> engine;
-
-  explicit Harness(size_t cache_capacity, bool track_availability = false,
-                   int num_sensors = 1200) {
-    LiveLocalOptions wopts;
-    wopts.num_sensors = num_sensors;
-    wopts.num_queries = 64;
-    wopts.num_cities = 8;
-    wopts.extent = Rect::FromCorners(0, 0, 100, 100);
-    wopts.duration_ms = 20 * kMsPerMinute;
-    wopts.seed = 0xBEEFull;
-    workload = GenerateLiveLocal(wopts);
-
-    network = std::make_unique<SensorNetwork>(workload.sensors, &clock);
-    network->set_value_fn(MakeRestaurantWaitingTimeFn());
-
-    ColrTree::Options topts;
-    topts.cluster.fanout = 4;
-    topts.cluster.leaf_capacity = 16;
-    topts.t_max_ms = wopts.expiry_max_ms;
-    topts.slot_delta_ms = wopts.expiry_max_ms / 4;
-    topts.cache_capacity = cache_capacity;
-    tree = std::make_unique<ColrTree>(workload.sensors, topts);
-
-    ColrEngine::Options eopts;
-    eopts.mode = ColrEngine::Mode::kColr;
-    eopts.track_availability = track_availability;
-    eopts.availability_refresh_ms = kMsPerMinute;
-    engine = std::make_unique<ColrEngine>(tree.get(), network.get(), eopts);
-
-    // Freeze the clock at a fixed point so no reading expires or is
-    // expunged while the threads run.
-    clock.SetMs(10 * kMsPerMinute);
-  }
-
-  /// A deterministic mixed viewport query for (thread, ordinal).
-  Query MakeQuery(int thread, int i) const {
-    const auto& rec =
-        workload.queries[(thread * 17 + i * 5) % workload.queries.size()];
-    Query q;
-    q.region = QueryRegion::FromRect(rec.region);
-    q.staleness_ms = 5 * kMsPerMinute;
-    q.sample_size = (i % 3 == 0) ? 0 : 25;  // mix exact and sampled
-    q.cluster_level = 2;
-    return q;
-  }
-};
+// The engine/network/query-stream scaffolding lives in
+// tests/concurrent_harness.h, shared with the other stress suites.
+using Harness = colr::testing::EngineStressRig;
 
 TEST(ConcurrencyTest, MixedQueriesKeepCountersConsistent) {
   Harness h(/*cache_capacity=*/300, /*track_availability=*/true);
@@ -95,19 +47,11 @@ TEST(ConcurrencyTest, MixedQueriesKeepCountersConsistent) {
   constexpr int kQueriesPerThread = 25;
 
   std::vector<QueryStats> per_thread(kThreads);
-  std::vector<std::thread> threads;
-  threads.reserve(kThreads);
-  for (int t = 0; t < kThreads; ++t) {
-    threads.emplace_back([&h, &per_thread, t] {
-      for (int i = 0; i < kQueriesPerThread; ++i) {
-        ExecutionContext ctx(h.engine->QuerySeed(
-            static_cast<uint64_t>(t) * kQueriesPerThread + i));
-        const QueryResult r = h.engine->Execute(h.MakeQuery(t, i), ctx);
+  colr::testing::RunQueryStreams(
+      h, kThreads, kQueriesPerThread,
+      [&per_thread](int t, int /*i*/, const QueryResult& r) {
         per_thread[t].MergeCounters(r.stats);
-      }
-    });
-  }
-  for (auto& t : threads) t.join();
+      });
 
   QueryStats sum;
   for (const QueryStats& s : per_thread) sum.MergeCounters(s);
@@ -150,24 +94,14 @@ TEST(ConcurrencyTest, NoCacheInsertionIsLost) {
 
   std::mutex mu;
   std::set<SensorId> collected_sensors;
-  std::vector<std::thread> threads;
-  threads.reserve(kThreads);
-  for (int t = 0; t < kThreads; ++t) {
-    threads.emplace_back([&, t] {
-      std::set<SensorId> local;
-      for (int i = 0; i < kQueriesPerThread; ++i) {
-        ExecutionContext ctx(h.engine->QuerySeed(
-            static_cast<uint64_t>(t) * kQueriesPerThread + i));
-        const QueryResult r = h.engine->Execute(h.MakeQuery(t, i), ctx);
+  colr::testing::RunQueryStreams(
+      h, kThreads, kQueriesPerThread,
+      [&](int /*t*/, int /*i*/, const QueryResult& r) {
+        std::lock_guard<std::mutex> lock(mu);
         for (const Reading& reading : r.collected) {
-          local.insert(reading.sensor);
+          collected_sensors.insert(reading.sensor);
         }
-      }
-      std::lock_guard<std::mutex> lock(mu);
-      collected_sensors.insert(local.begin(), local.end());
-    });
-  }
-  for (auto& t : threads) t.join();
+      });
 
   EXPECT_GT(collected_sensors.size(), 0u);
   for (SensorId sid : collected_sensors) {

@@ -107,6 +107,46 @@ inline uint64_t SeedBehaviourFingerprint() {
   return fp.value();
 }
 
+/// Fingerprint of a quiesced tree's cache, built only from values
+/// that are deterministic regardless of how concurrent writers
+/// interleaved: integer counts, the exact bits of each per-sensor
+/// cached reading (each sensor's final reading is its last insert —
+/// thread-order independent), node-aggregate counts and min/max
+/// (order-free folds), and reading sums re-accumulated in canonical
+/// sensor-id order. Node-aggregate *sums* are deliberately excluded:
+/// they accumulate in thread arrival order, so their low bits vary
+/// run to run. Use with cache_capacity = 0 — eviction order is
+/// interleaving-dependent.
+inline uint64_t QuiescentCacheFingerprint(const ColrTree& tree,
+                                          size_t num_sensors, TimeMs now,
+                                          TimeMs staleness) {
+  Fingerprint fp;
+  fp.Mix(tree.CachedReadingCount());
+  double canonical_sum = 0.0;
+  for (size_t i = 0; i < num_sensors; ++i) {
+    const auto r = tree.CachedReading(static_cast<SensorId>(i));
+    if (!r.has_value()) {
+      fp.Mix(0);
+      continue;
+    }
+    fp.Mix(1);
+    fp.Mix(static_cast<uint64_t>(r->timestamp));
+    fp.Mix(static_cast<uint64_t>(r->expiry));
+    fp.MixDouble(r->value);
+    canonical_sum += r->value;
+  }
+  fp.MixDouble(canonical_sum);
+  const auto root = tree.LookupCache(tree.root(), now, staleness);
+  fp.Mix(static_cast<uint64_t>(root.agg.count));
+  if (root.agg.count > 0) {
+    fp.MixDouble(root.agg.min);
+    fp.MixDouble(root.agg.max);
+  }
+  fp.Mix(static_cast<uint64_t>(tree.CachedCount(tree.root(), now,
+                                                staleness)));
+  return fp.value();
+}
+
 }  // namespace colr::testing
 
 #endif  // COLR_TESTS_DETERMINISM_FINGERPRINT_H_

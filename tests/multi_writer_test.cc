@@ -5,56 +5,20 @@
 // load. These tests are the TSan face of the sharded write path — run
 // them under COLR_SANITIZE=thread via scripts/check.sh. Quiescent
 // state must be sequential-exact: every run ends in
-// CheckCacheConsistency().
+// CheckCacheConsistency(). The writer/roller loop itself lives in
+// tests/concurrent_harness.h; failures print the COLR_STRESS_SEED to
+// rerun with.
 
-#include <atomic>
-#include <cmath>
-#include <thread>
-#include <vector>
-
+#include "concurrent_harness.h"
 #include "core/tree.h"
 #include "gtest/gtest.h"
 
 namespace colr {
 namespace {
 
+namespace ct = colr::testing;
+
 constexpr TimeMs kMin = kMsPerMinute;
-
-std::vector<SensorInfo> MakeGridSensors(int n, TimeMs expiry) {
-  std::vector<SensorInfo> sensors;
-  sensors.reserve(n);
-  const int side = 1 + static_cast<int>(std::sqrt(static_cast<double>(n)));
-  for (int i = 0; i < n; ++i) {
-    SensorInfo s;
-    s.id = i;
-    s.location = Point{static_cast<double>(i % side),
-                       static_cast<double>(i / side)};
-    s.expiry_ms = expiry;
-    sensors.push_back(s);
-  }
-  return sensors;
-}
-
-ColrTree::Options StressOptions(size_t capacity, int shard_level = -1) {
-  ColrTree::Options topts;
-  topts.cluster.fanout = 4;
-  topts.cluster.leaf_capacity = 8;
-  topts.t_max_ms = 4 * kMin;
-  topts.slot_delta_ms = kMin;
-  topts.cache_capacity = capacity;
-  topts.writer_shard_level = shard_level;
-  return topts;
-}
-
-Reading MakeReading(const std::vector<SensorInfo>& sensors, SensorId id,
-                    TimeMs t, double value) {
-  Reading r;
-  r.sensor = id;
-  r.timestamp = t;
-  r.expiry = t + sensors[id].expiry_ms;
-  r.value = value;
-  return r;
-}
 
 // N writer threads own disjoint sensor partitions and insert
 // replacement-heavy rounds while one roller advances the window and
@@ -62,44 +26,23 @@ Reading MakeReading(const std::vector<SensorInfo>& sensors, SensorId id,
 // quiescence, every node's slot aggregates must equal a recompute
 // from the raw cached readings.
 TEST(MultiWriterTest, ConcurrentWritersRollerAndEvictionsStayConsistent) {
-  const auto sensors = MakeGridSensors(512, 4 * kMin);
+  const uint64_t seed = ct::StressSeed(0xC01A57E55ull);
+  ct::SeedLogger log(seed);
+  const auto sensors = ct::GridSensors(512, 4 * kMin);
   // Capacity at half the catalog: steady-state eviction pressure.
-  ColrTree tree(sensors, StressOptions(sensors.size() / 2));
+  ColrTree tree(sensors, ct::StressTreeOptions(sensors.size() / 2));
   ASSERT_GE(tree.writer_shard_level(), 1) << "tree too shallow to shard";
 
-  constexpr int kWriters = 4;
-  constexpr int kRounds = 120;
-  constexpr TimeMs kStep = 20 * kMsPerSecond;  // a slot every 3 rounds
-  std::atomic<TimeMs> now{0};
-  std::atomic<bool> done{false};
+  ct::WriterRollerOptions opts;
+  opts.writers = 4;
+  opts.rounds = 120;
+  opts.step_ms = 20 * kMsPerSecond;  // a slot every 3 rounds
+  opts.touch_every = 7;
+  opts.seed = seed;
+  const ct::WriterRollerOutcome run =
+      ct::RunWriterRollerStress(tree, sensors, opts);
 
-  std::vector<std::thread> writers;
-  for (int w = 0; w < kWriters; ++w) {
-    writers.emplace_back([&, w] {
-      for (int round = 0; round < kRounds; ++round) {
-        const TimeMs t = now.load(std::memory_order_acquire);
-        for (size_t i = w; i < sensors.size(); i += kWriters) {
-          tree.InsertReading(MakeReading(
-              sensors, static_cast<SensorId>(i), t,
-              static_cast<double>((i * 37 + round * 101) % 997)));
-          if (i % 7 == 0) tree.TouchCached(static_cast<SensorId>(i));
-        }
-      }
-    });
-  }
-  std::thread roller([&] {
-    int tick = 0;
-    while (!done.load(std::memory_order_acquire)) {
-      now.store(++tick * kStep, std::memory_order_release);
-      tree.AdvanceTo(tick * kStep);
-      std::this_thread::yield();
-    }
-  });
-
-  for (auto& t : writers) t.join();
-  done.store(true, std::memory_order_release);
-  roller.join();
-
+  EXPECT_EQ(run.inserts, static_cast<int64_t>(sensors.size()) * opts.rounds);
   EXPECT_GT(tree.maintenance().readings_evicted.load(), 0);
   EXPECT_LE(tree.CachedReadingCount(), sensors.size() / 2);
   EXPECT_TRUE(tree.CheckCacheConsistency().ok());
@@ -109,24 +52,25 @@ TEST(MultiWriterTest, ConcurrentWritersRollerAndEvictionsStayConsistent) {
 // shard: the root) — the baseline the writer-scaling bench compares
 // against. It must behave identically, just without parallelism.
 TEST(MultiWriterTest, SerializedShardLevelStaysConsistent) {
-  const auto sensors = MakeGridSensors(256, 4 * kMin);
-  ColrTree tree(sensors, StressOptions(sensors.size() / 2,
-                                       /*shard_level=*/0));
+  const uint64_t seed = ct::StressSeed(0x5E41A112EDull);
+  ct::SeedLogger log(seed);
+  const auto sensors = ct::GridSensors(256, 4 * kMin);
+  ColrTree tree(sensors, ct::StressTreeOptions(sensors.size() / 2,
+                                               /*shard_level=*/0));
   EXPECT_EQ(tree.writer_shard_level(), 0);
 
-  std::vector<std::thread> writers;
-  for (int w = 0; w < 3; ++w) {
-    writers.emplace_back([&, w] {
-      for (int round = 0; round < 60; ++round) {
-        for (size_t i = w; i < sensors.size(); i += 3) {
-          tree.InsertReading(MakeReading(sensors, static_cast<SensorId>(i),
-                                         0, static_cast<double>(i % 97)));
-        }
-      }
-    });
-  }
-  for (auto& t : writers) t.join();
+  // Lockstep with a zero step: replacement-heavy rounds all at t = 0,
+  // no rolls — pure write-lock contention on the single shard.
+  ct::WriterRollerOptions opts;
+  opts.writers = 3;
+  opts.rounds = 60;
+  opts.step_ms = 0;
+  opts.lockstep = true;
+  opts.seed = seed;
+  const ct::WriterRollerOutcome run =
+      ct::RunWriterRollerStress(tree, sensors, opts);
 
+  EXPECT_EQ(run.inserts, static_cast<int64_t>(sensors.size()) * opts.rounds);
   EXPECT_LE(tree.CachedReadingCount(), sensors.size() / 2);
   EXPECT_TRUE(tree.CheckCacheConsistency().ok());
 }
@@ -135,11 +79,11 @@ TEST(MultiWriterTest, SerializedShardLevelStaysConsistent) {
 // maintenance section (roll, audit) advances it, and concurrent
 // shared holders never do.
 TEST(MultiWriterTest, WriteEpochAdvancesPerExclusiveSection) {
-  const auto sensors = MakeGridSensors(64, 4 * kMin);
-  ColrTree tree(sensors, StressOptions(0));
+  const auto sensors = ct::GridSensors(64, 4 * kMin);
+  ColrTree tree(sensors, ct::StressTreeOptions(0));
 
   const uint64_t e0 = tree.write_epoch();
-  tree.InsertReading(MakeReading(sensors, 0, 0, 1.0));  // shared only
+  tree.InsertReading(ct::StressReading(sensors, 0, 0, 1.0));  // shared only
   EXPECT_EQ(tree.write_epoch(), e0);
 
   tree.AdvanceTo(10 * kMin);  // rolls: takes the exclusive epoch

@@ -6,7 +6,9 @@
 #include <tuple>
 
 #include "common/rng.h"
+#include "concurrent_harness.h"
 #include "core/engine.h"
+#include "determinism_fingerprint.h"
 #include "gtest/gtest.h"
 #include "sensor/network.h"
 
@@ -93,6 +95,54 @@ INSTANTIATE_TEST_SUITE_P(
     DeltasAndCapacities, TreeMaintenanceSweep,
     ::testing::Combine(::testing::Values<TimeMs>(15000, kMin, 150000),
                        ::testing::Values<size_t>(0, 25, 60)));
+
+// ---------------------------------------------------------------------------
+// Writer shard levels are a performance knob, not a semantic one: the
+// same lockstep-paced concurrent insert/roll phase must leave an
+// identical quiescent cache at every writer_shard_level. The
+// fingerprint uses only interleaving-independent state (see
+// QuiescentCacheFingerprint); capacity is 0 because eviction order is
+// interleaving-dependent.
+// ---------------------------------------------------------------------------
+
+class WriterShardLevelSweep : public ::testing::TestWithParam<int> {};
+
+uint64_t ShardLevelRunFingerprint(int shard_level, uint64_t seed) {
+  namespace ct = colr::testing;
+  const auto sensors = ct::GridSensors(256, 4 * kMin);
+  ColrTree tree(sensors, ct::StressTreeOptions(0, shard_level));
+
+  ct::WriterRollerOptions opts;
+  opts.writers = 4;
+  opts.rounds = 48;
+  opts.step_ms = 20 * kMsPerSecond;
+  opts.lockstep = true;  // deterministic timestamps across levels
+  opts.touch_every = 5;
+  opts.seed = seed;
+  const ct::WriterRollerOutcome run =
+      ct::RunWriterRollerStress(tree, sensors, opts);
+  EXPECT_EQ(run.inserts, static_cast<int64_t>(sensors.size()) * opts.rounds);
+
+  EXPECT_TRUE(tree.CheckCacheConsistency().ok())
+      << "shard_level=" << shard_level << ": "
+      << tree.CheckCacheConsistency().ToString();
+  return ct::QuiescentCacheFingerprint(tree, sensors.size(),
+                                       run.final_advance_ms, 4 * kMin);
+}
+
+TEST_P(WriterShardLevelSweep, QuiescentStateMatchesSerializedBaseline) {
+  const int shard_level = GetParam();
+  const uint64_t seed = colr::testing::StressSeed(0x54A8DE7E1ull);
+  colr::testing::SeedLogger log(seed);
+  // Level 0 (single shard) is the serialized baseline every sharded
+  // level must reproduce bit for bit at quiescence.
+  const uint64_t baseline = ShardLevelRunFingerprint(0, seed);
+  const uint64_t actual = ShardLevelRunFingerprint(shard_level, seed);
+  EXPECT_EQ(actual, baseline) << "shard_level=" << shard_level;
+}
+
+INSTANTIATE_TEST_SUITE_P(ShardLevels, WriterShardLevelSweep,
+                         ::testing::Values(0, 1, 2));
 
 // ---------------------------------------------------------------------------
 // Engine invariants across modes, staleness and availability.

@@ -14,6 +14,7 @@
 #include "storage/heap_file.h"
 #include "storage/table_io.h"
 #include "storage/wal.h"
+#include "workload/live_local.h"
 
 namespace colr {
 namespace {
@@ -301,6 +302,84 @@ TEST(RelColrTest, RangeQueryMatchesNativeHierEngine) {
               native_result.stats.sensors_probed);
   }
   rig.CheckAllSlotsMatch();
+}
+
+// Differential replay of a seeded Live-Local trace: the same query
+// stream runs through the native hier-cache engine and through the
+// relcolr relational expression (caching enabled on both sides, one
+// shared network), and every query's aggregate must agree. Both
+// engines are deterministic under availability 1.0, a pure value
+// function and unbounded capacity, so the assertions are exact in
+// count and probe count and tight in sum.
+TEST(RelColrTest, LiveLocalTraceMatchesNativeDifferentially) {
+  LiveLocalOptions wopts;
+  wopts.num_sensors = 250;
+  wopts.num_queries = 60;
+  wopts.num_cities = 6;
+  wopts.extent = Rect::FromCorners(0, 0, 100, 100);
+  wopts.duration_ms = 20 * kMin;
+  wopts.seed = 0xD1FFull;
+  LiveLocalWorkload workload = GenerateLiveLocal(wopts);
+  // Probes must be deterministic: no availability-driven failures.
+  for (auto& s : workload.sensors) s.availability = 1.0;
+
+  SimClock clock;
+  SensorNetwork network(workload.sensors, &clock);
+  network.set_value_fn([](const SensorInfo& s, TimeMs t) {
+    return s.location.x + s.location.y +
+           static_cast<double>(t % kMin) / kMin;
+  });
+
+  ColrTree::Options topts;
+  topts.cluster.fanout = 4;
+  topts.cluster.leaf_capacity = 8;
+  topts.t_max_ms = wopts.expiry_max_ms;
+  topts.slot_delta_ms = wopts.expiry_max_ms / 4;
+  topts.cache_capacity = 0;
+
+  // Relational side: its own tree mirrored into tables.
+  ColrTree relational_tree(workload.sensors, topts);
+  RelColr relational(relational_tree);
+  auto probe = [&network](const std::vector<SensorId>& ids) {
+    return network.ProbeBatch(ids).readings;
+  };
+
+  // Native side: an independent tree with the same construction.
+  ColrTree native_tree(workload.sensors, topts);
+  ColrEngine::Options eopts;
+  eopts.mode = ColrEngine::Mode::kHierCache;
+  ColrEngine native(&native_tree, &network, eopts);
+
+  const TimeMs staleness = wopts.expiry_max_ms / 2;
+  int steps = 0;
+  for (const auto& rec : workload.queries) {
+    clock.SetMs(rec.at);
+
+    RelColr::RangeResult rel_result = relational.ExecuteRangeQuery(
+        rec.region, clock.NowMs(), staleness, probe);
+
+    Query q;
+    q.region = QueryRegion::FromRect(rec.region);
+    q.staleness_ms = staleness;
+    q.sample_size = 0;
+    q.cluster_level = 0;
+    QueryResult native_result = native.Execute(q);
+
+    const Aggregate native_total = native_result.Total();
+    ASSERT_EQ(rel_result.total.count, native_total.count)
+        << "query " << steps << " at t=" << rec.at;
+    ASSERT_NEAR(rel_result.total.sum, native_total.sum, 1e-6)
+        << "query " << steps << " at t=" << rec.at;
+    ASSERT_EQ(rel_result.probes_attempted,
+              native_result.stats.sensors_probed)
+        << "query " << steps << " at t=" << rec.at;
+    ++steps;
+  }
+  EXPECT_EQ(steps, wopts.num_queries);
+  // Both caches end internally consistent with each other.
+  EXPECT_EQ(relational.NumCachedReadings(),
+            native_tree.CachedReadingCount());
+  EXPECT_TRUE(native_tree.CheckCacheConsistency().ok());
 }
 
 TEST(RelColrTest, SampledSensorSelectionApproximatesTarget) {

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "concurrent_harness.h"
 #include "core/engine.h"
 #include "core/tree.h"
 #include "gtest/gtest.h"
@@ -191,72 +192,40 @@ TEST(TimedReplayTest, WarmStartedTreeReportsPerRunDeltas) {
 // Pins the interleaving S5 targets: one writer advancing the window
 // (roll -> expunge) and inserting while readers run leaf lookups and
 // per-sensor cache reads on the nodes being maintained. Run under
-// TSan via scripts/check.sh.
+// TSan via scripts/check.sh (ctest -L tsan). The writer/reader loop
+// is the shared harness in lockstep mode with a single writer: each
+// round advances the window to round * step and rewrites the catalog
+// while the readers free-run against it.
 TEST(TimedReplayTest, ExpungeRacingLeafLookupIsRaceFree) {
-  std::vector<SensorInfo> sensors;
-  for (int i = 0; i < 64; ++i) {
-    SensorInfo s;
-    s.id = i;
-    s.location = Point{static_cast<double>(i % 8),
-                       static_cast<double>(i / 8)};
-    s.expiry_ms = 4 * kMsPerMinute;
-    sensors.push_back(s);
-  }
-  ColrTree::Options topts;
-  topts.cluster.fanout = 4;
-  topts.cluster.leaf_capacity = 8;
-  topts.cache_capacity = 0;
-  topts.t_max_ms = 4 * kMsPerMinute;
-  topts.slot_delta_ms = kMsPerMinute;
-  ColrTree tree(sensors, topts);
+  namespace ct = colr::testing;
+  const uint64_t seed = ct::StressSeed(0xE7C4A6E5EEDull);
+  ct::SeedLogger log(seed);
+  const auto sensors = ct::GridSensors(64, 4 * kMsPerMinute);
+  ColrTree tree(sensors, ct::StressTreeOptions(0));
 
-  constexpr int kWriterSteps = 400;
-  constexpr TimeMs kStep = 30 * kMsPerSecond;  // half a slot per step
-  std::atomic<TimeMs> now{0};
-  std::atomic<bool> done{false};
-
-  std::thread writer([&] {
-    for (int step = 0; step < kWriterSteps; ++step) {
-      const TimeMs t = step * kStep;
-      now.store(t, std::memory_order_release);
-      tree.AdvanceTo(t);
-      for (int i = 0; i < 8; ++i) {
-        const SensorId id = (step * 8 + i) % 64;
-        Reading r;
-        r.sensor = id;
-        r.timestamp = t;
-        r.expiry = t + sensors[id].expiry_ms;
-        r.value = static_cast<double>(step);
-        tree.InsertReading(r);
-      }
-    }
-    done.store(true, std::memory_order_release);
-  });
-
-  std::vector<std::thread> readers;
-  for (int r = 0; r < 3; ++r) {
-    readers.emplace_back([&, r] {
-      uint64_t sink = 0;
-      while (!done.load(std::memory_order_acquire)) {
-        const TimeMs t = now.load(std::memory_order_acquire);
-        const SensorId id = (sink + r) % 64;
-        const auto lookup =
-            tree.LookupCache(tree.LeafOf(id), t, 2 * kMsPerMinute);
-        sink += static_cast<uint64_t>(lookup.agg.count);
-        if (tree.CachedReading(id).has_value()) ++sink;
-        sink += static_cast<uint64_t>(tree.CachedCount(
-            tree.root(), t, 2 * kMsPerMinute));
-      }
-      // Keep the loop's results observable so it cannot be elided.
-      EXPECT_GE(sink, 0u);
-    });
-  }
-
-  writer.join();
-  for (auto& t : readers) t.join();
+  ct::WriterRollerOptions opts;
+  opts.writers = 1;
+  opts.readers = 3;
+  opts.rounds = 150;
+  opts.step_ms = 30 * kMsPerSecond;  // half a slot per round
+  opts.lockstep = true;
+  opts.seed = seed;
+  opts.reader_fn = [](ColrTree& t, TimeMs now, int r, uint64_t iter) {
+    uint64_t sink = 0;
+    const SensorId id = static_cast<SensorId>((iter + r) % 64);
+    const auto lookup =
+        t.LookupCache(t.LeafOf(id), now, 2 * kMsPerMinute);
+    sink += static_cast<uint64_t>(lookup.agg.count);
+    if (t.CachedReading(id).has_value()) ++sink;
+    sink += static_cast<uint64_t>(t.CachedCount(
+        t.root(), now, 2 * kMsPerMinute));
+    return sink;
+  };
+  const ct::WriterRollerOutcome run =
+      ct::RunWriterRollerStress(tree, sensors, opts);
 
   // Quiesce: one final advance past everything, then the invariant.
-  tree.AdvanceTo(kWriterSteps * kStep + 10 * kMsPerMinute);
+  tree.AdvanceTo(run.final_advance_ms + 10 * kMsPerMinute);
   EXPECT_GE(tree.maintenance().rolls.load(), 1);
   EXPECT_GT(tree.maintenance().readings_expunged.load(), 0);
   EXPECT_EQ(tree.CachedReadingCount(), 0u);
