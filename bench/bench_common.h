@@ -56,17 +56,21 @@ struct BenchConfig {
         return arg.compare(0, len, prefix) == 0 ? arg.c_str() + len
                                                 : nullptr;
       };
+      // One declaration for the whole chain: a fresh `const char* v`
+      // per else-if stays in scope for the rest of the chain and
+      // shadows the previous one (-Wshadow).
+      const char* v = nullptr;
       if (arg == "--full") {
         // Handled in the defaults pass above.
-      } else if (const char* v = value("--sensors=")) {
+      } else if ((v = value("--sensors=")) != nullptr) {
         cfg.sensors = std::atoi(v);
-      } else if (const char* v = value("--queries=")) {
+      } else if ((v = value("--queries=")) != nullptr) {
         cfg.queries = std::atoi(v);
-      } else if (const char* v = value("--cities=")) {
+      } else if ((v = value("--cities=")) != nullptr) {
         cfg.cities = std::atoi(v);
-      } else if (const char* v = value("--seed=")) {
+      } else if ((v = value("--seed=")) != nullptr) {
         cfg.seed = std::strtoull(v, nullptr, 10);
-      } else if (const char* v = value("--json=")) {
+      } else if ((v = value("--json=")) != nullptr) {
         cfg.json_path = v;
       } else if (arg == "--json" && i + 1 < argc) {
         cfg.json_path = argv[++i];

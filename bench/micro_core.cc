@@ -228,6 +228,8 @@ void BM_SpinMutexPlainGuard(benchmark::State& state) {
   SpinMutex mu;
   int64_t x = 0;
   for (auto _ : state) {
+    // This IS the plain-guard baseline the overhead smoke compares
+    // SyncTimedLock against. colr-lint: allow(raw-lock)
     std::lock_guard<SpinMutex> lock(mu);
     benchmark::DoNotOptimize(++x);
   }

@@ -1,9 +1,13 @@
 #!/usr/bin/env bash
 # Tier-1 gate: full build + test suite, then the race-sensitive suites
 # under ThreadSanitizer (selected by their ctest label, not a
-# hard-coded binary list), then a smoke check that the sync-stats
-# instrumentation compiles to a no-op when disabled. Run from
-# anywhere; builds land in build/ and build-tsan/ under the repo root.
+# hard-coded binary list), then the static leg — project lint, the
+# clang thread-safety/-Werror contract build with clang-tidy, and a
+# full UBSan test run — then a smoke check that the sync-stats
+# instrumentation compiles to a no-op when disabled. The clang pieces
+# skip with a clear message on hosts without clang/clang-tidy, so a
+# GCC-only host still runs everything else. Run from anywhere; builds
+# land in build*/ under the repo root.
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
@@ -30,6 +34,44 @@ cmake --build build-tsan -j "$jobs"
 
 echo "== tsan: ctest -L tsan =="
 (cd build-tsan && ctest -L tsan --output-on-failure -j "$jobs")
+
+echo "== static: project lint =="
+python3 scripts/lint.py -j "$jobs"
+
+echo "== static: ctest -L static =="
+(cd build && ctest -L static --output-on-failure -j "$jobs")
+
+echo "== static: clang thread-safety contracts =="
+# The DESIGN.md §6 lock protocol is encoded as Clang Thread Safety
+# Analysis attributes (common/thread_annotations.h); CMake promotes
+# -Wthread-safety to an error under clang, and COLR_WERROR keeps the
+# rest of the warning backlog at zero. The negative/positive compile
+# tests (ctest -L static) prove the contracts bite.
+clang_cxx="${COLR_CLANG_CXX:-clang++}"
+if command -v "$clang_cxx" >/dev/null 2>&1; then
+  cmake -B build-clang -S . -DCMAKE_CXX_COMPILER="$clang_cxx" \
+    -DCOLR_WERROR=ON -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+  cmake --build build-clang -j "$jobs"
+  (cd build-clang && ctest -L static --output-on-failure -j "$jobs")
+  if command -v clang-tidy >/dev/null 2>&1; then
+    echo "== static: clang-tidy (.clang-tidy) =="
+    find src -name '*.cc' -print0 |
+      xargs -0 clang-tidy -p build-clang --quiet
+  else
+    echo "-- clang-tidy not found; skipping the tidy pass"
+  fi
+else
+  echo "-- $clang_cxx not found; skipping the clang thread-safety build"
+  echo "   (install clang or set COLR_CLANG_CXX to enable the contract check)"
+fi
+
+echo "== static: UBSan build + full ctest =="
+# -fno-sanitize-recover=all (set by CMake for this mode): any UB found
+# aborts the test instead of logging and passing. COLR_WERROR rides
+# along so GCC-only hosts still get a warnings-as-errors build.
+cmake -B build-ubsan -S . -DCOLR_SANITIZE=undefined -DCOLR_WERROR=ON >/dev/null
+cmake --build build-ubsan -j "$jobs"
+(cd build-ubsan && ctest --output-on-failure -j "$jobs")
 
 echo "== sync-stats: disabled-path overhead smoke =="
 # The instrumented guard with stats disabled is a relaxed load plus

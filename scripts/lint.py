@@ -1,0 +1,187 @@
+#!/usr/bin/env python3
+"""Project lint: the checks clang can't express as warnings.
+
+Three rules, all tied to the concurrency contracts in DESIGN.md §6:
+
+  raw-lock          src/ (outside src/common/) and bench/ must not name
+                    raw std:: lock types (std::mutex, std::shared_mutex,
+                    std::lock_guard, std::unique_lock, std::shared_lock,
+                    std::scoped_lock, std::condition_variable). The
+                    annotated wrappers in src/common/sync.h are the
+                    project's only lock vocabulary — that is what makes
+                    -Wthread-safety able to see every acquisition.
+                    (std::condition_variable_any is allowed: it waits on
+                    the annotated Mutex capability directly.)
+
+  nondeterminism    src/ and bench/ must not call rand()/srand() or
+                    construct std::random_device. Every random draw goes
+                    through colr::Rng with an explicit seed so replays
+                    and golden-seed fingerprints stay bit-reproducible.
+
+  header-hygiene    Every header under src/ must be self-contained:
+                    a TU consisting of just `#include "the/header.h"`
+                    must compile (-fsyntax-only) on its own.
+
+tests/ is exempt from the text rules: the test harness deliberately
+pokes at raw primitives (and the lint self-test seeds violations).
+
+A site that must break a rule carries a waiver comment on the same
+line or the line above:
+
+    // colr-lint: allow(raw-lock): why this site is special
+
+Exit status 0 when clean, 1 when any violation is found, 2 on usage
+errors. Violations print as `path:line: [rule] message` (clickable in
+editors and CI logs).
+"""
+
+import argparse
+import concurrent.futures
+import os
+import re
+import shutil
+import subprocess
+import sys
+
+TEXT_RULE_DIRS = ("src", "bench")
+RAW_LOCK_EXEMPT_PREFIX = os.path.join("src", "common") + os.sep
+SOURCE_EXTENSIONS = (".h", ".hpp", ".cc", ".cpp")
+
+RAW_LOCK_RE = re.compile(
+    r"std::(mutex|shared_mutex|recursive_mutex|timed_mutex|"
+    r"lock_guard|unique_lock|shared_lock|scoped_lock|"
+    r"condition_variable)\b(?!_any)"
+)
+NONDETERMINISM_RE = re.compile(
+    r"(?<![\w:])(?:s?rand\s*\(|std::random_device\b)"
+)
+WAIVER_RE = re.compile(r"colr-lint:\s*allow\(([a-z-]+)\)")
+LINE_COMMENT_RE = re.compile(r"//.*$")
+
+
+def strip_comment(line):
+    """Code portion of a line (line comments removed; block comments are
+    not tracked — the text rules target identifiers that never legally
+    appear in this project's comments outside src/common/)."""
+    return LINE_COMMENT_RE.sub("", line)
+
+
+def waived(lines, idx, rule):
+    """True if line `idx` (0-based) carries a waiver for `rule` on the
+    line itself or the line directly above."""
+    for i in (idx, idx - 1):
+        if i < 0:
+            continue
+        m = WAIVER_RE.search(lines[i])
+        if m and m.group(1) == rule:
+            return True
+    return False
+
+
+def iter_source_files(root, subdirs):
+    for sub in subdirs:
+        base = os.path.join(root, sub)
+        for dirpath, _, names in os.walk(base):
+            for name in sorted(names):
+                if name.endswith(SOURCE_EXTENSIONS):
+                    yield os.path.join(dirpath, name)
+
+
+def check_text_rules(root):
+    violations = []
+    for path in iter_source_files(root, TEXT_RULE_DIRS):
+        rel = os.path.relpath(path, root)
+        with open(path, encoding="utf-8", errors="replace") as f:
+            lines = f.read().splitlines()
+        raw_lock_applies = not rel.startswith(RAW_LOCK_EXEMPT_PREFIX)
+        for idx, line in enumerate(lines):
+            code = strip_comment(line)
+            if raw_lock_applies:
+                m = RAW_LOCK_RE.search(code)
+                if m and not waived(lines, idx, "raw-lock"):
+                    violations.append(
+                        (rel, idx + 1, "raw-lock",
+                         f"raw std::{m.group(1)} outside src/common/; use "
+                         "the annotated wrappers in common/sync.h"))
+            m = NONDETERMINISM_RE.search(code)
+            if m and not waived(lines, idx, "nondeterminism"):
+                violations.append(
+                    (rel, idx + 1, "nondeterminism",
+                     f"banned nondeterministic source `{m.group(0).strip()}`;"
+                     " use colr::Rng with an explicit seed"))
+    return violations
+
+
+def find_compiler():
+    for cand in (os.environ.get("CXX"), "c++", "g++", "clang++"):
+        if cand and shutil.which(cand.split()[0]):
+            return cand
+    return None
+
+
+def check_header(compiler, root, header):
+    rel = os.path.relpath(header, root)
+    include = os.path.relpath(header, os.path.join(root, "src"))
+    cmd = compiler.split() + [
+        "-x", "c++", "-std=c++20", "-fsyntax-only",
+        "-I", os.path.join(root, "src"), "-"]
+    proc = subprocess.run(
+        cmd, input=f'#include "{include}"\n', capture_output=True, text=True)
+    if proc.returncode != 0:
+        first = (proc.stderr.strip() or "compile failed").splitlines()[0]
+        return (rel, 1, "header-hygiene",
+                f"header is not self-contained: {first}")
+    return None
+
+
+def check_header_hygiene(root, jobs):
+    compiler = find_compiler()
+    if compiler is None:
+        print("lint: no C++ compiler found; skipping header-hygiene",
+              file=sys.stderr)
+        return []
+    headers = [p for p in iter_source_files(root, ("src",))
+               if p.endswith((".h", ".hpp"))]
+    violations = []
+    with concurrent.futures.ThreadPoolExecutor(max_workers=jobs) as pool:
+        for result in pool.map(
+                lambda h: check_header(compiler, root, h), headers):
+            if result is not None:
+                violations.append(result)
+    return violations
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--root", default=None,
+                        help="repo root (default: this script's parent)")
+    parser.add_argument("--skip-headers", action="store_true",
+                        help="skip the header-hygiene compile checks")
+    parser.add_argument("-j", "--jobs", type=int,
+                        default=os.cpu_count() or 2,
+                        help="parallel header compiles")
+    args = parser.parse_args()
+
+    root = os.path.abspath(
+        args.root
+        or os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+    if not os.path.isdir(os.path.join(root, "src")):
+        print(f"lint: no src/ under {root}", file=sys.stderr)
+        return 2
+
+    violations = check_text_rules(root)
+    if not args.skip_headers:
+        violations += check_header_hygiene(root, args.jobs)
+
+    violations.sort()
+    for rel, line, rule, message in violations:
+        print(f"{rel}:{line}: [{rule}] {message}")
+    if violations:
+        print(f"lint: {len(violations)} violation(s)", file=sys.stderr)
+        return 1
+    print("lint: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

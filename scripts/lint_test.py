@@ -1,0 +1,113 @@
+#!/usr/bin/env python3
+"""Self-test for scripts/lint.py, run as a ctest (label: static).
+
+Builds a throwaway source tree seeded with exactly one violation per
+lint rule, asserts the lint flags each of them (and honors a waiver),
+then runs the lint against the real repository and asserts it is clean
+— so a rule that silently stops matching fails this test, not a future
+reviewer.
+"""
+
+import os
+import subprocess
+import sys
+import tempfile
+
+SCRIPTS_DIR = os.path.dirname(os.path.abspath(__file__))
+REPO_ROOT = os.path.dirname(SCRIPTS_DIR)
+LINT = os.path.join(SCRIPTS_DIR, "lint.py")
+
+SEEDED = {
+    # raw-lock: a std::mutex outside src/common/.
+    os.path.join("src", "core", "bad_lock.cc"): (
+        "#include <mutex>\n"
+        "void f() { static std::mutex mu; mu.lock(); mu.unlock(); }\n"
+    ),
+    # nondeterminism: rand() in bench code.
+    os.path.join("bench", "bad_rand.cc"): (
+        "#include <cstdlib>\n"
+        "int noise() { return rand(); }\n"
+    ),
+    # header-hygiene: names std::vector without including <vector>.
+    os.path.join("src", "core", "bad_header.h"): (
+        "#ifndef BAD_HEADER_H_\n"
+        "#define BAD_HEADER_H_\n"
+        "std::vector<int> broken();\n"
+        "#endif\n"
+    ),
+    # Waived raw-lock: must NOT be reported.
+    os.path.join("src", "core", "waived_lock.cc"): (
+        "#include <mutex>\n"
+        "// colr-lint: allow(raw-lock)\n"
+        "void g() { static std::mutex mu; mu.lock(); mu.unlock(); }\n"
+    ),
+    # src/common/ is exempt from raw-lock: must NOT be reported.
+    os.path.join("src", "common", "wrapper.h"): (
+        "#ifndef WRAPPER_H_\n"
+        "#define WRAPPER_H_\n"
+        "#include <mutex>\n"
+        "using RawForWrapper = std::mutex;\n"
+        "#endif\n"
+    ),
+}
+
+EXPECTED = [
+    (os.path.join("src", "core", "bad_lock.cc"), "raw-lock"),
+    (os.path.join("bench", "bad_rand.cc"), "nondeterminism"),
+    (os.path.join("src", "core", "bad_header.h"), "header-hygiene"),
+]
+
+FORBIDDEN = [
+    os.path.join("src", "core", "waived_lock.cc"),
+    os.path.join("src", "common", "wrapper.h"),
+]
+
+
+def run_lint(root, extra=()):
+    return subprocess.run(
+        [sys.executable, LINT, "--root", root, *extra],
+        capture_output=True, text=True)
+
+
+def fail(message, proc):
+    print(f"FAIL: {message}", file=sys.stderr)
+    print("--- lint stdout ---\n" + proc.stdout, file=sys.stderr)
+    print("--- lint stderr ---\n" + proc.stderr, file=sys.stderr)
+    return 1
+
+
+def main():
+    with tempfile.TemporaryDirectory(prefix="colr-lint-test-") as tmp:
+        for rel, content in SEEDED.items():
+            path = os.path.join(tmp, rel)
+            os.makedirs(os.path.dirname(path), exist_ok=True)
+            with open(path, "w", encoding="utf-8") as f:
+                f.write(content)
+
+        proc = run_lint(tmp)
+        if proc.returncode != 1:
+            return fail(
+                f"seeded tree: expected exit 1, got {proc.returncode}", proc)
+        for rel, rule in EXPECTED:
+            if not any(rel in line and f"[{rule}]" in line
+                       for line in proc.stdout.splitlines()):
+                return fail(f"seeded {rule} violation in {rel} not flagged",
+                            proc)
+        for rel in FORBIDDEN:
+            if rel in proc.stdout:
+                return fail(f"{rel} should not be flagged (waiver/exemption)",
+                            proc)
+
+    # The real tree must be clean; skip the header compiles here — the
+    # lint_project ctest runs them, and doubling the compile work in
+    # the self-test buys nothing.
+    proc = run_lint(REPO_ROOT, extra=("--skip-headers",))
+    if proc.returncode != 0:
+        return fail("real repository is not lint-clean", proc)
+
+    print("lint_test: all checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -3,9 +3,10 @@
 #include <algorithm>
 #include <bit>
 #include <cstdlib>
-#include <mutex>
 #include <tuple>
 #include <vector>
+
+#include "common/sync.h"
 
 namespace colr {
 
@@ -111,12 +112,12 @@ struct SyncStatsRegistry::ThreadBlock {
 };
 
 struct SyncStatsRegistry::Impl {
-  mutable std::mutex mu;
+  mutable Mutex mu;
   /// Blocks of live threads (owner-written relaxed atomics; readable
   /// under mu while the owners keep recording).
-  std::vector<ThreadBlock*> live;
-  /// Flushed totals of exited threads, guarded by mu.
-  SyncSiteStats retired[kNumSyncSites];
+  std::vector<ThreadBlock*> live COLR_GUARDED_BY(mu);
+  /// Flushed totals of exited threads.
+  SyncSiteStats retired[kNumSyncSites] COLR_GUARDED_BY(mu);
 };
 
 /// Per-thread RAII holder: keeps the thread's block id and flushes it
@@ -149,7 +150,7 @@ void SyncStatsRegistry::Enable() {
 SyncStatsRegistry::ThreadBlock* SyncStatsRegistry::BlockForThisThread() {
   thread_local ThreadHolder holder(this, [this] {
     ThreadBlock* block = new ThreadBlock;
-    std::lock_guard<std::mutex> lock(impl_->mu);
+    MutexLock lock(impl_->mu);
     impl_->live.push_back(block);
     return block;
   }());
@@ -157,7 +158,7 @@ SyncStatsRegistry::ThreadBlock* SyncStatsRegistry::BlockForThisThread() {
 }
 
 void SyncStatsRegistry::Retire(ThreadBlock* block) {
-  std::lock_guard<std::mutex> lock(impl_->mu);
+  MutexLock lock(impl_->mu);
   AccumulateBlock(impl_->retired, *block);
   auto& live = impl_->live;
   live.erase(std::remove(live.begin(), live.end(), block), live.end());
@@ -167,7 +168,7 @@ void SyncStatsRegistry::Retire(ThreadBlock* block) {
 SyncStatsSnapshot SyncStatsRegistry::Snapshot() const {
   SyncStatsSnapshot snap;
   snap.enabled = SyncStatsEnabled();
-  std::lock_guard<std::mutex> lock(impl_->mu);
+  MutexLock lock(impl_->mu);
   for (int i = 0; i < kNumSyncSites; ++i) snap.sites[i] = impl_->retired[i];
   for (const ThreadBlock* block : impl_->live) {
     AccumulateBlock(snap.sites.data(), *block);

@@ -6,6 +6,8 @@
 #include <chrono>
 #include <cstdint>
 
+#include "common/thread_annotations.h"
+
 namespace colr {
 
 /// Contention instrumentation for the lock hierarchy in sync.h
@@ -141,13 +143,15 @@ class SyncStatsRegistry {
 /// RAII guard: lock() with contention timing. Disabled → exactly
 /// std::lock_guard. Enabled → try_lock fast path records an
 /// uncontended acquisition; on miss, times the blocking lock() with
-/// steady_clock and records the wait. Works with any Lockable
-/// (SpinMutex, EpochLatch exclusive side, std::shared_mutex unique
-/// side).
+/// steady_clock and records the wait. Works with any annotated
+/// Lockable capability (SpinMutex, EpochLatch exclusive side,
+/// SharedMutex unique side). A scoped capability: under
+/// -Wthread-safety the guarded scope counts as holding `mu`
+/// exclusively.
 template <typename Mutex>
-class SyncTimedLock {
+class COLR_SCOPED_CAPABILITY SyncTimedLock {
  public:
-  SyncTimedLock(Mutex& mu, SyncSite site) : mu_(mu) {
+  SyncTimedLock(Mutex& mu, SyncSite site) COLR_ACQUIRE(mu) : mu_(mu) {
     if (!SyncStatsEnabled()) {
       mu_.lock();
       return;
@@ -163,7 +167,7 @@ class SyncTimedLock {
         site, true,
         std::chrono::duration_cast<std::chrono::nanoseconds>(wait).count());
   }
-  ~SyncTimedLock() { mu_.unlock(); }
+  ~SyncTimedLock() COLR_RELEASE() { mu_.unlock(); }
 
   SyncTimedLock(const SyncTimedLock&) = delete;
   SyncTimedLock& operator=(const SyncTimedLock&) = delete;
@@ -172,12 +176,13 @@ class SyncTimedLock {
   Mutex& mu_;
 };
 
-/// Shared-side counterpart for SharedLockable types (EpochLatch
-/// shared side, std::shared_mutex shared side).
+/// Shared-side counterpart for SharedLockable capabilities (EpochLatch
+/// shared side, SharedMutex shared side).
 template <typename Mutex>
-class SyncTimedSharedLock {
+class COLR_SCOPED_CAPABILITY SyncTimedSharedLock {
  public:
-  SyncTimedSharedLock(Mutex& mu, SyncSite site) : mu_(mu) {
+  SyncTimedSharedLock(Mutex& mu, SyncSite site) COLR_ACQUIRE_SHARED(mu)
+      : mu_(mu) {
     if (!SyncStatsEnabled()) {
       mu_.lock_shared();
       return;
@@ -193,7 +198,7 @@ class SyncTimedSharedLock {
         site, true,
         std::chrono::duration_cast<std::chrono::nanoseconds>(wait).count());
   }
-  ~SyncTimedSharedLock() { mu_.unlock_shared(); }
+  ~SyncTimedSharedLock() COLR_RELEASE_SHARED() { mu_.unlock_shared(); }
 
   SyncTimedSharedLock(const SyncTimedSharedLock&) = delete;
   SyncTimedSharedLock& operator=(const SyncTimedSharedLock&) = delete;

@@ -1,0 +1,81 @@
+#ifndef COLR_COMMON_THREAD_ANNOTATIONS_H_
+#define COLR_COMMON_THREAD_ANNOTATIONS_H_
+
+// Clang Thread Safety Analysis macros (DESIGN.md §6 "Static lock
+// contracts"). The locking protocol of the engine — which capability
+// guards which data, which mode (shared/exclusive) a function needs,
+// which functions must *not* be entered while holding a latch — is
+// written into the code with these annotations and machine-checked by
+// `clang -Wthread-safety` (promoted to an error by the static-analysis
+// leg of scripts/check.sh). On compilers without the analysis (GCC)
+// every macro expands to nothing, so annotated code stays portable.
+//
+// Naming follows the modern capability-based attribute spellings
+// (https://clang.llvm.org/docs/ThreadSafetyAnalysis.html):
+//
+//   COLR_CAPABILITY(name)     — a class that is a lockable capability
+//   COLR_SCOPED_CAPABILITY    — an RAII guard acquiring on construction
+//   COLR_GUARDED_BY(mu)       — data readable with `mu` held shared,
+//                               writable with `mu` held exclusive
+//   COLR_PT_GUARDED_BY(mu)    — same, for the pointee of a pointer
+//   COLR_REQUIRES(mu)         — callers must hold `mu` exclusive
+//   COLR_REQUIRES_SHARED(mu)  — callers must hold `mu` at least shared
+//   COLR_ACQUIRE / _SHARED    — the function acquires `mu` (not held on
+//                               entry, held on exit)
+//   COLR_RELEASE / _SHARED / _GENERIC — the function releases `mu`
+//   COLR_TRY_ACQUIRE(b, mu)   — acquires `mu` iff the function returns b
+//   COLR_EXCLUDES(mu)         — callers must NOT hold `mu` (deadlock
+//                               contract for non-reentrant latches)
+//   COLR_ASSERT_CAPABILITY(mu)— runtime assertion that `mu` is held
+//   COLR_RETURN_CAPABILITY(mu)— the function returns a reference to `mu`
+//   COLR_NO_THREAD_SAFETY_ANALYSIS — opt a function body out (used only
+//                               where aliasing defeats the analysis;
+//                               every use must say why in a comment)
+//
+// Define COLR_DISABLE_THREAD_ANNOTATIONS to compile the annotations
+// out under Clang too (e.g. to bisect an analysis false positive).
+
+#if defined(__clang__) && !defined(COLR_DISABLE_THREAD_ANNOTATIONS)
+#define COLR_THREAD_ANNOTATION_IMPL_(x) __attribute__((x))
+#else
+#define COLR_THREAD_ANNOTATION_IMPL_(x)
+#endif
+
+#define COLR_CAPABILITY(x) COLR_THREAD_ANNOTATION_IMPL_(capability(x))
+#define COLR_SCOPED_CAPABILITY COLR_THREAD_ANNOTATION_IMPL_(scoped_lockable)
+#define COLR_GUARDED_BY(x) COLR_THREAD_ANNOTATION_IMPL_(guarded_by(x))
+#define COLR_PT_GUARDED_BY(x) COLR_THREAD_ANNOTATION_IMPL_(pt_guarded_by(x))
+#define COLR_ACQUIRED_BEFORE(...) \
+  COLR_THREAD_ANNOTATION_IMPL_(acquired_before(__VA_ARGS__))
+#define COLR_ACQUIRED_AFTER(...) \
+  COLR_THREAD_ANNOTATION_IMPL_(acquired_after(__VA_ARGS__))
+#define COLR_REQUIRES(...) \
+  COLR_THREAD_ANNOTATION_IMPL_(requires_capability(__VA_ARGS__))
+#define COLR_REQUIRES_SHARED(...) \
+  COLR_THREAD_ANNOTATION_IMPL_(requires_shared_capability(__VA_ARGS__))
+#define COLR_ACQUIRE(...) \
+  COLR_THREAD_ANNOTATION_IMPL_(acquire_capability(__VA_ARGS__))
+#define COLR_ACQUIRE_SHARED(...) \
+  COLR_THREAD_ANNOTATION_IMPL_(acquire_shared_capability(__VA_ARGS__))
+#define COLR_RELEASE(...) \
+  COLR_THREAD_ANNOTATION_IMPL_(release_capability(__VA_ARGS__))
+#define COLR_RELEASE_SHARED(...) \
+  COLR_THREAD_ANNOTATION_IMPL_(release_shared_capability(__VA_ARGS__))
+#define COLR_RELEASE_GENERIC(...) \
+  COLR_THREAD_ANNOTATION_IMPL_(release_generic_capability(__VA_ARGS__))
+#define COLR_TRY_ACQUIRE(...) \
+  COLR_THREAD_ANNOTATION_IMPL_(try_acquire_capability(__VA_ARGS__))
+#define COLR_TRY_ACQUIRE_SHARED(...) \
+  COLR_THREAD_ANNOTATION_IMPL_(try_acquire_shared_capability(__VA_ARGS__))
+#define COLR_EXCLUDES(...) \
+  COLR_THREAD_ANNOTATION_IMPL_(locks_excluded(__VA_ARGS__))
+#define COLR_ASSERT_CAPABILITY(x) \
+  COLR_THREAD_ANNOTATION_IMPL_(assert_capability(x))
+#define COLR_ASSERT_SHARED_CAPABILITY(x) \
+  COLR_THREAD_ANNOTATION_IMPL_(assert_shared_capability(x))
+#define COLR_RETURN_CAPABILITY(x) \
+  COLR_THREAD_ANNOTATION_IMPL_(lock_returned(x))
+#define COLR_NO_THREAD_SAFETY_ANALYSIS \
+  COLR_THREAD_ANNOTATION_IMPL_(no_thread_safety_analysis)
+
+#endif  // COLR_COMMON_THREAD_ANNOTATIONS_H_

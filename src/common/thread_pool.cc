@@ -15,7 +15,7 @@ ThreadPool::ThreadPool(int num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     stop_ = true;
   }
   cv_.notify_all();
@@ -29,7 +29,7 @@ void ThreadPool::Submit(std::function<void()> fn) {
     return;
   }
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     queue_.push_back(std::move(fn));
   }
   cv_.notify_one();
@@ -39,8 +39,12 @@ void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      // The wait loop is open-coded (rather than a predicate lambda)
+      // so the guarded reads of stop_/queue_ stay inside this
+      // function's analyzed scope, where the MutexLock proves mutex_
+      // is held.
+      MutexLock lock(mutex_);
+      while (!stop_ && queue_.empty()) cv_.wait(mutex_);
       if (stop_ && queue_.empty()) return;
       task = std::move(queue_.front());
       queue_.pop_front();
@@ -61,8 +65,8 @@ struct ParallelForState {
   size_t num_chunks = 0;
   std::atomic<size_t> next_chunk{0};
   std::atomic<size_t> done_chunks{0};
-  std::mutex mutex;
-  std::condition_variable done_cv;
+  Mutex mutex;
+  std::condition_variable_any done_cv;
 
   /// Claims and runs chunks until the counter is exhausted.
   void Drain() {
@@ -74,7 +78,7 @@ struct ParallelForState {
       fn(begin, end);
       if (done_chunks.fetch_add(1, std::memory_order_acq_rel) + 1 ==
           num_chunks) {
-        std::lock_guard<std::mutex> lock(mutex);
+        MutexLock lock(mutex);
         done_cv.notify_all();
       }
     }
@@ -112,11 +116,11 @@ void ThreadPool::ParallelFor(size_t n, size_t grain,
   // all chunks.
   state->Drain();
 
-  std::unique_lock<std::mutex> lock(state->mutex);
-  state->done_cv.wait(lock, [&] {
-    return state->done_chunks.load(std::memory_order_acquire) ==
-           state->num_chunks;
-  });
+  MutexLock lock(state->mutex);
+  while (state->done_chunks.load(std::memory_order_acquire) !=
+         state->num_chunks) {
+    state->done_cv.wait(state->mutex);
+  }
 }
 
 }  // namespace colr

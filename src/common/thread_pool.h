@@ -5,9 +5,11 @@
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/sync.h"
+#include "common/thread_annotations.h"
 
 namespace colr {
 
@@ -47,10 +49,13 @@ class ThreadPool {
  private:
   void WorkerLoop();
 
-  std::mutex mutex_;
-  std::condition_variable cv_;
-  std::deque<std::function<void()>> queue_;
-  bool stop_ = false;
+  Mutex mutex_;
+  /// _any variant: it waits on the annotated Mutex capability directly
+  /// (std::condition_variable is hard-wired to std::mutex, which the
+  /// thread-safety analysis cannot see).
+  std::condition_variable_any cv_;
+  std::deque<std::function<void()>> queue_ COLR_GUARDED_BY(mutex_);
+  bool stop_ COLR_GUARDED_BY(mutex_) = false;
   std::vector<std::thread> workers_;
 };
 

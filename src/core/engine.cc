@@ -443,7 +443,7 @@ QueryResult ColrEngine::ExecuteFlat(const Query& query, TimeMs now) {
 
   FlatCache::Lookup lookup;
   {
-    std::lock_guard<std::mutex> lock(flat_mutex_);
+    MutexLock lock(flat_mutex_);
     lookup = flat_->Query(query.region, now, query.staleness_ms);
   }
   ProbeAccounting acct;
@@ -465,7 +465,7 @@ QueryResult ColrEngine::ExecuteFlat(const Query& query, TimeMs now) {
   result.groups.push_back(std::move(g));
 
   {
-    std::lock_guard<std::mutex> lock(flat_mutex_);
+    MutexLock lock(flat_mutex_);
     for (const Reading& r : probed) flat_->Insert(r);
   }
   result.collected = std::move(probed);

@@ -2,11 +2,11 @@
 #define COLR_CORE_ENGINE_H_
 
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "common/rng.h"
 #include "common/sync.h"
+#include "common/thread_annotations.h"
 #include "core/flat_cache.h"
 #include "core/query.h"
 #include "core/sampling.h"
@@ -176,10 +176,10 @@ class ColrEngine {
   Options options_;
   /// The sequential-path RNG (borrowed by Execute(query)'s context).
   Rng rng_;
-  std::unique_ptr<FlatCache> flat_;
+  std::unique_ptr<FlatCache> flat_ COLR_PT_GUARDED_BY(flat_mutex_);
   /// FlatCache is a plain scan structure; concurrent flat-mode queries
   /// serialize their cache access here (probing still overlaps).
-  mutable std::mutex flat_mutex_;
+  mutable Mutex flat_mutex_;
   std::unique_ptr<AvailabilityTracker> tracker_;
   /// Clock timestamp of the last availability refresh; the CAS in
   /// FinishQuery elects exactly one refresher per due interval.

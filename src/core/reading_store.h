@@ -33,6 +33,12 @@ namespace colr {
 /// fetches *across* stores — PeekEvictionCandidateInfo exposes
 /// (slot, seq) so the owner can pick the exact global
 /// least-recently-fetched victim by comparing per-store candidates.
+///
+/// Not internally synchronized: ColrTree mutates each store under its
+/// shard's stripe (plus the shared epoch) and walks stores stripeless
+/// only under the exclusive epoch — a runtime-keyed contract the
+/// thread-safety analysis cannot express, carried by the DESIGN.md §6
+/// lock-to-data table and the TSan suites instead.
 class ReadingStore {
  public:
   explicit ReadingStore(size_t capacity = 0) : capacity_(capacity) {}

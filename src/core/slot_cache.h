@@ -93,6 +93,11 @@ class SlotScheme {
 /// reset themselves on next access. `weight` is the paper's cache
 /// table "value weight": the number of readings aggregated into the
 /// slot, which the sampling algorithm uses as the cached count |c_i|.
+///
+/// Not internally synchronized: ColrTree guards each node's cache
+/// with that node's node_mutex_ stripe (DESIGN.md §6) — runtime-keyed
+/// and hence outside the thread-safety analysis; the per-slot version
+/// tags and the TSan suites carry that contract.
 class AggregateSlotCache {
  public:
   explicit AggregateSlotCache(int num_slots = 0) : slots_(num_slots) {}

@@ -189,6 +189,15 @@ void ColrTree::ExpungeAfterRoll() {
   cached_total_.fetch_sub(total, std::memory_order_relaxed);
 }
 
+void ColrTree::RollWindowLocked(SlotId slot) {
+  const int slid = scheme_.RollTo(slot);
+  if (slid > 0) {
+    ++maintenance_.rolls;
+    maintenance_.slots_rolled += slid;
+    ExpungeAfterRoll();
+  }
+}
+
 void ColrTree::AdvanceTo(TimeMs now) {
   // The window covers [now - stale_margin, now + t_max]: newest slot
   // at now + t_max, the rest of the capacity keeping recent history.
@@ -198,12 +207,7 @@ void ColrTree::AdvanceTo(TimeMs now) {
   if (needed <= scheme_.newest()) return;
   SyncTimedLock<EpochLatch> epoch_lock(epoch_latch_,
                                        SyncSite::kEpochExclusive);
-  const int slid = scheme_.RollTo(needed);
-  if (slid > 0) {
-    ++maintenance_.rolls;
-    maintenance_.slots_rolled += slid;
-    ExpungeAfterRoll();
-  }
+  RollWindowLocked(needed);
 }
 
 void ColrTree::TouchCached(SensorId sensor) {
@@ -214,7 +218,7 @@ void ColrTree::TouchCached(SensorId sensor) {
   // rolls/expunges see a quiesced store) + the sensor's shard lock.
   SyncTimedSharedLock<EpochLatch> epoch_lock(epoch_latch_,
                                              SyncSite::kEpochShared);
-  SyncTimedLock<std::shared_mutex> shard_lock(shard_mutex_.For(ShardOf(leaf)),
+  SyncTimedLock<SharedMutex> shard_lock(shard_mutex_.For(ShardOf(leaf)),
                                               SyncSite::kShardWriter);
   StoreForLeaf(leaf).Touch(sensor);
 }
@@ -237,7 +241,7 @@ std::vector<ColrTree::ShardOccupancy> ColrTree::ShardOccupancies() const {
   SyncTimedSharedLock<EpochLatch> epoch_lock(epoch_latch_,
                                              SyncSite::kEpochShared);
   for (size_t s = 0; s < stores_.size(); ++s) {
-    SyncTimedSharedLock<std::shared_mutex> shard_lock(
+    SyncTimedSharedLock<SharedMutex> shard_lock(
         shard_mutex_.For(shard_node_of_store_[s]), SyncSite::kShardWriter);
     out.push_back({shard_node_of_store_[s], stores_[s].size(),
                    stores_[s].OccupiedSlots()});
@@ -257,12 +261,7 @@ void ColrTree::InsertReading(const Reading& reading) {
     // width pays this.
     SyncTimedLock<EpochLatch> epoch_lock(epoch_latch_,
                                          SyncSite::kEpochExclusive);
-    const int slid = scheme_.RollTo(slot);
-    if (slid > 0) {
-      ++maintenance_.rolls;
-      maintenance_.slots_rolled += slid;
-      ExpungeAfterRoll();
-    }
+    RollWindowLocked(slot);
   }
 
   // Shared epoch: the window head is frozen for the rest of the
@@ -286,7 +285,7 @@ void ColrTree::InsertReading(const Reading& reading) {
     // All cache mutation below the root region happens under this
     // leaf's shard lock; inserts into other shards proceed in
     // parallel.
-    SyncTimedLock<std::shared_mutex> shard_lock(
+    SyncTimedLock<SharedMutex> shard_lock(
         shard_mutex_.For(ShardOf(leaf)), SyncSite::kShardWriter);
 
     // The shard's own store needs no further lock — this shard lock
@@ -306,7 +305,7 @@ void ColrTree::InsertReading(const Reading& reading) {
     // new value.
     if (outcome.replaced) {
       {
-        SyncTimedLock<std::shared_mutex> node_lock(node_mutex_.For(leaf),
+        SyncTimedLock<SharedMutex> node_lock(node_mutex_.For(leaf),
                                                    SyncSite::kNodeStripe);
         nodes_[leaf].cached_readings.erase(reading.sensor);
       }
@@ -317,7 +316,7 @@ void ColrTree::InsertReading(const Reading& reading) {
     }
 
     {
-      SyncTimedLock<std::shared_mutex> node_lock(node_mutex_.For(leaf),
+      SyncTimedLock<SharedMutex> node_lock(node_mutex_.For(leaf),
                                                  SyncSite::kNodeStripe);
       nodes_[leaf].cached_readings[reading.sensor] = reading;
       if (!outcome.replaced) {
@@ -351,7 +350,7 @@ void ColrTree::EnforceCacheCapacity(SensorId protect) {
     std::optional<ReadingStore::EvictionCandidate> best;
     size_t best_store = 0;
     for (size_t s = 0; s < stores_.size(); ++s) {
-      SyncTimedSharedLock<std::shared_mutex> peek_lock(
+      SyncTimedSharedLock<SharedMutex> peek_lock(
           shard_mutex_.For(shard_node_of_store_[s]), SyncSite::kShardWriter);
       std::optional<ReadingStore::EvictionCandidate> cand =
           stores_[s].PeekEvictionCandidateInfo(protect);
@@ -370,7 +369,7 @@ void ColrTree::EnforceCacheCapacity(SensorId protect) {
     // minimality again would need other shards' locks (deadlock), and
     // local re-resolution suffices: if the shard still offers the same
     // sensor, erasing it keeps the cache moving toward capacity.
-    SyncTimedLock<std::shared_mutex> shard_lock(
+    SyncTimedLock<SharedMutex> shard_lock(
         shard_mutex_.For(shard_node_of_store_[best_store]),
                          SyncSite::kShardWriter);
     if (cached_total_.load(std::memory_order_acquire) <= capacity) return;
@@ -395,7 +394,7 @@ void ColrTree::EnforceCacheCapacity(SensorId protect) {
 void ColrTree::PropagateAdd(int leaf_id, SlotId slot, double value) {
   int n = leaf_id;
   for (; n >= 0 && nodes_[n].level > shard_level_; n = nodes_[n].parent) {
-    SyncTimedLock<std::shared_mutex> node_lock(node_mutex_.For(n),
+    SyncTimedLock<SharedMutex> node_lock(node_mutex_.For(n),
                                                SyncSite::kNodeStripe);
     nodes_[n].cache.Add(scheme_, slot, value);
   }
@@ -404,7 +403,7 @@ void ColrTree::PropagateAdd(int leaf_id, SlotId slot, double value) {
   // merges under root_mutex_.
   SyncTimedLock<SpinMutex> root_lock(root_mutex_, SyncSite::kRootSpin);
   for (; n >= 0; n = nodes_[n].parent) {
-    SyncTimedLock<std::shared_mutex> node_lock(node_mutex_.For(n),
+    SyncTimedLock<SharedMutex> node_lock(node_mutex_.For(n),
                                                SyncSite::kNodeStripe);
     nodes_[n].cache.Add(scheme_, slot, value);
   }
@@ -417,7 +416,7 @@ Aggregate ColrTree::LeafSlotAggregate(int leaf_id, SlotId slot) const {
   // global store lock. Iterate in cached_sensors order so the
   // floating-point accumulation order matches the sequential build.
   Aggregate agg;
-  SyncTimedSharedLock<std::shared_mutex> node_lock(node_mutex_.For(leaf_id),
+  SyncTimedSharedLock<SharedMutex> node_lock(node_mutex_.For(leaf_id),
                                                    SyncSite::kNodeStripe);
   const Node& n = nodes_[leaf_id];
   for (SensorId sid : n.cached_sensors) {
@@ -443,7 +442,7 @@ void ColrTree::RecomputeSlotFromChildren(int node_id, SlotId slot) {
   for (;;) {
     uint64_t version;
     {
-      SyncTimedSharedLock<std::shared_mutex> node_lock(node_mutex_.For(node_id),
+      SyncTimedSharedLock<SharedMutex> node_lock(node_mutex_.For(node_id),
                                                        SyncSite::kNodeStripe);
       version = n.cache.SlotVersion(scheme_, slot);
     }
@@ -452,13 +451,13 @@ void ColrTree::RecomputeSlotFromChildren(int node_id, SlotId slot) {
       agg = LeafSlotAggregate(node_id, slot);
     } else {
       for (int c : n.children) {
-        SyncTimedSharedLock<std::shared_mutex> child_lock(
+        SyncTimedSharedLock<SharedMutex> child_lock(
             node_mutex_.For(c), SyncSite::kNodeStripe);
         agg.Merge(nodes_[c].cache.Get(scheme_, slot));
       }
     }
     {
-      SyncTimedLock<std::shared_mutex> node_lock(node_mutex_.For(node_id),
+      SyncTimedLock<SharedMutex> node_lock(node_mutex_.For(node_id),
                                                  SyncSite::kNodeStripe);
       if (nodes_[node_id].cache.SlotVersion(scheme_, slot) == version) {
         nodes_[node_id].cache.Set(scheme_, slot, agg);
@@ -469,24 +468,25 @@ void ColrTree::RecomputeSlotFromChildren(int node_id, SlotId slot) {
   }
 }
 
+void ColrTree::RemoveSlotValueAt(int node_id, SlotId slot, double value) {
+  bool invertible;
+  {
+    SyncTimedLock<SharedMutex> node_lock(node_mutex_.For(node_id),
+                                         SyncSite::kNodeStripe);
+    invertible = nodes_[node_id].cache.Remove(scheme_, slot, value);
+  }
+  if (!invertible) {
+    // The removal hit the slot's min/max: the decrement is not
+    // invertible (§IV-B), recompute the slot bottom-up from children
+    // (the slot-update trigger cascade).
+    RecomputeSlotFromChildren(node_id, slot);
+  }
+}
+
 void ColrTree::PropagateRemove(int leaf_id, SlotId slot, double value) {
-  const auto remove_at = [&](int n) {
-    bool invertible;
-    {
-      SyncTimedLock<std::shared_mutex> node_lock(node_mutex_.For(n),
-                                                 SyncSite::kNodeStripe);
-      invertible = nodes_[n].cache.Remove(scheme_, slot, value);
-    }
-    if (!invertible) {
-      // The removal hit the slot's min/max: the decrement is not
-      // invertible (§IV-B), recompute the slot bottom-up from children
-      // (the slot-update trigger cascade).
-      RecomputeSlotFromChildren(n, slot);
-    }
-  };
   int n = leaf_id;
   for (; n >= 0 && nodes_[n].level > shard_level_; n = nodes_[n].parent) {
-    remove_at(n);
+    RemoveSlotValueAt(n, slot, value);
   }
   // Root region: same split as PropagateAdd. Holding root_mutex_ here
   // is also what makes the recompute sound — the children of any
@@ -495,14 +495,14 @@ void ColrTree::PropagateRemove(int leaf_id, SlotId slot, double value) {
   // which the caller already holds).
   SyncTimedLock<SpinMutex> root_lock(root_mutex_, SyncSite::kRootSpin);
   for (; n >= 0; n = nodes_[n].parent) {
-    remove_at(n);
+    RemoveSlotValueAt(n, slot, value);
   }
 }
 
 void ColrTree::RemoveFromLeafCachedSet(SensorId sensor) {
   const int leaf = leaf_of_sensor_[sensor];
   if (leaf < 0) return;
-  SyncTimedLock<std::shared_mutex> node_lock(node_mutex_.For(leaf),
+  SyncTimedLock<SharedMutex> node_lock(node_mutex_.For(leaf),
                                              SyncSite::kNodeStripe);
   nodes_[leaf].cached_readings.erase(sensor);
   auto& set = nodes_[leaf].cached_sensors;
@@ -537,7 +537,7 @@ ColrTree::CacheLookup ColrTree::LookupCache(int node_id, TimeMs now,
     // bound), either exactly (including entries in the query slot,
     // §IV-B leaf refinement) or slot-aligned.
     const SlotId qslot = QuerySlot(n, now, staleness_ms);
-    SyncTimedSharedLock<std::shared_mutex> node_lock(node_mutex_.For(node_id),
+    SyncTimedSharedLock<SharedMutex> node_lock(node_mutex_.For(node_id),
                                                      SyncSite::kNodeStripe);
     for (SensorId sid : n.cached_sensors) {
       auto it = n.cached_readings.find(sid);
@@ -560,7 +560,7 @@ ColrTree::CacheLookup ColrTree::LookupCache(int node_id, TimeMs now,
     return out;
   }
   const SlotId qslot = QuerySlot(n, now, staleness_ms);
-  SyncTimedSharedLock<std::shared_mutex> node_lock(node_mutex_.For(node_id),
+  SyncTimedSharedLock<SharedMutex> node_lock(node_mutex_.For(node_id),
                                                    SyncSite::kNodeStripe);
   out.agg = n.cache.QueryNewerThan(scheme_, qslot, &out.slots_merged);
   return out;
@@ -571,7 +571,7 @@ int64_t ColrTree::CachedCount(int node_id, TimeMs now,
   const Node& n = nodes_[node_id];
   if (n.IsLeaf()) {
     int64_t c = 0;
-    SyncTimedSharedLock<std::shared_mutex> node_lock(node_mutex_.For(node_id),
+    SyncTimedSharedLock<SharedMutex> node_lock(node_mutex_.For(node_id),
                                                      SyncSite::kNodeStripe);
     for (SensorId sid : n.cached_sensors) {
       auto it = n.cached_readings.find(sid);
@@ -582,7 +582,7 @@ int64_t ColrTree::CachedCount(int node_id, TimeMs now,
     }
     return c;
   }
-  SyncTimedSharedLock<std::shared_mutex> node_lock(node_mutex_.For(node_id),
+  SyncTimedSharedLock<SharedMutex> node_lock(node_mutex_.For(node_id),
                                                    SyncSite::kNodeStripe);
   return n.cache.WeightNewerThan(scheme_, QuerySlot(n, now, staleness_ms));
 }
@@ -591,7 +591,7 @@ std::optional<Reading> ColrTree::CachedReading(SensorId sensor) const {
   if (sensor >= sensors_.size()) return std::nullopt;
   const int leaf = leaf_of_sensor_[sensor];
   if (leaf < 0) return std::nullopt;
-  SyncTimedSharedLock<std::shared_mutex> node_lock(node_mutex_.For(leaf),
+  SyncTimedSharedLock<SharedMutex> node_lock(node_mutex_.For(leaf),
                                                    SyncSite::kNodeStripe);
   const auto& readings = nodes_[leaf].cached_readings;
   auto it = readings.find(sensor);
@@ -603,13 +603,18 @@ bool ColrTree::CachedInNewerSlot(SensorId sensor, SlotId query_slot) const {
   if (sensor >= sensors_.size()) return false;
   const int leaf = leaf_of_sensor_[sensor];
   if (leaf < 0) return false;
-  SyncTimedSharedLock<std::shared_mutex> node_lock(node_mutex_.For(leaf),
+  SyncTimedSharedLock<SharedMutex> node_lock(node_mutex_.For(leaf),
                                                    SyncSite::kNodeStripe);
   const auto& readings = nodes_[leaf].cached_readings;
   auto it = readings.find(sensor);
   if (it == readings.end()) return false;
   const SlotId slot = scheme_.SlotOf(it->second.expiry);
   return slot > query_slot && scheme_.InWindow(slot);
+}
+
+const Reading* ColrTree::StoredReadingLocked(SensorId sid) const {
+  const int leaf = leaf_of_sensor_[sid];
+  return leaf < 0 ? nullptr : StoreForLeaf(leaf).Get(sid);
 }
 
 Status ColrTree::CheckCacheConsistency() const {
@@ -619,13 +624,6 @@ Status ColrTree::CheckCacheConsistency() const {
   // hold the shared side), so the snapshot is coherent.
   SyncTimedLock<EpochLatch> epoch_lock(epoch_latch_,
                                        SyncSite::kEpochExclusive);
-  // The exclusive epoch also drains every store mutator, so the
-  // per-shard stores can be read without their shard locks. Each
-  // sensor's reading lives in its own shard's store.
-  const auto stored = [this](SensorId sid) -> const Reading* {
-    const int leaf = leaf_of_sensor_[sid];
-    return leaf < 0 ? nullptr : StoreForLeaf(leaf).Get(sid);
-  };
   // The leaf-resident reading tables must mirror the stores exactly:
   // same membership (via cached_sensors) and same reading per sensor.
   size_t leaf_total = 0;
@@ -641,7 +639,7 @@ Status ColrTree::CheckCacheConsistency() const {
     leaf_total += n.cached_readings.size();
     for (SensorId sid : n.cached_sensors) {
       auto it = n.cached_readings.find(sid);
-      const Reading* r = stored(sid);
+      const Reading* r = StoredReadingLocked(sid);
       if (it == n.cached_readings.end() || r == nullptr ||
           r->value != it->second.value || r->expiry != it->second.expiry) {
         return Status::Internal(
@@ -662,7 +660,7 @@ Status ColrTree::CheckCacheConsistency() const {
     for (SlotId s = scheme_.oldest(); s <= scheme_.newest(); ++s) {
       Aggregate expected;
       for (int j = n.item_begin; j < n.item_end; ++j) {
-        const Reading* r = stored(sensor_order_[j]);
+        const Reading* r = StoredReadingLocked(sensor_order_[j]);
         if (r != nullptr && scheme_.SlotOf(r->expiry) == s) {
           expected.Add(r->value);
         }

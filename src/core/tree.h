@@ -1,10 +1,9 @@
 #ifndef COLR_CORE_TREE_H_
 #define COLR_CORE_TREE_H_
 
+#include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <optional>
-#include <shared_mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -13,6 +12,7 @@
 #include "common/status.h"
 #include "common/sync.h"
 #include "common/sync_stats.h"
+#include "common/thread_annotations.h"
 #include "core/reading_store.h"
 #include "core/slot_cache.h"
 #include "geo/geo.h"
@@ -71,6 +71,15 @@ namespace colr {
 /// words. All threads (including tests) read cached readings through
 /// the copying accessors (LookupCache, CachedReading, ...); the
 /// per-shard stores are internal.
+///
+/// The epoch side of this protocol is *statically checked*: every
+/// private maintenance method carries a COLR_REQUIRES /
+/// COLR_REQUIRES_SHARED contract on epoch_latch_ and `clang
+/// -Wthread-safety` (the static leg of scripts/check.sh) proves each
+/// call path acquires the right mode. The striped levels
+/// (shard_mutex_, node_mutex_) resolve their stripe at runtime, which
+/// the analysis cannot follow — those contracts live in the DESIGN.md
+/// §6 lock-to-data table and are exercised by the TSan suites instead.
 class ColrTree {
  public:
   struct Options {
@@ -199,16 +208,19 @@ class ColrTree {
   /// concurrent roll) is dropped and counted — caching it would both
   /// be useless (no query can admit it) and corrupt the ring caches.
   /// Thread-safe; inserts into disjoint writer shards run
-  /// concurrently (see the class comment's lock hierarchy).
-  void InsertReading(const Reading& reading);
+  /// concurrently (see the class comment's lock hierarchy). The
+  /// EXCLUDES contract encodes that the epoch latch is not reentrant:
+  /// calling back into the write path from maintenance would
+  /// self-deadlock.
+  void InsertReading(const Reading& reading) COLR_EXCLUDES(epoch_latch_);
 
   /// Advances the window so it covers `now` .. `now + t_max` and
   /// expunges slots that slid out. Called at query time so idle
   /// periods don't leave stale slots in the window. Thread-safe.
-  void AdvanceTo(TimeMs now);
+  void AdvanceTo(TimeMs now) COLR_EXCLUDES(epoch_latch_);
 
   /// Marks cached readings as fetched (LRF policy input). Thread-safe.
-  void TouchCached(SensorId sensor);
+  void TouchCached(SensorId sensor) COLR_EXCLUDES(epoch_latch_);
 
   size_t CachedReadingCount() const;
 
@@ -261,7 +273,8 @@ class ColrTree {
     size_t readings = 0;
     size_t occupied_slots = 0;
   };
-  std::vector<ShardOccupancy> ShardOccupancies() const;
+  std::vector<ShardOccupancy> ShardOccupancies() const
+      COLR_EXCLUDES(epoch_latch_);
 
   /// Number of completed exclusive write epochs (window rolls,
   /// consistency audits). Advances at least once per roll.
@@ -324,31 +337,56 @@ class ColrTree {
   /// Structural / cache-consistency invariants (tests): per-node slot
   /// aggregates equal the aggregates recomputed from the raw cached
   /// readings below the node.
-  Status CheckCacheConsistency() const;
+  Status CheckCacheConsistency() const COLR_EXCLUDES(epoch_latch_);
 
  private:
-  void ExpungeAfterRoll();
+  /// Advances the window head to `slot` and, if it actually moved,
+  /// counts the roll and expunges slid-out readings. The exclusive
+  /// epoch the contract demands is what drains every shared-epoch
+  /// writer before the head moves.
+  void RollWindowLocked(SlotId slot) COLR_REQUIRES(epoch_latch_);
+  void ExpungeAfterRoll() COLR_REQUIRES(epoch_latch_);
   /// Shard node (lock key into shard_mutex_) for a leaf's write path.
   int ShardOf(int leaf_id) const {
     return AncestorAtLevel(leaf_id, shard_level_);
   }
   /// The shard-local reading store for a leaf's sensors. Guarded by
-  /// the shard's stripe in shard_mutex_.
-  ReadingStore& StoreForLeaf(int leaf_id) {
+  /// the shard's stripe in shard_mutex_; the epoch contract keeps the
+  /// exclusive side (rolls/expunges walk the stores with no stripes
+  /// held) drained while any caller is inside a store.
+  ReadingStore& StoreForLeaf(int leaf_id)
+      COLR_REQUIRES_SHARED(epoch_latch_) {
     return stores_[static_cast<size_t>(store_index_of_node_[ShardOf(leaf_id)])];
   }
-  const ReadingStore& StoreForLeaf(int leaf_id) const {
+  const ReadingStore& StoreForLeaf(int leaf_id) const
+      COLR_REQUIRES_SHARED(epoch_latch_) {
     return stores_[static_cast<size_t>(store_index_of_node_[ShardOf(leaf_id)])];
   }
+  /// Store lookup for the exclusive-epoch audit (CheckCacheConsistency
+  /// holds the exclusive side, which satisfies the shared requirement
+  /// and drains every store mutator).
+  const Reading* StoredReadingLocked(SensorId sid) const
+      COLR_REQUIRES_SHARED(epoch_latch_);
   /// Evicts store entries until the capacity constraint holds, each
   /// under the *victim's* shard lock. Caller must hold the shared
   /// epoch and no shard lock. `protect` is never evicted.
-  void EnforceCacheCapacity(SensorId protect);
-  void PropagateAdd(int leaf_id, SlotId slot, double value);
-  void PropagateRemove(int leaf_id, SlotId slot, double value);
-  void RecomputeSlotFromChildren(int node_id, SlotId slot);
-  Aggregate LeafSlotAggregate(int leaf_id, SlotId slot) const;
-  void RemoveFromLeafCachedSet(SensorId sensor);
+  void EnforceCacheCapacity(SensorId protect)
+      COLR_REQUIRES_SHARED(epoch_latch_);
+  void PropagateAdd(int leaf_id, SlotId slot, double value)
+      COLR_REQUIRES_SHARED(epoch_latch_);
+  void PropagateRemove(int leaf_id, SlotId slot, double value)
+      COLR_REQUIRES_SHARED(epoch_latch_);
+  /// One step of PropagateRemove: undoes `value` at `node_id`,
+  /// recomputing the slot from children when the decrement was not
+  /// invertible.
+  void RemoveSlotValueAt(int node_id, SlotId slot, double value)
+      COLR_REQUIRES_SHARED(epoch_latch_);
+  void RecomputeSlotFromChildren(int node_id, SlotId slot)
+      COLR_REQUIRES_SHARED(epoch_latch_);
+  Aggregate LeafSlotAggregate(int leaf_id, SlotId slot) const
+      COLR_REQUIRES_SHARED(epoch_latch_);
+  void RemoveFromLeafCachedSet(SensorId sensor)
+      COLR_REQUIRES_SHARED(epoch_latch_);
 
   Options options_;
   std::vector<SensorInfo> sensors_;

@@ -6,7 +6,6 @@
 #include <cmath>
 #include <condition_variable>
 #include <cstdio>
-#include <mutex>
 #include <string>
 #include <thread>
 
@@ -111,8 +110,9 @@ TimedReplayReport RunTimedReplay(portal::SensorPortal& portal,
   tree.AdvanceTo(clock.NowMs());
 
   std::atomic<bool> done{false};
-  std::mutex done_mutex;
-  std::condition_variable done_cv;
+  Mutex done_mutex;
+  // _any variant: waits on the annotated Mutex capability directly.
+  std::condition_variable_any done_cv;
   std::atomic<int64_t> ticks{0};
   std::atomic<int64_t> probes{0};
   std::atomic<int64_t> inserts{0};
@@ -148,9 +148,12 @@ TimedReplayReport RunTimedReplay(portal::SensorPortal& portal,
                        std::memory_order_relaxed);
       inserts.fetch_add(static_cast<int64_t>(res.readings.size()),
                         std::memory_order_relaxed);
-      std::unique_lock<std::mutex> lock(done_mutex);
+      // The predicate only reads the `done` atomic (no guarded state),
+      // so a lambda is fine here; the lock passed to wait_for is the
+      // annotated Mutex itself.
+      MutexLock lock(done_mutex);
       done_cv.wait_for(
-          lock, std::chrono::duration<double, std::milli>(tick_wall_ms),
+          done_mutex, std::chrono::duration<double, std::milli>(tick_wall_ms),
           [&] { return done.load(std::memory_order_acquire); });
     }
   };
@@ -196,7 +199,7 @@ TimedReplayReport RunTimedReplay(portal::SensorPortal& portal,
   for (std::thread& t : threads) t.join();
 
   {
-    std::lock_guard<std::mutex> lock(done_mutex);
+    MutexLock lock(done_mutex);
     done.store(true, std::memory_order_release);
   }
   done_cv.notify_all();

@@ -4,12 +4,12 @@
 #include <atomic>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <vector>
 
 #include "common/clock.h"
 #include "common/rng.h"
 #include "common/sync.h"
+#include "common/thread_annotations.h"
 #include "common/thread_pool.h"
 #include "common/status.h"
 #include "sensor/sensor.h"
@@ -118,14 +118,14 @@ class SensorNetwork {
   void ResetCounters();
 
  private:
-  TimeMs DrawLatency(bool success);
+  TimeMs DrawLatency(bool success) COLR_REQUIRES(rng_mutex_);
 
   std::vector<SensorInfo> sensors_;
   const Clock* clock_;
   Options options_;
   /// Guards rng_ — the only non-atomic mutable shared state.
-  std::mutex rng_mutex_;
-  Rng rng_;
+  Mutex rng_mutex_;
+  Rng rng_ COLR_GUARDED_BY(rng_mutex_);
   ValueFn value_fn_;
   ThreadPool* pool_ = nullptr;
   Counters counters_;

@@ -67,15 +67,18 @@ Result<rel::Row> DecodeRow(std::string_view bytes) {
       return Status::InvalidArgument("truncated value tag");
     }
     switch (tag) {
+      // emplace_back constructs the Value in place; moving a Value
+      // temporary here makes GCC 12 inline the variant's string move
+      // and warn (spuriously) about the inactive string alternative.
       case kTagNull:
-        row.push_back(rel::Value::Null());
+        row.emplace_back();
         break;
       case kTagInt: {
         int64_t v = 0;
         if (!ReadPod(&bytes, &v)) {
           return Status::InvalidArgument("truncated int");
         }
-        row.push_back(rel::Value(v));
+        row.emplace_back(v);
         break;
       }
       case kTagDouble: {
@@ -83,7 +86,7 @@ Result<rel::Row> DecodeRow(std::string_view bytes) {
         if (!ReadPod(&bytes, &v)) {
           return Status::InvalidArgument("truncated double");
         }
-        row.push_back(rel::Value(v));
+        row.emplace_back(v);
         break;
       }
       case kTagString: {
@@ -91,7 +94,7 @@ Result<rel::Row> DecodeRow(std::string_view bytes) {
         if (!ReadPod(&bytes, &len) || bytes.size() < len) {
           return Status::InvalidArgument("truncated string");
         }
-        row.push_back(rel::Value(std::string(bytes.substr(0, len))));
+        row.emplace_back(std::string(bytes.substr(0, len)));
         bytes.remove_prefix(len);
         break;
       }

@@ -1,0 +1,22 @@
+// Negative compile check for the thread-safety contracts: reading a
+// COLR_GUARDED_BY(epoch_latch_) field without holding the latch must
+// be rejected under `clang -Werror=thread-safety`. Registered in
+// tests/CMakeLists.txt as thread_safety_negative_compile with
+// WILL_FAIL, so this TU *failing to compile* is the passing outcome —
+// it proves the contracts actually bite, rather than silently
+// expanding to nothing.
+#include "common/sync.h"
+#include "common/thread_annotations.h"
+
+namespace colr {
+
+struct WindowState {
+  EpochLatch epoch_latch_;
+  int newest_slot COLR_GUARDED_BY(epoch_latch_) = 0;
+};
+
+int ReadWithoutLatch(WindowState& state) {
+  return state.newest_slot;  // -Werror=thread-safety: latch not held
+}
+
+}  // namespace colr
