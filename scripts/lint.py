@@ -1,7 +1,8 @@
 #!/usr/bin/env python3
 """Project lint: the checks clang can't express as warnings.
 
-Three rules, all tied to the concurrency contracts in DESIGN.md §6:
+Four rules — three tied to the concurrency contracts in DESIGN.md §6,
+one to the flat node-arena layout of DESIGN.md §7:
 
   raw-lock          src/ (outside src/common/) and bench/ must not name
                     raw std:: lock types (std::mutex, std::shared_mutex,
@@ -21,6 +22,16 @@ Three rules, all tied to the concurrency contracts in DESIGN.md §6:
   header-hygiene    Every header under src/ must be self-contained:
                     a TU consisting of just `#include "the/header.h"`
                     must compile (-fsyntax-only) on its own.
+
+  arena-layout      src/core/ (outside core/node_arena.*) and bench/
+                    must not reintroduce pointer-era node storage:
+                    no owned child-id vectors (`std::vector<int>
+                    children`) and no heap-allocated node objects
+                    (`new ...Node`). Tree structure lives in the flat
+                    breadth-ordered NodeArena (core/node_arena.h);
+                    src/cluster/ is exempt — the build-time
+                    ClusterTree legitimately owns child vectors the
+                    arena is constructed from.
 
 tests/ is exempt from the text rules: the test harness deliberately
 pokes at raw primitives (and the lint self-test seeds violations).
@@ -55,6 +66,14 @@ RAW_LOCK_RE = re.compile(
 NONDETERMINISM_RE = re.compile(
     r"(?<![\w:])(?:s?rand\s*\(|std::random_device\b)"
 )
+ARENA_LAYOUT_RE = re.compile(
+    r"std::vector<\s*int\s*>\s+children\b|\bnew\s+\w*Node\b"
+)
+ARENA_LAYOUT_DIR_PREFIXES = (
+    os.path.join("src", "core") + os.sep,
+    "bench" + os.sep,
+)
+ARENA_LAYOUT_EXEMPT_PREFIX = os.path.join("src", "core", "node_arena")
 WAIVER_RE = re.compile(r"colr-lint:\s*allow\(([a-z-]+)\)")
 LINE_COMMENT_RE = re.compile(r"//.*$")
 
@@ -94,6 +113,9 @@ def check_text_rules(root):
         with open(path, encoding="utf-8", errors="replace") as f:
             lines = f.read().splitlines()
         raw_lock_applies = not rel.startswith(RAW_LOCK_EXEMPT_PREFIX)
+        arena_layout_applies = (
+            rel.startswith(ARENA_LAYOUT_DIR_PREFIXES)
+            and not rel.startswith(ARENA_LAYOUT_EXEMPT_PREFIX))
         for idx, line in enumerate(lines):
             code = strip_comment(line)
             if raw_lock_applies:
@@ -103,6 +125,14 @@ def check_text_rules(root):
                         (rel, idx + 1, "raw-lock",
                          f"raw std::{m.group(1)} outside src/common/; use "
                          "the annotated wrappers in common/sync.h"))
+            if arena_layout_applies:
+                m = ARENA_LAYOUT_RE.search(code)
+                if m and not waived(lines, idx, "arena-layout"):
+                    violations.append(
+                        (rel, idx + 1, "arena-layout",
+                         f"pointer-era node storage `{m.group(0).strip()}`;"
+                         " tree structure lives in the flat NodeArena"
+                         " (core/node_arena.h)"))
             m = NONDETERMINISM_RE.search(code)
             if m and not waived(lines, idx, "nondeterminism"):
                 violations.append(

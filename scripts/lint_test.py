@@ -35,6 +35,44 @@ SEEDED = {
         "std::vector<int> broken();\n"
         "#endif\n"
     ),
+    # arena-layout: an owned child-id vector in core code.
+    os.path.join("src", "core", "bad_node.h"): (
+        "#ifndef BAD_NODE_H_\n"
+        "#define BAD_NODE_H_\n"
+        "#include <vector>\n"
+        "struct LegacyNode { std::vector<int> children; };\n"
+        "inline LegacyNode* alloc() { return new LegacyNode; }\n"
+        "#endif\n"
+    ),
+    # arena-layout: a heap-allocated node object in bench code.
+    os.path.join("bench", "bad_alloc.cc"): (
+        "struct BenchNode { int x; };\n"
+        "BenchNode* make() { return new BenchNode{1}; }\n"
+    ),
+    # The arena module itself is exempt: must NOT be reported.
+    os.path.join("src", "core", "node_arena.h"): (
+        "#ifndef NODE_ARENA_H_\n"
+        "#define NODE_ARENA_H_\n"
+        "#include <vector>\n"
+        "struct ArenaView { std::vector<int> children; };\n"
+        "#endif\n"
+    ),
+    # src/cluster/ owns child vectors legitimately: must NOT be reported.
+    os.path.join("src", "cluster", "build_tree.h"): (
+        "#ifndef BUILD_TREE_H_\n"
+        "#define BUILD_TREE_H_\n"
+        "#include <vector>\n"
+        "struct BuildNode { std::vector<int> children; };\n"
+        "#endif\n"
+    ),
+    # Waived arena-layout (the bench pointer-baseline): must NOT be
+    # reported.
+    os.path.join("bench", "waived_baseline.cc"): (
+        "#include <vector>\n"
+        "struct PointerNode {\n"
+        "  std::vector<int> children;  // colr-lint: allow(arena-layout)\n"
+        "};\n"
+    ),
     # Waived raw-lock: must NOT be reported.
     os.path.join("src", "core", "waived_lock.cc"): (
         "#include <mutex>\n"
@@ -55,11 +93,16 @@ EXPECTED = [
     (os.path.join("src", "core", "bad_lock.cc"), "raw-lock"),
     (os.path.join("bench", "bad_rand.cc"), "nondeterminism"),
     (os.path.join("src", "core", "bad_header.h"), "header-hygiene"),
+    (os.path.join("src", "core", "bad_node.h"), "arena-layout"),
+    (os.path.join("bench", "bad_alloc.cc"), "arena-layout"),
 ]
 
 FORBIDDEN = [
     os.path.join("src", "core", "waived_lock.cc"),
     os.path.join("src", "common", "wrapper.h"),
+    os.path.join("src", "core", "node_arena.h"),
+    os.path.join("src", "cluster", "build_tree.h"),
+    os.path.join("bench", "waived_baseline.cc"),
 ]
 
 

@@ -309,6 +309,8 @@ QueryResult ColrEngine::ExecuteRange(const Query& query, TimeMs now,
   if (tree_->root() >= 0 &&
       query.region.Intersects(tree_->node(tree_->root()).bbox)) {
     std::vector<int> stack{tree_->root()};
+    std::vector<int> hits(
+        static_cast<size_t>(tree_->arena().max_fanout()));
     while (!stack.empty()) {
       const int id = stack.back();
       stack.pop_back();
@@ -339,10 +341,19 @@ QueryResult ColrEngine::ExecuteRange(const Query& query, TimeMs now,
       }
 
       if (!n.IsLeaf()) {
-        for (int c : n.children) {
-          if (query.region.Intersects(tree_->node(c).bbox)) {
-            stack.push_back(c);
+        // Vectorized bbox prefilter over the node's contiguous child
+        // block (SoA MBR scan). A polygonal region refines each hit
+        // exactly as QueryRegion::Intersects would — its bbox precheck
+        // is what the kernel just computed.
+        const int k = tree_->arena().OverlapChildren(id, query.region.bbox,
+                                                     hits.data());
+        for (int t = 0; t < k; ++t) {
+          const int c = hits[t];
+          if (query.region.polygon &&
+              !query.region.polygon->Intersects(tree_->node(c).bbox)) {
+            continue;
           }
+          stack.push_back(c);
         }
         continue;
       }

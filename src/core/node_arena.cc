@@ -1,0 +1,66 @@
+#include "core/node_arena.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdlib>
+
+namespace colr {
+
+NodeArena::NodeArena(const ClusterTree& ct) {
+  const size_t n = ct.nodes.size();
+  records_.resize(n);
+  centroids_.resize(n);
+  mbr_min_x_.resize(n);
+  mbr_min_y_.resize(n);
+  mbr_max_x_.resize(n);
+  mbr_max_y_.resize(n);
+  height_ = ct.height;
+  if (n == 0) return;
+
+  // BFS renumbering: children get consecutive new ids the moment their
+  // parent is dequeued, which is exactly what makes every child block
+  // contiguous. Visiting children in the cluster build's order keeps
+  // the left-to-right order of nodes within each level.
+  std::vector<int> old_of_new;
+  old_of_new.reserve(n);
+  std::vector<int> new_of_old(n, -1);
+  old_of_new.push_back(ct.root);
+  new_of_old[static_cast<size_t>(ct.root)] = 0;
+  for (size_t head = 0; head < old_of_new.size(); ++head) {
+    for (int c : ct.nodes[static_cast<size_t>(old_of_new[head])].children) {
+      new_of_old[static_cast<size_t>(c)] =
+          static_cast<int>(old_of_new.size());
+      old_of_new.push_back(c);
+    }
+  }
+
+  for (size_t i = 0; i < n; ++i) {
+    const ClusterTree::Node& cn =
+        ct.nodes[static_cast<size_t>(old_of_new[i])];
+    ArenaNodeRecord& r = records_[i];
+    r.bbox = cn.bbox;
+    r.level = cn.level;
+    r.parent = cn.parent >= 0 ? new_of_old[static_cast<size_t>(cn.parent)]
+                              : -1;
+    r.child_count = static_cast<int32_t>(cn.children.size());
+    r.child_begin =
+        cn.children.empty()
+            ? 0
+            : new_of_old[static_cast<size_t>(cn.children.front())];
+    r.item_begin = cn.item_begin;
+    r.item_end = cn.item_end;
+    centroids_[i] = cn.centroid;
+    mbr_min_x_[i] = cn.bbox.min_x;
+    mbr_min_y_[i] = cn.bbox.min_y;
+    mbr_max_x_[i] = cn.bbox.max_x;
+    mbr_max_y_[i] = cn.bbox.max_y;
+    max_fanout_ = std::max(max_fanout_, static_cast<int>(r.child_count));
+    // The contiguity the whole layout rests on.
+    for (size_t j = 0; j < cn.children.size(); ++j) {
+      assert(new_of_old[static_cast<size_t>(cn.children[j])] ==
+             r.child_begin + static_cast<int>(j));
+    }
+  }
+}
+
+}  // namespace colr

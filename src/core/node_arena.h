@@ -1,0 +1,263 @@
+#ifndef COLR_CORE_NODE_ARENA_H_
+#define COLR_CORE_NODE_ARENA_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <type_traits>
+#include <vector>
+
+#include "cluster/cluster_tree.h"
+#include "common/clock.h"
+#include "geo/geo.h"
+#include "geo/overlap.h"
+
+#if defined(__SSE2__)
+#include <emmintrin.h>
+#endif
+
+namespace colr {
+
+/// One node of the flat COLR-Tree arena. Exactly one cache line: a
+/// traversal step reads a node's bbox, level and child block with a
+/// single line fill, and two nodes never false-share.
+///
+/// The arena is breadth-ordered (BFS from the root), which gives every
+/// node a *contiguous* child block [child_begin, child_begin +
+/// child_count) — child adjacency is arithmetic, not a heap-allocated
+/// id vector. All structural fields are immutable after construction;
+/// mutable per-node cache state lives in ColrTree's parallel arrays,
+/// indexed by the same arena ids.
+struct alignas(64) ArenaNodeRecord {
+  Rect bbox;               // 32 bytes: min_x, min_y, max_x, max_y
+  int32_t level = 0;       // root = 0
+  int32_t parent = -1;     // arena id (-1 at the root)
+  int32_t child_begin = 0; // arena id of the first child
+  int32_t child_count = 0; // 0 = leaf
+  /// Range into ColrTree::sensor_order() enumerating descendant
+  /// sensors.
+  int32_t item_begin = 0;
+  int32_t item_end = 0;
+  /// Maximum expiry period among descendant sensors (metadata for
+  /// clients sizing staleness bounds; the window must span it).
+  TimeMs max_expiry_ms = 0;
+
+  bool IsLeaf() const { return child_count == 0; }
+  int Weight() const { return item_end - item_begin; }
+};
+
+// The record layout is load-bearing: traversal cost and the SoA side
+// arrays both assume one 64-byte line per node. A field addition that
+// pushes the record past one line (or introduces padding drift) must
+// fail here, at compile time, not silently regress the layout.
+static_assert(sizeof(ArenaNodeRecord) == 64,
+              "ArenaNodeRecord must stay exactly one cache line");
+static_assert(alignof(ArenaNodeRecord) == 64,
+              "ArenaNodeRecord must stay cache-line aligned");
+static_assert(std::is_trivially_copyable_v<ArenaNodeRecord>,
+              "ArenaNodeRecord must stay a plain record");
+static_assert(sizeof(Rect) == 4 * sizeof(double),
+              "Rect must stay four packed doubles");
+static_assert(offsetof(ArenaNodeRecord, level) == 32,
+              "structural fields must start right after the bbox");
+static_assert(offsetof(ArenaNodeRecord, max_expiry_ms) == 56,
+              "no padding between the int32 fields and max_expiry_ms");
+
+/// Iterable view of a node's child ids: the half-open arena-id range
+/// [begin, end). Replaces the per-node std::vector<int> of the pointer
+/// layout — iteration yields the same left-to-right child order.
+class ChildRange {
+ public:
+  class Iterator {
+   public:
+    explicit Iterator(int v) : v_(v) {}
+    int operator*() const { return v_; }
+    Iterator& operator++() {
+      ++v_;
+      return *this;
+    }
+    bool operator!=(const Iterator& o) const { return v_ != o.v_; }
+    bool operator==(const Iterator& o) const { return v_ == o.v_; }
+
+   private:
+    int v_;
+  };
+
+  ChildRange(int begin, int end) : begin_(begin), end_(end) {}
+  Iterator begin() const { return Iterator(begin_); }
+  Iterator end() const { return Iterator(end_); }
+  int size() const { return end_ - begin_; }
+  bool empty() const { return begin_ == end_; }
+  int front() const { return begin_; }
+
+ private:
+  int begin_;
+  int end_;
+};
+
+/// Flat, breadth-ordered storage for the COLR-Tree structure.
+///
+/// Built once from the k-means ClusterTree by renumbering its
+/// DFS-preorder ids into BFS order: the root is id 0, every node's
+/// children occupy consecutive ids, and ids are monotone in level.
+/// Within a level the left-to-right node order of the cluster build is
+/// preserved, so level-indexed statistics (LevelForClusterDistance)
+/// accumulate in the same order as the pointer layout did.
+///
+/// Besides the AoS record pool, the arena keeps SoA mirrors of every
+/// node's MBR (four parallel double arrays indexed by arena id). A
+/// node's child block is a contiguous slice of those arrays, so the
+/// child-overlap test of a traversal step is a branch-free linear scan
+/// that the SIMD kernel processes two children per instruction.
+class NodeArena {
+ public:
+  NodeArena() = default;
+  explicit NodeArena(const ClusterTree& ct);
+
+  int root() const { return records_.empty() ? -1 : 0; }
+  int height() const { return height_; }
+  size_t size() const { return records_.size(); }
+  /// Largest child_count over all nodes — the scratch-buffer bound for
+  /// OverlapChildren callers.
+  int max_fanout() const { return max_fanout_; }
+
+  const ArenaNodeRecord& record(int id) const {
+    return records_[static_cast<size_t>(id)];
+  }
+  /// Construction-time hook for the owner to stamp derived metadata
+  /// (max_expiry_ms); the structure fields must not be touched after
+  /// the arena is shared across threads.
+  ArenaNodeRecord& mutable_record(int id) {
+    return records_[static_cast<size_t>(id)];
+  }
+  const Point& centroid(int id) const {
+    return centroids_[static_cast<size_t>(id)];
+  }
+  ChildRange children(int id) const {
+    const ArenaNodeRecord& r = record(id);
+    return ChildRange(r.child_begin, r.child_begin + r.child_count);
+  }
+
+  /// Writes the ids of `id`'s children whose MBR overlaps `query` into
+  /// `out` (capacity >= record(id).child_count) in ascending id order —
+  /// the same order the pointer layout enumerated children — and
+  /// returns how many were written. Dispatches to the SIMD kernel
+  /// unless the build lacks SSE2 or COLR_FORCE_SCALAR_OVERLAP is set
+  /// in the environment. Defined inline below: the per-call work is a
+  /// handful of comparisons, so the kernel must inline into the
+  /// traversal loops to beat the pointer layout's inlined
+  /// Rect::Intersects calls.
+  int OverlapChildren(int id, const Rect& query, int* out) const;
+  /// The scalar kernel, always compiled and callable directly: the
+  /// layout tests assert it agrees with OverlapChildren bit for bit.
+  int OverlapChildrenScalar(int id, const Rect& query, int* out) const;
+
+  /// True when COLR_FORCE_SCALAR_OVERLAP is set: OverlapChildren then
+  /// takes the scalar path even on SIMD-capable builds. The getenv
+  /// happens once per process (function-local static, shared across
+  /// TUs); steady-state calls are a load and a predictable branch, so
+  /// the dispatch check stays out of the kernel's critical path.
+  static bool ForceScalarOverlap() {
+    static const bool force =
+        std::getenv("COLR_FORCE_SCALAR_OVERLAP") != nullptr;
+    return force;
+  }
+
+ private:
+  std::vector<ArenaNodeRecord> records_;
+  std::vector<Point> centroids_;
+  // SoA mirrors of each record's bbox, indexed by arena id. Contiguous
+  // child blocks make a node's child-MBR scan four sequential array
+  // slices.
+  std::vector<double> mbr_min_x_;
+  std::vector<double> mbr_min_y_;
+  std::vector<double> mbr_max_x_;
+  std::vector<double> mbr_max_y_;
+  int height_ = 0;
+  int max_fanout_ = 0;
+};
+
+inline int NodeArena::OverlapChildrenScalar(int id, const Rect& query,
+                                            int* out) const {
+  const ArenaNodeRecord& r = record(id);
+  const int b = r.child_begin;
+  const int k = r.child_count;
+  int count = 0;
+  for (int j = 0; j < k; ++j) {
+    const size_t c = static_cast<size_t>(b + j);
+    if (BoxesOverlap(mbr_min_x_[c], mbr_min_y_[c], mbr_max_x_[c],
+                     mbr_max_y_[c], query.min_x, query.min_y, query.max_x,
+                     query.max_y)) {
+      out[count++] = b + j;
+    }
+  }
+  return count;
+}
+
+#if defined(__SSE2__)
+namespace internal {
+
+/// Two children per step: each comparison below is one lane-parallel
+/// evaluation of the corresponding BoxesOverlap comparison, so the
+/// mask agrees with the scalar kernel bit for bit (including the
+/// empty-rect encoding: an empty box's +inf/-inf bounds fail the
+/// ordered <= / >= comparisons in every lane, just as they do in
+/// scalar code).
+inline int OverlapMask2(const double* min_x, const double* min_y,
+                        const double* max_x, const double* max_y,
+                        __m128d qminx, __m128d qminy, __m128d qmaxx,
+                        __m128d qmaxy) {
+  __m128d m = _mm_and_pd(_mm_cmple_pd(_mm_loadu_pd(min_x), qmaxx),
+                         _mm_cmpge_pd(_mm_loadu_pd(max_x), qminx));
+  m = _mm_and_pd(m, _mm_cmple_pd(_mm_loadu_pd(min_y), qmaxy));
+  m = _mm_and_pd(m, _mm_cmpge_pd(_mm_loadu_pd(max_y), qminy));
+  return _mm_movemask_pd(m);
+}
+
+}  // namespace internal
+#endif  // __SSE2__
+
+inline int NodeArena::OverlapChildren(int id, const Rect& query,
+                                      int* out) const {
+#if defined(__SSE2__)
+  if (!ForceScalarOverlap()) {
+    const ArenaNodeRecord& r = record(id);
+    const int b = r.child_begin;
+    const int k = r.child_count;
+    const __m128d qminx = _mm_set1_pd(query.min_x);
+    const __m128d qminy = _mm_set1_pd(query.min_y);
+    const __m128d qmaxx = _mm_set1_pd(query.max_x);
+    const __m128d qmaxy = _mm_set1_pd(query.max_y);
+    int count = 0;
+    int j = 0;
+    for (; j + 2 <= k; j += 2) {
+      const size_t c = static_cast<size_t>(b + j);
+      const int bits =
+          internal::OverlapMask2(&mbr_min_x_[c], &mbr_min_y_[c],
+                                 &mbr_max_x_[c], &mbr_max_y_[c], qminx,
+                                 qminy, qmaxx, qmaxy);
+      // Branchless emit: unconditional stores plus mask-bit advances
+      // beat data-dependent branches on hit patterns the predictor
+      // can't learn (which child of a node overlaps varies per query).
+      out[count] = b + j;
+      count += bits & 1;
+      out[count] = b + j + 1;
+      count += (bits >> 1) & 1;
+    }
+    for (; j < k; ++j) {
+      const size_t c = static_cast<size_t>(b + j);
+      if (BoxesOverlap(mbr_min_x_[c], mbr_min_y_[c], mbr_max_x_[c],
+                       mbr_max_y_[c], query.min_x, query.min_y, query.max_x,
+                       query.max_y)) {
+        out[count++] = b + j;
+      }
+    }
+    return count;
+  }
+#endif  // __SSE2__
+  return OverlapChildrenScalar(id, query, out);
+}
+
+}  // namespace colr
+
+#endif  // COLR_CORE_NODE_ARENA_H_

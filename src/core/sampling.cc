@@ -65,8 +65,9 @@ class Runner {
   }
 
  private:
-  double Availability(const ColrTree::Node& n) const {
-    return std::max<double>(n.mean_availability, kMinAvailability);
+  double Availability(int node_id) const {
+    return std::max<double>(tree_.mean_availability(node_id),
+                            kMinAvailability);
   }
 
   /// Terminal nodes: leaves (nothing below to descend into), or nodes
@@ -78,14 +79,13 @@ class Runner {
   }
 
   void Expand(const QueueEntry& entry) {
-    const ColrTree::Node& n = tree_.node(entry.node);
     ++result_.nodes_traversed;
     ++result_.internal_nodes_traversed;
 
     // Weighted partitioning denominator: sum over relevant children of
     // w_i * Overlap(BB(i), A)  (Algorithm 1, lines 9/17).
     double denom = 0.0;
-    for (int c : n.children) {
+    for (int c : tree_.children(entry.node)) {
       const ColrTree::Node& child = tree_.node(c);
       if (!region_.Intersects(child.bbox)) continue;
       denom += child.Weight() * OverlapFraction(child.bbox, region_.bbox);
@@ -93,7 +93,7 @@ class Runner {
     if (denom <= 0.0) return;
 
     double total_fetched = 0.0;
-    for (int c : n.children) {
+    for (int c : tree_.children(entry.node)) {
       const ColrTree::Node& child = tree_.node(c);
       if (!region_.Intersects(child.bbox)) continue;
       double share = entry.r * child.Weight() *
@@ -195,7 +195,7 @@ class Runner {
     // (lines 10-11; we apply the single per-path scale-up at the
     // probing node itself, where the availability estimate is most
     // local — see DESIGN.md).
-    const double availability = Availability(n);
+    const double availability = Availability(node_id);
     const double need = share - static_cast<double>(t.cached_count);
     double scaled_need = need;
     if (options_.oversample && need > 0.0) {
@@ -237,7 +237,7 @@ class Runner {
     const bool partial = !region_.Contains(n.bbox) || region_.polygon;
     std::vector<SensorId> candidates;
     candidates.reserve(n.Weight());
-    const SlotId qslot = tree_.QuerySlot(n, now_, staleness_);
+    const SlotId qslot = tree_.QuerySlot(now_, staleness_);
     const auto& order = tree_.sensor_order();
     for (int j = n.item_begin; j < n.item_end; ++j) {
       const SensorId sid = order[j];

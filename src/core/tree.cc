@@ -39,39 +39,38 @@ ColrTree::ColrTree(std::vector<SensorInfo> sensors, Options options)
   points.reserve(sensors_.size());
   for (const SensorInfo& s : sensors_) points.push_back(s.location);
 
+  // The cluster build emits a pointer-style DFS-preorder tree; the
+  // arena renumbers it into the flat breadth-ordered layout. The
+  // item_order permutation is a property of the clustering, not of the
+  // node numbering, so item ranges carry over verbatim.
   ClusterTree ct = BuildClusterTree(points, options_.cluster);
-  root_ = ct.root;
-  height_ = ct.height;
+  arena_ = NodeArena(ct);
+  root_ = arena_.root();
+  height_ = arena_.height();
   sensor_order_.reserve(ct.item_order.size());
   for (int idx : ct.item_order) {
     sensor_order_.push_back(static_cast<SensorId>(idx));
   }
-
-  nodes_.resize(ct.nodes.size());
   leaf_of_sensor_.assign(sensors_.size(), -1);
-  for (size_t i = 0; i < ct.nodes.size(); ++i) {
-    const ClusterTree::Node& cn = ct.nodes[i];
-    Node& n = nodes_[i];
-    n.bbox = cn.bbox;
-    n.centroid = cn.centroid;
-    n.level = cn.level;
-    n.parent = cn.parent;
-    n.children = cn.children;
-    n.item_begin = cn.item_begin;
-    n.item_end = cn.item_end;
-    n.cache.Resize(scheme_.num_slots());
+
+  const size_t num_nodes = arena_.size();
+  caches_.resize(num_nodes);
+  availability_ = std::vector<AtomicDouble>(num_nodes);
+  leaf_tables_.resize(num_nodes);
+  for (size_t i = 0; i < num_nodes; ++i) {
+    ArenaNodeRecord& n = arena_.mutable_record(static_cast<int>(i));
+    caches_[i].Resize(scheme_.num_slots());
 
     double avail_sum = 0.0;
-    for (int j = cn.item_begin; j < cn.item_end; ++j) {
+    for (int j = n.item_begin; j < n.item_end; ++j) {
       const SensorInfo& s = sensors_[sensor_order_[j]];
       avail_sum += s.availability;
       n.max_expiry_ms = std::max(n.max_expiry_ms, s.expiry_ms);
     }
-    n.mean_availability =
-        cn.Weight() > 0 ? avail_sum / cn.Weight() : 1.0;
+    availability_[i] = n.Weight() > 0 ? avail_sum / n.Weight() : 1.0;
 
-    if (cn.IsLeaf()) {
-      for (int j = cn.item_begin; j < cn.item_end; ++j) {
+    if (n.IsLeaf()) {
+      for (int j = n.item_begin; j < n.item_end; ++j) {
         leaf_of_sensor_[sensor_order_[j]] = static_cast<int>(i);
       }
     }
@@ -90,9 +89,9 @@ ColrTree::ColrTree(std::vector<SensorInfo> sensors, Options options)
   // sequence so the cross-shard eviction order stays globally exact.
   // Store capacities are unbounded; the tree enforces
   // options_.cache_capacity across all of them.
-  store_index_of_node_.assign(nodes_.size(), -1);
-  for (size_t i = 0; i < nodes_.size(); ++i) {
-    if (!nodes_[i].IsLeaf()) continue;
+  store_index_of_node_.assign(arena_.size(), -1);
+  for (size_t i = 0; i < arena_.size(); ++i) {
+    if (!arena_.record(static_cast<int>(i)).IsLeaf()) continue;
     const int shard = ShardOf(static_cast<int>(i));
     if (store_index_of_node_[shard] < 0) {
       store_index_of_node_[shard] =
@@ -108,10 +107,11 @@ int ColrTree::CountSensorsInRegion(const Rect& region) const {
   if (root_ < 0) return 0;
   int count = 0;
   std::vector<int> stack{root_};
+  std::vector<int> hits(static_cast<size_t>(arena_.max_fanout()));
   while (!stack.empty()) {
     const int id = stack.back();
     stack.pop_back();
-    const Node& n = nodes_[id];
+    const Node& n = arena_.record(id);
     if (!n.bbox.Intersects(region)) continue;
     if (region.Contains(n.bbox)) {
       count += n.Weight();
@@ -122,7 +122,10 @@ int ColrTree::CountSensorsInRegion(const Rect& region) const {
         if (region.Contains(sensors_[sensor_order_[j]].location)) ++count;
       }
     } else {
-      for (int c : n.children) stack.push_back(c);
+      // Vectorized child-MBR scan over the node's contiguous child
+      // block; only overlapping children are pushed.
+      const int k = arena_.OverlapChildren(id, region, hits.data());
+      for (int t = 0; t < k; ++t) stack.push_back(hits[t]);
     }
   }
   return count;
@@ -130,10 +133,14 @@ int ColrTree::CountSensorsInRegion(const Rect& region) const {
 
 int ColrTree::LevelForClusterDistance(double distance) const {
   if (height_ <= 1) return 0;
-  // Mean bbox diagonal per level, coarse to fine.
+  // Mean bbox diagonal per level, coarse to fine. Arena ids are
+  // breadth-ordered, so this pass accumulates each level's diagonals
+  // in the same left-to-right node order as the pointer layout did —
+  // the per-level floating-point sums are bit-identical.
   std::vector<double> sum(height_, 0.0);
   std::vector<int> count(height_, 0);
-  for (const Node& n : nodes_) {
+  for (size_t i = 0; i < arena_.size(); ++i) {
+    const Node& n = arena_.record(static_cast<int>(i));
     const double dx = n.bbox.Width();
     const double dy = n.bbox.Height();
     sum[n.level] += std::sqrt(dx * dx + dy * dy);
@@ -147,20 +154,21 @@ int ColrTree::LevelForClusterDistance(double distance) const {
 }
 
 void ColrTree::RefreshAvailability(const std::vector<double>& estimates) {
-  for (Node& n : nodes_) {
+  for (size_t i = 0; i < arena_.size(); ++i) {
+    const Node& n = arena_.record(static_cast<int>(i));
     double total = 0.0;
     for (int j = n.item_begin; j < n.item_end; ++j) {
       const SensorId sid = sensor_order_[j];
       total += sid < estimates.size() ? estimates[sid]
                                       : sensors_[sid].availability;
     }
-    n.mean_availability = n.Weight() > 0 ? total / n.Weight() : 1.0;
+    availability_[i] = n.Weight() > 0 ? total / n.Weight() : 1.0;
   }
 }
 
 std::vector<SensorId> ColrTree::SensorsUnderInRegion(
     int node_id, const Rect& region) const {
-  const Node& n = nodes_[node_id];
+  const Node& n = arena_.record(node_id);
   std::vector<SensorId> out;
   out.reserve(n.Weight());
   const bool full = region.Contains(n.bbox);
@@ -307,7 +315,8 @@ void ColrTree::InsertReading(const Reading& reading) {
       {
         SyncTimedLock<SharedMutex> node_lock(node_mutex_.For(leaf),
                                                    SyncSite::kNodeStripe);
-        nodes_[leaf].cached_readings.erase(reading.sensor);
+        leaf_tables_[static_cast<size_t>(leaf)].cached_readings.erase(
+            reading.sensor);
       }
       const SlotId old_slot = scheme_.SlotOf(outcome.old_reading.expiry);
       if (scheme_.InWindow(old_slot)) {
@@ -318,9 +327,10 @@ void ColrTree::InsertReading(const Reading& reading) {
     {
       SyncTimedLock<SharedMutex> node_lock(node_mutex_.For(leaf),
                                                  SyncSite::kNodeStripe);
-      nodes_[leaf].cached_readings[reading.sensor] = reading;
+      LeafCacheTable& table = leaf_tables_[static_cast<size_t>(leaf)];
+      table.cached_readings[reading.sensor] = reading;
       if (!outcome.replaced) {
-        nodes_[leaf].cached_sensors.push_back(reading.sensor);
+        table.cached_sensors.push_back(reading.sensor);
       }
     }
     PropagateAdd(leaf, slot, reading.value);
@@ -393,19 +403,20 @@ void ColrTree::EnforceCacheCapacity(SensorId protect) {
 
 void ColrTree::PropagateAdd(int leaf_id, SlotId slot, double value) {
   int n = leaf_id;
-  for (; n >= 0 && nodes_[n].level > shard_level_; n = nodes_[n].parent) {
+  for (; n >= 0 && arena_.record(n).level > shard_level_;
+       n = arena_.record(n).parent) {
     SyncTimedLock<SharedMutex> node_lock(node_mutex_.For(n),
                                                SyncSite::kNodeStripe);
-    nodes_[n].cache.Add(scheme_, slot, value);
+    caches_[static_cast<size_t>(n)].Add(scheme_, slot, value);
   }
   // Root region: the shard node and its ancestors are shared by every
   // shard, so this short tail (at most shard_level_ + 1 ring updates)
   // merges under root_mutex_.
   SyncTimedLock<SpinMutex> root_lock(root_mutex_, SyncSite::kRootSpin);
-  for (; n >= 0; n = nodes_[n].parent) {
+  for (; n >= 0; n = arena_.record(n).parent) {
     SyncTimedLock<SharedMutex> node_lock(node_mutex_.For(n),
                                                SyncSite::kNodeStripe);
-    nodes_[n].cache.Add(scheme_, slot, value);
+    caches_[static_cast<size_t>(n)].Add(scheme_, slot, value);
   }
 }
 
@@ -418,10 +429,10 @@ Aggregate ColrTree::LeafSlotAggregate(int leaf_id, SlotId slot) const {
   Aggregate agg;
   SyncTimedSharedLock<SharedMutex> node_lock(node_mutex_.For(leaf_id),
                                                    SyncSite::kNodeStripe);
-  const Node& n = nodes_[leaf_id];
-  for (SensorId sid : n.cached_sensors) {
-    auto it = n.cached_readings.find(sid);
-    if (it != n.cached_readings.end() &&
+  const LeafCacheTable& table = leaf_tables_[static_cast<size_t>(leaf_id)];
+  for (SensorId sid : table.cached_sensors) {
+    auto it = table.cached_readings.find(sid);
+    if (it != table.cached_readings.end() &&
         scheme_.SlotOf(it->second.expiry) == slot) {
       agg.Add(it->second.value);
     }
@@ -431,7 +442,8 @@ Aggregate ColrTree::LeafSlotAggregate(int leaf_id, SlotId slot) const {
 
 void ColrTree::RecomputeSlotFromChildren(int node_id, SlotId slot) {
   ++maintenance_.slot_recomputes;
-  const Node& n = nodes_[node_id];
+  const Node& n = arena_.record(node_id);
+  AggregateSlotCache& own_cache = caches_[static_cast<size_t>(node_id)];
   // The caller's lock domain already makes the child snapshot stable:
   // below the shard node every mutator of the children holds this
   // shard's lock; at and above it, root_mutex_. The version-tag
@@ -444,23 +456,27 @@ void ColrTree::RecomputeSlotFromChildren(int node_id, SlotId slot) {
     {
       SyncTimedSharedLock<SharedMutex> node_lock(node_mutex_.For(node_id),
                                                        SyncSite::kNodeStripe);
-      version = n.cache.SlotVersion(scheme_, slot);
+      version = own_cache.SlotVersion(scheme_, slot);
     }
     Aggregate agg;
     if (n.IsLeaf()) {
       agg = LeafSlotAggregate(node_id, slot);
     } else {
-      for (int c : n.children) {
+      // The child block is a contiguous run of arena ids, so this
+      // gather is a strided scan over consecutive AggregateSlotCache
+      // objects in caches_ — no pointer chasing between children.
+      const int child_end = n.child_begin + n.child_count;
+      for (int c = n.child_begin; c < child_end; ++c) {
         SyncTimedSharedLock<SharedMutex> child_lock(
             node_mutex_.For(c), SyncSite::kNodeStripe);
-        agg.Merge(nodes_[c].cache.Get(scheme_, slot));
+        agg.Merge(caches_[static_cast<size_t>(c)].Get(scheme_, slot));
       }
     }
     {
       SyncTimedLock<SharedMutex> node_lock(node_mutex_.For(node_id),
                                                  SyncSite::kNodeStripe);
-      if (nodes_[node_id].cache.SlotVersion(scheme_, slot) == version) {
-        nodes_[node_id].cache.Set(scheme_, slot, agg);
+      if (own_cache.SlotVersion(scheme_, slot) == version) {
+        own_cache.Set(scheme_, slot, agg);
         return;
       }
     }
@@ -473,7 +489,8 @@ void ColrTree::RemoveSlotValueAt(int node_id, SlotId slot, double value) {
   {
     SyncTimedLock<SharedMutex> node_lock(node_mutex_.For(node_id),
                                          SyncSite::kNodeStripe);
-    invertible = nodes_[node_id].cache.Remove(scheme_, slot, value);
+    invertible =
+        caches_[static_cast<size_t>(node_id)].Remove(scheme_, slot, value);
   }
   if (!invertible) {
     // The removal hit the slot's min/max: the decrement is not
@@ -485,7 +502,8 @@ void ColrTree::RemoveSlotValueAt(int node_id, SlotId slot, double value) {
 
 void ColrTree::PropagateRemove(int leaf_id, SlotId slot, double value) {
   int n = leaf_id;
-  for (; n >= 0 && nodes_[n].level > shard_level_; n = nodes_[n].parent) {
+  for (; n >= 0 && arena_.record(n).level > shard_level_;
+       n = arena_.record(n).parent) {
     RemoveSlotValueAt(n, slot, value);
   }
   // Root region: same split as PropagateAdd. Holding root_mutex_ here
@@ -494,7 +512,7 @@ void ColrTree::PropagateRemove(int leaf_id, SlotId slot, double value) {
   // (or, for the shard node's children, under this shard's lock,
   // which the caller already holds).
   SyncTimedLock<SpinMutex> root_lock(root_mutex_, SyncSite::kRootSpin);
-  for (; n >= 0; n = nodes_[n].parent) {
+  for (; n >= 0; n = arena_.record(n).parent) {
     RemoveSlotValueAt(n, slot, value);
   }
 }
@@ -504,8 +522,9 @@ void ColrTree::RemoveFromLeafCachedSet(SensorId sensor) {
   if (leaf < 0) return;
   SyncTimedLock<SharedMutex> node_lock(node_mutex_.For(leaf),
                                              SyncSite::kNodeStripe);
-  nodes_[leaf].cached_readings.erase(sensor);
-  auto& set = nodes_[leaf].cached_sensors;
+  LeafCacheTable& table = leaf_tables_[static_cast<size_t>(leaf)];
+  table.cached_readings.erase(sensor);
+  auto& set = table.cached_sensors;
   for (size_t i = 0; i < set.size(); ++i) {
     if (set[i] == sensor) {
       set[i] = set.back();
@@ -515,13 +534,11 @@ void ColrTree::RemoveFromLeafCachedSet(SensorId sensor) {
   }
 }
 
-SlotId ColrTree::QuerySlot(const Node& node, TimeMs now,
-                           TimeMs staleness_ms) const {
+SlotId ColrTree::QuerySlot(TimeMs now, TimeMs staleness_ms) const {
   // The paper's lookup rule (§IV-A): hash the freshness bound
   // timestamp; slots strictly younger hold readings whose expiry lies
   // beyond the bound, i.e., readings that were still valid within the
   // user's staleness window.
-  (void)node;
   return scheme_.SlotOf(now - staleness_ms);
 }
 
@@ -529,19 +546,20 @@ ColrTree::CacheLookup ColrTree::LookupCache(int node_id, TimeMs now,
                                             TimeMs staleness_ms,
                                             const Rect* region_filter,
                                             FreshnessRule rule) const {
-  const Node& n = nodes_[node_id];
+  const Node& n = arena_.record(node_id);
   CacheLookup out;
   if (n.IsLeaf()) {
     // Per-entry inspection: usable iff the reading was still valid
     // within the staleness window (expiry beyond the freshness
     // bound), either exactly (including entries in the query slot,
     // §IV-B leaf refinement) or slot-aligned.
-    const SlotId qslot = QuerySlot(n, now, staleness_ms);
+    const SlotId qslot = QuerySlot(now, staleness_ms);
     SyncTimedSharedLock<SharedMutex> node_lock(node_mutex_.For(node_id),
                                                      SyncSite::kNodeStripe);
-    for (SensorId sid : n.cached_sensors) {
-      auto it = n.cached_readings.find(sid);
-      if (it == n.cached_readings.end()) continue;
+    const LeafCacheTable& table = leaf_tables_[static_cast<size_t>(node_id)];
+    for (SensorId sid : table.cached_sensors) {
+      auto it = table.cached_readings.find(sid);
+      if (it == table.cached_readings.end()) continue;
       const Reading& r = it->second;
       if (rule == FreshnessRule::kExact) {
         if (!r.ValidAt(now - staleness_ms)) continue;
@@ -559,23 +577,25 @@ ColrTree::CacheLookup ColrTree::LookupCache(int node_id, TimeMs now,
     }
     return out;
   }
-  const SlotId qslot = QuerySlot(n, now, staleness_ms);
+  const SlotId qslot = QuerySlot(now, staleness_ms);
   SyncTimedSharedLock<SharedMutex> node_lock(node_mutex_.For(node_id),
                                                    SyncSite::kNodeStripe);
-  out.agg = n.cache.QueryNewerThan(scheme_, qslot, &out.slots_merged);
+  out.agg = caches_[static_cast<size_t>(node_id)].QueryNewerThan(
+      scheme_, qslot, &out.slots_merged);
   return out;
 }
 
 int64_t ColrTree::CachedCount(int node_id, TimeMs now,
                               TimeMs staleness_ms) const {
-  const Node& n = nodes_[node_id];
+  const Node& n = arena_.record(node_id);
   if (n.IsLeaf()) {
     int64_t c = 0;
     SyncTimedSharedLock<SharedMutex> node_lock(node_mutex_.For(node_id),
                                                      SyncSite::kNodeStripe);
-    for (SensorId sid : n.cached_sensors) {
-      auto it = n.cached_readings.find(sid);
-      if (it != n.cached_readings.end() &&
+    const LeafCacheTable& table = leaf_tables_[static_cast<size_t>(node_id)];
+    for (SensorId sid : table.cached_sensors) {
+      auto it = table.cached_readings.find(sid);
+      if (it != table.cached_readings.end() &&
           it->second.ValidAt(now - staleness_ms)) {
         ++c;
       }
@@ -584,7 +604,8 @@ int64_t ColrTree::CachedCount(int node_id, TimeMs now,
   }
   SyncTimedSharedLock<SharedMutex> node_lock(node_mutex_.For(node_id),
                                                    SyncSite::kNodeStripe);
-  return n.cache.WeightNewerThan(scheme_, QuerySlot(n, now, staleness_ms));
+  return caches_[static_cast<size_t>(node_id)].WeightNewerThan(
+      scheme_, QuerySlot(now, staleness_ms));
 }
 
 std::optional<Reading> ColrTree::CachedReading(SensorId sensor) const {
@@ -593,7 +614,8 @@ std::optional<Reading> ColrTree::CachedReading(SensorId sensor) const {
   if (leaf < 0) return std::nullopt;
   SyncTimedSharedLock<SharedMutex> node_lock(node_mutex_.For(leaf),
                                                    SyncSite::kNodeStripe);
-  const auto& readings = nodes_[leaf].cached_readings;
+  const auto& readings =
+      leaf_tables_[static_cast<size_t>(leaf)].cached_readings;
   auto it = readings.find(sensor);
   if (it == readings.end()) return std::nullopt;
   return it->second;
@@ -605,7 +627,8 @@ bool ColrTree::CachedInNewerSlot(SensorId sensor, SlotId query_slot) const {
   if (leaf < 0) return false;
   SyncTimedSharedLock<SharedMutex> node_lock(node_mutex_.For(leaf),
                                                    SyncSite::kNodeStripe);
-  const auto& readings = nodes_[leaf].cached_readings;
+  const auto& readings =
+      leaf_tables_[static_cast<size_t>(leaf)].cached_readings;
   auto it = readings.find(sensor);
   if (it == readings.end()) return false;
   const SlotId slot = scheme_.SlotOf(it->second.expiry);
@@ -627,20 +650,20 @@ Status ColrTree::CheckCacheConsistency() const {
   // The leaf-resident reading tables must mirror the stores exactly:
   // same membership (via cached_sensors) and same reading per sensor.
   size_t leaf_total = 0;
-  for (size_t id = 0; id < nodes_.size(); ++id) {
-    const Node& n = nodes_[id];
-    if (!n.IsLeaf()) continue;
-    if (n.cached_readings.size() != n.cached_sensors.size()) {
+  for (size_t id = 0; id < arena_.size(); ++id) {
+    if (!arena_.record(static_cast<int>(id)).IsLeaf()) continue;
+    const LeafCacheTable& table = leaf_tables_[id];
+    if (table.cached_readings.size() != table.cached_sensors.size()) {
       return Status::Internal(
           "leaf reading table size diverges from cached-sensor set at "
           "leaf " +
           std::to_string(id));
     }
-    leaf_total += n.cached_readings.size();
-    for (SensorId sid : n.cached_sensors) {
-      auto it = n.cached_readings.find(sid);
+    leaf_total += table.cached_readings.size();
+    for (SensorId sid : table.cached_sensors) {
+      auto it = table.cached_readings.find(sid);
       const Reading* r = StoredReadingLocked(sid);
-      if (it == n.cached_readings.end() || r == nullptr ||
+      if (it == table.cached_readings.end() || r == nullptr ||
           r->value != it->second.value || r->expiry != it->second.expiry) {
         return Status::Internal(
             "leaf reading table diverges from store at leaf " +
@@ -655,8 +678,8 @@ Status ColrTree::CheckCacheConsistency() const {
     return Status::Internal(
         "store totals diverge from leaf tables or the cached count");
   }
-  for (size_t id = 0; id < nodes_.size(); ++id) {
-    const Node& n = nodes_[id];
+  for (size_t id = 0; id < arena_.size(); ++id) {
+    const Node& n = arena_.record(static_cast<int>(id));
     for (SlotId s = scheme_.oldest(); s <= scheme_.newest(); ++s) {
       Aggregate expected;
       for (int j = n.item_begin; j < n.item_end; ++j) {
@@ -665,7 +688,7 @@ Status ColrTree::CheckCacheConsistency() const {
           expected.Add(r->value);
         }
       }
-      const Aggregate& actual = n.cache.Get(scheme_, s);
+      const Aggregate& actual = caches_[id].Get(scheme_, s);
       if (expected.count != actual.count ||
           std::abs(expected.sum - actual.sum) > 1e-6 ||
           (expected.count > 0 &&

@@ -13,6 +13,7 @@
 #include "common/sync.h"
 #include "common/sync_stats.h"
 #include "common/thread_annotations.h"
+#include "core/node_arena.h"
 #include "core/reading_store.h"
 #include "core/slot_cache.h"
 #include "geo/geo.h"
@@ -112,40 +113,14 @@ class ColrTree {
     bool sync_stats = false;
   };
 
-  struct Node {
-    Rect bbox;
-    Point centroid;
-    int level = 0;  // root = 0
-    int parent = -1;
-    std::vector<int> children;
-    /// Range into sensor_order() enumerating descendant sensors.
-    int item_begin = 0;
-    int item_end = 0;
-    /// Mean historical availability of descendant sensors (a_i, §V-A).
-    /// Atomic: refreshed online by the availability tracker while
-    /// query threads read it.
-    AtomicDouble mean_availability = 1.0;
-    /// Maximum expiry period among descendant sensors (metadata for
-    /// clients sizing staleness bounds; the window must span it).
-    TimeMs max_expiry_ms = 0;
-    /// Per-slot aggregates over cached readings under this node.
-    /// Guarded by the node's stripe in node_mutex_.
-    AggregateSlotCache cache;
-    /// Leaf only: sensors with a currently cached reading. Guarded by
-    /// the node's stripe in node_mutex_.
-    std::vector<SensorId> cached_sensors;
-    /// Leaf only: the cached reading per sensor — the leaf-resident
-    /// mirror of the ReadingStore's entries for this leaf, guarded by
-    /// the node's stripe. Slot recomputes and leaf lookups read this
-    /// table instead of the store, so the hot read paths stay inside
-    /// the shard's own lock domain and never touch the global
-    /// store_mutex_ (which is left guarding only the cross-shard
-    /// eviction/expunge order).
-    std::unordered_map<SensorId, Reading> cached_readings;
-
-    bool IsLeaf() const { return children.empty(); }
-    int Weight() const { return item_end - item_begin; }
-  };
+  /// Structural node view: the one-cache-line arena record. All
+  /// structural fields (bbox, level, parent, item range, child block)
+  /// are immutable after construction. Mutable per-node cache state —
+  /// slot caches, availability, leaf reading tables — lives in the
+  /// tree's parallel arrays and is reached through the id-based
+  /// accessors below (slot_cache(), mean_availability(), ...), not
+  /// through the record.
+  using Node = ArenaNodeRecord;
 
   ColrTree(std::vector<SensorInfo> sensors, Options options);
 
@@ -156,8 +131,25 @@ class ColrTree {
 
   int root() const { return root_; }
   int height() const { return height_; }
-  size_t num_nodes() const { return nodes_.size(); }
-  const Node& node(int id) const { return nodes_[id]; }
+  size_t num_nodes() const { return arena_.size(); }
+  const Node& node(int id) const { return arena_.record(id); }
+  /// The node's children as an arena-id range (breadth ordering makes
+  /// every child block contiguous; iteration order matches the cluster
+  /// build's left-to-right child order).
+  ChildRange children(int id) const { return arena_.children(id); }
+  const Point& centroid(int id) const { return arena_.centroid(id); }
+  const NodeArena& arena() const { return arena_; }
+  /// Mean historical availability of the node's descendant sensors
+  /// (a_i, §V-A). Atomic: refreshed online by the availability tracker
+  /// while query threads read it.
+  double mean_availability(int id) const {
+    return availability_[static_cast<size_t>(id)];
+  }
+  /// The node's per-slot aggregate cache (tests and diagnostics only;
+  /// guarded by the node's stripe in node_mutex_ on mutating paths).
+  const AggregateSlotCache& slot_cache(int id) const {
+    return caches_[static_cast<size_t>(id)];
+  }
   const std::vector<SensorInfo>& sensors() const { return sensors_; }
   const SensorInfo& sensor(SensorId id) const { return sensors_[id]; }
   /// Permutation of sensor ids; node item ranges index into it.
@@ -168,8 +160,9 @@ class ColrTree {
   /// already at or above that level).
   int AncestorAtLevel(int node_id, int level) const {
     int n = node_id;
-    while (n >= 0 && nodes_[n].level > level && nodes_[n].parent >= 0) {
-      n = nodes_[n].parent;
+    while (n >= 0 && arena_.record(n).level > level &&
+           arena_.record(n).parent >= 0) {
+      n = arena_.record(n).parent;
     }
     return n;
   }
@@ -286,8 +279,9 @@ class ColrTree {
   /// containing the freshness bound timestamp `now - staleness`.
   /// Slots strictly newer are usable — they hold readings whose expiry
   /// lies beyond the bound, i.e., readings still valid within the
-  /// user's staleness window (§IV-A Lookup; see DESIGN.md).
-  SlotId QuerySlot(const Node& node, TimeMs now, TimeMs staleness_ms) const;
+  /// user's staleness window (§IV-A Lookup; see DESIGN.md). The slot
+  /// is global (one SlotScheme for every node), so no node argument.
+  SlotId QuerySlot(TimeMs now, TimeMs staleness_ms) const;
 
   /// Cached aggregate at an internal node: merge of all usable slots
   /// (strictly newer than the query slot). For leaves, performs the
@@ -390,7 +384,28 @@ class ColrTree {
 
   Options options_;
   std::vector<SensorInfo> sensors_;
-  std::vector<Node> nodes_;
+  /// Flat breadth-ordered structure storage: one-cache-line records
+  /// plus the SoA child-MBR arrays the traversal kernels scan.
+  NodeArena arena_;
+  /// Per-node slot-aggregate caches, indexed by arena id. Contiguous:
+  /// a recompute-from-children walks the consecutive cache objects of
+  /// the node's child block. Each guarded by its node's stripe in
+  /// node_mutex_.
+  std::vector<AggregateSlotCache> caches_;
+  /// Per-node mean availability (atomic words, indexed by arena id).
+  std::vector<AtomicDouble> availability_;
+  /// Leaf-resident cache tables, indexed by arena id (empty for
+  /// internal nodes), each guarded by its node's stripe in
+  /// node_mutex_: the sensors with a currently cached reading plus the
+  /// reading per sensor — the leaf mirror of the per-shard
+  /// ReadingStore entries. Slot recomputes and leaf lookups read these
+  /// tables instead of the stores, so the hot read paths stay inside
+  /// the shard's own lock domain.
+  struct LeafCacheTable {
+    std::vector<SensorId> cached_sensors;
+    std::unordered_map<SensorId, Reading> cached_readings;
+  };
+  std::vector<LeafCacheTable> leaf_tables_;
   std::vector<SensorId> sensor_order_;
   /// leaf node id for each sensor.
   std::vector<int> leaf_of_sensor_;

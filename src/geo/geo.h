@@ -7,6 +7,8 @@
 #include <string>
 #include <vector>
 
+#include "geo/overlap.h"
+
 namespace colr {
 
 /// 2D point. Coordinates are abstract planar units; the workload
@@ -76,8 +78,8 @@ struct Rect {
 
   bool Intersects(const Rect& other) const {
     if (IsEmpty() || other.IsEmpty()) return false;
-    return other.min_x <= max_x && other.max_x >= min_x &&
-           other.min_y <= max_y && other.max_y >= min_y;
+    return BoxesOverlap(min_x, min_y, max_x, max_y, other.min_x,
+                        other.min_y, other.max_x, other.max_y);
   }
 
   Rect Intersection(const Rect& other) const {

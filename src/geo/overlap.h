@@ -1,0 +1,38 @@
+#ifndef COLR_GEO_OVERLAP_H_
+#define COLR_GEO_OVERLAP_H_
+
+// The one closed-interval overlap predicate for the whole codebase.
+// `Rect::Intersects`, the polygon bounding-box precheck, and the node
+// arena's SIMD child-MBR scan all reduce to these raw-coordinate
+// comparisons, so scalar and vectorized traversal paths agree bit for
+// bit by construction: the SIMD kernel evaluates exactly the four
+// comparisons of BoxesOverlap, lane-parallel.
+//
+// The raw forms deliberately take bare doubles, not Rect: the SoA
+// arena stores child MBRs as four parallel coordinate arrays and never
+// materializes a Rect per child. Emptiness (min > max) is NOT handled
+// here — an empty interval fails `lo <= hi` comparisons against any
+// real interval on its own, and Rect::Intersects keeps its explicit
+// IsEmpty guard for the infinity-initialized empty rect.
+
+namespace colr {
+
+/// True iff closed intervals [a_lo, a_hi] and [b_lo, b_hi] share at
+/// least one point. Endpoint contact counts as overlap.
+inline bool IntervalsOverlap(double a_lo, double a_hi, double b_lo,
+                             double b_hi) {
+  return b_lo <= a_hi && b_hi >= a_lo;
+}
+
+/// True iff closed boxes [a_min_x, a_max_x] x [a_min_y, a_max_y] and
+/// [b_min_x, b_max_x] x [b_min_y, b_max_y] share at least one point.
+inline bool BoxesOverlap(double a_min_x, double a_min_y, double a_max_x,
+                         double a_max_y, double b_min_x, double b_min_y,
+                         double b_max_x, double b_max_y) {
+  return IntervalsOverlap(a_min_x, a_max_x, b_min_x, b_max_x) &&
+         IntervalsOverlap(a_min_y, a_max_y, b_min_y, b_max_y);
+}
+
+}  // namespace colr
+
+#endif  // COLR_GEO_OVERLAP_H_

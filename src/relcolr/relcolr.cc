@@ -118,7 +118,7 @@ RelColr::RelColr(const ColrTree& tree)
     const ColrTree::Node& n = tree_.node(id);
     if (!n.IsLeaf()) {
       Table* layer = db_.GetTable(LayerName(n.level));
-      for (int c : n.children) {
+      for (int c : tree_.children(id)) {
         const ColrTree::Node& child = tree_.node(c);
         layer->Insert(Row{Value(static_cast<int64_t>(id)),
                           Value(static_cast<int64_t>(c)),

@@ -67,12 +67,12 @@ TEST(ColrTreeTest, RefreshAvailabilityRecomputesNodeMeans) {
   topts.cluster.fanout = 4;
   topts.cluster.leaf_capacity = 8;
   ColrTree tree(sensors, topts);
-  EXPECT_NEAR(tree.node(tree.root()).mean_availability, 0.9, 1e-9);
+  EXPECT_NEAR(tree.mean_availability(tree.root()), 0.9, 1e-9);
 
   std::vector<double> estimates(sensors.size(), 0.4);
   tree.RefreshAvailability(estimates);
   for (size_t id = 0; id < tree.num_nodes(); ++id) {
-    EXPECT_NEAR(tree.node(id).mean_availability, 0.4, 1e-9);
+    EXPECT_NEAR(tree.mean_availability(static_cast<int>(id)), 0.4, 1e-9);
   }
 }
 

@@ -28,13 +28,24 @@
 namespace colr {
 namespace {
 
-// Captured from the pre-concurrency engine (see
-// tests/determinism_fingerprint.h); stable across runs and builds of
-// the seed tree.
-constexpr uint64_t kSeedFingerprint = 0xECD593E56FF8BD78ull;
+// Captured from the seed engine (see tests/determinism_fingerprint.h);
+// stable across runs and builds of the seed tree. Re-captured when the
+// node arena switched numbering from DFS to breadth-first order: node
+// ids in group rows changed, aggregates did not. The relabel-invariant
+// structural fingerprint below is the cross-layout anchor — it matched
+// the pre-arena value bit-for-bit, proving the renumbering is the only
+// behavioral difference.
+constexpr uint64_t kSeedFingerprint = 0xD72B1FA8E38A879Aull;
+
+// Relabel-invariant variant: group rows keyed by (level, item range)
+// instead of node id, so it is identical across node-numbering schemes
+// and across writer shard levels. Unchanged since first capture.
+constexpr uint64_t kSeedStructuralFingerprint = 0xD955292FB224FFD6ull;
 
 TEST(ConcurrencyTest, SingleThreadedBehaviourMatchesSeedEngine) {
   EXPECT_EQ(colr::testing::SeedBehaviourFingerprint(), kSeedFingerprint);
+  EXPECT_EQ(colr::testing::SeedBehaviourStructuralFingerprint(),
+            kSeedStructuralFingerprint);
 }
 
 // The engine/network/query-stream scaffolding lives in

@@ -36,10 +36,17 @@ class Fingerprint {
   uint64_t h_ = 0xCBF29CE484222325ull;  // FNV offset basis
 };
 
-/// Replays a fixed Live-Local workload through one engine in kColr
-/// mode (alternating sampled and exact queries) and fingerprints every
-/// result plus the cumulative instrumentation.
-inline uint64_t SeedBehaviourFingerprint() {
+namespace internal {
+
+/// Shared replay behind the two seed-behaviour fingerprints: a fixed
+/// Live-Local workload through one engine in kColr mode (alternating
+/// sampled and exact queries). `mix_query` folds each query's groups
+/// into the fingerprint; everything else (per-query stats, cumulative
+/// instrumentation, network counters) is mixed identically by both
+/// variants.
+template <typename MixGroupsFn>
+inline uint64_t ReplaySeedBehaviour(int writer_shard_level,
+                                    MixGroupsFn&& mix_groups) {
   LiveLocalOptions wopts;
   wopts.num_sensors = 2500;
   wopts.num_queries = 160;
@@ -61,6 +68,9 @@ inline uint64_t SeedBehaviourFingerprint() {
   topts.t_max_ms = wopts.expiry_max_ms;
   topts.slot_delta_ms = wopts.expiry_max_ms / 4;
   topts.cache_capacity = w.sensors.size() / 4;
+  if (writer_shard_level >= 0) {
+    topts.writer_shard_level = writer_shard_level;
+  }
   ColrTree tree(w.sensors, topts);
 
   ColrEngine::Options eopts;
@@ -80,15 +90,7 @@ inline uint64_t SeedBehaviourFingerprint() {
     ++i;
 
     const QueryResult result = engine.Execute(q);
-    for (const GroupResult& g : result.groups) {
-      fp.Mix(static_cast<uint64_t>(g.node_id));
-      fp.Mix(static_cast<uint64_t>(g.agg.count));
-      fp.MixDouble(g.agg.sum);
-      if (g.agg.count > 0) {
-        fp.MixDouble(g.agg.min);
-        fp.MixDouble(g.agg.max);
-      }
-    }
+    mix_groups(fp, tree, result);
     fp.Mix(static_cast<uint64_t>(result.stats.sensors_probed));
     fp.Mix(static_cast<uint64_t>(result.stats.probe_successes));
     fp.Mix(static_cast<uint64_t>(result.stats.cache_readings_used));
@@ -105,6 +107,68 @@ inline uint64_t SeedBehaviourFingerprint() {
   fp.Mix(static_cast<uint64_t>(network.counters().successes));
   fp.Mix(static_cast<uint64_t>(tree.CachedReadingCount()));
   return fp.value();
+}
+
+}  // namespace internal
+
+/// Replays the fixed Live-Local workload and fingerprints every result
+/// plus the cumulative instrumentation. Group results are keyed by the
+/// raw node id, so this value is specific to one node numbering; the
+/// golden constant must be re-captured (with justification) whenever
+/// the tree's node-id assignment changes. `writer_shard_level` < 0
+/// keeps the tree's default sharding.
+inline uint64_t SeedBehaviourFingerprint(int writer_shard_level = -1) {
+  return internal::ReplaySeedBehaviour(
+      writer_shard_level,
+      [](Fingerprint& fp, const ColrTree& /*tree*/,
+         const QueryResult& result) {
+        for (const GroupResult& g : result.groups) {
+          fp.Mix(static_cast<uint64_t>(g.node_id));
+          fp.Mix(static_cast<uint64_t>(g.agg.count));
+          fp.MixDouble(g.agg.sum);
+          if (g.agg.count > 0) {
+            fp.MixDouble(g.agg.min);
+            fp.MixDouble(g.agg.max);
+          }
+        }
+      });
+}
+
+/// Node-relabeling-invariant variant of SeedBehaviourFingerprint: each
+/// group is keyed by the structural identity of its node (level and
+/// the sensor-order slice it covers, both preserved by any relabeling
+/// that keeps the cluster hierarchy intact) instead of the raw node
+/// id, and the per-group hashes are folded with a commutative
+/// wraparound sum so group enumeration order does not matter either.
+/// A layout refactor that renumbers nodes but preserves behaviour
+/// leaves this value unchanged while the raw fingerprint moves.
+inline uint64_t SeedBehaviourStructuralFingerprint(
+    int writer_shard_level = -1) {
+  return internal::ReplaySeedBehaviour(
+      writer_shard_level,
+      [](Fingerprint& fp, const ColrTree& tree, const QueryResult& result) {
+        uint64_t combined = 0;
+        for (const GroupResult& g : result.groups) {
+          Fingerprint gf;
+          if (g.node_id >= 0) {
+            const auto& n = tree.node(g.node_id);
+            gf.Mix(static_cast<uint64_t>(n.level));
+            gf.Mix(static_cast<uint64_t>(n.item_begin));
+            gf.Mix(static_cast<uint64_t>(n.item_end));
+          } else {
+            gf.Mix(static_cast<uint64_t>(g.node_id));
+          }
+          gf.Mix(static_cast<uint64_t>(g.agg.count));
+          gf.MixDouble(g.agg.sum);
+          if (g.agg.count > 0) {
+            gf.MixDouble(g.agg.min);
+            gf.MixDouble(g.agg.max);
+          }
+          combined += gf.value();  // commutative: order-invariant
+        }
+        fp.Mix(static_cast<uint64_t>(result.groups.size()));
+        fp.Mix(combined);
+      });
 }
 
 /// Fingerprint of a quiesced tree's cache, built only from values

@@ -57,7 +57,7 @@ struct Rig {
     const SlotScheme& scheme = tree->scheme();
     for (int id = 0; id < static_cast<int>(tree->num_nodes()); ++id) {
       for (SlotId s = scheme.oldest(); s <= scheme.newest(); ++s) {
-        const Aggregate& native = tree->node(id).cache.Get(scheme, s);
+        const Aggregate& native = tree->slot_cache(id).Get(scheme, s);
         const Aggregate relational_agg =
             relational->NodeSlotAggregate(id, s);
         ASSERT_EQ(native.count, relational_agg.count)
@@ -100,7 +100,7 @@ TEST(RelColrTest, LayerTablesMatchStructure) {
   int edges_expected = 0;
   for (int id = 0; id < static_cast<int>(rig.tree->num_nodes()); ++id) {
     edges_expected +=
-        static_cast<int>(rig.tree->node(id).children.size());
+        static_cast<int>(rig.tree->children(id).size());
   }
   int edges_found = 0;
   for (int level = 0; level + 1 < rig.tree->height(); ++level) {

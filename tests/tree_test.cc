@@ -56,7 +56,7 @@ TEST(ColrTreeTest, StructureBasics) {
                   static_cast<int>(id));
       }
     } else {
-      for (int c : n.children) {
+      for (int c : tree.children(static_cast<int>(id))) {
         EXPECT_EQ(tree.node(c).parent, static_cast<int>(id));
         EXPECT_EQ(tree.node(c).level, n.level + 1);
         EXPECT_TRUE(n.bbox.Contains(tree.node(c).bbox));
@@ -84,7 +84,8 @@ TEST(ColrTreeTest, NodeMetadata) {
       avail_sum += s.availability;
       max_expiry = std::max(max_expiry, s.expiry_ms);
     }
-    EXPECT_NEAR(n.mean_availability, avail_sum / n.Weight(), 1e-12);
+    EXPECT_NEAR(tree.mean_availability(static_cast<int>(id)),
+                avail_sum / n.Weight(), 1e-12);
     EXPECT_EQ(n.max_expiry_ms, max_expiry);
   }
 }
@@ -140,7 +141,7 @@ TEST(ColrTreeCacheTest, InsertPropagatesToRoot) {
   tree.InsertReading(ReadingFor(sensors[1], 0, 30.0));
   const SlotId slot = tree.scheme().SlotOf(sensors[0].expiry_ms);
   const Aggregate& root_agg =
-      tree.node(tree.root()).cache.Get(tree.scheme(), slot);
+      tree.slot_cache(tree.root()).Get(tree.scheme(), slot);
   EXPECT_EQ(root_agg.count, 2);
   EXPECT_DOUBLE_EQ(root_agg.sum, 42.0);
   EXPECT_TRUE(tree.CheckCacheConsistency().ok());
@@ -154,8 +155,8 @@ TEST(ColrTreeCacheTest, ReplacementDecrementsOldValue) {
   EXPECT_EQ(tree.CachedReadingCount(), 1u);
   EXPECT_TRUE(tree.CheckCacheConsistency().ok());
   // Sum across all slots at the root equals the replacement value.
-  Aggregate total = tree.node(tree.root())
-                        .cache.QueryNewerThan(tree.scheme(), -1000000);
+  Aggregate total =
+      tree.slot_cache(tree.root()).QueryNewerThan(tree.scheme(), -1000000);
   EXPECT_EQ(total.count, 1);
   EXPECT_DOUBLE_EQ(total.sum, 99.0);
 }
@@ -170,8 +171,8 @@ TEST(ColrTreeCacheTest, MinMaxRecomputeOnExtremeRemoval) {
   // Replace the max with a mid value: root min/max must be recomputed.
   tree.InsertReading(ReadingFor(sensors[2], 1, 25.0));
   EXPECT_TRUE(tree.CheckCacheConsistency().ok());
-  Aggregate total = tree.node(tree.root())
-                        .cache.QueryNewerThan(tree.scheme(), -1000000);
+  Aggregate total =
+      tree.slot_cache(tree.root()).QueryNewerThan(tree.scheme(), -1000000);
   EXPECT_EQ(total.count, 3);
   EXPECT_DOUBLE_EQ(total.max, 50.0);
   EXPECT_DOUBLE_EQ(total.min, 1.0);
@@ -229,7 +230,7 @@ TEST(ColrTreeCacheTest, LateReadingIsDroppedNotCorrupting) {
   const SlotId live_slot = scheme.SlotOf(16 * kMin + 1);
   ASSERT_EQ(live_slot, 16);
   const Aggregate& before =
-      tree.node(tree.root()).cache.Get(scheme, live_slot);
+      tree.slot_cache(tree.root()).Get(scheme, live_slot);
   ASSERT_EQ(before.count, 1);
 
   // A late reading expiring in slot 5 = 16 - 11: same ring position,
@@ -238,7 +239,7 @@ TEST(ColrTreeCacheTest, LateReadingIsDroppedNotCorrupting) {
   EXPECT_EQ(tree.maintenance().late_readings_dropped.load(), 1);
   EXPECT_EQ(tree.CachedReadingCount(), 1u);
   const Aggregate& after =
-      tree.node(tree.root()).cache.Get(scheme, live_slot);
+      tree.slot_cache(tree.root()).Get(scheme, live_slot);
   EXPECT_EQ(after.count, 1);
   EXPECT_DOUBLE_EQ(after.sum, 40.0);
   EXPECT_TRUE(tree.CheckCacheConsistency().ok());
@@ -296,11 +297,10 @@ TEST(ColrTreeCacheTest, RandomizedMaintenanceStress) {
 TEST(ColrTreeLookupTest, QuerySlotIsFreshnessBoundSlot) {
   auto sensors = MakeSensors(100, 16);
   ColrTree tree(sensors, SmallTreeOptions());
-  const auto& root = tree.node(tree.root());
   // The query slot is the slot holding the freshness bound now - S.
-  EXPECT_EQ(tree.QuerySlot(root, 10 * kMin, 5 * kMin),
+  EXPECT_EQ(tree.QuerySlot(10 * kMin, 5 * kMin),
             tree.scheme().SlotOf(5 * kMin));
-  EXPECT_EQ(tree.QuerySlot(root, 10 * kMin, kMin),
+  EXPECT_EQ(tree.QuerySlot(10 * kMin, kMin),
             tree.scheme().SlotOf(9 * kMin));
 }
 
