@@ -319,6 +319,33 @@ inline std::string WriterScalingJsonRow(
   return row.Done();
 }
 
+/// One row of the flash-crowd sweep (bench/concurrent_portal
+/// --flash-crowd): the crowd trace replayed at a client-stream count
+/// against a moving replay clock. probes_per_query is the headline —
+/// cross-query single-flight must pull it *down* as streams rise
+/// (more concurrent queries join each in-flight probe instead of
+/// re-issuing it). Shared with tests/bench_json_test so the emitted
+/// shape stays valid JSON.
+inline std::string FlashCrowdJsonRow(int streams, int64_t queries,
+                                     double wall_ms, double qps,
+                                     int64_t errors, int64_t probes,
+                                     double probes_per_query,
+                                     int64_t coalesced, int64_t reused,
+                                     int64_t shed) {
+  JsonObject row;
+  row.Field("streams", streams)
+      .Field("queries", queries)
+      .Field("wall_ms", wall_ms)
+      .Field("qps", qps)
+      .Field("errors", errors)
+      .Field("probes", probes)
+      .Field("probes_per_query", probes_per_query)
+      .Field("probes_coalesced", coalesced)
+      .Field("probes_reused", reused)
+      .Field("probes_shed", shed);
+  return row.Done();
+}
+
 /// One row of the node-layout A/B sweep (bench/micro_core
 /// --layout_json): the same deterministic workload timed against the
 /// pointer-era node layout (heap child vectors) and the flat

@@ -13,6 +13,12 @@
 //
 // Expectation: qps grows monotonically from 1 to 4 streams.
 //
+// --flash-crowd replays the flash-crowd trace (one degraded hot
+// viewport, ~92% of queries) at 1..8 streams against a moving
+// ReplayClock and reports probes/query — the cross-query single-flight
+// sweep. See the mode's comment block below. --speedup=N overrides the
+// replay acceleration (default 6000x).
+//
 // --writer-scaling switches to an insert-heavy mode instead: N
 // collector threads (default sweep 1/2/4/8, or --collector-threads=N)
 // hammer ColrTree::InsertReading over disjoint, shard-aligned sensor
@@ -43,6 +49,7 @@
 #include "bench_common.h"
 #include "common/thread_pool.h"
 #include "portal/portal.h"
+#include "workload/flash_crowd.h"
 
 namespace colr::bench {
 namespace {
@@ -124,6 +131,158 @@ RunOutcome RunStreams(const LiveLocalWorkload& workload,
   }
   out.probes = engine.cumulative().sensors_probed;
   return out;
+}
+
+// ---------------------------------------------------------------------------
+// Flash-crowd mode
+// ---------------------------------------------------------------------------
+//
+// --flash-crowd replays the flash-crowd trace (workload/flash_crowd.h:
+// ~92% of queries slam one degraded hot viewport) at 1..8 client
+// streams against a *moving* ReplayClock. The moving clock is what
+// makes the sweep interesting: cached readings go stale every
+// staleness window of trace time, so a slower run (fewer streams)
+// crosses more windows and re-probes the viewport more often, while a
+// concurrent run both finishes in fewer windows and — the scheduler's
+// contribution — shares each window's probe wave across the streams
+// via single-flight instead of multiplying it.
+//
+// Expectation: probes/query decreases monotonically from 1 to 8
+// streams. Without cross-query coalescing the curve flattens (every
+// stream re-issues the wave it raced into).
+
+struct FlashCrowdOutcome {
+  double wall_ms = 0.0;
+  double qps = 0.0;
+  int64_t errors = 0;
+  int64_t probes = 0;
+  int64_t coalesced = 0;
+  int64_t reused = 0;
+  int64_t shed = 0;
+};
+
+std::vector<std::string> BuildFlashCrowdTexts(
+    const FlashCrowdWorkload& workload) {
+  std::vector<std::string> texts;
+  texts.reserve(workload.queries.size());
+  char buf[256];
+  for (const auto& rec : workload.queries) {
+    // Exact queries (SAMPLESIZE 0): every stale in-region sensor is a
+    // probe candidate, so coalescing is fully visible in the counters.
+    std::snprintf(buf, sizeof(buf),
+                  "SELECT count(*) FROM sensor S "
+                  "WHERE S.location WITHIN RECT(%.6f, %.6f, %.6f, %.6f) "
+                  "AND S.time BETWEEN now()-5 AND now() mins "
+                  "CLUSTER LEVEL 2 SAMPLESIZE 0",
+                  rec.region.min_x, rec.region.min_y, rec.region.max_x,
+                  rec.region.max_y);
+    texts.push_back(buf);
+  }
+  return texts;
+}
+
+FlashCrowdOutcome RunFlashCrowd(const FlashCrowdWorkload& workload,
+                                const std::vector<std::string>& texts,
+                                TimeMs event_at_ms, double speedup,
+                                int streams) {
+  ReplayClock clock(event_at_ms, speedup);
+  SensorNetwork::Options nopts;
+  // Twice the serving-throughput scale: collection latency must
+  // dominate wall time for the windows-crossed arithmetic above to
+  // hold, and the joiners of a flight need the leader to genuinely
+  // dwell in the backend call.
+  nopts.simulated_latency_scale = 2e-3;
+  SensorNetwork network(workload.sensors, &clock, nopts);
+  network.set_value_fn(MakeRestaurantWaitingTimeFn());
+
+  ColrTree::Options topts;
+  topts.cluster.fanout = 8;
+  topts.cluster.leaf_capacity = 32;
+  topts.cache_capacity = workload.sensors.size() / 4;
+  TimeMs t_max = 0;
+  for (const auto& s : workload.sensors) t_max = std::max(t_max, s.expiry_ms);
+  topts.t_max_ms = t_max;
+  topts.slot_delta_ms = t_max / 4;
+  ColrTree tree(workload.sensors, topts);
+
+  // Token bucket and admission cap deliberately OFF: the sweep
+  // isolates the coalescing effect. (Arming the bucket against a
+  // moving clock is the rate-limit experiment in EXPERIMENTS.md, not
+  // this curve.)
+  ColrEngine::Options eopts;
+  eopts.mode = ColrEngine::Mode::kColr;
+  ColrEngine engine(&tree, &network, eopts);
+  portal::SensorPortal portal(&tree, &engine);
+
+  ThreadPool pool(streams - 1);
+
+  // Re-anchor trace time to "now" after all the setup above so every
+  // stream count starts its run at the event, not mid-decay.
+  clock.Restart(event_at_ms);
+  FlashCrowdOutcome out;
+  auto outcome = portal.ExecuteConcurrent(texts, pool);
+  out.wall_ms = outcome.wall_ms;
+  out.qps = outcome.wall_ms > 0.0
+                ? static_cast<double>(texts.size()) * 1000.0 / outcome.wall_ms
+                : 0.0;
+  for (const auto& r : outcome.results) {
+    if (!r.ok()) ++out.errors;
+  }
+  const QueryStats cum = engine.cumulative();
+  out.probes = cum.sensors_probed;
+  out.coalesced = cum.probes_coalesced;
+  out.reused = cum.probes_reused;
+  out.shed = cum.probes_shed;
+  return out;
+}
+
+int FlashCrowdMain(const BenchConfig& cfg, double speedup) {
+  PrintHeader("Flash crowd",
+              "probes/query vs client streams under one hot viewport", cfg);
+  FlashCrowdOptions fopts;
+  fopts.num_sensors = cfg.sensors;
+  fopts.num_queries = cfg.queries;
+  fopts.num_cities = std::max(8, cfg.cities / 3);
+  fopts.seed = cfg.seed;
+  FlashCrowdWorkload workload = GenerateFlashCrowd(fopts);
+  const std::vector<std::string> texts = BuildFlashCrowdTexts(workload);
+  std::printf("hot viewport: %d sensors degraded to <= %.0f%% availability; "
+              "%.0f%% of %zu queries hit it (replay speedup %.0fx)\n\n",
+              workload.hot_sensor_count, 100.0 * fopts.hot_availability,
+              100.0 * fopts.hot_fraction, texts.size(), speedup);
+
+  const int stream_counts[] = {1, 2, 4, 8};
+  std::vector<std::string> json_rows;
+  std::printf("%-8s | %10s | %10s | %8s | %10s | %12s | %10s %8s %8s\n",
+              "streams", "wall ms", "qps", "errors", "probes", "probes/query",
+              "coalesced", "reused", "shed");
+  double first_ppq = 0.0;
+  double last_ppq = 0.0;
+  for (int streams : stream_counts) {
+    FlashCrowdOutcome out = RunFlashCrowd(workload, texts,
+                                          fopts.event_at_ms, speedup, streams);
+    const double ppq =
+        static_cast<double>(out.probes) / static_cast<double>(texts.size());
+    if (streams == 1) first_ppq = ppq;
+    last_ppq = ppq;
+    std::printf("%-8d | %10.1f | %10.1f | %8lld | %10lld | %12.2f | "
+                "%10lld %8lld %8lld\n",
+                streams, out.wall_ms, out.qps,
+                static_cast<long long>(out.errors),
+                static_cast<long long>(out.probes), ppq,
+                static_cast<long long>(out.coalesced),
+                static_cast<long long>(out.reused),
+                static_cast<long long>(out.shed));
+    json_rows.push_back(FlashCrowdJsonRow(
+        streams, static_cast<int64_t>(texts.size()), out.wall_ms, out.qps,
+        out.errors, out.probes, ppq, out.coalesced, out.reused, out.shed));
+  }
+  WriteJsonReport(cfg, "flash_crowd", json_rows);
+
+  std::printf("\nexpectation: probes/query decreases monotonically from 1 "
+              "to 8 streams (observed %.2f -> %.2f).\n",
+              first_ppq, last_ppq);
+  return 0;
 }
 
 // ---------------------------------------------------------------------------
@@ -391,16 +550,23 @@ int WriterScalingMain(const BenchConfig& cfg, int pinned_threads) {
 int Main(int argc, char** argv) {
   BenchConfig cfg = BenchConfig::FromArgs(argc, argv);
   bool writer_scaling = false;
+  bool flash_crowd = false;
   int collector_threads = 0;
+  double speedup = 6000.0;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--writer-scaling") == 0) {
       writer_scaling = true;
     } else if (std::strncmp(argv[i], "--collector-threads=", 20) == 0) {
       collector_threads = std::atoi(argv[i] + 20);
       writer_scaling = true;
+    } else if (std::strcmp(argv[i], "--flash-crowd") == 0) {
+      flash_crowd = true;
+    } else if (std::strncmp(argv[i], "--speedup=", 10) == 0) {
+      speedup = std::atof(argv[i] + 10);
     }
   }
   if (writer_scaling) return WriterScalingMain(cfg, collector_threads);
+  if (flash_crowd) return FlashCrowdMain(cfg, speedup);
   PrintHeader("Concurrent portal", "queries/sec vs client streams", cfg);
 
   LiveLocalWorkload workload = GenerateLiveLocal(cfg.WorkloadOptions());

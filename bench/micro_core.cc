@@ -181,6 +181,9 @@ void BM_LayeredSampling(benchmark::State& state) {
   SensorNetwork network(sensors, &clock);
   ColrTree tree(network.sensors(), BenchTreeOptions());
   auto probe = [&network](const std::vector<SensorId>& ids) {
+    // Sampler microbench measures the raw sampling ladder, not the
+    // serving path's scheduler.
+    // colr-lint: allow(probe-path): raw-network sampling microbench
     return network.ProbeBatch(ids).readings;
   };
   LayeredSampler::Options opts;

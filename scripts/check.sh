@@ -102,6 +102,32 @@ assert trav['arena_ns_per_op'] < trav['pointer_ns_per_op'], (
 print("layout smoke OK")
 EOF
 
+echo "== flash crowd: cross-query coalescing smoke =="
+# The probe scheduler's reason to exist: when concurrent streams slam
+# one hot viewport against a moving clock, single-flight coalescing
+# must *reduce* probes per query as streams rise — each window's probe
+# wave is shared instead of multiplied. Small config (~5 s); the full
+# sweep recipe is in EXPERIMENTS.md.
+./build/bench/concurrent_portal --flash-crowd --sensors=2000 \
+  --queries=80 --speedup=20000 --json /tmp/colr_flash_crowd_smoke.json
+python3 - <<'EOF'
+import json
+with open('/tmp/colr_flash_crowd_smoke.json') as f:
+    report = json.load(f)
+rows = {row['streams']: row for row in report['series']}
+assert set(rows) >= {1, 8}, sorted(rows)
+for s, row in sorted(rows.items()):
+    assert row['errors'] == 0, f"{s} streams: {row['errors']} query errors"
+    print(f"{s} streams: {row['probes_per_query']:.2f} probes/query "
+          f"({row['probes_coalesced']} coalesced)")
+assert rows[8]['probes_per_query'] < rows[1]['probes_per_query'], (
+    f"coalescing failed: probes/query at 8 streams "
+    f"({rows[8]['probes_per_query']:.2f}) not below 1 stream "
+    f"({rows[1]['probes_per_query']:.2f})")
+assert rows[8]['probes_coalesced'] > 0, "no cross-query coalescing observed"
+print("flash crowd smoke OK")
+EOF
+
 echo "== sync-stats: disabled-path overhead smoke =="
 # The instrumented guard with stats disabled is a relaxed load plus
 # the plain lock; it must stay within 2x of the bare guard (generous —

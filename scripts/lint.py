@@ -1,8 +1,9 @@
 #!/usr/bin/env python3
 """Project lint: the checks clang can't express as warnings.
 
-Four rules — three tied to the concurrency contracts in DESIGN.md §6,
-one to the flat node-arena layout of DESIGN.md §7:
+Five rules — three tied to the concurrency contracts in DESIGN.md §6,
+one to the flat node-arena layout of DESIGN.md §7, one to the probe
+scheduler of DESIGN.md §8:
 
   raw-lock          src/ (outside src/common/) and bench/ must not name
                     raw std:: lock types (std::mutex, std::shared_mutex,
@@ -32,6 +33,14 @@ one to the flat node-arena layout of DESIGN.md §7:
                     src/cluster/ is exempt — the build-time
                     ClusterTree legitimately owns child vectors the
                     arena is constructed from.
+
+  probe-path        src/ (outside src/core/probe_scheduler.*) and
+                    bench/ must not call SensorNetwork::ProbeBatch on a
+                    network member/reference directly. Every live probe
+                    goes through the ProbeScheduler
+                    (core/probe_scheduler.h) so the single-flight,
+                    rate-limit and admission guarantees — and the
+                    probes-issued accounting — hold globally.
 
 tests/ is exempt from the text rules: the test harness deliberately
 pokes at raw primitives (and the lint self-test seeds violations).
@@ -74,6 +83,10 @@ ARENA_LAYOUT_DIR_PREFIXES = (
     "bench" + os.sep,
 )
 ARENA_LAYOUT_EXEMPT_PREFIX = os.path.join("src", "core", "node_arena")
+# A member/local named `network`/`network_` (the SensorNetwork handle
+# idiom everywhere in this codebase) invoking ProbeBatch directly.
+PROBE_PATH_RE = re.compile(r"\bnetwork_?\s*(?:\.|->)\s*ProbeBatch\s*\(")
+PROBE_PATH_EXEMPT_PREFIX = os.path.join("src", "core", "probe_scheduler")
 WAIVER_RE = re.compile(r"colr-lint:\s*allow\(([a-z-]+)\)")
 LINE_COMMENT_RE = re.compile(r"//.*$")
 
@@ -116,6 +129,7 @@ def check_text_rules(root):
         arena_layout_applies = (
             rel.startswith(ARENA_LAYOUT_DIR_PREFIXES)
             and not rel.startswith(ARENA_LAYOUT_EXEMPT_PREFIX))
+        probe_path_applies = not rel.startswith(PROBE_PATH_EXEMPT_PREFIX)
         for idx, line in enumerate(lines):
             code = strip_comment(line)
             if raw_lock_applies:
@@ -133,6 +147,14 @@ def check_text_rules(root):
                          f"pointer-era node storage `{m.group(0).strip()}`;"
                          " tree structure lives in the flat NodeArena"
                          " (core/node_arena.h)"))
+            if probe_path_applies:
+                m = PROBE_PATH_RE.search(code)
+                if m and not waived(lines, idx, "probe-path"):
+                    violations.append(
+                        (rel, idx + 1, "probe-path",
+                         "direct SensorNetwork::ProbeBatch call; live"
+                         " probes go through the ProbeScheduler"
+                         " (core/probe_scheduler.h)"))
             m = NONDETERMINISM_RE.search(code)
             if m and not waived(lines, idx, "nondeterminism"):
                 violations.append(

@@ -87,6 +87,24 @@ SEEDED = {
         "using RawForWrapper = std::mutex;\n"
         "#endif\n"
     ),
+    # probe-path: a direct network ProbeBatch call in engine code.
+    os.path.join("src", "core", "bad_probe.cc"): (
+        "struct Net { int ProbeBatch(int); };\n"
+        "int f(Net* network_) { return network_->ProbeBatch(3); }\n"
+        "int g(Net& network) { return network.ProbeBatch(4); }\n"
+    ),
+    # The scheduler module itself is exempt (it owns the backend call):
+    # must NOT be reported.
+    os.path.join("src", "core", "probe_scheduler.cc"): (
+        "struct Net { int ProbeBatch(int); };\n"
+        "int backend(Net* network_) { return network_->ProbeBatch(7); }\n"
+    ),
+    # Waived probe-path (a non-query ingest loop): must NOT be reported.
+    os.path.join("src", "replay", "waived_probe.cc"): (
+        "struct Net { int ProbeBatch(int); };\n"
+        "// colr-lint: allow(probe-path)\n"
+        "int ingest(Net& network) { return network.ProbeBatch(9); }\n"
+    ),
 }
 
 EXPECTED = [
@@ -95,6 +113,7 @@ EXPECTED = [
     (os.path.join("src", "core", "bad_header.h"), "header-hygiene"),
     (os.path.join("src", "core", "bad_node.h"), "arena-layout"),
     (os.path.join("bench", "bad_alloc.cc"), "arena-layout"),
+    (os.path.join("src", "core", "bad_probe.cc"), "probe-path"),
 ]
 
 FORBIDDEN = [
@@ -103,6 +122,8 @@ FORBIDDEN = [
     os.path.join("src", "core", "node_arena.h"),
     os.path.join("src", "cluster", "build_tree.h"),
     os.path.join("bench", "waived_baseline.cc"),
+    os.path.join("src", "core", "probe_scheduler.cc"),
+    os.path.join("src", "replay", "waived_probe.cc"),
 ]
 
 

@@ -34,6 +34,8 @@ const char* SyncSiteName(SyncSite site) {
       return "root_spin";
     case SyncSite::kNodeStripe:
       return "node_stripe";
+    case SyncSite::kProbeFlight:
+      return "probe_flight";
   }
   return "unknown";
 }

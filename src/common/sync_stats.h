@@ -50,8 +50,13 @@ enum class SyncSite : int {
   kRootSpin,
   /// Striped per-node locks (node_mutex_), unique or shared.
   kNodeStripe,
+  /// ProbeScheduler per-sensor flight stripes (single-flight map +
+  /// token buckets, core/probe_scheduler.h). Outside ColrTree's
+  /// hierarchy: the scheduler never takes a tree lock while holding a
+  /// stripe, and holds at most one stripe at a time.
+  kProbeFlight,
 };
-inline constexpr int kNumSyncSites = 5;
+inline constexpr int kNumSyncSites = 6;
 
 /// Stable JSON-friendly site name ("epoch_shared", ...).
 const char* SyncSiteName(SyncSite site);

@@ -4,6 +4,7 @@
 #include <map>
 #include <unordered_map>
 #include <unordered_set>
+#include <utility>
 
 namespace colr {
 
@@ -16,7 +17,11 @@ void QueryStats::MergeCounters(const QueryStats& other) {
   cache_readings_used += other.cache_readings_used;
   cached_agg_readings += other.cached_agg_readings;
   slots_merged += other.slots_merged;
+  probes_coalesced += other.probes_coalesced;
+  probes_reused += other.probes_reused;
+  probes_shed += other.probes_shed;
   processing_ms += other.processing_ms;
+  processing_skew_ms += other.processing_skew_ms;
   collection_latency_ms += other.collection_latency_ms;
   result_size += other.result_size;
 }
@@ -57,6 +62,7 @@ ColrEngine::ColrEngine(ColrTree* tree, SensorNetwork* network,
                        Options options)
     : tree_(tree),
       network_(network),
+      scheduler_(std::make_unique<ProbeScheduler>(network, options.probe)),
       clock_(network->clock()),
       options_(options),
       rng_(options.seed) {
@@ -76,28 +82,52 @@ ColrEngine::ColrEngine(ColrTree* tree, SensorNetwork* network,
 std::vector<Reading> ColrEngine::ProbeBatch(const std::vector<SensorId>& ids,
                                             ProbeAccounting* acct) {
   Stopwatch watch;
-  SensorNetwork::BatchResult batch = network_->ProbeBatch(ids);
+  ProbeScheduler::BatchOutcome batch = scheduler_->ProbeBatch(ids);
   acct->sim_wall_ms += watch.ElapsedMillis();
-  acct->attempted += static_cast<int64_t>(batch.attempted);
+  acct->requested += static_cast<int64_t>(batch.requested);
+  acct->attempted += static_cast<int64_t>(batch.issued_ids.size());
   acct->succeeded += static_cast<int64_t>(batch.readings.size());
+  acct->coalesced += static_cast<int64_t>(batch.coalesced);
+  acct->reused += static_cast<int64_t>(batch.reused);
+  acct->shed += static_cast<int64_t>(batch.shed);
+  acct->total_latency_ms += batch.latency_ms;
   acct->max_batch_latency_ms =
       std::max(acct->max_batch_latency_ms, batch.latency_ms);
   if (tracker_ != nullptr) {
-    // Successes are identified by the returned readings; everything
-    // else in the batch failed. Count successes per sensor so a
-    // duplicated id records one outcome per occurrence (a positional
-    // first-match scan would mark every repeat a spurious failure and
-    // bias the EWMA low).
+    // Availability evidence covers exactly the probes *this query*
+    // issued (coalesced/reused requests were someone else's probe —
+    // recording them again would double-weight the EWMA). Successes
+    // are identified by the issued readings; everything else issued
+    // failed. Count successes per sensor so a duplicated id records
+    // one outcome per occurrence (a positional first-match scan would
+    // mark every repeat a spurious failure and bias the EWMA low).
     std::unordered_map<SensorId, int> successes;
-    for (const Reading& r : batch.readings) ++successes[r.sensor];
-    for (SensorId id : ids) {
+    for (const Reading& r : batch.issued_readings) ++successes[r.sensor];
+    for (SensorId id : batch.issued_ids) {
       auto it = successes.find(id);
       const bool ok = it != successes.end() && it->second > 0;
       if (ok) --it->second;
       tracker_->Record(id, ok);
     }
   }
-  return batch.readings;
+  return std::move(batch.readings);
+}
+
+void ColrEngine::FinishProbeStats(const ProbeAccounting& acct,
+                                  double elapsed_ms, QueryStats* stats) {
+  stats->sensors_probed = acct.attempted;
+  stats->probe_successes = acct.succeeded;
+  stats->probes_coalesced = acct.coalesced;
+  stats->probes_reused = acct.reused;
+  stats->probes_shed = acct.shed;
+  stats->collection_latency_ms = acct.total_latency_ms;
+  const double processing = elapsed_ms - acct.sim_wall_ms;
+  // elapsed covers every interval sim_wall accumulated, so a negative
+  // difference means the network wall-time accounting double-counted.
+  // Surface the skew (tests assert it stays zero) instead of silently
+  // clamping it away.
+  if (processing < 0.0) stats->processing_skew_ms = -processing;
+  stats->processing_ms = std::max(0.0, processing);
 }
 
 QueryResult ColrEngine::Execute(const Query& query) {
@@ -137,7 +167,11 @@ QueryStats ColrEngine::cumulative() const {
   s.cache_readings_used = cumulative_.cache_readings_used.load();
   s.cached_agg_readings = cumulative_.cached_agg_readings.load();
   s.slots_merged = cumulative_.slots_merged.load();
+  s.probes_coalesced = cumulative_.probes_coalesced.load();
+  s.probes_reused = cumulative_.probes_reused.load();
+  s.probes_shed = cumulative_.probes_shed.load();
   s.processing_ms = cumulative_.processing_ms.load();
+  s.processing_skew_ms = cumulative_.processing_skew_ms.load();
   s.collection_latency_ms = cumulative_.collection_latency_ms.load();
   s.result_size = cumulative_.result_size.load();
   return s;
@@ -152,7 +186,11 @@ void ColrEngine::ResetCumulative() {
   cumulative_.cache_readings_used.store(0);
   cumulative_.cached_agg_readings.store(0);
   cumulative_.slots_merged.store(0);
+  cumulative_.probes_coalesced.store(0);
+  cumulative_.probes_reused.store(0);
+  cumulative_.probes_shed.store(0);
   cumulative_.processing_ms.store(0.0);
+  cumulative_.processing_skew_ms.store(0.0);
   cumulative_.collection_latency_ms.store(0);
   cumulative_.result_size.store(0);
 }
@@ -185,7 +223,11 @@ void ColrEngine::FinishQuery(const Query& query, TimeMs now,
   cumulative_.cache_readings_used += s.cache_readings_used;
   cumulative_.cached_agg_readings += s.cached_agg_readings;
   cumulative_.slots_merged += s.slots_merged;
+  cumulative_.probes_coalesced += s.probes_coalesced;
+  cumulative_.probes_reused += s.probes_reused;
+  cumulative_.probes_shed += s.probes_shed;
   cumulative_.processing_ms += s.processing_ms;
+  cumulative_.processing_skew_ms += s.processing_skew_ms;
   cumulative_.collection_latency_ms += s.collection_latency_ms;
   cumulative_.result_size += s.result_size;
 }
@@ -273,11 +315,7 @@ QueryResult ColrEngine::ExecuteColr(const Query& query, TimeMs now,
   result.stats.nodes_traversed = sres.nodes_traversed;
   result.stats.internal_nodes_traversed = sres.internal_nodes_traversed;
   result.stats.cached_nodes_accessed = sres.cached_nodes_accessed;
-  result.stats.sensors_probed = acct.attempted;
-  result.stats.probe_successes = acct.succeeded;
-  result.stats.collection_latency_ms = acct.max_batch_latency_ms;
-  result.stats.processing_ms =
-      std::max(0.0, watch.ElapsedMillis() - acct.sim_wall_ms);
+  FinishProbeStats(acct, watch.ElapsedMillis(), &result.stats);
   return result;
 }
 
@@ -305,6 +343,11 @@ QueryResult ColrEngine::ExecuteRange(const Query& query, TimeMs now,
 
   ProbeAccounting acct;
   std::vector<SensorId> touched;
+  // Query-wide ≤1-probe guard: the per-leaf batches below are built
+  // from disjoint leaf memberships today, but the contract is the
+  // paper's, not the tree's — a sensor reachable under two visited
+  // groups must still be probed (and counted) once.
+  ProbeDeduper dedup;
 
   if (tree_->root() >= 0 &&
       query.region.Intersects(tree_->node(tree_->root()).bbox)) {
@@ -380,6 +423,7 @@ QueryResult ColrEngine::ExecuteRange(const Query& query, TimeMs now,
             continue;
           }
           used.insert(sid);
+          dedup.MarkServed(sid);
           const Reading& cached_reading = lookup.used_readings[i];
           g.agg.Add(cached_reading.value);
           AddToHistogram(query, cached_reading.value, &g);
@@ -397,7 +441,7 @@ QueryResult ColrEngine::ExecuteRange(const Query& query, TimeMs now,
               !query.region.Contains(tree_->sensor(sid).location)) {
             continue;
           }
-          if (used.count(sid) == 0) {
+          if (used.count(sid) == 0 && dedup.Admit(sid)) {
             to_probe.push_back(sid);
           }
         }
@@ -408,7 +452,7 @@ QueryResult ColrEngine::ExecuteRange(const Query& query, TimeMs now,
               !query.region.Contains(tree_->sensor(sid).location)) {
             continue;
           }
-          to_probe.push_back(sid);
+          if (dedup.Admit(sid)) to_probe.push_back(sid);
         }
       }
       if (!to_probe.empty()) {
@@ -436,11 +480,7 @@ QueryResult ColrEngine::ExecuteRange(const Query& query, TimeMs now,
   // empty aggregate, not a missing group).
   for (auto& [gid, g] : groups) result.groups.push_back(g);
 
-  result.stats.sensors_probed = acct.attempted;
-  result.stats.probe_successes = acct.succeeded;
-  result.stats.collection_latency_ms = acct.max_batch_latency_ms;
-  result.stats.processing_ms =
-      std::max(0.0, watch.ElapsedMillis() - acct.sim_wall_ms);
+  FinishProbeStats(acct, watch.ElapsedMillis(), &result.stats);
   return result;
 }
 
@@ -485,11 +525,7 @@ QueryResult ColrEngine::ExecuteFlat(const Query& query, TimeMs now) {
       static_cast<int64_t>(lookup.cached.size());
   result.stats.result_size =
       static_cast<int64_t>(lookup.cached.size() + result.collected.size());
-  result.stats.sensors_probed = acct.attempted;
-  result.stats.probe_successes = acct.succeeded;
-  result.stats.collection_latency_ms = acct.max_batch_latency_ms;
-  result.stats.processing_ms =
-      std::max(0.0, watch.ElapsedMillis() - acct.sim_wall_ms);
+  FinishProbeStats(acct, watch.ElapsedMillis(), &result.stats);
   return result;
 }
 

@@ -8,6 +8,7 @@
 #include "common/sync.h"
 #include "common/thread_annotations.h"
 #include "core/flat_cache.h"
+#include "core/probe_scheduler.h"
 #include "core/query.h"
 #include "core/sampling.h"
 #include "core/tree.h"
@@ -93,6 +94,11 @@ class ColrEngine {
     /// workload rate: a burst of queries doesn't thrash the tree's
     /// node means, and a trickle doesn't starve them.
     TimeMs availability_refresh_ms = kMsPerMinute;
+    /// Probe scheduling between the engine and the network: cross-
+    /// query single-flight coalescing (always on — it is invisible to
+    /// a single query stream), plus the optional token-bucket rate
+    /// limiter and admission bound (both off by default).
+    ProbeScheduler::Options probe;
     uint64_t seed = 0xC0FFEEu;
   };
 
@@ -128,6 +134,10 @@ class ColrEngine {
     return tracker_.get();
   }
 
+  /// The scheduler every engine probe goes through (single-flight /
+  /// rate-limit / admission counters live here).
+  const ProbeScheduler& probe_scheduler() const { return *scheduler_; }
+
  private:
   /// Test hook (tests/engine_test.cc): drives ProbeBatch directly to
   /// pin down per-occurrence availability accounting for batches with
@@ -135,8 +145,22 @@ class ColrEngine {
   friend struct ColrEngineTestPeer;
 
   struct ProbeAccounting {
+    /// Probe requests this query made (pre-scheduling occurrences).
+    int64_t requested = 0;
+    /// Probes actually issued to the network on this query's behalf;
+    /// this is what stats.sensors_probed reports, so summed over all
+    /// queries it equals the network's probe counter exactly.
     int64_t attempted = 0;
+    /// Readings collected for this query (issued + joined + reused).
     int64_t succeeded = 0;
+    int64_t coalesced = 0;
+    int64_t reused = 0;
+    int64_t shed = 0;
+    /// Sum of the sequential batches' collection latencies (each
+    /// already the max over its parallel probes and joined flights) —
+    /// the query's total simulated data-collection time. A
+    /// single-batch query's total equals its max.
+    TimeMs total_latency_ms = 0;
     TimeMs max_batch_latency_ms = 0;
     /// Wall-clock time spent inside the simulated network; excluded
     /// from processing_ms (a real deployment overlaps collection with
@@ -155,13 +179,23 @@ class ColrEngine {
     AtomicCounter<int64_t> cache_readings_used = 0;
     AtomicCounter<int64_t> cached_agg_readings = 0;
     AtomicCounter<int64_t> slots_merged = 0;
+    AtomicCounter<int64_t> probes_coalesced = 0;
+    AtomicCounter<int64_t> probes_reused = 0;
+    AtomicCounter<int64_t> probes_shed = 0;
     AtomicDouble processing_ms = 0.0;
+    AtomicDouble processing_skew_ms = 0.0;
     AtomicCounter<int64_t> collection_latency_ms = 0;
     AtomicCounter<int64_t> result_size = 0;
   };
 
   std::vector<Reading> ProbeBatch(const std::vector<SensorId>& ids,
                                   ProbeAccounting* acct);
+
+  /// Moves a finished query's probe accounting into its stats
+  /// (collection latency = total over sequential batches; negative
+  /// processing skew surfaced, never silently clamped).
+  static void FinishProbeStats(const ProbeAccounting& acct,
+                               double elapsed_ms, QueryStats* stats);
 
   QueryResult ExecuteColr(const Query& query, TimeMs now, Rng& rng);
   /// Shared by kRTree (use_cache = false) and kHierCache (true).
@@ -172,6 +206,9 @@ class ColrEngine {
 
   ColrTree* tree_;
   SensorNetwork* network_;
+  /// All probes flow through here (never network_->ProbeBatch
+  /// directly; the probe-path lint pins that).
+  std::unique_ptr<ProbeScheduler> scheduler_;
   const Clock* clock_;
   Options options_;
   /// The sequential-path RNG (borrowed by Execute(query)'s context).

@@ -124,10 +124,25 @@ struct QueryStats {
   /// Readings represented by cached aggregates at internal terminals.
   int64_t cached_agg_readings = 0;
   int64_t slots_merged = 0;
+  /// Probe requests satisfied by joining another query's in-flight
+  /// probe (cross-query single-flight; not counted in sensors_probed).
+  int64_t probes_coalesced = 0;
+  /// Probe requests served from a sensor's last completed probe by
+  /// the rate limiter's reuse window.
+  int64_t probes_reused = 0;
+  /// Probe requests dropped by the rate limiter / admission bound.
+  int64_t probes_shed = 0;
   /// Wall-clock query processing time of this engine (excludes
   /// simulated network time).
   double processing_ms = 0.0;
-  /// Simulated data-collection latency (parallel probe batches).
+  /// Magnitude of negative (elapsed - sim_wall) skew, surfaced
+  /// instead of silently clamped into processing_ms; nonzero means
+  /// the network wall-time accounting double-counted somewhere and
+  /// tests assert it stays zero.
+  double processing_skew_ms = 0.0;
+  /// Simulated data-collection latency: total over the query's
+  /// sequential probe batches (each batch already the max over its
+  /// parallel probes and joined flights).
   TimeMs collection_latency_ms = 0;
   /// Readings contributing to the result (probed successes + cached).
   int64_t result_size = 0;

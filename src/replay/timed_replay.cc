@@ -141,6 +141,10 @@ TimedReplayReport RunTimedReplay(portal::SensorPortal& portal,
         batch[i] = static_cast<SensorId>(part_begin + cursor);
         cursor = (cursor + 1) % part_size;
       }
+      // The collector loop *is* the sensor-side ingest (pushing
+      // readings into the tree), not a query-driven probe; no
+      // single-flight semantics apply.
+      // colr-lint: allow(probe-path): collector ingest, not a query probe
       SensorNetwork::BatchResult res = network.ProbeBatch(batch);
       for (const Reading& r : res.readings) tree.InsertReading(r);
       ticks.fetch_add(1, std::memory_order_relaxed);

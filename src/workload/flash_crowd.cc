@@ -1,0 +1,86 @@
+#include "workload/flash_crowd.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+#include "common/sync.h"
+
+namespace colr {
+
+FlashCrowdWorkload GenerateFlashCrowd(const FlashCrowdOptions& options) {
+  // Sensor field: the standard skewed catalog, reusing the Live-Local
+  // generator so the flash crowd hits a realistic city structure. The
+  // generator's own query trace is discarded — the crowd trace below
+  // replaces it.
+  LiveLocalOptions lopts;
+  lopts.num_sensors = options.num_sensors;
+  lopts.num_queries = 1;
+  lopts.extent = options.extent;
+  lopts.num_cities = options.num_cities;
+  lopts.duration_ms = options.event_at_ms + options.crowd_span_ms;
+  lopts.seed = options.seed;
+  LiveLocalWorkload base = GenerateLiveLocal(lopts);
+
+  FlashCrowdWorkload out;
+  out.sensors = std::move(base.sensors);
+  out.extent = options.extent;
+  // City 0 is the Zipf head — the densest, most-queried city is where
+  // the event happens (that is what makes it a flash crowd and not a
+  // cold-spot anomaly).
+  out.hot_center = base.city_centers.empty() ? options.extent.Center()
+                                             : base.city_centers.front();
+  const double half_w =
+      options.extent.Width() / std::pow(2.0, options.zoom) / 2.0;
+  const double half_h =
+      options.extent.Height() / std::pow(2.0, options.zoom) / 2.0;
+  out.hot_viewport = Rect::FromCenter(out.hot_center, half_w, half_h);
+
+  Rng rng(DeriveSeed(options.seed, 0xF1A5Cull));
+
+  // The event degrades the sensors everyone is about to ask about:
+  // cap availability inside the hot viewport (keeping per-sensor
+  // variation below the cap).
+  for (SensorInfo& s : out.sensors) {
+    if (!out.hot_viewport.Contains(s.location)) continue;
+    ++out.hot_sensor_count;
+    s.availability = std::min(
+        s.availability, options.hot_availability * rng.Uniform(0.85, 1.0));
+  }
+
+  // Query trace: hot_fraction of the queries are the crowd — the hot
+  // viewport with a little center jitter, arriving uniformly within
+  // crowd_span after the event. The rest are background traffic over
+  // random cities at the same zoom range the Live-Local trace uses.
+  out.queries.reserve(static_cast<size_t>(options.num_queries));
+  for (int i = 0; i < options.num_queries; ++i) {
+    LiveLocalWorkload::QueryRecord q;
+    q.at = options.event_at_ms +
+           static_cast<TimeMs>(rng.Uniform(
+               0.0, static_cast<double>(std::max<TimeMs>(1, options.crowd_span_ms))));
+    if (rng.Bernoulli(options.hot_fraction)) {
+      const double jx =
+          rng.Uniform(-1.0, 1.0) * options.viewport_jitter * 2.0 * half_w;
+      const double jy =
+          rng.Uniform(-1.0, 1.0) * options.viewport_jitter * 2.0 * half_h;
+      q.region = Rect::FromCenter({out.hot_center.x + jx, out.hot_center.y + jy},
+                                  half_w, half_h);
+    } else {
+      const Point& c = base.city_centers.empty()
+                           ? out.hot_center
+                           : base.city_centers[rng.UniformInt(
+                                 base.city_centers.size())];
+      const int zoom = options.zoom + static_cast<int>(rng.UniformInt(3));
+      const double bw = options.extent.Width() / std::pow(2.0, zoom) / 2.0;
+      const double bh = options.extent.Height() / std::pow(2.0, zoom) / 2.0;
+      q.region = Rect::FromCenter(c, bw, bh);
+    }
+    out.queries.push_back(q);
+  }
+  std::sort(out.queries.begin(), out.queries.end(),
+            [](const LiveLocalWorkload::QueryRecord& a,
+               const LiveLocalWorkload::QueryRecord& b) { return a.at < b.at; });
+  return out;
+}
+
+}  // namespace colr

@@ -1,0 +1,65 @@
+#ifndef COLR_WORKLOAD_FLASH_CROWD_H_
+#define COLR_WORKLOAD_FLASH_CROWD_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/clock.h"
+#include "geo/geo.h"
+#include "sensor/sensor.h"
+#include "workload/live_local.h"
+
+namespace colr {
+
+/// Flash-crowd scenario: an "event" (a storm, a festival, breaking
+/// news) makes thousands of users slam one city's viewport at once.
+/// The sensor field is the usual Zipf-clustered Live-Local catalog;
+/// the query trace is dominated by near-identical viewports over the
+/// hottest city starting at the event time, with a background trickle
+/// of ordinary traffic. Sensors inside the hot viewport get their
+/// availability capped — an event degrades exactly the sensors
+/// everyone is asking about, so failed probes keep re-arriving and the
+/// probe scheduler's cross-query coalescing is what stands between the
+/// portal and a probe storm.
+///
+/// Deterministic for a fixed options struct (every draw goes through
+/// one seeded Rng).
+struct FlashCrowdOptions {
+  int num_sensors = 30000;
+  int num_cities = 40;
+  int num_queries = 400;
+  /// Planar degrees, roughly the continental USA.
+  Rect extent = Rect::FromCorners(-125.0, 24.0, -66.0, 49.0);
+  /// When the event happens; all crowd queries arrive after it.
+  TimeMs event_at_ms = 30 * kMsPerMinute;
+  /// Crowd queries arrive uniformly within this span after the event.
+  TimeMs crowd_span_ms = 2 * kMsPerMinute;
+  /// Zoom of the hot viewport (width = extent width / 2^zoom).
+  int zoom = 6;
+  /// Fraction of queries on the hot viewport; the rest are background
+  /// Live-Local style viewports over random cities.
+  double hot_fraction = 0.92;
+  /// Hot viewport center jitter, as a fraction of the viewport size
+  /// (everyone looks at the same place, not the same pixel).
+  double viewport_jitter = 0.05;
+  /// Availability cap applied to sensors inside the hot viewport.
+  double hot_availability = 0.7;
+  uint64_t seed = 0xF1A54ull;
+};
+
+struct FlashCrowdWorkload {
+  std::vector<SensorInfo> sensors;
+  std::vector<LiveLocalWorkload::QueryRecord> queries;
+  Rect extent;
+  /// The event city and the viewport the crowd is looking at.
+  Point hot_center;
+  Rect hot_viewport;
+  /// Sensors inside hot_viewport (whose availability was capped).
+  int hot_sensor_count = 0;
+};
+
+FlashCrowdWorkload GenerateFlashCrowd(const FlashCrowdOptions& options);
+
+}  // namespace colr
+
+#endif  // COLR_WORKLOAD_FLASH_CROWD_H_

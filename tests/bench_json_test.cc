@@ -373,6 +373,59 @@ TEST(WriterScalingJsonRowTest, RowParsesAndLabelsMode) {
 }
 
 // ---------------------------------------------------------------------------
+// Flash-crowd rows (concurrent_portal --flash-crowd --json)
+// ---------------------------------------------------------------------------
+
+TEST(FlashCrowdJsonRowTest, RowParsesAndCarriesSchedulerCounters) {
+  const std::string row = FlashCrowdJsonRow(
+      /*streams=*/8, /*queries=*/300, /*wall_ms=*/5152.1, /*qps=*/58.2,
+      /*errors=*/0, /*probes=*/76046, /*probes_per_query=*/253.49,
+      /*coalesced=*/117226, /*reused=*/12, /*shed=*/3);
+  EXPECT_TRUE(IsValidJson(row)) << row;
+  EXPECT_NE(row.find("\"streams\": 8"), std::string::npos);
+  EXPECT_NE(row.find("\"queries\": 300"), std::string::npos);
+  EXPECT_NE(row.find("\"wall_ms\": "), std::string::npos);
+  EXPECT_NE(row.find("\"qps\": "), std::string::npos);
+  EXPECT_NE(row.find("\"errors\": 0"), std::string::npos);
+  EXPECT_NE(row.find("\"probes\": 76046"), std::string::npos);
+  EXPECT_NE(row.find("\"probes_per_query\": "), std::string::npos);
+  EXPECT_NE(row.find("\"probes_coalesced\": 117226"), std::string::npos);
+  EXPECT_NE(row.find("\"probes_reused\": 12"), std::string::npos);
+  EXPECT_NE(row.find("\"probes_shed\": 3"), std::string::npos);
+
+  // Zero queries (degenerate config) must emit null, never "inf"/nan.
+  const std::string degenerate = FlashCrowdJsonRow(
+      1, 0, 0.0, std::numeric_limits<double>::infinity(), 0, 0,
+      std::nan(""), 0, 0, 0);
+  EXPECT_TRUE(IsValidJson(degenerate)) << degenerate;
+  EXPECT_NE(degenerate.find("\"qps\": null"), std::string::npos);
+  EXPECT_NE(degenerate.find("\"probes_per_query\": null"), std::string::npos);
+}
+
+TEST(WriteJsonReportTest, FlashCrowdReportParsesEndToEnd) {
+  BenchConfig cfg;
+  cfg.json_path = ::testing::TempDir() + "/colr_flash_crowd_report_test.json";
+  std::vector<std::string> rows;
+  double ppq = 800.0;
+  for (int streams : {1, 2, 4, 8}) {
+    rows.push_back(FlashCrowdJsonRow(streams, 300, 40000.0 / streams,
+                                     7.5 * streams, 0,
+                                     static_cast<int64_t>(300 * ppq), ppq,
+                                     1000 * (streams - 1), 0, 0));
+    ppq /= 1.4;
+  }
+  WriteJsonReport(cfg, "flash_crowd", rows);
+
+  std::ifstream in(cfg.json_path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buf;
+  buf << in.rdbuf();
+  EXPECT_TRUE(IsValidJson(buf.str())) << buf.str();
+  EXPECT_NE(buf.str().find("flash_crowd"), std::string::npos);
+  std::remove(cfg.json_path.c_str());
+}
+
+// ---------------------------------------------------------------------------
 // Layout A/B rows (micro_core --layout_json)
 // ---------------------------------------------------------------------------
 

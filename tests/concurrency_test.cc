@@ -80,15 +80,46 @@ TEST(ConcurrencyTest, MixedQueriesKeepCountersConsistent) {
   EXPECT_EQ(sum.slots_merged, cum.slots_merged);
   EXPECT_EQ(sum.result_size, cum.result_size);
 
-  // Every probe goes through the engine, so the network's cumulative
-  // counters must agree with the engine's.
+  EXPECT_EQ(sum.probes_coalesced, cum.probes_coalesced);
+  EXPECT_EQ(sum.probes_reused, cum.probes_reused);
+  EXPECT_EQ(sum.probes_shed, cum.probes_shed);
+
+  // Every probe goes through the engine's scheduler, so the network's
+  // cumulative counters must agree with the engine's: sensors_probed
+  // counts probes *issued* on a query's behalf — never the coalesced
+  // joins — so it matches the network exactly even under concurrency
+  // (the whole point of cross-query single-flight).
   EXPECT_EQ(cum.sensors_probed,
             static_cast<int64_t>(h.network->counters().probes));
-  EXPECT_EQ(cum.probe_successes,
-            static_cast<int64_t>(h.network->counters().successes));
   int64_t per_sensor_total = 0;
   for (uint32_t c : h.network->per_sensor_probes()) per_sensor_total += c;
   EXPECT_EQ(per_sensor_total, cum.sensors_probed);
+
+  // probe_successes counts readings *collected for queries*: every
+  // network success plus whatever joined flights shared. It can only
+  // exceed the network's count by at most one reading per join/reuse.
+  EXPECT_GE(cum.probe_successes,
+            static_cast<int64_t>(h.network->counters().successes));
+  EXPECT_LE(cum.probe_successes,
+            static_cast<int64_t>(h.network->counters().successes) +
+                cum.probes_coalesced + cum.probes_reused);
+
+  // Scheduler bookkeeping: every request was issued, coalesced,
+  // reused, or shed; nothing rate-limited or shed in this config.
+  const ProbeScheduler::Stats sched = h.engine->probe_scheduler().stats();
+  EXPECT_EQ(sched.issued, cum.sensors_probed);
+  EXPECT_EQ(sched.coalesced, cum.probes_coalesced);
+  EXPECT_EQ(sched.requested,
+            sched.issued + sched.coalesced + sched.reused +
+                sched.shed_rate_limited + sched.shed_admission);
+  EXPECT_EQ(sched.reused, 0);
+  EXPECT_EQ(sched.shed_rate_limited, 0);
+  EXPECT_EQ(sched.shed_admission, 0);
+
+  // Negative processing skew must never occur (the clamp in
+  // FinishProbeStats would hide a wall-time accounting bug; the
+  // counter surfaces it instead).
+  EXPECT_EQ(cum.processing_skew_ms, 0.0);
 
   // The caches must be internally consistent once the threads quiesce.
   EXPECT_TRUE(h.tree->CheckCacheConsistency().ok())

@@ -12,10 +12,25 @@ namespace colr {
 // Friend of ColrEngine: drives the private ProbeBatch directly so the
 // availability accounting can be pinned down for crafted batches.
 struct ColrEngineTestPeer {
+  using Accounting = ColrEngine::ProbeAccounting;
+
   static std::vector<Reading> ProbeBatch(ColrEngine& engine,
                                          const std::vector<SensorId>& ids) {
-    ColrEngine::ProbeAccounting acct;
+    Accounting acct;
     return engine.ProbeBatch(ids, &acct);
+  }
+
+  /// Same, but accumulating into a caller-held accounting context —
+  /// the shape of a query issuing sequential batches.
+  static std::vector<Reading> ProbeBatchInto(ColrEngine& engine,
+                                             const std::vector<SensorId>& ids,
+                                             Accounting* acct) {
+    return engine.ProbeBatch(ids, acct);
+  }
+
+  static void FinishProbeStats(const Accounting& acct, double elapsed_ms,
+                               QueryStats* stats) {
+    ColrEngine::FinishProbeStats(acct, elapsed_ms, stats);
   }
 };
 
@@ -421,6 +436,130 @@ TEST(EngineProbeAccountingTest, DuplicateIdsOfDeadSensorAllFail) {
   EXPECT_TRUE(readings.empty());
   EXPECT_EQ(tracker->observations(), 3);
   EXPECT_LE(tracker->Estimate(2), AvailabilityTracker::Options().floor);
+}
+
+// Regression (collection-latency under-reporting): a query that
+// issues several sequential probe batches used to report only the
+// *largest* batch's latency as its collection latency. The accounting
+// now tracks both: total_latency_ms sums the sequential batches (what
+// collection_latency_ms reports), max_batch_latency_ms stays the max;
+// for a single-batch query the two coincide.
+TEST(EngineProbeAccountingTest, SequentialBatchesAccumulateTotalLatency) {
+  Rig rig(40, 32, /*availability=*/1.0);
+  auto engine = rig.Engine(ColrEngine::Mode::kColr);
+
+  ColrEngineTestPeer::Accounting acct;
+  ColrEngineTestPeer::ProbeBatchInto(*engine, {0, 1, 2, 3}, &acct);
+  const TimeMs first = acct.total_latency_ms;
+  EXPECT_GT(first, 0);
+  // Single batch: total == max.
+  EXPECT_EQ(acct.total_latency_ms, acct.max_batch_latency_ms);
+
+  ColrEngineTestPeer::ProbeBatchInto(*engine, {4, 5, 6, 7}, &acct);
+  const TimeMs second = acct.total_latency_ms - first;
+  EXPECT_GT(second, 0);
+  ColrEngineTestPeer::ProbeBatchInto(*engine, {8, 9}, &acct);
+  const TimeMs third = acct.total_latency_ms - first - second;
+  EXPECT_GT(third, 0);
+
+  // The total is the sum of the three batches, the max is the largest
+  // — and with three nonzero batches they must differ.
+  EXPECT_EQ(acct.max_batch_latency_ms,
+            std::max({first, second, third}));
+  EXPECT_GT(acct.total_latency_ms, acct.max_batch_latency_ms);
+  EXPECT_EQ(acct.requested, 10);
+  EXPECT_EQ(acct.attempted, 10);
+
+  // FinishProbeStats reports the total, not the max.
+  QueryStats stats;
+  ColrEngineTestPeer::FinishProbeStats(acct, /*elapsed_ms=*/1.0, &stats);
+  EXPECT_EQ(stats.collection_latency_ms, acct.total_latency_ms);
+  EXPECT_EQ(stats.sensors_probed, 10);
+}
+
+// Regression (silent skew clamp): processing_ms used to be
+// max(0, elapsed - sim_wall) with the negative case — an accounting
+// bug by construction, since elapsed covers every timed interval —
+// swallowed. The skew is now surfaced in processing_skew_ms.
+TEST(EngineProbeAccountingTest, NegativeProcessingSkewIsSurfaced) {
+  ColrEngineTestPeer::Accounting acct;
+  acct.sim_wall_ms = 5.0;
+
+  QueryStats healthy;
+  ColrEngineTestPeer::FinishProbeStats(acct, /*elapsed_ms=*/8.0, &healthy);
+  EXPECT_DOUBLE_EQ(healthy.processing_ms, 3.0);
+  EXPECT_DOUBLE_EQ(healthy.processing_skew_ms, 0.0);
+
+  QueryStats skewed;
+  ColrEngineTestPeer::FinishProbeStats(acct, /*elapsed_ms=*/3.0, &skewed);
+  EXPECT_DOUBLE_EQ(skewed.processing_ms, 0.0);
+  EXPECT_DOUBLE_EQ(skewed.processing_skew_ms, 2.0);
+}
+
+// The real probe path never produces skew: the same stopwatch that
+// feeds elapsed_ms brackets every sim_wall interval. A sequential
+// query mix must keep the cumulative skew counter at exactly zero —
+// if this ever fires, some path started double-counting network wall
+// time and the clamp above would have been hiding it.
+TEST(EngineProbeAccountingTest, QueryMixProducesNoProcessingSkew) {
+  Rig rig(400, 34, /*availability=*/0.9, /*capacity=*/200);
+  auto engine = rig.Engine(ColrEngine::Mode::kColr);
+  for (int i = 0; i < 40; ++i) {
+    const double lo = 5.0 * (i % 8);
+    const Rect region = Rect::FromCorners(lo, lo, lo + 55.0, lo + 55.0);
+    QueryResult r = engine->Execute(
+        MakeQuery(region, /*sample_size=*/(i % 3 == 0) ? 0 : 25));
+    EXPECT_DOUBLE_EQ(r.stats.processing_skew_ms, 0.0);
+  }
+  EXPECT_DOUBLE_EQ(engine->cumulative().processing_skew_ms, 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Query-wide probe dedup (the ≤1-probe contract inside one query).
+// ---------------------------------------------------------------------------
+
+// Regression (double probe across overlapping groups): ExecuteRange
+// builds to_probe per visited group; a sensor offered by two groups
+// must be probed — and counted — once. The fixture drives the guard
+// directly with two overlapping groups' sensor lists, exactly the
+// call pattern of the leaf loop.
+TEST(EngineProbeDedupTest, OverlappingGroupsProbeEachSensorOnce) {
+  ProbeDeduper dedup;
+  std::vector<SensorId> probed;
+  for (SensorId sid : {1, 2, 3}) {
+    if (dedup.Admit(sid)) probed.push_back(sid);
+  }
+  // Second group overlaps the first on sensor 3.
+  for (SensorId sid : {3, 4, 5}) {
+    if (dedup.Admit(sid)) probed.push_back(sid);
+  }
+  EXPECT_EQ(probed, (std::vector<SensorId>{1, 2, 3, 4, 5}));
+  EXPECT_EQ(dedup.duplicates_dropped(), 1);
+
+  // A sensor already served from a group's cache slice is sealed the
+  // same way: a later group cannot re-probe it.
+  dedup.MarkServed(9);
+  EXPECT_FALSE(dedup.Admit(9));
+  EXPECT_EQ(dedup.duplicates_dropped(), 2);
+}
+
+// End to end: a range query over leaves with overlapping MBRs (uniform
+// sensors at leaf capacity 8 overlap heavily) sends each in-region
+// sensor to the network at most once, and sensors_probed matches the
+// exact in-region count — no double counting.
+TEST(EngineProbeDedupTest, RangeQueryProbesEachSensorAtMostOnce) {
+  Rig rig(600, 33, /*availability=*/1.0);
+  auto engine = rig.Engine(ColrEngine::Mode::kRTree);
+  const Rect region = Rect::FromCorners(10, 10, 90, 90);
+  const int in_region = rig.tree->CountSensorsInRegion(region);
+  ASSERT_GT(in_region, 100);
+
+  QueryResult r = engine->Execute(MakeQuery(region));
+  EXPECT_EQ(r.stats.sensors_probed, in_region);
+  EXPECT_EQ(r.stats.result_size, in_region);
+  for (SensorId id = 0; id < 600; ++id) {
+    EXPECT_LE(rig.network->probe_count(id), 1u) << "sensor " << id;
+  }
 }
 
 // ---------------------------------------------------------------------------

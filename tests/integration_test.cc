@@ -188,20 +188,28 @@ TEST(IntegrationTest, SampleScalesToExactCount) {
   EXPECT_LT(rel_err.mean(), 4.0);
 }
 
-// Collection latency reflects parallel batches: bounded by timeout +
-// jitter tail, far below the sum of per-probe latencies.
+// Collection latency reflects parallel batches: a query's total is
+// the sum of its sequential per-leaf batches, each the *max* (not the
+// sum) of its parallel probes — so across the workload the aggregate
+// stays far below the serial per-probe cost.
 TEST(IntegrationTest, CollectionLatencyIsParallel) {
   LiveLocalWorkload w = SmallWorkload(7);
   Portal rtree(w, ColrEngine::Mode::kRTree, 1.0);
+  int64_t total_probes = 0;
+  TimeMs total_latency = 0;
   for (const auto& rec : w.queries) {
     QueryResult r = rtree.Run(rec, 0);
-    if (r.stats.sensors_probed > 10) {
-      // Serial collection would cost probes x ~100ms.
-      EXPECT_LT(r.stats.collection_latency_ms,
-                r.stats.sensors_probed * 100);
-      EXPECT_LT(r.stats.collection_latency_ms, 2000);
+    total_probes += r.stats.sensors_probed;
+    total_latency += r.stats.collection_latency_ms;
+    // A query that probes at all waits out at least one full RTT.
+    if (r.stats.sensors_probed > 0) {
+      EXPECT_GE(r.stats.collection_latency_ms, 80);
     }
   }
+  ASSERT_GT(total_probes, 1000);
+  // Serial collection would cost ~100ms (RTT base + jitter mean) per
+  // probe; parallel batches must beat half of that comfortably.
+  EXPECT_LT(total_latency, total_probes * 100 / 2);
 }
 
 }  // namespace
