@@ -346,6 +346,39 @@ inline std::string FlashCrowdJsonRow(int streams, int64_t queries,
   return row.Done();
 }
 
+/// One row of the open-loop serving sweep (bench/net_load): a fixed
+/// seeded Poisson arrival schedule offered to the wire-protocol portal
+/// server at a client-connection count. Latency is measured from each
+/// request's *scheduled* arrival instant (open-loop: client-side
+/// queueing counts), so when offered load crosses capacity p99
+/// explodes instead of being hidden by a slowing client — the
+/// closed-loop blind spot EXPERIMENTS.md's recipe demonstrates.
+/// Shared with tests/bench_json_test so the emitted shape stays valid
+/// JSON.
+inline std::string NetLoadJsonRow(int connections, const char* transport,
+                                  int64_t queries, double offered_qps,
+                                  double qps, double p50_ms, double p99_ms,
+                                  int64_t ok, int64_t shed, int64_t timeouts,
+                                  int64_t query_errors,
+                                  int64_t protocol_errors,
+                                  int64_t reconnects) {
+  JsonObject row;
+  row.Field("connections", connections)
+      .Field("transport", transport)
+      .Field("queries", queries)
+      .Field("offered_qps", offered_qps)
+      .Field("qps", qps)
+      .Field("p50_ms", p50_ms)
+      .Field("p99_ms", p99_ms)
+      .Field("ok", ok)
+      .Field("shed", shed)
+      .Field("timeouts", timeouts)
+      .Field("query_errors", query_errors)
+      .Field("protocol_errors", protocol_errors)
+      .Field("reconnects", reconnects);
+  return row.Done();
+}
+
 /// One row of the node-layout A/B sweep (bench/micro_core
 /// --layout_json): the same deterministic workload timed against the
 /// pointer-era node layout (heap child vectors) and the flat

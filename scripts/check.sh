@@ -128,6 +128,37 @@ assert rows[8]['probes_coalesced'] > 0, "no cross-query coalescing observed"
 print("flash crowd smoke OK")
 EOF
 
+echo "== net: open-loop serving smoke over the in-process transport =="
+# The wire-protocol serving path end to end with zero sockets: the
+# open-loop driver offers a fixed seeded Poisson schedule to the
+# PortalServer over the deterministic in-process transport, with
+# connection churn on. The gate: every scheduled request got exactly
+# one reply, all OK, zero protocol errors (net_load itself exits
+# nonzero on a protocol error or lost reply; the asserts below also
+# pin the per-cell accounting in the JSON report).
+./build/bench/net_load --transport=inproc --connections=2,8 \
+  --queries=240 --rate=900 --churn-every=40 --cell-seconds=2 \
+  --json /tmp/colr_net_load_smoke.json
+python3 - <<'EOF'
+import json
+with open('/tmp/colr_net_load_smoke.json') as f:
+    report = json.load(f)
+rows = {row['connections']: row for row in report['series']}
+assert set(rows) >= {2, 8}, sorted(rows)
+for c, row in sorted(rows.items()):
+    assert row['transport'] == 'inproc', row
+    assert row['protocol_errors'] == 0, (
+        f"{c} connections: {row['protocol_errors']} protocol errors")
+    assert row['query_errors'] == 0, (
+        f"{c} connections: {row['query_errors']} query errors")
+    replies = row['ok'] + row['shed'] + row['timeouts']
+    assert replies == row['queries'], (
+        f"{c} connections: {replies} replies for {row['queries']} requests")
+    print(f"{c} connections: {row['qps']:.1f} qps, "
+          f"p99 {row['p99_ms']:.1f} ms, {row['reconnects']} reconnects")
+print("net smoke OK")
+EOF
+
 echo "== sync-stats: disabled-path overhead smoke =="
 # The instrumented guard with stats disabled is a relaxed load plus
 # the plain lock; it must stay within 2x of the bare guard (generous —

@@ -1,9 +1,9 @@
 #!/usr/bin/env python3
 """Project lint: the checks clang can't express as warnings.
 
-Five rules — three tied to the concurrency contracts in DESIGN.md §6,
+Six rules — three tied to the concurrency contracts in DESIGN.md §6,
 one to the flat node-arena layout of DESIGN.md §7, one to the probe
-scheduler of DESIGN.md §8:
+scheduler of DESIGN.md §8, one to the transport seam of DESIGN.md §9:
 
   raw-lock          src/ (outside src/common/) and bench/ must not name
                     raw std:: lock types (std::mutex, std::shared_mutex,
@@ -41,6 +41,16 @@ scheduler of DESIGN.md §8:
                     (core/probe_scheduler.h) so the single-flight,
                     rate-limit and admission guarantees — and the
                     probes-issued accounting — hold globally.
+
+  net-socket        src/ (outside src/net/transport*) and bench/ must
+                    not include the socket/epoll headers or call the
+                    raw socket API (::socket, ::bind, ::accept,
+                    ::recv, ::send, ::poll, epoll_*...). Everything
+                    above the transport seam (DESIGN.md §9) speaks
+                    net::Connection/Listener only — that is what keeps
+                    every server/client code path runnable over the
+                    deterministic in-process fake under the lockstep
+                    harness and the sanitizer legs.
 
 tests/ is exempt from the text rules: the test harness deliberately
 pokes at raw primitives (and the lint self-test seeds violations).
@@ -87,6 +97,17 @@ ARENA_LAYOUT_EXEMPT_PREFIX = os.path.join("src", "core", "node_arena")
 # idiom everywhere in this codebase) invoking ProbeBatch directly.
 PROBE_PATH_RE = re.compile(r"\bnetwork_?\s*(?:\.|->)\s*ProbeBatch\s*\(")
 PROBE_PATH_EXEMPT_PREFIX = os.path.join("src", "core", "probe_scheduler")
+# Socket/epoll headers, or a global-namespace call to the socket API
+# (`(?<![\w:])::name(` matches `::bind(...)` but not `std::bind(...)`).
+NET_SOCKET_RE = re.compile(
+    r"#\s*include\s*<(?:sys/socket\.h|sys/epoll\.h|netinet/[\w./]+\.h|"
+    r"arpa/inet\.h|poll\.h|netdb\.h)>"
+    r"|(?<![\w:])::\s*(?:socket|bind|listen|accept4?|connect|"
+    r"recv(?:from|msg)?|send(?:to|msg)?|poll|ppoll|setsockopt|getsockopt|"
+    r"getsockname|getpeername|shutdown)\s*\("
+    r"|\bepoll_(?:create1?|ctl|p?wait)\s*\("
+)
+NET_SOCKET_EXEMPT_PREFIX = os.path.join("src", "net", "transport")
 WAIVER_RE = re.compile(r"colr-lint:\s*allow\(([a-z-]+)\)")
 LINE_COMMENT_RE = re.compile(r"//.*$")
 
@@ -130,6 +151,7 @@ def check_text_rules(root):
             rel.startswith(ARENA_LAYOUT_DIR_PREFIXES)
             and not rel.startswith(ARENA_LAYOUT_EXEMPT_PREFIX))
         probe_path_applies = not rel.startswith(PROBE_PATH_EXEMPT_PREFIX)
+        net_socket_applies = not rel.startswith(NET_SOCKET_EXEMPT_PREFIX)
         for idx, line in enumerate(lines):
             code = strip_comment(line)
             if raw_lock_applies:
@@ -155,6 +177,14 @@ def check_text_rules(root):
                          "direct SensorNetwork::ProbeBatch call; live"
                          " probes go through the ProbeScheduler"
                          " (core/probe_scheduler.h)"))
+            if net_socket_applies:
+                m = NET_SOCKET_RE.search(code)
+                if m and not waived(lines, idx, "net-socket"):
+                    violations.append(
+                        (rel, idx + 1, "net-socket",
+                         f"raw socket API `{m.group(0).strip()}` outside"
+                         " src/net/transport*; speak the transport seam"
+                         " (net/transport.h) instead"))
             m = NONDETERMINISM_RE.search(code)
             if m and not waived(lines, idx, "nondeterminism"):
                 violations.append(

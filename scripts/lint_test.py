@@ -105,6 +105,29 @@ SEEDED = {
         "// colr-lint: allow(probe-path)\n"
         "int ingest(Net& network) { return network.ProbeBatch(9); }\n"
     ),
+    # net-socket: a raw socket include + call above the transport seam.
+    os.path.join("src", "portal", "bad_socket.cc"): (
+        "#include <sys/socket.h>\n"
+        "int dial() { return ::socket(2, 1, 0); }\n"
+    ),
+    # net-socket: an epoll call in bench code.
+    os.path.join("bench", "bad_epoll.cc"): (
+        "extern int epoll_create1(int);\n"
+        "int reactor() { return epoll_create1(0); }\n"
+    ),
+    # The transport implementations own the socket API: must NOT be
+    # reported.
+    os.path.join("src", "net", "transport_tcp.cc"): (
+        "#include <sys/socket.h>\n"
+        "#include <poll.h>\n"
+        "int dial() { return ::socket(2, 1, 0); }\n"
+    ),
+    # std::bind is not ::bind — must NOT be reported as net-socket.
+    os.path.join("src", "net", "server_helpers.cc"): (
+        "#include <functional>\n"
+        "int add(int a, int b) { return a + b; }\n"
+        "auto partial() { return std::bind(add, 1, std::placeholders::_1); }\n"
+    ),
 }
 
 EXPECTED = [
@@ -114,6 +137,8 @@ EXPECTED = [
     (os.path.join("src", "core", "bad_node.h"), "arena-layout"),
     (os.path.join("bench", "bad_alloc.cc"), "arena-layout"),
     (os.path.join("src", "core", "bad_probe.cc"), "probe-path"),
+    (os.path.join("src", "portal", "bad_socket.cc"), "net-socket"),
+    (os.path.join("bench", "bad_epoll.cc"), "net-socket"),
 ]
 
 FORBIDDEN = [
@@ -124,6 +149,8 @@ FORBIDDEN = [
     os.path.join("bench", "waived_baseline.cc"),
     os.path.join("src", "core", "probe_scheduler.cc"),
     os.path.join("src", "replay", "waived_probe.cc"),
+    os.path.join("src", "net", "transport_tcp.cc"),
+    os.path.join("src", "net", "server_helpers.cc"),
 ]
 
 

@@ -121,6 +121,11 @@ class ColrEngine {
     return DeriveSeed(options_.seed, ordinal);
   }
 
+  /// The engine's base seed — the seed axis remote-serving layers
+  /// (net::PortalServer) inherit so server-side query streams stay on
+  /// the same deterministic footing as the engine's own.
+  uint64_t seed() const { return options_.seed; }
+
   const ColrTree& tree() const { return *tree_; }
   Mode mode() const { return options_.mode; }
 

@@ -1,0 +1,42 @@
+#include "net/client.h"
+
+#include <utility>
+
+namespace colr::net {
+
+Status PortalClient::Send(const std::string& text, uint64_t* request_id) {
+  QueryRequest request;
+  request.request_id = next_request_id_++;
+  request.text = text;
+  if (request_id != nullptr) *request_id = request.request_id;
+  const std::string frame = EncodeQueryFrame(request);
+  return conn_->WriteAll(frame.data(), frame.size());
+}
+
+Result<QueryReply> PortalClient::Receive() {
+  char buf[4096];
+  for (;;) {
+    Frame frame;
+    COLR_ASSIGN_OR_RETURN(const bool have, decoder_.Next(&frame));
+    if (have) {
+      if (frame.type != FrameType::kReply) {
+        return Status::InvalidArgument("unexpected frame type from server");
+      }
+      QueryReply reply;
+      COLR_RETURN_IF_ERROR(DecodeReplyPayload(frame.payload, &reply));
+      return reply;
+    }
+    COLR_ASSIGN_OR_RETURN(const size_t got, conn_->Read(buf, sizeof(buf)));
+    if (got == 0) {
+      return Status::IoError("server closed the connection");
+    }
+    decoder_.Feed(std::string_view(buf, got));
+  }
+}
+
+Result<QueryReply> PortalClient::Query(const std::string& text) {
+  COLR_RETURN_IF_ERROR(Send(text));
+  return Receive();
+}
+
+}  // namespace colr::net

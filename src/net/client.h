@@ -1,0 +1,48 @@
+#ifndef COLR_NET_CLIENT_H_
+#define COLR_NET_CLIENT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "net/transport.h"
+#include "net/wire.h"
+
+namespace colr::net {
+
+/// Client half of the portal wire protocol over any Connection. Not
+/// thread-safe — one PortalClient per client thread, the way
+/// bench/net_load's connection workers use it. Supports pipelining:
+/// Send() any number of requests, then Receive() the replies; the
+/// server answers one connection's requests strictly in order.
+class PortalClient {
+ public:
+  explicit PortalClient(std::unique_ptr<Connection> conn,
+                        size_t max_frame_bytes = kDefaultMaxFramePayload)
+      : conn_(std::move(conn)), decoder_(max_frame_bytes) {}
+
+  /// Sends one query frame without waiting for the reply. The
+  /// auto-assigned request id (monotone per client) is returned
+  /// through `request_id` when non-null.
+  Status Send(const std::string& text, uint64_t* request_id = nullptr);
+
+  /// Blocks for the next reply frame. IoError on disconnect;
+  /// InvalidArgument on a malformed stream.
+  Result<QueryReply> Receive();
+
+  /// Send + Receive: the closed-loop convenience path.
+  Result<QueryReply> Query(const std::string& text);
+
+  void Close() { conn_->Close(); }
+
+ private:
+  std::unique_ptr<Connection> conn_;
+  FrameDecoder decoder_;
+  uint64_t next_request_id_ = 1;
+};
+
+}  // namespace colr::net
+
+#endif  // COLR_NET_CLIENT_H_

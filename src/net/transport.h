@@ -1,0 +1,96 @@
+#ifndef COLR_NET_TRANSPORT_H_
+#define COLR_NET_TRANSPORT_H_
+
+#include <cstddef>
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+
+namespace colr::net {
+
+// The transport seam (DESIGN.md §9): PortalServer, PortalClient and
+// bench/net_load are written against these two interfaces only. Two
+// implementations exist — loopback/remote TCP (transport_tcp.cc, the
+// only files allowed to touch the socket API; scripts/lint.py rule
+// `net-socket` enforces that) and an in-process deterministic fake
+// (transport_inproc.cc) with no sockets, no timers and no hidden
+// nondeterminism, so every server/client code path runs under the
+// lockstep harness, TSan and the sanitizer legs without a real socket.
+
+/// One bidirectional byte stream. Blocking semantics; all methods are
+/// safe to call concurrently with Close() from another thread (that is
+/// how a server unblocks its readers on shutdown), and Read/WriteAll
+/// may be used concurrently with each other, but neither Read nor
+/// WriteAll may race with itself.
+class Connection {
+ public:
+  virtual ~Connection() = default;
+
+  /// Blocks until at least one byte is available, the peer closed
+  /// (returns 0 — clean EOF), or an error occurs. Reads at most `n`
+  /// bytes into `buf`.
+  virtual Result<size_t> Read(char* buf, size_t n) = 0;
+
+  /// Writes all `n` bytes or returns an error (peer disconnected,
+  /// connection closed). Partial writes are retried internally.
+  virtual Status WriteAll(const char* data, size_t n) = 0;
+
+  /// Closes both directions. Idempotent; any blocked Read/WriteAll on
+  /// this connection returns (EOF or an error). The peer observes EOF
+  /// after draining buffered bytes.
+  virtual void Close() = 0;
+};
+
+/// Accepts incoming connections. Accept blocks; Close() from another
+/// thread unblocks it with an error.
+class Listener {
+ public:
+  virtual ~Listener() = default;
+
+  virtual Result<std::unique_ptr<Connection>> Accept() = 0;
+  virtual void Close() = 0;
+
+  /// Local TCP port for loopback listeners bound to an ephemeral port;
+  /// -1 for transports without ports (the in-process fake).
+  virtual int local_port() const { return -1; }
+};
+
+/// The in-process fake: a rendezvous object both sides share. The
+/// "server" side takes the single listener; each Connect() yields the
+/// client half of a fresh connection whose bytes travel through
+/// in-memory FIFOs under a Mutex — no sockets, no time, fully
+/// deterministic given the thread schedule (which the lockstep tests
+/// pin).
+struct InProcShared;
+
+class InProcTransport {
+ public:
+  InProcTransport();
+  ~InProcTransport();
+
+  InProcTransport(const InProcTransport&) = delete;
+  InProcTransport& operator=(const InProcTransport&) = delete;
+
+  /// The transport's listener. Call once; the returned listener feeds
+  /// on every later Connect().
+  std::unique_ptr<Listener> CreateListener();
+
+  /// Client half of a new connection. Fails once the listener closed.
+  Result<std::unique_ptr<Connection>> Connect();
+
+ private:
+  std::shared_ptr<InProcShared> shared_;
+};
+
+/// Listens on 127.0.0.1:`port` (0 = kernel-assigned ephemeral port,
+/// readable via local_port()).
+Result<std::unique_ptr<Listener>> TcpListen(int port);
+
+/// Connects to `host`:`port` (numeric IPv4 host, e.g. "127.0.0.1").
+Result<std::unique_ptr<Connection>> TcpConnect(const std::string& host,
+                                               int port);
+
+}  // namespace colr::net
+
+#endif  // COLR_NET_TRANSPORT_H_

@@ -1,0 +1,173 @@
+#include "net/transport.h"
+
+#include <algorithm>
+#include <condition_variable>
+#include <cstring>
+#include <deque>
+#include <utility>
+
+#include "common/sync.h"
+#include "common/thread_annotations.h"
+
+namespace colr::net {
+namespace {
+
+/// One direction of an in-process connection: an unbounded in-memory
+/// byte FIFO with independent "no more writes" / "reader gone" close
+/// flags, mirroring the two half-close states of a real socket. The
+/// FIFO is unbounded on purpose: the fake must never introduce a
+/// backpressure deadlock the lockstep tests did not script.
+struct ByteQueue {
+  Mutex mu;
+  /// _any variant: waits on the annotated Mutex capability directly.
+  std::condition_variable_any cv;
+  std::string bytes COLR_GUARDED_BY(mu);
+  /// Writer half-closed: readers drain what is buffered, then see EOF.
+  bool write_closed COLR_GUARDED_BY(mu) = false;
+  /// Reader gone: writes fail immediately (the peer will never read).
+  bool read_closed COLR_GUARDED_BY(mu) = false;
+
+  Status Write(const char* data, size_t n) {
+    {
+      MutexLock lock(mu);
+      if (read_closed) return Status::IoError("peer disconnected");
+      if (write_closed) return Status::IoError("connection closed");
+      bytes.append(data, n);
+    }
+    cv.notify_all();
+    return Status::OK();
+  }
+
+  Result<size_t> Read(char* buf, size_t n) {
+    MutexLock lock(mu);
+    while (bytes.empty() && !write_closed && !read_closed) cv.wait(mu);
+    if (bytes.empty()) return size_t{0};  // EOF (either side closed)
+    const size_t k = std::min(n, bytes.size());
+    std::memcpy(buf, bytes.data(), k);
+    bytes.erase(0, k);
+    return k;
+  }
+
+  void CloseWrite() {
+    {
+      MutexLock lock(mu);
+      write_closed = true;
+    }
+    cv.notify_all();
+  }
+
+  void CloseRead() {
+    {
+      MutexLock lock(mu);
+      read_closed = true;
+    }
+    cv.notify_all();
+  }
+};
+
+class InProcConnection : public Connection {
+ public:
+  InProcConnection(std::shared_ptr<ByteQueue> in,
+                   std::shared_ptr<ByteQueue> out)
+      : in_(std::move(in)), out_(std::move(out)) {}
+
+  ~InProcConnection() override { Close(); }
+
+  Result<size_t> Read(char* buf, size_t n) override {
+    return in_->Read(buf, n);
+  }
+
+  Status WriteAll(const char* data, size_t n) override {
+    return out_->Write(data, n);
+  }
+
+  void Close() override {
+    // Stop reading our inbound queue (the peer's writes now fail) and
+    // half-close the outbound queue (the peer drains, then sees EOF).
+    in_->CloseRead();
+    out_->CloseWrite();
+  }
+
+ private:
+  std::shared_ptr<ByteQueue> in_;
+  std::shared_ptr<ByteQueue> out_;
+};
+
+}  // namespace
+
+/// Rendezvous state shared by an InProcTransport and its listener.
+struct InProcShared {
+  Mutex mu;
+  std::condition_variable_any cv;
+  std::deque<std::unique_ptr<Connection>> pending COLR_GUARDED_BY(mu);
+  bool listener_closed COLR_GUARDED_BY(mu) = false;
+};
+
+namespace {
+
+class InProcListener : public Listener {
+ public:
+  explicit InProcListener(std::shared_ptr<InProcShared> shared)
+      : shared_(std::move(shared)) {}
+
+  ~InProcListener() override { Close(); }
+
+  Result<std::unique_ptr<Connection>> Accept() override {
+    MutexLock lock(shared_->mu);
+    while (shared_->pending.empty() && !shared_->listener_closed) {
+      shared_->cv.wait(shared_->mu);
+    }
+    if (!shared_->pending.empty()) {
+      std::unique_ptr<Connection> conn = std::move(shared_->pending.front());
+      shared_->pending.pop_front();
+      return conn;
+    }
+    return Status::Unavailable("listener closed");
+  }
+
+  void Close() override {
+    {
+      MutexLock lock(shared_->mu);
+      shared_->listener_closed = true;
+      // Un-accepted connections are torn down (their destructor closes
+      // both directions), so a racing Connect() observes a dead peer
+      // rather than a silently buffered one.
+      shared_->pending.clear();
+    }
+    shared_->cv.notify_all();
+  }
+
+ private:
+  std::shared_ptr<InProcShared> shared_;
+};
+
+}  // namespace
+
+InProcTransport::InProcTransport()
+    : shared_(std::make_shared<InProcShared>()) {}
+
+InProcTransport::~InProcTransport() = default;
+
+std::unique_ptr<Listener> InProcTransport::CreateListener() {
+  return std::make_unique<InProcListener>(shared_);
+}
+
+Result<std::unique_ptr<Connection>> InProcTransport::Connect() {
+  auto client_to_server = std::make_shared<ByteQueue>();
+  auto server_to_client = std::make_shared<ByteQueue>();
+  auto server_half = std::make_unique<InProcConnection>(client_to_server,
+                                                        server_to_client);
+  auto client_half = std::make_unique<InProcConnection>(server_to_client,
+                                                        client_to_server);
+  {
+    MutexLock lock(shared_->mu);
+    if (shared_->listener_closed) {
+      return Status::Unavailable("listener closed");
+    }
+    shared_->pending.push_back(std::move(server_half));
+  }
+  shared_->cv.notify_all();
+  return std::unique_ptr<Connection>(std::move(client_half));
+}
+
+}  // namespace colr::net

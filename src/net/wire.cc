@@ -1,0 +1,295 @@
+#include "net/wire.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+
+namespace colr::net {
+namespace {
+
+// ---- little-endian primitives -------------------------------------------
+// Byte-at-a-time shifts rather than memcpy-of-struct: endian-portable
+// and free of alignment assumptions, and the compilers turn them into
+// single moves on little-endian targets anyway.
+
+void PutU8(std::string* out, uint8_t v) {
+  out->push_back(static_cast<char>(v));
+}
+
+void PutU16(std::string* out, uint16_t v) {
+  PutU8(out, static_cast<uint8_t>(v));
+  PutU8(out, static_cast<uint8_t>(v >> 8));
+}
+
+void PutU32(std::string* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) PutU8(out, static_cast<uint8_t>(v >> (8 * i)));
+}
+
+void PutU64(std::string* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) PutU8(out, static_cast<uint8_t>(v >> (8 * i)));
+}
+
+void PutI64(std::string* out, int64_t v) {
+  PutU64(out, static_cast<uint64_t>(v));
+}
+
+void PutString(std::string* out, std::string_view s) {
+  PutU32(out, static_cast<uint32_t>(s.size()));
+  out->append(s.data(), s.size());
+}
+
+/// Bounds-checked sequential reader over a payload. Every Read* fails
+/// (and stays failed) instead of reading past the end, so a hostile
+/// length field can never cause an over-read.
+class Cursor {
+ public:
+  explicit Cursor(std::string_view data) : data_(data) {}
+
+  bool ReadU8(uint8_t* v) {
+    if (!Ensure(1)) return false;
+    *v = static_cast<uint8_t>(data_[pos_++]);
+    return true;
+  }
+  bool ReadU16(uint16_t* v) {
+    uint64_t wide = 0;
+    if (!ReadLe(2, &wide)) return false;
+    *v = static_cast<uint16_t>(wide);
+    return true;
+  }
+  bool ReadU32(uint32_t* v) {
+    uint64_t wide = 0;
+    if (!ReadLe(4, &wide)) return false;
+    *v = static_cast<uint32_t>(wide);
+    return true;
+  }
+  bool ReadU64(uint64_t* v) { return ReadLe(8, v); }
+  bool ReadI64(int64_t* v) {
+    uint64_t u = 0;
+    if (!ReadLe(8, &u)) return false;
+    *v = static_cast<int64_t>(u);
+    return true;
+  }
+  /// Length-prefixed string whose declared size must fit in the
+  /// remaining payload.
+  bool ReadString(std::string* v) {
+    uint32_t n = 0;
+    if (!ReadU32(&n)) return false;
+    if (!Ensure(n)) return false;
+    v->assign(data_.data() + pos_, n);
+    pos_ += n;
+    return true;
+  }
+
+  bool exhausted() const { return pos_ == data_.size(); }
+
+ private:
+  bool Ensure(size_t n) { return data_.size() - pos_ >= n; }
+  bool ReadLe(int bytes, uint64_t* v) {
+    if (!Ensure(static_cast<size_t>(bytes))) return false;
+    uint64_t acc = 0;
+    for (int i = 0; i < bytes; ++i) {
+      acc |= static_cast<uint64_t>(static_cast<uint8_t>(data_[pos_ + i]))
+             << (8 * i);
+    }
+    pos_ += static_cast<size_t>(bytes);
+    *v = acc;
+    return true;
+  }
+
+  std::string_view data_;
+  size_t pos_ = 0;
+};
+
+std::string FinishFrame(FrameType type, std::string payload) {
+  std::string frame;
+  frame.reserve(kFrameHeaderBytes + payload.size());
+  PutU32(&frame, static_cast<uint32_t>(payload.size()));
+  PutU8(&frame, static_cast<uint8_t>(type));
+  frame += payload;
+  return frame;
+}
+
+void AppendJsonString(std::string* out, std::string_view s) {
+  *out += '"';
+  for (const char ch : s) {
+    const unsigned char c = static_cast<unsigned char>(ch);
+    switch (c) {
+      case '"': *out += "\\\""; break;
+      case '\\': *out += "\\\\"; break;
+      case '\n': *out += "\\n"; break;
+      case '\t': *out += "\\t"; break;
+      case '\r': *out += "\\r"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          *out += static_cast<char>(c);
+        }
+    }
+  }
+  *out += '"';
+}
+
+void AppendJsonValue(std::string* out, const rel::Value& v) {
+  switch (v.type()) {
+    case rel::ValueType::kNull:
+      *out += "null";
+      break;
+    case rel::ValueType::kInt: {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%lld",
+                    static_cast<long long>(v.AsInt()));
+      *out += buf;
+      break;
+    }
+    case rel::ValueType::kDouble: {
+      const double d = v.AsDouble();
+      if (!std::isfinite(d)) {
+        *out += "null";
+        break;
+      }
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "%.17g", d);
+      *out += buf;
+      break;
+    }
+    case rel::ValueType::kString:
+      AppendJsonString(out, v.AsString());
+      break;
+  }
+}
+
+}  // namespace
+
+const char* WireStatusName(WireStatus status) {
+  switch (status) {
+    case WireStatus::kOk: return "OK";
+    case WireStatus::kParseError: return "ParseError";
+    case WireStatus::kExecError: return "ExecError";
+    case WireStatus::kShed: return "Shed";
+    case WireStatus::kTimeout: return "Timeout";
+    case WireStatus::kShuttingDown: return "ShuttingDown";
+  }
+  return "Unknown";
+}
+
+std::string EncodeQueryFrame(const QueryRequest& request) {
+  std::string payload;
+  payload.reserve(12 + request.text.size());
+  PutU64(&payload, request.request_id);
+  PutString(&payload, request.text);
+  return FinishFrame(FrameType::kQuery, std::move(payload));
+}
+
+std::string EncodeReplyFrame(const QueryReply& reply) {
+  std::string payload;
+  payload.reserve(66 + reply.message.size() + reply.body_json.size());
+  PutU64(&payload, reply.request_id);
+  PutU16(&payload, static_cast<uint16_t>(reply.status));
+  PutI64(&payload, reply.rows);
+  PutI64(&payload, reply.probes);
+  PutI64(&payload, reply.probe_successes);
+  PutI64(&payload, reply.probes_coalesced);
+  PutI64(&payload, reply.probes_reused);
+  PutI64(&payload, reply.probes_shed);
+  PutString(&payload, reply.message);
+  PutString(&payload, reply.body_json);
+  return FinishFrame(FrameType::kReply, std::move(payload));
+}
+
+Status DecodeQueryPayload(std::string_view payload, QueryRequest* out) {
+  Cursor cur(payload);
+  if (!cur.ReadU64(&out->request_id) || !cur.ReadString(&out->text)) {
+    return Status::InvalidArgument("query frame truncated");
+  }
+  if (!cur.exhausted()) {
+    return Status::InvalidArgument("query frame has trailing bytes");
+  }
+  return Status::OK();
+}
+
+Status DecodeReplyPayload(std::string_view payload, QueryReply* out) {
+  Cursor cur(payload);
+  uint16_t status_raw = 0;
+  if (!cur.ReadU64(&out->request_id) || !cur.ReadU16(&status_raw) ||
+      !cur.ReadI64(&out->rows) || !cur.ReadI64(&out->probes) ||
+      !cur.ReadI64(&out->probe_successes) ||
+      !cur.ReadI64(&out->probes_coalesced) ||
+      !cur.ReadI64(&out->probes_reused) || !cur.ReadI64(&out->probes_shed) ||
+      !cur.ReadString(&out->message) || !cur.ReadString(&out->body_json)) {
+    return Status::InvalidArgument("reply frame truncated");
+  }
+  if (!cur.exhausted()) {
+    return Status::InvalidArgument("reply frame has trailing bytes");
+  }
+  if (status_raw > static_cast<uint16_t>(WireStatus::kShuttingDown)) {
+    return Status::InvalidArgument("reply frame has unknown status code " +
+                                   std::to_string(status_raw));
+  }
+  out->status = static_cast<WireStatus>(status_raw);
+  return Status::OK();
+}
+
+void FrameDecoder::Feed(std::string_view bytes) {
+  // Compact once the consumed prefix dominates, so the buffer does not
+  // grow with connection lifetime.
+  if (consumed_ > 0 && consumed_ >= buffer_.size() / 2) {
+    buffer_.erase(0, consumed_);
+    consumed_ = 0;
+  }
+  buffer_.append(bytes.data(), bytes.size());
+}
+
+Result<bool> FrameDecoder::Next(Frame* out) {
+  if (!poison_.ok()) return poison_;
+  const size_t avail = buffer_.size() - consumed_;
+  if (avail < kFrameHeaderBytes) return false;
+  const char* base = buffer_.data() + consumed_;
+  uint32_t len = 0;
+  for (int i = 0; i < 4; ++i) {
+    len |= static_cast<uint32_t>(static_cast<uint8_t>(base[i])) << (8 * i);
+  }
+  const uint8_t type_raw = static_cast<uint8_t>(base[4]);
+  if (len > max_payload_) {
+    poison_ = Status::InvalidArgument(
+        "frame payload of " + std::to_string(len) + " bytes exceeds limit " +
+        std::to_string(max_payload_));
+    return poison_;
+  }
+  if (type_raw != static_cast<uint8_t>(FrameType::kQuery) &&
+      type_raw != static_cast<uint8_t>(FrameType::kReply)) {
+    poison_ = Status::InvalidArgument("unknown frame type " +
+                                      std::to_string(type_raw));
+    return poison_;
+  }
+  if (avail < kFrameHeaderBytes + len) return false;
+  out->type = static_cast<FrameType>(type_raw);
+  out->payload.assign(base + kFrameHeaderBytes, len);
+  consumed_ += kFrameHeaderBytes + len;
+  return true;
+}
+
+std::string RelationToJson(const rel::Relation& relation) {
+  std::string out = "{\"columns\": [";
+  for (size_t i = 0; i < relation.columns.size(); ++i) {
+    if (i > 0) out += ", ";
+    AppendJsonString(&out, relation.columns[i]);
+  }
+  out += "], \"rows\": [";
+  for (size_t r = 0; r < relation.rows.size(); ++r) {
+    if (r > 0) out += ", ";
+    out += '[';
+    const rel::Row& row = relation.rows[r];
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) out += ", ";
+      AppendJsonValue(&out, row[c]);
+    }
+    out += ']';
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace colr::net

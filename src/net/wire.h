@@ -1,0 +1,143 @@
+#ifndef COLR_NET_WIRE_H_
+#define COLR_NET_WIRE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "relational/executor.h"
+
+namespace colr::net {
+
+// The portal wire protocol (DESIGN.md §9): length-prefixed binary
+// frames carrying portal query text one way and status + probe
+// accounting + a JSON-serialized relation the other. Every frame is
+//
+//   u32 payload_len (LE) | u8 frame_type | payload[payload_len]
+//
+// The length prefix covers only the payload, so a reader can size its
+// buffer before touching the body. All multi-byte integers are
+// little-endian; every decode is bounds-checked against the declared
+// length — a truncated, oversized or garbage frame yields a clean
+// Status, never an over-read (tests/net_codec_test.cc fuzzes this
+// under ASan/UBSan).
+
+/// Frames a peer may send. Anything else is a protocol error that
+/// poisons the stream (there is no way to resynchronize a
+/// length-prefixed stream after a corrupt header).
+enum class FrameType : uint8_t {
+  kQuery = 1,
+  kReply = 2,
+};
+
+/// Reply disposition. The numeric values are wire format — append
+/// only, never renumber.
+enum class WireStatus : uint16_t {
+  kOk = 0,
+  /// The query text failed to parse or plan.
+  kParseError = 1,
+  /// The engine failed executing a well-formed query.
+  kExecError = 2,
+  /// Rejected by the server's admission bound before execution.
+  kShed = 3,
+  /// Spent longer than the server's queue deadline waiting for a
+  /// worker; never executed.
+  kTimeout = 4,
+  /// The server is draining connections.
+  kShuttingDown = 5,
+};
+
+const char* WireStatusName(WireStatus status);
+
+/// Bound on payload_len both sides enforce (a header declaring more is
+/// rejected without allocating). Generous: the largest reply in the
+/// test workloads is a few hundred KiB of JSON.
+constexpr size_t kDefaultMaxFramePayload = 4u << 20;
+
+/// Frame header size on the wire (u32 length + u8 type).
+constexpr size_t kFrameHeaderBytes = 5;
+
+/// One decoded frame: the type byte plus the raw payload, not yet
+/// interpreted (DecodeQueryPayload / DecodeReplyPayload do that).
+struct Frame {
+  FrameType type = FrameType::kQuery;
+  std::string payload;
+};
+
+/// A portal query on the wire: the client-chosen correlation id plus
+/// the query text, verbatim in the paper's language (§III-B).
+struct QueryRequest {
+  uint64_t request_id = 0;
+  std::string text;
+};
+
+/// A reply frame. Probe accounting rides next to the result so a
+/// client can audit the QueryStats conservation invariants over the
+/// wire (tests/net_server_test.cc sums these against the engine's
+/// cumulative counters).
+struct QueryReply {
+  uint64_t request_id = 0;
+  WireStatus status = WireStatus::kOk;
+  /// Human-readable error detail; empty on kOk.
+  std::string message;
+  int64_t rows = 0;
+  int64_t probes = 0;
+  int64_t probe_successes = 0;
+  int64_t probes_coalesced = 0;
+  int64_t probes_reused = 0;
+  int64_t probes_shed = 0;
+  /// JSON-serialized result relation (RelationToJson); empty when
+  /// status != kOk.
+  std::string body_json;
+};
+
+/// Serializes a request/reply into a complete frame (header included),
+/// ready for Connection::WriteAll.
+std::string EncodeQueryFrame(const QueryRequest& request);
+std::string EncodeReplyFrame(const QueryReply& reply);
+
+/// Interprets the payload of a frame whose type was kQuery / kReply.
+/// Every field read is bounds-checked and the payload must be consumed
+/// exactly (trailing garbage is an error).
+Status DecodeQueryPayload(std::string_view payload, QueryRequest* out);
+Status DecodeReplyPayload(std::string_view payload, QueryReply* out);
+
+/// Incremental frame extractor for a byte stream: Feed() appends
+/// whatever the transport produced, Next() pops complete frames.
+/// A malformed header (unknown type, oversized length) poisons the
+/// decoder — every later Next() returns the same error, because a
+/// corrupt length prefix means the frame boundaries are lost for good.
+class FrameDecoder {
+ public:
+  explicit FrameDecoder(size_t max_payload = kDefaultMaxFramePayload)
+      : max_payload_(max_payload) {}
+
+  void Feed(std::string_view bytes);
+
+  /// True + *out when a complete frame was extracted; false when more
+  /// bytes are needed; an error Status when the stream is corrupt.
+  Result<bool> Next(Frame* out);
+
+  /// Bytes buffered but not yet consumed by Next().
+  size_t buffered_bytes() const { return buffer_.size() - consumed_; }
+
+ private:
+  size_t max_payload_;
+  std::string buffer_;
+  /// Prefix of buffer_ already handed out as frames; compacted lazily
+  /// so Feed/Next stay amortized O(bytes).
+  size_t consumed_ = 0;
+  Status poison_ = Status::OK();
+};
+
+/// Serializes a relation as `{"columns": [...], "rows": [[...], ...]}`
+/// with RFC 8259 string escaping; null cells become JSON null and
+/// non-finite doubles become null (JSON has no nan/inf), so the output
+/// is always valid JSON.
+std::string RelationToJson(const rel::Relation& relation);
+
+}  // namespace colr::net
+
+#endif  // COLR_NET_WIRE_H_

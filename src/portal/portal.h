@@ -99,6 +99,11 @@ class SensorPortal {
   /// Stats of the most recent Execute().
   const QueryStats& last_stats() const { return last_stats_; }
 
+  /// Engine answering unqualified FROM names (nullptr for a
+  /// multi-collection portal constructed without one). Serving layers
+  /// use it to inherit the engine's seed axis (net::PortalServer).
+  ColrEngine* default_engine() const { return default_.engine; }
+
  private:
   struct Collection {
     ColrTree* tree = nullptr;

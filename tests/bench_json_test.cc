@@ -426,6 +426,65 @@ TEST(WriteJsonReportTest, FlashCrowdReportParsesEndToEnd) {
 }
 
 // ---------------------------------------------------------------------------
+// Open-loop serving rows (net_load --json)
+// ---------------------------------------------------------------------------
+
+TEST(NetLoadJsonRowTest, RowParsesAndCarriesEveryCounter) {
+  const std::string row = NetLoadJsonRow(
+      /*connections=*/16, /*transport=*/"tcp", /*queries=*/1200,
+      /*offered_qps=*/300.0, /*qps=*/287.4, /*p50_ms=*/12.6,
+      /*p99_ms=*/181.9, /*ok=*/1194, /*shed=*/4, /*timeouts=*/2,
+      /*query_errors=*/0, /*protocol_errors=*/0, /*reconnects=*/47);
+  EXPECT_TRUE(IsValidJson(row)) << row;
+  EXPECT_NE(row.find("\"connections\": 16"), std::string::npos);
+  EXPECT_NE(row.find("\"transport\": \"tcp\""), std::string::npos);
+  EXPECT_NE(row.find("\"queries\": 1200"), std::string::npos);
+  EXPECT_NE(row.find("\"offered_qps\": "), std::string::npos);
+  EXPECT_NE(row.find("\"qps\": "), std::string::npos);
+  EXPECT_NE(row.find("\"p50_ms\": "), std::string::npos);
+  EXPECT_NE(row.find("\"p99_ms\": "), std::string::npos);
+  EXPECT_NE(row.find("\"ok\": 1194"), std::string::npos);
+  EXPECT_NE(row.find("\"shed\": 4"), std::string::npos);
+  EXPECT_NE(row.find("\"timeouts\": 2"), std::string::npos);
+  EXPECT_NE(row.find("\"query_errors\": 0"), std::string::npos);
+  EXPECT_NE(row.find("\"protocol_errors\": 0"), std::string::npos);
+  EXPECT_NE(row.find("\"reconnects\": 47"), std::string::npos);
+
+  // An empty cell (no replies) must emit null percentiles, never
+  // nan/inf — the open-loop driver computes them from an empty vector
+  // when every request is still outstanding at the cap.
+  const std::string empty = NetLoadJsonRow(
+      1, "inproc", 0, 300.0, std::numeric_limits<double>::infinity(),
+      std::nan(""), std::nan(""), 0, 0, 0, 0, 0, 0);
+  EXPECT_TRUE(IsValidJson(empty)) << empty;
+  EXPECT_NE(empty.find("\"transport\": \"inproc\""), std::string::npos);
+  EXPECT_NE(empty.find("\"qps\": null"), std::string::npos);
+  EXPECT_NE(empty.find("\"p50_ms\": null"), std::string::npos);
+  EXPECT_NE(empty.find("\"p99_ms\": null"), std::string::npos);
+}
+
+TEST(WriteJsonReportTest, NetLoadReportParsesEndToEnd) {
+  BenchConfig cfg;
+  cfg.json_path = ::testing::TempDir() + "/colr_net_load_report_test.json";
+  std::vector<std::string> rows;
+  for (int connections : {1, 4, 16, 64}) {
+    rows.push_back(NetLoadJsonRow(connections, "tcp", 1200, 300.0,
+                                  std::min(300.0, 95.0 * connections), 8.5,
+                                  120.0, 1200, 0, 0, 0, 0,
+                                  1200 / 100));
+  }
+  WriteJsonReport(cfg, "net_load", rows);
+
+  std::ifstream in(cfg.json_path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buf;
+  buf << in.rdbuf();
+  EXPECT_TRUE(IsValidJson(buf.str())) << buf.str();
+  EXPECT_NE(buf.str().find("net_load"), std::string::npos);
+  std::remove(cfg.json_path.c_str());
+}
+
+// ---------------------------------------------------------------------------
 // Layout A/B rows (micro_core --layout_json)
 // ---------------------------------------------------------------------------
 

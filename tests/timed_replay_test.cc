@@ -162,6 +162,14 @@ TEST(TimedReplayTest, WarmStartedTreeReportsPerRunDeltas) {
       rig.tree->InsertReading(r);
     }
   }
+  // Park the window *unreachably* far, not merely past the trace: the
+  // replay restarts the clock at the trace start and advances it at
+  // `speedup` sim-ms per wall-ms, so on a loaded machine a slow run
+  // can overshoot a park point that only clears the trace and roll
+  // anyway. AdvanceTo jumps in O(1), so parking ~20 wall-minutes out
+  // (at 12000x) costs nothing and makes the zero-roll assertion below
+  // independent of scheduler noise.
+  rig.tree->AdvanceTo(TimeMs{15'000'000'000});
   const int64_t rolls_before = rig.tree->maintenance().rolls.load();
   const int64_t expunged_before =
       rig.tree->maintenance().readings_expunged.load();
