@@ -1,10 +1,12 @@
 #!/usr/bin/env bash
 # Tier-1 gate: full build + test suite, then the race-sensitive suites
 # under ThreadSanitizer (selected by their ctest label, not a
-# hard-coded binary list), then the static leg — project lint, the
-# clang thread-safety/-Werror contract build with clang-tidy, and a
-# full UBSan test run — then a smoke check that the sync-stats
-# instrumentation compiles to a no-op when disabled. The clang pieces
+# hard-coded binary list), then the same suites with the runtime
+# lock-order detector armed (COLR_DEADLOCK_CHECK=ON), then the static
+# leg — project lint, the clang thread-safety/-Werror contract build
+# with clang-tidy, a full UBSan test run, and a high-iteration wire
+# fuzz under ASan+UBSan — then a smoke check that the sync-stats
+# instrumentation and deadlock hooks compile to a no-op when disabled. The clang pieces
 # skip with a clear message on hosts without clang/clang-tidy, so a
 # GCC-only host still runs everything else. Run from anywhere; builds
 # land in build*/ under the repo root.
@@ -34,6 +36,18 @@ cmake --build build-tsan -j "$jobs"
 
 echo "== tsan: ctest -L tsan =="
 (cd build-tsan && ctest -L tsan --output-on-failure -j "$jobs")
+
+echo "== deadlock: build with the lock-order detector armed =="
+# Layer 2 of the deadlock-freedom contract (DESIGN.md §10): the same
+# race-sensitive, stress, serving, and static suites again with
+# -DCOLR_DEADLOCK_CHECK=ON, so every ranked acquisition is validated
+# against the acquired-after DAG in src/common/lock_order.inc. The
+# deadlock_test death tests (skipped elsewhere) arm here and prove a
+# seeded inversion/undeclared edge/recursion actually aborts.
+cmake -B build-deadlock -S . -DCOLR_DEADLOCK_CHECK=ON >/dev/null
+cmake --build build-deadlock -j "$jobs"
+(cd build-deadlock && ctest -L 'tsan|stress|net|static' \
+  --output-on-failure -j "$jobs")
 
 echo "== static: project lint =="
 python3 scripts/lint.py -j "$jobs"
@@ -72,6 +86,17 @@ echo "== static: UBSan build + full ctest =="
 cmake -B build-ubsan -S . -DCOLR_SANITIZE=undefined -DCOLR_WERROR=ON >/dev/null
 cmake --build build-ubsan -j "$jobs"
 (cd build-ubsan && ctest --output-on-failure -j "$jobs")
+
+echo "== fuzz: wire codec under ASan+UBSan =="
+# High-iteration garbage fuzz of the frame decoder and payload
+# codecs: COLR_FUZZ_ITERS scales the random-input loops in
+# net_codec_test far past their tier-1 budget, and the combined
+# address+undefined build turns any over-read or UB in the parsing
+# paths into an abort. Override COLR_FUZZ_ITERS to go deeper.
+cmake -B build-asan -S . -DCOLR_SANITIZE=address,undefined >/dev/null
+cmake --build build-asan -j "$jobs" --target net_codec_test
+COLR_FUZZ_ITERS="${COLR_FUZZ_ITERS:-100000}" \
+  ./build-asan/tests/net_codec_test --gtest_filter='*Garbage*:*Truncated*'
 
 echo "== layout: pointer-vs-arena perf smoke =="
 # The flat node arena exists to make traversal and recompute cheaper;
@@ -163,7 +188,10 @@ echo "== sync-stats: disabled-path overhead smoke =="
 # The instrumented guard with stats disabled is a relaxed load plus
 # the plain lock; it must stay within 2x of the bare guard (generous —
 # both are single-digit ns and the bound only catches a accidentally
-# always-on instrumentation path).
+# always-on instrumentation path). This build also has the deadlock
+# detector compiled out (COLR_DEADLOCK_CHECK=OFF is the default), so
+# the same bound doubles as the no-cost proof for the disabled
+# LockRankTag hooks in every ranked lock.
 env -u COLR_SYNC_STATS ./build/bench/micro_core \
   --benchmark_filter='SpinMutex' \
   --benchmark_min_time=0.2 --benchmark_format=json \

@@ -128,6 +128,69 @@ SEEDED = {
         "int add(int a, int b) { return a + b; }\n"
         "auto partial() { return std::bind(add, 1, std::placeholders::_1); }\n"
     ),
+    # lock-order: a minimal declared DAG for the seeds below — three
+    # sites, one edge kAaa -> kBbb (so kBbb -> kAaa is an inversion and
+    # kAaa -> kCcc is an undeclared edge).
+    os.path.join("src", "common", "lock_order.inc"): (
+        'COLR_SYNC_SITE(kAaa, "aaa", 10)\n'
+        'COLR_SYNC_SITE(kBbb, "bbb", 20)\n'
+        'COLR_SYNC_SITE(kCcc, "ccc", 30)\n'
+        "COLR_LOCK_ORDER_EDGE(kAaa, kBbb)\n"
+    ),
+    # lock-order: an inversion — the declared order is kAaa before
+    # kBbb, this scope nests them the other way around.
+    os.path.join("src", "core", "bad_lock_order.cc"): (
+        "void f(Mutex& a, Mutex& b) {\n"
+        "  MutexLock hold_b(b, SyncSite::kBbb);\n"
+        "  MutexLock hold_a(a, SyncSite::kAaa);\n"
+        "}\n"
+    ),
+    # lock-order: an undeclared (but acyclic) acquired-after edge.
+    os.path.join("src", "core", "bad_lock_edge.cc"): (
+        "void g(Mutex& a, Mutex& c) {\n"
+        "  MutexLock hold_a(a, SyncSite::kAaa);\n"
+        "  MutexLock hold_c(c, SyncSite::kCcc);\n"
+        "}\n"
+    ),
+    # lock-order: a guard that names no SyncSite.
+    os.path.join("src", "core", "bad_guard_site.cc"): (
+        "void h(Mutex& a) {\n"
+        "  MutexLock lock(a);\n"
+        "}\n"
+    ),
+    # The declared edge used correctly (including a multi-line guard
+    # declaration): must NOT be reported.
+    os.path.join("src", "core", "good_lock_order.cc"): (
+        "void ok(Mutex& a, SharedMutex& b) {\n"
+        "  MutexLock hold_a(a, SyncSite::kAaa);\n"
+        "  SyncTimedLock<SharedMutex> hold_b(b,\n"
+        "                                    SyncSite::kBbb);\n"
+        "}\n"
+    ),
+    # Waived inversion: must NOT be reported.
+    os.path.join("src", "core", "waived_lock_order.cc"): (
+        "void w(Mutex& a, Mutex& b) {\n"
+        "  MutexLock hold_b(b, SyncSite::kBbb);\n"
+        "  // colr-lint: allow(lock-order): seeded waiver\n"
+        "  MutexLock hold_a(a, SyncSite::kAaa);\n"
+        "}\n"
+    ),
+    # layering: src/core/ reaching up into src/net/.
+    os.path.join("src", "core", "bad_layer.cc"): (
+        '#include "net/server.h"\n'
+        "int use_server();\n"
+    ),
+    # Waived layering violation: must NOT be reported.
+    os.path.join("src", "core", "waived_layer.cc"): (
+        '#include "net/server.h"  // colr-lint: allow(layering)\n'
+        "int use_server_waived();\n"
+    ),
+    # A downward include (net -> core) is allowed: must NOT be
+    # reported.
+    os.path.join("src", "net", "good_layer.cc"): (
+        '#include "core/engine.h"\n'
+        "int use_engine();\n"
+    ),
 }
 
 EXPECTED = [
@@ -139,6 +202,18 @@ EXPECTED = [
     (os.path.join("src", "core", "bad_probe.cc"), "probe-path"),
     (os.path.join("src", "portal", "bad_socket.cc"), "net-socket"),
     (os.path.join("bench", "bad_epoll.cc"), "net-socket"),
+    (os.path.join("src", "core", "bad_lock_order.cc"), "lock-order"),
+    (os.path.join("src", "core", "bad_lock_edge.cc"), "lock-order"),
+    (os.path.join("src", "core", "bad_guard_site.cc"), "lock-order"),
+    (os.path.join("src", "core", "bad_layer.cc"), "layering"),
+]
+
+# The lock-order rule must also *classify* correctly: the reversed
+# nesting is an inversion, the unlisted-but-acyclic nesting is an
+# undeclared edge. (file, required message substring).
+EXPECTED_SUBSTRINGS = [
+    (os.path.join("src", "core", "bad_lock_order.cc"), "inversion"),
+    (os.path.join("src", "core", "bad_lock_edge.cc"), "undeclared"),
 ]
 
 FORBIDDEN = [
@@ -151,6 +226,10 @@ FORBIDDEN = [
     os.path.join("src", "replay", "waived_probe.cc"),
     os.path.join("src", "net", "transport_tcp.cc"),
     os.path.join("src", "net", "server_helpers.cc"),
+    os.path.join("src", "core", "good_lock_order.cc"),
+    os.path.join("src", "core", "waived_lock_order.cc"),
+    os.path.join("src", "core", "waived_layer.cc"),
+    os.path.join("src", "net", "good_layer.cc"),
 ]
 
 
@@ -184,6 +263,12 @@ def main():
                        for line in proc.stdout.splitlines()):
                 return fail(f"seeded {rule} violation in {rel} not flagged",
                             proc)
+        for rel, substring in EXPECTED_SUBSTRINGS:
+            if not any(rel in line and substring in line
+                       for line in proc.stdout.splitlines()):
+                return fail(
+                    f"violation in {rel} not classified as '{substring}'",
+                    proc)
         for rel in FORBIDDEN:
             if rel in proc.stdout:
                 return fail(f"{rel} should not be flagged (waiver/exemption)",

@@ -1,0 +1,191 @@
+#include "common/deadlock.h"
+
+#if COLR_DEADLOCK_CHECK
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+
+namespace colr::deadlock_internal {
+namespace {
+
+// Deep lock nestings are a design smell long before this bound; the
+// real code peaks at 4 (epoch → shard → root → node).
+constexpr int kMaxHeld = 32;
+
+struct HeldStack {
+  int16_t sites[kMaxHeld];
+  int depth = 0;
+};
+thread_local HeldStack t_held;
+
+// The acquired-after graph. `closure[s]` is the bitmask of sites
+// reachable from s (excluding s itself) via declared edges plus every
+// runtime-observed edge admitted in report mode; guarded by g_mu. The
+// detector's own mutex must be a raw std::mutex — a ranked lock here
+// would recurse into the hooks.
+std::mutex g_mu;
+uint32_t g_closure[kNumSyncSites];
+bool g_closure_init = false;
+
+// Fast path: edges already validated as declared. One relaxed load per
+// (held, acquired) pair after the first acquisition.
+std::atomic<uint32_t> g_validated[kNumSyncSites];
+// Report mode: edges already complained about (once per edge).
+uint32_t g_reported[kNumSyncSites];
+
+uint32_t Bit(int site) { return uint32_t{1} << site; }
+
+/// COLR_DEADLOCK_REPORT=1: print each bad edge once and keep going
+/// (feeding observed edges into the closure) instead of aborting —
+/// survey mode for triaging a branch with several violations.
+bool ReportOnly() {
+  static const bool report = [] {
+    const char* env = std::getenv("COLR_DEADLOCK_REPORT");
+    return env != nullptr && *env != '\0' && *env != '0';
+  }();
+  return report;
+}
+
+void InitClosureLocked() {
+  for (const LockOrderEdge& e : kLockOrderEdges) {
+    g_closure[static_cast<int>(e.held)] |= Bit(static_cast<int>(e.acquired));
+  }
+  // Floyd–Warshall over bitmasks: if k is reachable from i, fold in
+  // everything reachable from k. 32x32 bits — trivial at init.
+  for (int k = 0; k < kNumSyncSites; ++k) {
+    for (int i = 0; i < kNumSyncSites; ++i) {
+      if (g_closure[i] & Bit(k)) g_closure[i] |= g_closure[k];
+    }
+  }
+  g_closure_init = true;
+}
+
+/// Admit an observed (report-mode) edge and restore transitivity
+/// incrementally: everything that reaches `held` now also reaches
+/// `acquired` and its successors.
+void AddEdgeLocked(int held, int acquired) {
+  const uint32_t grows = Bit(acquired) | g_closure[acquired];
+  g_closure[held] |= grows;
+  for (int i = 0; i < kNumSyncSites; ++i) {
+    if (g_closure[i] & Bit(held)) g_closure[i] |= grows;
+  }
+}
+
+void PrintHeldStack(const HeldStack& held) {
+  std::fprintf(stderr, "  held stack (outermost first):");
+  for (int i = 0; i < held.depth && i < kMaxHeld; ++i) {
+    const SyncSite s = static_cast<SyncSite>(held.sites[i]);
+    std::fprintf(stderr, "%s %s(rank %d)", i == 0 ? "" : " ->",
+                 SyncSiteName(s), LockRankOf(s));
+  }
+  std::fprintf(stderr, "\n");
+}
+
+void PrintViolation(const char* kind, SyncSite held_site, SyncSite acquired,
+                    const HeldStack& held) {
+  std::fprintf(stderr, "colr deadlock detector: %s\n", kind);
+  std::fprintf(stderr, "  acquiring: %s (rank %d)\n", SyncSiteName(acquired),
+               LockRankOf(acquired));
+  std::fprintf(stderr, "  while holding: %s (rank %d)\n",
+               SyncSiteName(held_site), LockRankOf(held_site));
+  PrintHeldStack(held);
+  std::fprintf(stderr,
+               "  fix: acquire in declared rank order, or declare the edge "
+               "in src/common/lock_order.inc (scripts/lint.py lock-order "
+               "checks the same table statically)\n");
+}
+
+/// Slow path: the (held_site -> acquired) pair has not been validated.
+/// Classify it against the closure; abort (or report) on violation.
+void ValidateEdgeSlow(int held_site, int acquired, const HeldStack& held) {
+  std::lock_guard<std::mutex> guard(g_mu);
+  if (!g_closure_init) InitClosureLocked();
+  const SyncSite h = static_cast<SyncSite>(held_site);
+  const SyncSite a = static_cast<SyncSite>(acquired);
+  if (LockOrderEdgeDeclared(h, a)) {
+    g_validated[held_site].fetch_or(Bit(acquired), std::memory_order_relaxed);
+    return;
+  }
+  const bool recursive = held_site == acquired;
+  // A cycle iff the acquired site already reaches the held one.
+  const bool inversion =
+      recursive || ((g_closure[acquired] & Bit(held_site)) != 0);
+  const char* kind = recursive ? "recursive acquisition of one site"
+                     : inversion
+                         ? "lock-order inversion (cycle in acquired-after "
+                           "graph)"
+                         : "undeclared acquired-after edge";
+  if (!ReportOnly()) {
+    PrintViolation(kind, h, a, held);
+    std::abort();
+  }
+  if ((g_reported[held_site] & Bit(acquired)) == 0) {
+    g_reported[held_site] |= Bit(acquired);
+    PrintViolation(kind, h, a, held);
+  }
+  // Keep survey mode honest: an acyclic observed edge joins the
+  // closure so a later reverse nesting is classified as an inversion,
+  // not merely another undeclared edge. Cyclic edges are not admitted
+  // (the closure must stay a partial order).
+  if (!inversion) {
+    AddEdgeLocked(held_site, acquired);
+    g_validated[held_site].fetch_or(Bit(acquired), std::memory_order_relaxed);
+  }
+}
+
+}  // namespace
+
+void OnAcquire(SyncSite site) {
+  const int s = static_cast<int>(site);
+  HeldStack& held = t_held;
+  for (int i = 0; i < held.depth; ++i) {
+    const int h = held.sites[i];
+    if (g_validated[h].load(std::memory_order_relaxed) & Bit(s)) continue;
+    ValidateEdgeSlow(h, s, held);
+  }
+  if (held.depth >= kMaxHeld) {
+    std::fprintf(stderr,
+                 "colr deadlock detector: held-lock stack overflow "
+                 "(%d sites) acquiring %s\n",
+                 held.depth, SyncSiteName(site));
+    PrintHeldStack(held);
+    std::abort();
+  }
+  held.sites[held.depth++] = static_cast<int16_t>(s);
+}
+
+void OnRelease(SyncSite site) {
+  const int16_t s = static_cast<int16_t>(site);
+  HeldStack& held = t_held;
+  // Locks are almost always released LIFO; scan from the top for the
+  // exceptions (e.g. guards to adjacent scopes).
+  for (int i = held.depth - 1; i >= 0; --i) {
+    if (held.sites[i] != s) continue;
+    for (int j = i; j + 1 < held.depth; ++j) held.sites[j] = held.sites[j + 1];
+    --held.depth;
+    return;
+  }
+  std::fprintf(stderr,
+               "colr deadlock detector: release of %s with no matching "
+               "acquire on this thread\n",
+               SyncSiteName(site));
+  PrintHeldStack(held);
+  std::abort();
+}
+
+void DieSiteMismatch(SyncSite constructed, SyncSite named) {
+  std::fprintf(stderr,
+               "colr deadlock detector: guard names site %s but the lock "
+               "was constructed as %s — the guard is lying to the static "
+               "lock-order lint\n",
+               SyncSiteName(named), SyncSiteName(constructed));
+  std::abort();
+}
+
+int HeldDepth() { return t_held.depth; }
+
+}  // namespace colr::deadlock_internal
+
+#endif  // COLR_DEADLOCK_CHECK

@@ -1,0 +1,104 @@
+#ifndef COLR_COMMON_DEADLOCK_H_
+#define COLR_COMMON_DEADLOCK_H_
+
+// Runtime lock-order detector (DESIGN.md §10, layer 2 of the
+// deadlock-freedom contract). Every ranked lock in common/sync.h
+// carries a LockRankTag; under -DCOLR_DEADLOCK_CHECK=1 (CMake option
+// COLR_DEADLOCK_CHECK, mirroring COLR_SANITIZE) each blocking acquire
+// pushes its site onto a thread-local held stack and validates the
+// acquired-after edge from every held site against the declared DAG in
+// lock_order.inc — extended at runtime by a process-wide transitive
+// closure, so an inversion aborts on the FIRST offending acquisition
+// even if no interleaving ever deadlocks. Without the define the tag
+// is an empty type and every hook is a no-op the compiler deletes
+// ([[no_unique_address]] keeps the lock layouts unchanged).
+//
+// Failure modes (all abort with site names, ranks, and the held
+// stack; COLR_DEADLOCK_REPORT=1 downgrades to report-once-per-edge):
+//   - lock-order inversion: the acquired site can already reach a held
+//     site in the declared-or-observed closure (a cycle).
+//   - undeclared acquired-after edge: the nesting is acyclic but not
+//     in lock_order.inc — declare it or fix the call site.
+//   - recursive acquisition of one site.
+
+#include <cstdint>
+
+#include "common/lock_rank.h"
+
+#ifndef COLR_DEADLOCK_CHECK
+#define COLR_DEADLOCK_CHECK 0
+#endif
+
+// [[no_unique_address]] lets the disabled (empty) tag occupy no bytes
+// inside the lock wrappers.
+#define COLR_NO_UNIQUE_ADDRESS [[no_unique_address]]
+
+namespace colr {
+
+/// Whether this build compiled the detector in.
+constexpr bool DeadlockCheckActive() { return COLR_DEADLOCK_CHECK != 0; }
+
+#if COLR_DEADLOCK_CHECK
+
+namespace deadlock_internal {
+void OnAcquire(SyncSite site);
+void OnRelease(SyncSite site);
+[[noreturn]] void DieSiteMismatch(SyncSite constructed, SyncSite named);
+/// Current thread's held-site count (ranked sites only) — test hook.
+int HeldDepth();
+}  // namespace deadlock_internal
+
+/// The rank identity a lock carries. Default-constructed (unranked)
+/// tags opt the lock out of checking — bench/test scratch locks.
+class LockRankTag {
+ public:
+  constexpr LockRankTag() = default;
+  constexpr explicit LockRankTag(SyncSite site)
+      : site_(static_cast<int16_t>(site)) {}
+
+  /// Hook before/after the underlying primitive. Acquire-side runs
+  /// BEFORE blocking so the report fires instead of the deadlock.
+  void OnAcquire() const {
+    if (site_ >= 0) deadlock_internal::OnAcquire(static_cast<SyncSite>(site_));
+  }
+  void OnRelease() const {
+    if (site_ >= 0) deadlock_internal::OnRelease(static_cast<SyncSite>(site_));
+  }
+
+  /// Guard constructors cross-check the SyncSite they were handed
+  /// against the lock's constructed identity; a mismatch means the
+  /// guard is lying to the static lint and aborts. Unranked locks
+  /// (bench/test scratch) accept any site.
+  void AssertMatches(SyncSite site) const {
+    if (site_ >= 0 && site_ != static_cast<int16_t>(site)) {
+      deadlock_internal::DieSiteMismatch(static_cast<SyncSite>(site_), site);
+    }
+  }
+
+  /// Strict equality (no unranked pass) — for locks with two tags
+  /// (EpochLatch) that accept a site if EITHER tag carries it.
+  bool MatchesExactly(SyncSite site) const {
+    return site_ == static_cast<int16_t>(site);
+  }
+
+ private:
+  int16_t site_ = -1;
+};
+
+#else  // !COLR_DEADLOCK_CHECK
+
+class LockRankTag {
+ public:
+  constexpr LockRankTag() = default;
+  constexpr explicit LockRankTag(SyncSite /*site*/) {}
+  void OnAcquire() const {}
+  void OnRelease() const {}
+  void AssertMatches(SyncSite /*site*/) const {}
+  bool MatchesExactly(SyncSite /*site*/) const { return true; }
+};
+
+#endif  // COLR_DEADLOCK_CHECK
+
+}  // namespace colr
+
+#endif  // COLR_COMMON_DEADLOCK_H_

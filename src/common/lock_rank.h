@@ -1,0 +1,116 @@
+#ifndef COLR_COMMON_LOCK_RANK_H_
+#define COLR_COMMON_LOCK_RANK_H_
+
+// Lock sites, ranks, and the declared acquired-after DAG — all
+// expanded from src/common/lock_order.inc, the single source of truth
+// shared with the runtime deadlock detector (common/deadlock.h) and
+// the static `lock-order` lint rule (scripts/lint.py). DESIGN.md §10
+// describes the contract; this header only materializes the tables.
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace colr {
+
+/// A named lock-acquisition site. Doubles as the key for sync-stats
+/// contention counters (common/sync_stats.h) and as the lock's rank
+/// identity for the deadlock detector. Enum order is append-only: the
+/// bench JSON emitters index arrays by site value.
+enum class SyncSite : int {
+#define COLR_SYNC_SITE(enumerator, name, rank) enumerator,
+#include "common/lock_order.inc"
+};
+
+inline constexpr int kNumSyncSites = 0
+#define COLR_SYNC_SITE(enumerator, name, rank) +1
+#include "common/lock_order.inc"
+    ;
+
+static_assert(kNumSyncSites <= 32,
+              "edge bitmasks below (and the detector's) are uint32_t");
+
+/// Rank of each site: a topological order of the declared DAG. Lower
+/// ranks are taken first.
+using LockRank = int;
+
+inline constexpr std::array<LockRank, kNumSyncSites> kSyncSiteRanks = {
+#define COLR_SYNC_SITE(enumerator, name, rank) rank,
+#include "common/lock_order.inc"
+};
+
+inline constexpr std::array<const char*, kNumSyncSites> kSyncSiteNames = {
+#define COLR_SYNC_SITE(enumerator, name, rank) name,
+#include "common/lock_order.inc"
+};
+
+constexpr LockRank LockRankOf(SyncSite site) {
+  return kSyncSiteRanks[static_cast<std::size_t>(site)];
+}
+
+/// Human-readable site name ("epoch_shared", ...); "unknown" for
+/// out-of-range values so diagnostics never index out of bounds.
+constexpr const char* SyncSiteName(SyncSite site) {
+  const int i = static_cast<int>(site);
+  return (i >= 0 && i < kNumSyncSites)
+             ? kSyncSiteNames[static_cast<std::size_t>(i)]
+             : "unknown";
+}
+
+/// One declared acquired-after edge: `acquired` may be taken while
+/// `held` is held.
+struct LockOrderEdge {
+  SyncSite held;
+  SyncSite acquired;
+};
+
+inline constexpr LockOrderEdge kLockOrderEdges[] = {
+#define COLR_LOCK_ORDER_EDGE(held, acquired) \
+  {SyncSite::held, SyncSite::acquired},
+#include "common/lock_order.inc"
+};
+
+inline constexpr int kNumLockOrderEdges =
+    sizeof(kLockOrderEdges) / sizeof(kLockOrderEdges[0]);
+
+namespace lock_rank_internal {
+
+constexpr std::array<uint32_t, kNumSyncSites> ComputeAllowed() {
+  std::array<uint32_t, kNumSyncSites> allowed = {};
+  for (const LockOrderEdge& e : kLockOrderEdges) {
+    allowed[static_cast<std::size_t>(e.held)] |=
+        uint32_t{1} << static_cast<int>(e.acquired);
+  }
+  return allowed;
+}
+
+/// Compile-time proof that the declared edges form a DAG: ranks are a
+/// witness topological order, so strict monotonicity along every edge
+/// rules out cycles (including self-edges).
+constexpr bool EdgesRankMonotone() {
+  for (const LockOrderEdge& e : kLockOrderEdges) {
+    if (LockRankOf(e.held) >= LockRankOf(e.acquired)) return false;
+  }
+  return true;
+}
+
+}  // namespace lock_rank_internal
+
+/// allowed[held] bit `acquired`: the edge is declared.
+inline constexpr std::array<uint32_t, kNumSyncSites> kLockOrderAllowed =
+    lock_rank_internal::ComputeAllowed();
+
+static_assert(lock_rank_internal::EdgesRankMonotone(),
+              "lock_order.inc declares an edge whose held rank is not "
+              "strictly below the acquired rank — the declared order is "
+              "not a DAG (or the ranks need renumbering)");
+
+constexpr bool LockOrderEdgeDeclared(SyncSite held, SyncSite acquired) {
+  return (kLockOrderAllowed[static_cast<std::size_t>(held)] >>
+          static_cast<int>(acquired)) &
+         1u;
+}
+
+}  // namespace colr
+
+#endif  // COLR_COMMON_LOCK_RANK_H_

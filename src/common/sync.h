@@ -8,6 +8,8 @@
 #include <shared_mutex>
 #include <thread>
 
+#include "common/deadlock.h"
+#include "common/lock_rank.h"
 #include "common/thread_annotations.h"
 
 namespace colr {
@@ -26,6 +28,14 @@ namespace colr {
 // mutex/lock types outside src/common/, so every lock site is (a)
 // visible to the static analysis and (b) reachable by the sync-stats
 // instrumentation layer.
+//
+// Each primitive additionally carries a LockRankTag (common/
+// deadlock.h): construct it with the SyncSite it serves and every
+// acquisition is checked against the lock-order DAG declared in
+// lock_order.inc when the build arms COLR_DEADLOCK_CHECK. Default
+// construction leaves the lock unranked (bench/test scratch locks) —
+// the detector ignores it. The tag is an empty member in normal
+// builds; the layouts below are unchanged.
 
 /// Annotated drop-in for std::mutex. Exists because libstdc++'s
 /// std::mutex carries no capability attributes, which would make every
@@ -33,35 +43,79 @@ namespace colr {
 class COLR_CAPABILITY("mutex") Mutex {
  public:
   Mutex() = default;
+  explicit Mutex(SyncSite site) : rank_(site) {}
   Mutex(const Mutex&) = delete;
   Mutex& operator=(const Mutex&) = delete;
 
-  void lock() COLR_ACQUIRE() { mu_.lock(); }
-  void unlock() COLR_RELEASE() { mu_.unlock(); }
-  bool try_lock() COLR_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+  // OnAcquire runs before the blocking call so an inversion aborts
+  // with a report instead of deadlocking in mu_.lock().
+  void lock() COLR_ACQUIRE() {
+    rank_.OnAcquire();
+    mu_.lock();
+  }
+  void unlock() COLR_RELEASE() {
+    rank_.OnRelease();
+    mu_.unlock();
+  }
+  bool try_lock() COLR_TRY_ACQUIRE(true) {
+    if (!mu_.try_lock()) return false;
+    rank_.OnAcquire();
+    return true;
+  }
+
+  void AssertRankIs(SyncSite site) const { rank_.AssertMatches(site); }
 
  private:
   std::mutex mu_;
+  COLR_NO_UNIQUE_ADDRESS LockRankTag rank_;
 };
 
 /// Annotated drop-in for std::shared_mutex (same rationale as Mutex).
 class COLR_CAPABILITY("shared_mutex") SharedMutex {
  public:
   SharedMutex() = default;
+  explicit SharedMutex(SyncSite site) : rank_(site) {}
   SharedMutex(const SharedMutex&) = delete;
   SharedMutex& operator=(const SharedMutex&) = delete;
 
-  void lock() COLR_ACQUIRE() { mu_.lock(); }
-  void unlock() COLR_RELEASE() { mu_.unlock(); }
-  bool try_lock() COLR_TRY_ACQUIRE(true) { return mu_.try_lock(); }
-  void lock_shared() COLR_ACQUIRE_SHARED() { mu_.lock_shared(); }
-  void unlock_shared() COLR_RELEASE_SHARED() { mu_.unlock_shared(); }
-  bool try_lock_shared() COLR_TRY_ACQUIRE_SHARED(true) {
-    return mu_.try_lock_shared();
+  void lock() COLR_ACQUIRE() {
+    rank_.OnAcquire();
+    mu_.lock();
   }
+  void unlock() COLR_RELEASE() {
+    rank_.OnRelease();
+    mu_.unlock();
+  }
+  bool try_lock() COLR_TRY_ACQUIRE(true) {
+    if (!mu_.try_lock()) return false;
+    rank_.OnAcquire();
+    return true;
+  }
+  // Shared holds participate in ordering exactly like exclusive ones:
+  // a reader nested inside the wrong lock deadlocks against a writer
+  // all the same.
+  void lock_shared() COLR_ACQUIRE_SHARED() {
+    rank_.OnAcquire();
+    mu_.lock_shared();
+  }
+  void unlock_shared() COLR_RELEASE_SHARED() {
+    rank_.OnRelease();
+    mu_.unlock_shared();
+  }
+  bool try_lock_shared() COLR_TRY_ACQUIRE_SHARED(true) {
+    if (!mu_.try_lock_shared()) return false;
+    rank_.OnAcquire();
+    return true;
+  }
+
+  /// StripedMutex ranks its stripes post-construction (arrays cannot
+  /// forward constructor arguments).
+  void SetRank(SyncSite site) { rank_ = LockRankTag(site); }
+  void AssertRankIs(SyncSite site) const { rank_.AssertMatches(site); }
 
  private:
   std::shared_mutex mu_;
+  COLR_NO_UNIQUE_ADDRESS LockRankTag rank_;
 };
 
 /// RAII exclusive guard over Mutex (the annotated sibling of
@@ -70,6 +124,14 @@ class COLR_CAPABILITY("shared_mutex") SharedMutex {
 class COLR_SCOPED_CAPABILITY MutexLock {
  public:
   explicit MutexLock(Mutex& mu) COLR_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  /// Site-naming form: what the static lock-order lint reads at the
+  /// call site. The named site must match the mutex's constructed rank
+  /// (checked when the detector is armed, so the annotation cannot
+  /// drift from the lock it guards).
+  MutexLock(Mutex& mu, SyncSite site) COLR_ACQUIRE(mu) : mu_(mu) {
+    mu_.AssertRankIs(site);
+    mu_.lock();
+  }
   ~MutexLock() COLR_RELEASE() { mu_.unlock(); }
 
   MutexLock(const MutexLock&) = delete;
@@ -84,6 +146,12 @@ class COLR_SCOPED_CAPABILITY SharedMutexReaderLock {
  public:
   explicit SharedMutexReaderLock(SharedMutex& mu) COLR_ACQUIRE_SHARED(mu)
       : mu_(mu) {
+    mu_.lock_shared();
+  }
+  SharedMutexReaderLock(SharedMutex& mu, SyncSite site)
+      COLR_ACQUIRE_SHARED(mu)
+      : mu_(mu) {
+    mu_.AssertRankIs(site);
     mu_.lock_shared();
   }
   ~SharedMutexReaderLock() COLR_RELEASE_SHARED() { mu_.unlock_shared(); }
@@ -114,6 +182,14 @@ class COLR_SCOPED_CAPABILITY SharedMutexReaderLock {
 class StripedMutex {
  public:
   explicit StripedMutex(size_t stripes = 64) : stripes_(stripes) {}
+  /// All stripes share one SyncSite: the table is one protocol lock
+  /// with many physical words, and the one-stripe-at-a-time discipline
+  /// above means the detector treats a second same-site acquisition as
+  /// the recursion bug it is.
+  explicit StripedMutex(SyncSite site, size_t stripes = 64)
+      : stripes_(stripes) {
+    for (SharedMutex& mu : locks_) mu.SetRank(site);
+  }
 
   SharedMutex& For(int64_t key) {
     return locks_[static_cast<size_t>(Mix(key)) % kMaxStripes % stripes_];
@@ -161,11 +237,22 @@ class StripedMutex {
 /// exclusive side is rare maintenance.
 class COLR_CAPABILITY("EpochLatch") EpochLatch {
  public:
+  EpochLatch() = default;
+  /// The shared and exclusive sides are distinct protocol sites (they
+  /// sit at different points in the acquired-after DAG: a roll may
+  /// nest locks a mere stable-hold may not).
+  EpochLatch(SyncSite shared_site, SyncSite exclusive_site)
+      : shared_rank_(shared_site), exclusive_rank_(exclusive_site) {}
+
   void lock() COLR_ACQUIRE() {
+    exclusive_rank_.OnAcquire();
+    // The internal stripes are acquired in index order by every
+    // exclusive locker; the detector sees the latch as one site.
     for (size_t i = 0; i < kStripes; ++i) stripes_[i].mu.lock();
   }
   void unlock() COLR_RELEASE() {
     epoch_.fetch_add(1, std::memory_order_release);
+    exclusive_rank_.OnRelease();
     for (size_t i = kStripes; i-- > 0;) stripes_[i].mu.unlock();
   }
   bool try_lock() COLR_TRY_ACQUIRE(true) {
@@ -175,17 +262,34 @@ class COLR_CAPABILITY("EpochLatch") EpochLatch {
         return false;
       }
     }
+    exclusive_rank_.OnAcquire();
     return true;
   }
 
   void lock_shared() COLR_ACQUIRE_SHARED() {
+    shared_rank_.OnAcquire();
     stripes_[MyStripe()].mu.lock_shared();
   }
   void unlock_shared() COLR_RELEASE_SHARED() {
+    shared_rank_.OnRelease();
     stripes_[MyStripe()].mu.unlock_shared();
   }
   bool try_lock_shared() COLR_TRY_ACQUIRE_SHARED(true) {
-    return stripes_[MyStripe()].mu.try_lock_shared();
+    if (!stripes_[MyStripe()].mu.try_lock_shared()) return false;
+    shared_rank_.OnAcquire();
+    return true;
+  }
+
+  /// Accepts either side's site: SyncTimedLock names the exclusive
+  /// site, SyncTimedSharedLock the shared one, and both guard types
+  /// cross-check here.
+  void AssertRankIs(SyncSite site) const {
+    // One of the two must match; an unranked latch accepts anything.
+    if (exclusive_rank_.MatchesExactly(site) ||
+        shared_rank_.MatchesExactly(site)) {
+      return;
+    }
+    shared_rank_.AssertMatches(site);
   }
 
   /// Number of completed exclusive sections.
@@ -209,6 +313,8 @@ class COLR_CAPABILITY("EpochLatch") EpochLatch {
 
   Stripe stripes_[kStripes];
   std::atomic<uint64_t> epoch_{0};
+  COLR_NO_UNIQUE_ADDRESS LockRankTag shared_rank_;
+  COLR_NO_UNIQUE_ADDRESS LockRankTag exclusive_rank_;
 };
 
 /// Test-and-test-and-set spinlock for critical sections of a few
@@ -229,7 +335,11 @@ class COLR_CAPABILITY("EpochLatch") EpochLatch {
 /// Meets the Lockable requirements (composes with std::lock_guard).
 class COLR_CAPABILITY("SpinMutex") SpinMutex {
  public:
+  SpinMutex() = default;
+  explicit SpinMutex(SyncSite site) : rank_(site) {}
+
   void lock() COLR_ACQUIRE() {
+    rank_.OnAcquire();
     while (locked_.exchange(true, std::memory_order_acquire)) {
       // Spin on a plain load so waiters share the line in the cache
       // until the holder's store invalidates it (test-and-test-and-set).
@@ -245,12 +355,19 @@ class COLR_CAPABILITY("SpinMutex") SpinMutex {
     }
   }
   bool try_lock() COLR_TRY_ACQUIRE(true) {
-    return !locked_.load(std::memory_order_relaxed) &&
-           !locked_.exchange(true, std::memory_order_acquire);
+    if (locked_.load(std::memory_order_relaxed) ||
+        locked_.exchange(true, std::memory_order_acquire)) {
+      return false;
+    }
+    rank_.OnAcquire();
+    return true;
   }
   void unlock() COLR_RELEASE() {
+    rank_.OnRelease();
     locked_.store(false, std::memory_order_release);
   }
+
+  void AssertRankIs(SyncSite site) const { rank_.AssertMatches(site); }
 
  private:
   static void CpuRelax() {
@@ -263,6 +380,7 @@ class COLR_CAPABILITY("SpinMutex") SpinMutex {
 
   static constexpr int kSpinLimit = 128;
   std::atomic<bool> locked_{false};
+  COLR_NO_UNIQUE_ADDRESS LockRankTag rank_;
 };
 
 /// Copyable atomic counter. std::atomic is neither copyable nor

@@ -22,23 +22,8 @@ bool EnvEnabled() {
 std::atomic<bool> g_sync_stats_enabled{EnvEnabled()};
 }  // namespace sync_internal
 
-const char* SyncSiteName(SyncSite site) {
-  switch (site) {
-    case SyncSite::kEpochShared:
-      return "epoch_shared";
-    case SyncSite::kEpochExclusive:
-      return "epoch_exclusive";
-    case SyncSite::kShardWriter:
-      return "shard_writer";
-    case SyncSite::kRootSpin:
-      return "root_spin";
-    case SyncSite::kNodeStripe:
-      return "node_stripe";
-    case SyncSite::kProbeFlight:
-      return "probe_flight";
-  }
-  return "unknown";
-}
+// SyncSiteName moved to common/lock_rank.h: generated from
+// lock_order.inc together with the rank tables.
 
 int SyncWaitBucket(int64_t wait_ns) {
   if (wait_ns <= 0) return 0;
@@ -114,7 +99,10 @@ struct SyncStatsRegistry::ThreadBlock {
 };
 
 struct SyncStatsRegistry::Impl {
-  mutable Mutex mu;
+  // Ranked last in the lock-order DAG: a thread's first record at an
+  // instrumented site happens while that site's lock is held, so
+  // every instrumented site declares an edge to kStatsRegistry.
+  mutable Mutex mu{SyncSite::kStatsRegistry};
   /// Blocks of live threads (owner-written relaxed atomics; readable
   /// under mu while the owners keep recording).
   std::vector<ThreadBlock*> live COLR_GUARDED_BY(mu);
@@ -152,7 +140,7 @@ void SyncStatsRegistry::Enable() {
 SyncStatsRegistry::ThreadBlock* SyncStatsRegistry::BlockForThisThread() {
   thread_local ThreadHolder holder(this, [this] {
     ThreadBlock* block = new ThreadBlock;
-    MutexLock lock(impl_->mu);
+    MutexLock lock(impl_->mu, SyncSite::kStatsRegistry);
     impl_->live.push_back(block);
     return block;
   }());
@@ -160,7 +148,7 @@ SyncStatsRegistry::ThreadBlock* SyncStatsRegistry::BlockForThisThread() {
 }
 
 void SyncStatsRegistry::Retire(ThreadBlock* block) {
-  MutexLock lock(impl_->mu);
+  MutexLock lock(impl_->mu, SyncSite::kStatsRegistry);
   AccumulateBlock(impl_->retired, *block);
   auto& live = impl_->live;
   live.erase(std::remove(live.begin(), live.end(), block), live.end());
@@ -170,7 +158,7 @@ void SyncStatsRegistry::Retire(ThreadBlock* block) {
 SyncStatsSnapshot SyncStatsRegistry::Snapshot() const {
   SyncStatsSnapshot snap;
   snap.enabled = SyncStatsEnabled();
-  MutexLock lock(impl_->mu);
+  MutexLock lock(impl_->mu, SyncSite::kStatsRegistry);
   for (int i = 0; i < kNumSyncSites; ++i) snap.sites[i] = impl_->retired[i];
   for (const ThreadBlock* block : impl_->live) {
     AccumulateBlock(snap.sites.data(), *block);

@@ -6,6 +6,7 @@
 #include <chrono>
 #include <cstdint>
 
+#include "common/lock_rank.h"
 #include "common/thread_annotations.h"
 
 namespace colr {
@@ -36,30 +37,10 @@ namespace colr {
 /// in particular at the quiescent points where benches and
 /// MaintenanceSnapshot() read them.
 
-/// Instrumented lock sites, in lock-hierarchy order. Kept dense so
-/// per-site storage is a plain array.
-enum class SyncSite : int {
-  /// EpochLatch shared side: InsertReading / TouchCached pinning the
-  /// window head.
-  kEpochShared = 0,
-  /// EpochLatch exclusive side: rolls, expunges, consistency audits.
-  kEpochExclusive,
-  /// Per-shard writer locks (shard_mutex_), unique or shared.
-  kShardWriter,
-  /// root_mutex_ SpinMutex serializing the root-region merge.
-  kRootSpin,
-  /// Striped per-node locks (node_mutex_), unique or shared.
-  kNodeStripe,
-  /// ProbeScheduler per-sensor flight stripes (single-flight map +
-  /// token buckets, core/probe_scheduler.h). Outside ColrTree's
-  /// hierarchy: the scheduler never takes a tree lock while holding a
-  /// stripe, and holds at most one stripe at a time.
-  kProbeFlight,
-};
-inline constexpr int kNumSyncSites = 6;
-
-/// Stable JSON-friendly site name ("epoch_shared", ...).
-const char* SyncSiteName(SyncSite site);
+// SyncSite itself (plus kNumSyncSites and SyncSiteName) moved to
+// common/lock_rank.h: the sites double as lock ranks for the deadlock
+// contract and are generated from lock_order.inc, the single source
+// of truth. This header keeps re-exporting them via that include.
 
 /// Log2 wait-time bucket: 0 for uncontended acquisitions (wait 0),
 /// otherwise 1 + floor(log2(wait_ns)) clamped to the last bucket —
@@ -157,6 +138,7 @@ template <typename Mutex>
 class COLR_SCOPED_CAPABILITY SyncTimedLock {
  public:
   SyncTimedLock(Mutex& mu, SyncSite site) COLR_ACQUIRE(mu) : mu_(mu) {
+    mu_.AssertRankIs(site);  // the named site must be the lock's rank
     if (!SyncStatsEnabled()) {
       mu_.lock();
       return;
@@ -188,6 +170,7 @@ class COLR_SCOPED_CAPABILITY SyncTimedSharedLock {
  public:
   SyncTimedSharedLock(Mutex& mu, SyncSite site) COLR_ACQUIRE_SHARED(mu)
       : mu_(mu) {
+    mu_.AssertRankIs(site);
     if (!SyncStatsEnabled()) {
       mu_.lock_shared();
       return;

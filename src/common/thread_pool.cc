@@ -15,7 +15,7 @@ ThreadPool::ThreadPool(int num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    MutexLock lock(mutex_);
+    MutexLock lock(mutex_, SyncSite::kPoolQueue);
     stop_ = true;
   }
   cv_.notify_all();
@@ -29,7 +29,7 @@ void ThreadPool::Submit(std::function<void()> fn) {
     return;
   }
   {
-    MutexLock lock(mutex_);
+    MutexLock lock(mutex_, SyncSite::kPoolQueue);
     queue_.push_back(std::move(fn));
   }
   cv_.notify_one();
@@ -43,7 +43,7 @@ void ThreadPool::WorkerLoop() {
       // so the guarded reads of stop_/queue_ stay inside this
       // function's analyzed scope, where the MutexLock proves mutex_
       // is held.
-      MutexLock lock(mutex_);
+      MutexLock lock(mutex_, SyncSite::kPoolQueue);
       while (!stop_ && queue_.empty()) cv_.wait(mutex_);
       if (stop_ && queue_.empty()) return;
       task = std::move(queue_.front());
@@ -65,7 +65,7 @@ struct ParallelForState {
   size_t num_chunks = 0;
   std::atomic<size_t> next_chunk{0};
   std::atomic<size_t> done_chunks{0};
-  Mutex mutex;
+  Mutex mutex{SyncSite::kPoolDone};
   std::condition_variable_any done_cv;
 
   /// Claims and runs chunks until the counter is exhausted.
@@ -78,7 +78,7 @@ struct ParallelForState {
       fn(begin, end);
       if (done_chunks.fetch_add(1, std::memory_order_acq_rel) + 1 ==
           num_chunks) {
-        MutexLock lock(mutex);
+        MutexLock lock(mutex, SyncSite::kPoolDone);
         done_cv.notify_all();
       }
     }
@@ -116,7 +116,7 @@ void ThreadPool::ParallelFor(size_t n, size_t grain,
   // all chunks.
   state->Drain();
 
-  MutexLock lock(state->mutex);
+  MutexLock lock(state->mutex, SyncSite::kPoolDone);
   while (state->done_chunks.load(std::memory_order_acquire) !=
          state->num_chunks) {
     state->done_cv.wait(state->mutex);

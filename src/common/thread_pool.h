@@ -49,7 +49,7 @@ class ThreadPool {
  private:
   void WorkerLoop();
 
-  Mutex mutex_;
+  Mutex mutex_{SyncSite::kPoolQueue};
   /// _any variant: it waits on the annotated Mutex capability directly
   /// (std::condition_variable is hard-wired to std::mutex, which the
   /// thread-safety analysis cannot see).

@@ -494,7 +494,7 @@ QueryResult ColrEngine::ExecuteFlat(const Query& query, TimeMs now) {
 
   FlatCache::Lookup lookup;
   {
-    MutexLock lock(flat_mutex_);
+    MutexLock lock(flat_mutex_, SyncSite::kEngineFlat);
     lookup = flat_->Query(query.region, now, query.staleness_ms);
   }
   ProbeAccounting acct;
@@ -516,7 +516,7 @@ QueryResult ColrEngine::ExecuteFlat(const Query& query, TimeMs now) {
   result.groups.push_back(std::move(g));
 
   {
-    MutexLock lock(flat_mutex_);
+    MutexLock lock(flat_mutex_, SyncSite::kEngineFlat);
     for (const Reading& r : probed) flat_->Insert(r);
   }
   result.collected = std::move(probed);

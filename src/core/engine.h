@@ -221,7 +221,7 @@ class ColrEngine {
   std::unique_ptr<FlatCache> flat_ COLR_PT_GUARDED_BY(flat_mutex_);
   /// FlatCache is a plain scan structure; concurrent flat-mode queries
   /// serialize their cache access here (probing still overlaps).
-  mutable Mutex flat_mutex_;
+  mutable Mutex flat_mutex_{SyncSite::kEngineFlat};
   std::unique_ptr<AvailabilityTracker> tracker_;
   /// Clock timestamp of the last availability refresh; the CAS in
   /// FinishQuery elects exactly one refresher per due interval.

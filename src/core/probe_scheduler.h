@@ -172,7 +172,7 @@ class ProbeScheduler {
   static constexpr size_t kStripes = 64;
 
   struct Stripe {
-    Mutex mu;
+    Mutex mu{SyncSite::kProbeFlight};
     /// _any variant: waits on the annotated Mutex capability directly
     /// (same idiom as thread_pool.h).
     std::condition_variable_any cv;

@@ -434,18 +434,19 @@ class ColrTree {
   /// Level 1 of the lock hierarchy: shared by writers (freezes the
   /// window head for the duration of an insert), exclusive for rolls,
   /// expunges and consistency audits.
-  mutable EpochLatch epoch_latch_;
+  mutable EpochLatch epoch_latch_{SyncSite::kEpochShared,
+                                  SyncSite::kEpochExclusive};
   /// Level 2: per-shard writer locks, keyed by the shard node id.
   /// A thread holds at most one shard stripe at a time.
-  mutable StripedMutex shard_mutex_;
+  mutable StripedMutex shard_mutex_{SyncSite::kShardWriter};
   /// Level 3: serializes mutation of the root region (the shard node
   /// and its ancestors), which every shard's propagation path shares.
   /// A SpinMutex: the section is two ring-buffer updates (plus a rare
   /// recompute), far below the cost of a contended futex handoff.
-  mutable SpinMutex root_mutex_;
+  mutable SpinMutex root_mutex_{SyncSite::kRootSpin};
   /// Level 4 (innermost): per-node stripe locks. A thread holds at
   /// most one stripe at a time.
-  mutable StripedMutex node_mutex_;
+  mutable StripedMutex node_mutex_{SyncSite::kNodeStripe};
   MaintenanceCounters maintenance_;
 };
 

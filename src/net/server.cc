@@ -44,7 +44,7 @@ void PortalServer::Stop() {
   if (accept_thread_.joinable()) accept_thread_.join();
   std::vector<std::unique_ptr<ConnEntry>> entries;
   {
-    MutexLock lock(mu_);
+    MutexLock lock(mu_, SyncSite::kServerConns);
     entries.swap(conns_);
   }
   for (auto& e : entries) e->conn->Close();
@@ -80,7 +80,7 @@ void PortalServer::AcceptLoop() {
       raw->done.store(true, std::memory_order_release);
     });
     {
-      MutexLock lock(mu_);
+      MutexLock lock(mu_, SyncSite::kServerConns);
       ReapFinished();
       conns_.push_back(std::move(entry));
     }
@@ -152,7 +152,7 @@ QueryReply PortalServer::HandleRequest(const QueryRequest& request) {
   // connections while this one blocks), which the queue deadline then
   // cuts. ThreadPool(0) degenerates to inline execution here.
   struct Completion {
-    Mutex mu;
+    Mutex mu{SyncSite::kServerCompletion};
     std::condition_variable_any cv;
     bool done COLR_GUARDED_BY(mu) = false;
   } completion;
@@ -194,7 +194,7 @@ QueryReply PortalServer::HandleRequest(const QueryRequest& request) {
       }
     }
     {
-      MutexLock lock(completion.mu);
+      MutexLock lock(completion.mu, SyncSite::kServerCompletion);
       completion.done = true;
       // Notify while holding the lock: the waiter cannot observe
       // `done` (and destroy `completion`) until we release it, so the
@@ -204,7 +204,7 @@ QueryReply PortalServer::HandleRequest(const QueryRequest& request) {
   });
 
   {
-    MutexLock lock(completion.mu);
+    MutexLock lock(completion.mu, SyncSite::kServerCompletion);
     while (!completion.done) completion.cv.wait(completion.mu);
   }
   inflight_.fetch_sub(1, std::memory_order_acq_rel);

@@ -132,7 +132,7 @@ class PortalServer {
   std::atomic<int64_t> inflight_{0};
   std::atomic<uint64_t> next_ordinal_{0};
 
-  Mutex mu_;
+  Mutex mu_{SyncSite::kServerConns};
   std::vector<std::unique_ptr<ConnEntry>> conns_ COLR_GUARDED_BY(mu_);
 };
 

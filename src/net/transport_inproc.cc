@@ -18,7 +18,7 @@ namespace {
 /// FIFO is unbounded on purpose: the fake must never introduce a
 /// backpressure deadlock the lockstep tests did not script.
 struct ByteQueue {
-  Mutex mu;
+  Mutex mu{SyncSite::kTransportQueue};
   /// _any variant: waits on the annotated Mutex capability directly.
   std::condition_variable_any cv;
   std::string bytes COLR_GUARDED_BY(mu);
@@ -29,7 +29,7 @@ struct ByteQueue {
 
   Status Write(const char* data, size_t n) {
     {
-      MutexLock lock(mu);
+      MutexLock lock(mu, SyncSite::kTransportQueue);
       if (read_closed) return Status::IoError("peer disconnected");
       if (write_closed) return Status::IoError("connection closed");
       bytes.append(data, n);
@@ -39,7 +39,7 @@ struct ByteQueue {
   }
 
   Result<size_t> Read(char* buf, size_t n) {
-    MutexLock lock(mu);
+    MutexLock lock(mu, SyncSite::kTransportQueue);
     while (bytes.empty() && !write_closed && !read_closed) cv.wait(mu);
     if (bytes.empty()) return size_t{0};  // EOF (either side closed)
     const size_t k = std::min(n, bytes.size());
@@ -50,7 +50,7 @@ struct ByteQueue {
 
   void CloseWrite() {
     {
-      MutexLock lock(mu);
+      MutexLock lock(mu, SyncSite::kTransportQueue);
       write_closed = true;
     }
     cv.notify_all();
@@ -58,7 +58,7 @@ struct ByteQueue {
 
   void CloseRead() {
     {
-      MutexLock lock(mu);
+      MutexLock lock(mu, SyncSite::kTransportQueue);
       read_closed = true;
     }
     cv.notify_all();
@@ -97,7 +97,7 @@ class InProcConnection : public Connection {
 
 /// Rendezvous state shared by an InProcTransport and its listener.
 struct InProcShared {
-  Mutex mu;
+  Mutex mu{SyncSite::kTransportAccept};
   std::condition_variable_any cv;
   std::deque<std::unique_ptr<Connection>> pending COLR_GUARDED_BY(mu);
   bool listener_closed COLR_GUARDED_BY(mu) = false;
@@ -113,7 +113,7 @@ class InProcListener : public Listener {
   ~InProcListener() override { Close(); }
 
   Result<std::unique_ptr<Connection>> Accept() override {
-    MutexLock lock(shared_->mu);
+    MutexLock lock(shared_->mu, SyncSite::kTransportAccept);
     while (shared_->pending.empty() && !shared_->listener_closed) {
       shared_->cv.wait(shared_->mu);
     }
@@ -127,7 +127,7 @@ class InProcListener : public Listener {
 
   void Close() override {
     {
-      MutexLock lock(shared_->mu);
+      MutexLock lock(shared_->mu, SyncSite::kTransportAccept);
       shared_->listener_closed = true;
       // Un-accepted connections are torn down (their destructor closes
       // both directions), so a racing Connect() observes a dead peer
@@ -160,7 +160,7 @@ Result<std::unique_ptr<Connection>> InProcTransport::Connect() {
   auto client_half = std::make_unique<InProcConnection>(server_to_client,
                                                         client_to_server);
   {
-    MutexLock lock(shared_->mu);
+    MutexLock lock(shared_->mu, SyncSite::kTransportAccept);
     if (shared_->listener_closed) {
       return Status::Unavailable("listener closed");
     }

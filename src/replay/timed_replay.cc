@@ -110,7 +110,7 @@ TimedReplayReport RunTimedReplay(portal::SensorPortal& portal,
   tree.AdvanceTo(clock.NowMs());
 
   std::atomic<bool> done{false};
-  Mutex done_mutex;
+  Mutex done_mutex{SyncSite::kReplayDone};
   // _any variant: waits on the annotated Mutex capability directly.
   std::condition_variable_any done_cv;
   std::atomic<int64_t> ticks{0};
@@ -155,7 +155,7 @@ TimedReplayReport RunTimedReplay(portal::SensorPortal& portal,
       // The predicate only reads the `done` atomic (no guarded state),
       // so a lambda is fine here; the lock passed to wait_for is the
       // annotated Mutex itself.
-      MutexLock lock(done_mutex);
+      MutexLock lock(done_mutex, SyncSite::kReplayDone);
       done_cv.wait_for(
           done_mutex, std::chrono::duration<double, std::milli>(tick_wall_ms),
           [&] { return done.load(std::memory_order_acquire); });
@@ -203,7 +203,7 @@ TimedReplayReport RunTimedReplay(portal::SensorPortal& portal,
   for (std::thread& t : threads) t.join();
 
   {
-    MutexLock lock(done_mutex);
+    MutexLock lock(done_mutex, SyncSite::kReplayDone);
     done.store(true, std::memory_order_release);
   }
   done_cv.notify_all();

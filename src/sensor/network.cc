@@ -40,7 +40,7 @@ SensorNetwork::ProbeResult SensorNetwork::Probe(SensorId id) {
     // One critical section per probe covering both draws, so the
     // sequential draw order (success then latency) is exactly the
     // pre-concurrency stream.
-    MutexLock lock(rng_mutex_);
+    MutexLock lock(rng_mutex_, SyncSite::kNetworkRng);
     result.success = rng_.Bernoulli(info.availability);
     result.latency_ms = DrawLatency(result.success);
   }

@@ -124,7 +124,7 @@ class SensorNetwork {
   const Clock* clock_;
   Options options_;
   /// Guards rng_ — the only non-atomic mutable shared state.
-  Mutex rng_mutex_;
+  Mutex rng_mutex_{SyncSite::kNetworkRng};
   Rng rng_ COLR_GUARDED_BY(rng_mutex_);
   ValueFn value_fn_;
   ThreadPool* pool_ = nullptr;

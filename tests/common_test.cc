@@ -1,12 +1,18 @@
 #include <algorithm>
+#include <atomic>
 #include <chrono>
+#include <cstdint>
+#include <limits>
 #include <set>
 #include <thread>
 #include <vector>
 
 #include "common/clock.h"
+#include "common/lock_rank.h"
 #include "common/rng.h"
 #include "common/stats.h"
+#include "common/sync.h"
+#include "common/sync_stats.h"
 #include "common/status.h"
 #include "gtest/gtest.h"
 
@@ -301,6 +307,112 @@ TEST(StatsTest, BinnedStatBinsGeometrically) {
   bins.Add(6.0, 20.0);
   EXPECT_EQ(bins.bin(0).count(), 2);
   EXPECT_DOUBLE_EQ(bins.bin(0).mean(), 15.0);
+}
+
+// ---------------------------------------------------------------------------
+// Lock-rank registry (common/lock_rank.h <- common/lock_order.inc)
+// ---------------------------------------------------------------------------
+
+TEST(LockRankTest, SiteNameCoversEveryEnumValue) {
+  std::set<std::string> names;
+  for (int i = 0; i < kNumSyncSites; ++i) {
+    const char* name = SyncSiteName(static_cast<SyncSite>(i));
+    ASSERT_NE(name, nullptr);
+    EXPECT_STRNE(name, "") << "site " << i;
+    EXPECT_STRNE(name, "unknown") << "site " << i;
+    EXPECT_TRUE(names.insert(name).second) << "duplicate name " << name;
+  }
+  EXPECT_STREQ(SyncSiteName(static_cast<SyncSite>(-1)), "unknown");
+  EXPECT_STREQ(SyncSiteName(static_cast<SyncSite>(kNumSyncSites)), "unknown");
+}
+
+TEST(LockRankTest, RanksAreUniqueAndEdgesMonotone) {
+  std::set<LockRank> ranks;
+  for (int i = 0; i < kNumSyncSites; ++i) {
+    EXPECT_TRUE(ranks.insert(LockRankOf(static_cast<SyncSite>(i))).second)
+        << "duplicate rank for " << SyncSiteName(static_cast<SyncSite>(i));
+  }
+  for (const LockOrderEdge& e : kLockOrderEdges) {
+    EXPECT_LT(LockRankOf(e.held), LockRankOf(e.acquired))
+        << SyncSiteName(e.held) << " -> " << SyncSiteName(e.acquired);
+  }
+}
+
+TEST(LockRankTest, EdgeDeclaredMatchesEdgeList) {
+  for (int h = 0; h < kNumSyncSites; ++h) {
+    for (int a = 0; a < kNumSyncSites; ++a) {
+      const SyncSite held = static_cast<SyncSite>(h);
+      const SyncSite acquired = static_cast<SyncSite>(a);
+      bool listed = false;
+      for (const LockOrderEdge& e : kLockOrderEdges) {
+        listed |= e.held == held && e.acquired == acquired;
+      }
+      EXPECT_EQ(LockOrderEdgeDeclared(held, acquired), listed)
+          << SyncSiteName(held) << " -> " << SyncSiteName(acquired);
+      if (h == a) {
+        EXPECT_FALSE(listed) << "self-edge " << SyncSiteName(held);
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Sync-stats wait histogram
+// ---------------------------------------------------------------------------
+
+TEST(SyncStatsHistTest, BucketFunctionIsMonotoneAndClamped) {
+  EXPECT_EQ(SyncWaitBucket(0), 0);   // uncontended
+  EXPECT_EQ(SyncWaitBucket(1), 1);   // first contended bucket
+  int prev = 0;
+  for (int64_t ns = 1; ns < (int64_t{1} << 40); ns *= 2) {
+    const int b = SyncWaitBucket(ns);
+    EXPECT_GE(b, prev);
+    EXPECT_LT(b, kSyncWaitBuckets);
+    prev = b;
+  }
+  EXPECT_EQ(SyncWaitBucket(std::numeric_limits<int64_t>::max()),
+            kSyncWaitBuckets - 1);
+}
+
+TEST(SyncStatsHistTest, BucketsSumToAcquisitionsDrivenThroughTimedLock) {
+  SyncStatsRegistry::Enable();
+  const SyncStatsSnapshot before = SyncStatsRegistry::Instance().Snapshot();
+
+  Mutex mu(SyncSite::kProbeFlight);
+  // Uncontended acquisitions land in bucket 0 via the try_lock fast
+  // path.
+  for (int i = 0; i < 100; ++i) {
+    SyncTimedLock<Mutex> lock(mu, SyncSite::kProbeFlight);
+  }
+  // Force at least one contended acquisition: the helper holds the
+  // lock until the main thread is provably blocked inside lock().
+  {
+    std::atomic<bool> helper_has_lock{false};
+    std::thread helper([&] {
+      mu.lock();
+      helper_has_lock.store(true);
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      mu.unlock();
+    });
+    while (!helper_has_lock.load()) std::this_thread::yield();
+    SyncTimedLock<Mutex> lock(mu, SyncSite::kProbeFlight);
+    helper.join();
+  }
+
+  const SyncStatsSnapshot delta = SyncStatsDelta(
+      SyncStatsRegistry::Instance().Snapshot(), before);
+  const SyncSiteStats& s =
+      delta.sites[static_cast<size_t>(SyncSite::kProbeFlight)];
+  EXPECT_GE(s.acquisitions, 101);
+  EXPECT_GE(s.contended, 0);
+  EXPECT_LE(s.contended, s.acquisitions);
+  int64_t hist_sum = 0;
+  for (int b = 0; b < kSyncWaitBuckets; ++b) hist_sum += s.wait_hist[b];
+  EXPECT_EQ(hist_sum, s.acquisitions)
+      << "wait histogram must partition the acquisition count";
+  // Bucket 0 is exactly the uncontended count; contended waits (>0 ns)
+  // land in buckets >= 1.
+  EXPECT_EQ(s.wait_hist[0], s.acquisitions - s.contended);
 }
 
 }  // namespace

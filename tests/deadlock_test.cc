@@ -1,0 +1,177 @@
+// Runtime layer of the deadlock-freedom contract (DESIGN.md §10):
+// under -DCOLR_DEADLOCK_CHECK=1 the detector must abort on a seeded
+// lock-order inversion, an undeclared acquired-after edge, a
+// recursive same-site acquisition, and a guard that names the wrong
+// SyncSite (death tests) — and must stay silent across the full
+// concurrent engine and portal-server stress rigs (positive tests).
+// In a detector-disabled build the death tests skip and the positive
+// tests still run as plain stress coverage.
+//
+// Labels: static;stress — scripts/check.sh runs this suite in the
+// dedicated -DCOLR_DEADLOCK_CHECK=ON build tree.
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "common/deadlock.h"
+#include "common/lock_rank.h"
+#include "common/sync.h"
+#include "common/thread_pool.h"
+#include "concurrent_harness.h"
+#include "gtest/gtest.h"
+#include "net/client.h"
+#include "net/server.h"
+#include "net/transport.h"
+#include "portal/portal.h"
+
+namespace colr {
+namespace {
+
+using colr::testing::EngineStressRig;
+using colr::testing::RunQueryStreams;
+using colr::testing::RunThreads;
+
+int HeldDepthOrZero() {
+#if COLR_DEADLOCK_CHECK
+  return deadlock_internal::HeldDepth();
+#else
+  return 0;
+#endif
+}
+
+// The death statements fork the whole binary; earlier tests may have
+// left pool threads behind, so the threadsafe style (re-exec) is the
+// only sound one here.
+class DeadlockDeathTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (!DeadlockCheckActive()) {
+      GTEST_SKIP() << "detector compiled out (COLR_DEADLOCK_CHECK=OFF)";
+    }
+    ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
+  }
+};
+
+// kTransportAccept -> kTransportQueue is a declared edge, so taking
+// the queue lock first and the accept lock inside it closes a cycle in
+// the acquired-after graph. The detector must abort on the FIRST such
+// acquisition — no adversarial interleaving required.
+TEST_F(DeadlockDeathTest, SeededInversionAborts) {
+  EXPECT_DEATH(
+      {
+        Mutex queue_mu(SyncSite::kTransportQueue);
+        Mutex accept_mu(SyncSite::kTransportAccept);
+        MutexLock hold_queue(queue_mu, SyncSite::kTransportQueue);
+        MutexLock hold_accept(accept_mu, SyncSite::kTransportAccept);
+      },
+      "lock-order inversion");
+}
+
+// The same pair nested in the declared direction is fine.
+TEST_F(DeadlockDeathTest, DeclaredOrderIsClean) {
+  Mutex accept_mu(SyncSite::kTransportAccept);
+  Mutex queue_mu(SyncSite::kTransportQueue);
+  {
+    MutexLock hold_accept(accept_mu, SyncSite::kTransportAccept);
+    MutexLock hold_queue(queue_mu, SyncSite::kTransportQueue);
+    EXPECT_EQ(HeldDepthOrZero(), 2);
+  }
+  EXPECT_EQ(HeldDepthOrZero(), 0);
+}
+
+// kReplayDone -> kEngineFlat is rank-monotone but NOT declared in
+// lock_order.inc: the contract is the edge list, not the ranks, so
+// this nesting must still abort.
+TEST_F(DeadlockDeathTest, UndeclaredEdgeAborts) {
+  EXPECT_DEATH(
+      {
+        Mutex done_mu(SyncSite::kReplayDone);
+        Mutex flat_mu(SyncSite::kEngineFlat);
+        MutexLock hold_done(done_mu, SyncSite::kReplayDone);
+        MutexLock hold_flat(flat_mu, SyncSite::kEngineFlat);
+      },
+      "undeclared acquired-after edge");
+}
+
+// Two distinct locks sharing one site nested on one thread is the
+// one-stripe-at-a-time discipline being broken (StripedMutex stripes
+// all carry their owner's site).
+TEST_F(DeadlockDeathTest, SameSiteNestingAborts) {
+  EXPECT_DEATH(
+      {
+        Mutex a(SyncSite::kEngineFlat);
+        Mutex b(SyncSite::kEngineFlat);
+        MutexLock hold_a(a, SyncSite::kEngineFlat);
+        MutexLock hold_b(b, SyncSite::kEngineFlat);
+      },
+      "recursive acquisition");
+}
+
+// A guard whose named SyncSite disagrees with the lock's constructed
+// rank is lying to the static lint; the runtime cross-check catches
+// it.
+TEST_F(DeadlockDeathTest, GuardSiteMismatchAborts) {
+  EXPECT_DEATH(
+      {
+        Mutex flat_mu(SyncSite::kEngineFlat);
+        MutexLock lying(flat_mu, SyncSite::kNetworkRng);
+      },
+      "lying to the static");
+}
+
+// Positive half of the contract: the real engine under a concurrent
+// mixed query stream (epoch -> shard/root/node stripes, probe
+// scheduler, sync-stats registry) never trips the detector.
+TEST(DeadlockPositiveTest, EngineStressRunsCleanWithDetectorArmed) {
+  EngineStressRig rig(/*cache_capacity=*/64);
+  std::atomic<int64_t> total{0};
+  RunQueryStreams(rig, /*threads=*/8, /*per_thread=*/150,
+                  [&](int, int, const QueryResult& r) {
+                    total.fetch_add(r.Total().count, std::memory_order_relaxed);
+                    EXPECT_EQ(HeldDepthOrZero(), 0);
+                  });
+  EXPECT_EQ(HeldDepthOrZero(), 0);
+}
+
+// And the full serving stack: portal server on the in-process
+// transport (conn-list, completion, transport accept/queue, pool
+// locks layered over the engine paths above).
+TEST(DeadlockPositiveTest, ServerRoundTripsRunCleanWithDetectorArmed) {
+  EngineStressRig rig(/*cache_capacity=*/256);
+  portal::SensorPortal portal(rig.tree.get(), rig.engine.get());
+  ThreadPool pool(4);
+  net::InProcTransport transport;
+  net::PortalServer server(&portal, &pool, net::PortalServer::Options());
+  const Status started = server.Start(transport.CreateListener());
+  ASSERT_TRUE(started.ok()) << started.ToString();
+
+  RunThreads(4, [&](int t) {
+    auto conn = transport.Connect();
+    ASSERT_TRUE(conn.ok()) << conn.status().ToString();
+    net::PortalClient client(std::move(conn).value());
+    for (int i = 0; i < 40; ++i) {
+      const auto& rec = rig.workload.queries[static_cast<size_t>(
+          t * 17 + i * 5) % rig.workload.queries.size()];
+      char buf[256];
+      std::snprintf(buf, sizeof(buf),
+                    "SELECT count(*) FROM sensor S "
+                    "WHERE S.location WITHIN RECT(%.6f, %.6f, %.6f, %.6f) "
+                    "AND S.time BETWEEN now()-5 AND now() mins "
+                    "CLUSTER LEVEL 2 SAMPLESIZE %d",
+                    rec.region.min_x, rec.region.min_y, rec.region.max_x,
+                    rec.region.max_y, (i % 3 == 0) ? 0 : 25);
+      const auto reply = client.Query(buf);
+      ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+      EXPECT_EQ(HeldDepthOrZero(), 0);
+    }
+    client.Close();
+  });
+  server.Stop();
+  EXPECT_EQ(HeldDepthOrZero(), 0);
+}
+
+}  // namespace
+}  // namespace colr

@@ -8,6 +8,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
+#include <cstdlib>
 #include <limits>
 #include <string>
 #include <vector>
@@ -279,8 +280,14 @@ TEST(WireCodecTest, RandomGarbageStreamsNeverCrashTheDecoder) {
   // Feed random byte streams in random-sized chunks; the decoder must
   // either wait for more bytes, produce (garbage) frames, or poison —
   // never crash or over-read (the ASan leg checks the latter).
+  // COLR_FUZZ_ITERS (scaled 10:1 — whole streams cost more than single
+  // payloads) raises the round count for the sanitizer fuzz leg.
+  int rounds = 200;
+  if (const char* env = std::getenv("COLR_FUZZ_ITERS")) {
+    rounds = std::max(1, std::atoi(env) / 10);
+  }
   Rng rng(0xDEAD10CCull);
-  for (int round = 0; round < 200; ++round) {
+  for (int round = 0; round < rounds; ++round) {
     FrameDecoder decoder(/*max_payload=*/4096);
     const std::string stream = RandomBytes(rng, 1 + rng.UniformInt(2048));
     size_t fed = 0;
@@ -306,9 +313,15 @@ TEST(WireCodecTest, RandomGarbageStreamsNeverCrashTheDecoder) {
 TEST(WireCodecTest, GarbagePayloadsRejectedCleanly) {
   // Random bytes through both payload decoders: every outcome must be
   // a clean Status (the bounds-checked cursor), never a crash.
+  // COLR_FUZZ_ITERS scales the iteration count — the ASan+UBSan fuzz
+  // leg of scripts/check.sh runs this test with a much higher budget.
+  int iters = 2000;
+  if (const char* env = std::getenv("COLR_FUZZ_ITERS")) {
+    iters = std::max(1, std::atoi(env));
+  }
   Rng rng(0xBADF00Dull);
   int query_ok = 0;
-  for (int i = 0; i < 2000; ++i) {
+  for (int i = 0; i < iters; ++i) {
     const std::string payload = RandomBytes(rng, rng.UniformInt(128));
     QueryRequest request;
     if (DecodeQueryPayload(payload, &request).ok()) ++query_ok;
@@ -317,7 +330,7 @@ TEST(WireCodecTest, GarbagePayloadsRejectedCleanly) {
   }
   // Random bytes essentially never form a valid query payload (the
   // text length must exactly consume the remainder).
-  EXPECT_LT(query_ok, 20);
+  EXPECT_LT(query_ok, std::max(1, iters / 100));
 }
 
 TEST(WireCodecTest, TruncatedPayloadsRejectedByDecoders) {
